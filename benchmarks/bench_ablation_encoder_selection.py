@@ -1,0 +1,73 @@
+"""Ablation: automatic encoding-method selection (§5.3 implementation note).
+
+The paper's implementation pre-computes the Mult_XOR counts of upstairs,
+downstairs and standard encoding for the configured parameters and always
+uses the cheapest.  This ablation quantifies what that choice buys:
+across a grid of configurations it compares the cost of always using a
+single method against the auto-selected one.
+"""
+
+import pytest
+
+from repro.bench.reporting import print_table
+from repro.core import StairConfig, encoding_costs, enumerate_e_vectors
+from repro.core.stair import StairCode
+
+GRID = [(n, r, m, e)
+        for n in (8, 16)
+        for r in (8, 16, 32)
+        for m in (1, 2)
+        for s in (2, 3, 4)
+        for e in enumerate_e_vectors(s, e_max_cap=min(r, 4))]
+
+
+@pytest.fixture(scope="module")
+def cost_rows():
+    rows = []
+    for n, r, m, e in GRID:
+        config = StairConfig(n=n, r=r, m=m, e=e)
+        costs = encoding_costs(config)
+        rows.append({
+            "n": n, "r": r, "m": m, "e": e,
+            "upstairs": costs.upstairs, "downstairs": costs.downstairs,
+            "auto": min(costs.upstairs, costs.downstairs),
+        })
+    return rows
+
+
+def test_ablation_encoder_selection(cost_rows, benchmark):
+    benchmark.pedantic(
+        lambda: encoding_costs(StairConfig(n=8, r=16, m=2, e=(1, 1, 2))),
+        rounds=1, iterations=1)
+
+    total_up = sum(row["upstairs"] for row in cost_rows)
+    total_down = sum(row["downstairs"] for row in cost_rows)
+    total_auto = sum(row["auto"] for row in cost_rows)
+    print_table(
+        ["policy", "total Mult_XORs", "overhead vs auto"],
+        [["always upstairs", total_up, f"{total_up / total_auto - 1:.1%}"],
+         ["always downstairs", total_down, f"{total_down / total_auto - 1:.1%}"],
+         ["auto (paper)", total_auto, "0.0%"]],
+        title=f"Encoder-selection ablation over {len(cost_rows)} configurations",
+    )
+
+    # Auto selection is never worse than either fixed policy and strictly
+    # better than both overall (each fixed policy loses somewhere).
+    assert total_auto <= total_up and total_auto <= total_down
+    assert total_auto < max(total_up, total_down)
+    assert any(row["upstairs"] < row["downstairs"] for row in cost_rows)
+    assert any(row["downstairs"] < row["upstairs"] for row in cost_rows)
+
+
+def test_ablation_selection_matches_runtime_choice(benchmark):
+    """StairCode.select_encoding_method picks the analytic winner."""
+    def check():
+        for n, r, m, e in GRID[:12]:
+            code = StairCode(StairConfig(n=n, r=r, m=m, e=e))
+            costs = encoding_costs(code.config)
+            expected = ("upstairs" if costs.upstairs <= costs.downstairs
+                        else "downstairs")
+            assert code.select_encoding_method() == expected
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

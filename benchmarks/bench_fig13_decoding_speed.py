@@ -1,0 +1,82 @@
+"""Figure 13: worst-case decoding speed of STAIR vs SD codes.
+
+Worst case (§6.2.2): the m leftmost chunks plus s additional sectors in
+the following chunks are all lost.  Reproduced claims:
+
+* STAIR decodes faster than SD for the same (n, r, m, s) -- on the paper's
+  testbed by ~103% on average;
+* decoding speed increases with n and r;
+* when only device failures occur (s = 0 pattern), decoding reduces to
+  Reed-Solomon decoding and is significantly faster than the worst case.
+"""
+
+import pytest
+
+from repro.bench.figures import _stair_code, decoding_speed_rows, stair_vs_sd_summary
+from repro.bench.reporting import print_table
+from repro.bench.speed import device_only_losses, measure_decoding_speed
+
+N_SWEEP = (8, 16, 24, 32)
+R_SWEEP = (8, 16, 24, 32)
+STRIPE_BYTES = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def rows_vary_n():
+    return decoding_speed_rows(n_values=N_SWEEP, r_values=(16,),
+                               repeats=1)
+
+
+@pytest.fixture(scope="module")
+def rows_vary_r():
+    return decoding_speed_rows(n_values=(16,), r_values=R_SWEEP,
+                               repeats=1)
+
+
+def _print(rows, title):
+    print_table(
+        ["family", "n", "r", "m", "s", "MB/s"],
+        [[row["family"], row["n"], row["r"], row["m"], row["s"],
+          row["mb_per_second"]] for row in rows],
+        title=title, float_format="{:.1f}",
+    )
+
+
+def test_fig13a_decoding_speed_vs_n(rows_vary_n, benchmark):
+    benchmark.pedantic(
+        lambda: decoding_speed_rows(n_values=(16,), r_values=(16,),
+                                    m_values=(2,), stair_s_values=(2,),
+                                    sd_s_values=(2,), repeats=1),
+        rounds=1, iterations=1)
+    _print(rows_vary_n, "Figure 13(a): worst-case decoding speed, r=16, varying n")
+    summary = stair_vs_sd_summary(rows_vary_n)
+    print(f"\nSTAIR vs SD decoding speed: +{summary['average_pct']:.1f}% average "
+          f"({summary['min_pct']:.1f}% .. {summary['max_pct']:.1f}%)")
+    assert summary["average_pct"] > 0.0
+
+
+def test_fig13b_decoding_speed_vs_r(rows_vary_r, benchmark):
+    benchmark.pedantic(
+        lambda: decoding_speed_rows(n_values=(16,), r_values=(8,),
+                                    m_values=(2,), stair_s_values=(2,),
+                                    sd_s_values=(2,), repeats=1),
+        rounds=1, iterations=1)
+    _print(rows_vary_r, "Figure 13(b): worst-case decoding speed, n=16, varying r")
+    summary = stair_vs_sd_summary(rows_vary_r)
+    print(f"\nSTAIR vs SD decoding speed: +{summary['average_pct']:.1f}% average")
+    assert summary["average_pct"] > 0.0
+
+
+def test_fig13_device_only_decoding_is_faster(benchmark):
+    """§6.2.2: with s = 0 failures the decode is plain RS and much faster."""
+    code = _stair_code(16, 16, 2, 1)
+    losses_worst = [(i, j) for j in range(2) for i in range(16)]
+    losses_worst += [(15, 2)]
+    worst = measure_decoding_speed(code, losses_worst, STRIPE_BYTES, repeats=1)
+    device_only = benchmark.pedantic(
+        lambda: measure_decoding_speed(code, device_only_losses(16, 2),
+                                       STRIPE_BYTES, repeats=1),
+        rounds=1, iterations=1)
+    print(f"\nworst-case: {worst.mb_per_second:.1f} MB/s, "
+          f"device-only: {device_only.mb_per_second:.1f} MB/s")
+    assert device_only.mb_per_second > worst.mb_per_second

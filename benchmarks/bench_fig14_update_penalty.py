@@ -1,0 +1,51 @@
+"""Figure 14: update penalty of STAIR codes vs the coverage vector e.
+
+Paper setting: n = 16, s = 4, r in {8, 16, 24, 32}, m in {1, 2, 3}.
+Reproduced claims (§6.3):
+
+* the update penalty increases with m;
+* for a fixed s it generally increases with e_max (a taller stair couples
+  more rows of row parities to the global parities).
+"""
+
+import pytest
+
+from repro.bench.figures import figure14_rows
+from repro.bench.reporting import print_table
+
+R_VALUES = (8, 16, 24, 32)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure14_rows(n=16, s=4, m_values=(1, 2, 3), r_values=R_VALUES)
+
+
+def test_fig14_update_penalty(rows, benchmark):
+    benchmark.pedantic(lambda: figure14_rows(r_values=(8,), m_values=(1,)),
+                       rounds=1, iterations=1)
+    print_table(
+        ["r", "e", "m", "update penalty"],
+        [[row["r"], str(row["e"]), row["m"], row["update_penalty"]]
+         for row in rows],
+        title="Figure 14: STAIR update penalty (n=16, s=4)",
+    )
+
+    # Penalty increases with m for every (r, e).
+    for r in R_VALUES:
+        vectors = {row["e"] for row in rows if row["r"] == r}
+        for e in vectors:
+            per_m = {row["m"]: row["update_penalty"] for row in rows
+                     if row["r"] == r and row["e"] == e}
+            assert per_m[1] < per_m[2] < per_m[3]
+
+    # For fixed s, the largest e_max configuration costs at least as much as
+    # the all-ones configuration (e = (4) vs e = (1,1,1,1)).
+    for r in R_VALUES:
+        for m in (1, 2, 3):
+            tall = next(row["update_penalty"] for row in rows
+                        if row["r"] == r and row["m"] == m and row["e"] == (4,))
+            flat = next(row["update_penalty"] for row in rows
+                        if row["r"] == r and row["m"] == m
+                        and row["e"] == (1, 1, 1, 1))
+            assert tall >= flat

@@ -1,0 +1,54 @@
+"""Figure 15: update penalty of STAIR vs SD vs Reed-Solomon codes.
+
+Paper setting: n = 16, r = 16, m in {1, 2, 3}; STAIR s <= 4 with min/avg/
+max over every e; SD s <= 3; RS for reference.  Reproduced claims (§6.3):
+
+* both STAIR and SD codes pay a higher update penalty than RS codes;
+* for a given s, the min-max range of STAIR penalties (over e) covers the
+  SD penalty, while the STAIR average can be somewhat higher;
+* the penalty grows with s.
+"""
+
+import pytest
+
+from repro.bench.figures import figure15_rows
+from repro.bench.reporting import print_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure15_rows(n=16, r=16, m_values=(1, 2, 3))
+
+
+def test_fig15_update_penalty_comparison(rows, benchmark):
+    benchmark.pedantic(lambda: figure15_rows(m_values=(1,)),
+                       rounds=1, iterations=1)
+    print_table(
+        ["m", "code", "s", "avg penalty", "min", "max"],
+        [[row["m"], row["code"], row["s"], row["penalty"], row["min"],
+          row["max"]] for row in rows],
+        title="Figure 15: update penalty, RS vs SD vs STAIR (n=16, r=16)",
+    )
+
+    for m in (1, 2, 3):
+        rs = next(row["penalty"] for row in rows
+                  if row["m"] == m and row["code"] == "RS")
+        # Every STAIR / SD configuration costs at least as much as RS.
+        for row in rows:
+            if row["m"] == m and row["code"] != "RS":
+                assert row["penalty"] >= rs
+
+        # The STAIR min/max band (over e) brackets the SD value for each s.
+        for s in (1, 2, 3):
+            sd = next(row["penalty"] for row in rows
+                      if row["m"] == m and row["code"] == "SD" and row["s"] == s)
+            stair = next(row for row in rows
+                         if row["m"] == m and row["code"] == "STAIR"
+                         and row["s"] == s)
+            assert stair["min"] <= sd * 1.05
+            assert stair["max"] >= sd * 0.95
+
+        # Penalty grows with s for STAIR averages.
+        averages = [row["penalty"] for row in rows
+                    if row["m"] == m and row["code"] == "STAIR"]
+        assert averages == sorted(averages)

@@ -1,0 +1,55 @@
+"""Figure 17: MTTDL_sys vs P_bit under independent sector failures.
+
+Paper setting: 10 PB of user data, 300 GB devices, 512-byte sectors,
+1/λ = 500,000 h, 1/μ = 17.8 h, n = 8, r = 16, m = 1.  Reproduced claims
+(§7.2.1):
+
+* STAIR and SD codes with s = 1 are orders of magnitude more reliable
+  than Reed-Solomon codes at P_bit = 1e-14;
+* Reed-Solomon reliability decays with P_bit while s >= 1 codes stay flat
+  until P_bit gets large;
+* among the s = 3 STAIR configurations, e = (1, 2) is the most reliable
+  (better than e = (3) and e = (1, 1, 1)).
+"""
+
+import pytest
+
+from repro.bench.figures import figure17_rows
+from repro.bench.reporting import print_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure17_rows()
+
+
+def _mttdl(rows, code, p_bit):
+    return next(row["mttdl_hours"] for row in rows
+                if row["code"] == code and row["p_bit"] == p_bit)
+
+
+def test_fig17_mttdl_independent(rows, benchmark):
+    benchmark.pedantic(lambda: figure17_rows(p_bits=(1e-12,)),
+                       rounds=1, iterations=1)
+    print_table(
+        ["P_bit", "code", "MTTDL_sys (hours)"],
+        [[f"{row['p_bit']:.0e}", row["code"], row["mttdl_hours"]]
+         for row in rows],
+        title="Figure 17: MTTDL_sys, independent sector failures",
+        float_format="{:.3g}",
+    )
+
+    # s=1 codes beat RS by more than two orders of magnitude at 1e-14.
+    assert _mttdl(rows, "STAIR e=(1,)", 1e-14) > 100 * _mttdl(rows, "RS", 1e-14)
+
+    # RS reliability decreases with P_bit.
+    assert _mttdl(rows, "RS", 1e-14) > _mttdl(rows, "RS", 1e-12) >= _mttdl(
+        rows, "RS", 1e-10)
+
+    # e=(1,2) is the best s=3 configuration at high P_bit (Figure 17(b)).
+    best = _mttdl(rows, "STAIR e=(1, 2)", 1e-10)
+    assert best > _mttdl(rows, "STAIR e=(3,)", 1e-10)
+    assert best > _mttdl(rows, "STAIR e=(1, 1, 1)", 1e-10)
+
+    # SD s=2 stays roughly flat across the sweep (§7.2.1).
+    assert _mttdl(rows, "SD s=2", 1e-10) > 0.5 * _mttdl(rows, "SD s=2", 1e-14)

@@ -1,0 +1,61 @@
+"""Figure 18: MTTDL_sys vs P_bit under correlated sector failures
+(b1 = 0.98, alpha = 1.79, the "D-2" drive model).
+
+Reproduced claims (§7.2.2):
+
+* all codes now show a power-law decrease in reliability with P_bit, but
+  STAIR and SD remain more reliable than Reed-Solomon;
+* a STAIR code with e = (e_0, ..., e_{m'-1}) has almost the same
+  reliability as the SD code with s = e_{m'-1} (bursts hit one chunk);
+* among configurations with the same s, e = (s) is the most reliable and
+  matches the SD code with the same s.
+"""
+
+import pytest
+
+from repro.bench.figures import figure18_rows
+from repro.bench.reporting import print_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure18_rows()
+
+
+def _mttdl(rows, code, p_bit):
+    return next(row["mttdl_hours"] for row in rows
+                if row["code"] == code and row["p_bit"] == p_bit)
+
+
+def test_fig18_mttdl_correlated(rows, benchmark):
+    benchmark.pedantic(lambda: figure18_rows(p_bits=(1e-12,)),
+                       rounds=1, iterations=1)
+    print_table(
+        ["P_bit", "code", "MTTDL_sys (hours)"],
+        [[f"{row['p_bit']:.0e}", row["code"], row["mttdl_hours"]]
+         for row in rows],
+        title="Figure 18: MTTDL_sys, correlated sector failures (b1=0.98, α=1.79)",
+        float_format="{:.3g}",
+    )
+
+    for p_bit in (1e-14, 1e-12):
+        rs = _mttdl(rows, "RS", p_bit)
+        # STAIR/SD beat RS.
+        assert _mttdl(rows, "STAIR e=(1,)", p_bit) > rs
+
+        # STAIR e=(1,2) ~ SD s=2 and STAIR e=(3) ~ SD s=3 (within 10%).
+        assert _mttdl(rows, "STAIR e=(1, 2)", p_bit) == pytest.approx(
+            _mttdl(rows, "SD s=2", p_bit), rel=0.10)
+        assert _mttdl(rows, "STAIR e=(3,)", p_bit) == pytest.approx(
+            _mttdl(rows, "SD s=3", p_bit), rel=0.10)
+
+        # Among s=3 configurations, e=(3) is the most reliable under bursts.
+        assert _mttdl(rows, "STAIR e=(3,)", p_bit) >= _mttdl(
+            rows, "STAIR e=(1, 2)", p_bit)
+        assert _mttdl(rows, "STAIR e=(3,)", p_bit) >= _mttdl(
+            rows, "STAIR e=(1, 1, 1)", p_bit)
+
+    # Power-law decrease with P_bit for every code family.
+    for code in ("RS", "STAIR e=(3,)", "SD s=3"):
+        assert _mttdl(rows, code, 1e-14) > _mttdl(rows, code, 1e-12) > _mttdl(
+            rows, code, 1e-10)

@@ -1,0 +1,87 @@
+"""Figure 19: sensitivity of STAIR codes to the burst-length distribution.
+
+(a) burst-length CDFs for several (b1, alpha) pairs; (b) MTTDL_sys of
+STAIR codes with e = (s) vs e = (1, s-1) for s = 1..12 under those pairs.
+
+Reproduced claims (§7.2.2):
+
+* smaller (b1, alpha) means burstier failures (heavier CDF tail);
+* under bursty failures (b1 = 0.9, alpha = 1) the concentrated coverage
+  e = (s) is far more reliable than e = (1, s-1) and its reliability grows
+  rapidly with s -- the value of supporting a wide range of s, beyond the
+  s <= 3 limit of SD codes;
+* under nearly-independent failures (b1 = 0.9999, alpha = 4) the advantage
+  shrinks and can even reverse.
+"""
+
+import pytest
+
+from repro.bench.figures import figure19a_rows, figure19b_rows
+from repro.bench.reporting import print_table
+
+
+@pytest.fixture(scope="module")
+def cdf_rows():
+    return figure19a_rows()
+
+
+@pytest.fixture(scope="module")
+def mttdl_rows():
+    return figure19b_rows()
+
+
+def test_fig19a_burst_length_cdfs(cdf_rows, benchmark):
+    benchmark.pedantic(lambda: figure19a_rows(pairs=((0.9, 1.0),)),
+                       rounds=1, iterations=1)
+    shown = [row for row in cdf_rows if row["length"] <= 8]
+    print_table(
+        ["b1", "alpha", "length", "CDF"],
+        [[row["b1"], row["alpha"], row["length"], row["cdf"]] for row in shown],
+        title="Figure 19(a): burst-length CDFs",
+        float_format="{:.4f}",
+    )
+    # Burstier parameter pairs have lower CDF values at every length
+    # (heavier tails).
+    for length in (1, 2, 4, 8):
+        series = [(row["b1"], row["cdf"]) for row in cdf_rows
+                  if row["length"] == length]
+        series.sort()
+        cdfs = [cdf for _, cdf in series]
+        assert cdfs == sorted(cdfs)
+
+
+def _mttdl(rows, e_label, s, p_bit, b1):
+    return next(row["mttdl_hours"] for row in rows
+                if row["e"] == e_label and row["s"] == s
+                and row["p_bit"] == p_bit and row["b1"] == b1)
+
+
+def test_fig19b_concentrated_vs_split_coverage(mttdl_rows, benchmark):
+    benchmark.pedantic(
+        lambda: figure19b_rows(s_values=(2, 4), p_bits=(1e-12,),
+                               pairs=((0.9, 1.0),)),
+        rounds=1, iterations=1)
+    sample = [row for row in mttdl_rows
+              if row["p_bit"] == 1e-12 and row["s"] in (2, 4, 8, 12)]
+    print_table(
+        ["b1", "alpha", "s", "e", "MTTDL_sys (hours)"],
+        [[row["b1"], row["alpha"], row["s"], row["e"], row["mttdl_hours"]]
+         for row in sample],
+        title="Figure 19(b) (excerpt): e=(s) vs e=(1,s-1), P_bit=1e-12",
+        float_format="{:.3g}",
+    )
+
+    # Bursty failures: e=(s) dominates e=(1, s-1) and improves with s.
+    for p_bit in (1e-14, 1e-12):
+        for s in (4, 8, 12):
+            assert _mttdl(mttdl_rows, f"({s})", s, p_bit, 0.9) > _mttdl(
+                mttdl_rows, f"(1,{s - 1})", s, p_bit, 0.9)
+        series = [_mttdl(mttdl_rows, f"({s})", s, p_bit, 0.9)
+                  for s in (2, 4, 8, 12)]
+        assert series == sorted(series)
+
+    # Nearly independent failures: the advantage of e=(s) disappears
+    # (it is no better than ~equal to e=(1, s-1) at high P_bit).
+    high = _mttdl(mttdl_rows, "(4)", 4, 1e-10, 0.9999)
+    split = _mttdl(mttdl_rows, "(1,3)", 4, 1e-10, 0.9999)
+    assert high <= split * 1.5

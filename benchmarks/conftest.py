@@ -1,0 +1,12 @@
+"""Shared fixtures/path setup for the benchmark suite.
+
+Ensures the package is importable even when it has not been installed
+(e.g. running ``pytest benchmarks/`` straight from a source checkout).
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test and benchmark suites work both
+against an installed package and a plain source checkout (useful in
+offline environments where ``pip install -e .`` is unavailable).
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""RAID-6 rebuild vs STAIR: surviving sector failures during a rebuild.
+
+The paper's motivating scenario (§1): a device fails, the array enters
+critical mode, and latent sector errors are discovered on the surviving
+devices while rebuilding.  A RAID-6 array burns an entire second parity
+device to survive that; a STAIR code achieves the same protection with a
+handful of parity *sectors*.
+
+This example builds both arrays on the storage-array simulator, injects
+the same failure scenario, and compares the outcome and the storage
+overhead.
+
+Run with:  python examples/raid6_sector_recovery.py
+"""
+
+import numpy as np
+
+from repro.array import DataLossError, StorageArray, random_payload
+from repro.codes import RAID5Code, RAID6Code, StairStripeCode
+
+N_DEVICES = 8
+ROWS = 16
+SYMBOL = 128
+STRIPES = 4
+
+
+def build_arrays():
+    """Three arrays storing the same user data with different codes."""
+    return {
+        "RAID-5 (1 parity device)": StorageArray(
+            RAID5Code(n=N_DEVICES, r=ROWS), STRIPES, SYMBOL),
+        "RAID-6 (2 parity devices)": StorageArray(
+            RAID6Code(n=N_DEVICES, r=ROWS), STRIPES, SYMBOL),
+        "STAIR m=1, e=(1,) (1 parity device + 1 sector)": StorageArray(
+            StairStripeCode(n=N_DEVICES, r=ROWS, m=1, e=(1,)), STRIPES, SYMBOL),
+    }
+
+
+def inject_rebuild_scenario(array: StorageArray, rng: np.random.Generator) -> None:
+    """One device failure plus a latent sector error found during rebuild."""
+    array.fail_device(0)
+    surviving = [d for d in range(N_DEVICES) if d != 0]
+    device = int(rng.choice(surviving))
+    stripe = int(rng.integers(0, STRIPES))
+    row = int(rng.integers(0, ROWS))
+    array.fail_sector(stripe, row, device)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    arrays = build_arrays()
+    payloads = {}
+
+    print(f"{'code':50s} {'efficiency':>10s} {'outcome':>28s}")
+    print("-" * 92)
+    for name, array in arrays.items():
+        payload = random_payload(array.capacity, seed=1)
+        payloads[name] = payload
+        array.write(payload)
+        inject_rebuild_scenario(array, rng)
+        try:
+            array.rebuild()
+            array.scrub()
+            ok = array.read(len(payload)) == payload
+            outcome = "recovered, data intact" if ok else "CORRUPTED"
+        except DataLossError:
+            outcome = "DATA LOSS"
+        efficiency = array.code.storage_efficiency
+        print(f"{name:50s} {efficiency:10.3f} {outcome:>28s}")
+
+    print("\nTakeaway: RAID-5 loses data the moment a latent sector error is "
+          "found during a rebuild; RAID-6 survives but pays an entire extra "
+          "parity device; the STAIR code survives the same scenario with one "
+          "extra parity *sector* per stripe, keeping nearly RAID-5 storage "
+          "efficiency.")
+
+
+if __name__ == "__main__":
+    main()

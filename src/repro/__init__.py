@@ -1,0 +1,54 @@
+"""Reproduction of "STAIR Codes: A General Family of Erasure Codes for
+Tolerating Device and Sector Failures in Practical Storage Systems"
+(Mingqiang Li and Patrick P. C. Lee, FAST 2014).
+
+The package is organised as:
+
+* :mod:`repro.gf` -- Galois-field arithmetic (scalar, region, matrix).
+* :mod:`repro.rs` -- systematic MDS (Reed-Solomon) building-block codes.
+* :mod:`repro.core` -- the STAIR code construction itself.
+* :mod:`repro.codes` -- baseline codes (Reed-Solomon stripes, SD codes,
+  intra-device redundancy, RAID wrappers).
+* :mod:`repro.array` -- a storage-array simulator with failure injection.
+* :mod:`repro.reliability` -- the MTTDL / sector-failure models of §7.
+* :mod:`repro.analysis` -- space-saving, update-penalty and encoding-cost
+  analyses used by the evaluation.
+* :mod:`repro.bench` -- the per-figure benchmark harness.
+
+Quickstart
+----------
+>>> from repro import StairCode, StairConfig
+>>> import numpy as np
+>>> code = StairCode(StairConfig(n=8, r=4, m=2, e=(1, 1, 2)))
+>>> rng = np.random.default_rng(0)
+>>> data = [rng.integers(0, 256, 64, dtype=np.uint8)
+...         for _ in range(code.config.num_data_symbols)]
+>>> stripe = code.encode(data)
+>>> damaged = stripe.erase_chunks([0, 1]).erase([(3, 3), (2, 5)])
+>>> repaired = code.decode(damaged)
+>>> all(np.array_equal(a, b) for a, b in zip(repaired.data_symbols(), data))
+True
+"""
+
+from repro.core import (
+    StairCode,
+    StairConfig,
+    StairStripe,
+    DecodingFailureError,
+    ConfigurationError,
+    check_coverage,
+    enumerate_e_vectors,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StairCode",
+    "StairConfig",
+    "StairStripe",
+    "DecodingFailureError",
+    "ConfigurationError",
+    "check_coverage",
+    "enumerate_e_vectors",
+    "__version__",
+]

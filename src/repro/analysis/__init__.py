@@ -1,0 +1,53 @@
+"""Evaluation analyses: space saving, update penalty, encoding complexity."""
+
+from repro.analysis.encoding_cost import (
+    EncodingCostPoint,
+    encoding_cost_sweep,
+    figure9_data,
+    measured_costs,
+)
+from repro.analysis.space import (
+    SpaceComparison,
+    compare_space,
+    devices_saved_sd,
+    devices_saved_stair,
+    figure10_grid,
+    redundant_sectors_idr,
+    redundant_sectors_stair,
+    redundant_sectors_traditional,
+    storage_efficiency_stair,
+    symbols_saved_stair,
+)
+from repro.analysis.update_penalty import (
+    PenaltyStatistics,
+    figure14_data,
+    figure15_data,
+    reed_solomon_update_penalty,
+    sd_update_penalty,
+    stair_penalty_statistics,
+    stair_update_penalty,
+)
+
+__all__ = [
+    "EncodingCostPoint",
+    "encoding_cost_sweep",
+    "figure9_data",
+    "measured_costs",
+    "SpaceComparison",
+    "compare_space",
+    "devices_saved_stair",
+    "devices_saved_sd",
+    "symbols_saved_stair",
+    "redundant_sectors_stair",
+    "redundant_sectors_idr",
+    "redundant_sectors_traditional",
+    "storage_efficiency_stair",
+    "figure10_grid",
+    "PenaltyStatistics",
+    "stair_update_penalty",
+    "sd_update_penalty",
+    "reed_solomon_update_penalty",
+    "stair_penalty_statistics",
+    "figure14_data",
+    "figure15_data",
+]

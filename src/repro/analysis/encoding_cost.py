@@ -1,0 +1,79 @@
+"""Encoding-complexity analysis (§5.3, Figure 9).
+
+Sweeps the Mult_XOR counts of the three encoding methods over every
+coverage vector e for a given total s, both analytically (Eq. 5/6 and the
+generator non-zero count) and as measured by the instrumented encoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.complexity import downstairs_mult_xors, upstairs_mult_xors
+from repro.core.config import StairConfig, enumerate_e_vectors
+from repro.core.stair import StairCode
+
+
+@dataclass(frozen=True)
+class EncodingCostPoint:
+    """Mult_XOR counts of the three methods for one coverage vector."""
+
+    e: tuple[int, ...]
+    standard: int
+    upstairs: int
+    downstairs: int
+
+    def best(self) -> str:
+        costs = {"standard": self.standard, "upstairs": self.upstairs,
+                 "downstairs": self.downstairs}
+        return min(costs, key=costs.get)  # type: ignore[arg-type]
+
+
+def encoding_cost_sweep(n: int, r: int, m: int, s: int,
+                        m_prime_max: int | None = None,
+                        ) -> list[EncodingCostPoint]:
+    """Mult_XOR counts for every e with total s (the x-axis of Figure 9)."""
+    points = []
+    cap = m_prime_max if m_prime_max is not None else n - m
+    for e in enumerate_e_vectors(s, m_prime_max=cap, e_max_cap=r):
+        config = StairConfig(n=n, r=r, m=m, e=e)
+        code = StairCode(config)
+        points.append(EncodingCostPoint(
+            e=e,
+            standard=int(np.count_nonzero(code.parity_coefficients())),
+            upstairs=upstairs_mult_xors(config),
+            downstairs=downstairs_mult_xors(config),
+        ))
+    return points
+
+
+def figure9_data(n: int = 8, m: int = 2, s: int = 4,
+                 r_values: Sequence[int] = (8, 16, 24, 32),
+                 ) -> dict[int, list[EncodingCostPoint]]:
+    """Data behind Figure 9: counts per e for each r (n=8, m=2, s=4)."""
+    return {r: encoding_cost_sweep(n, r, m, s) for r in r_values}
+
+
+def measured_costs(n: int, r: int, m: int, e: Sequence[int],
+                   symbol_size: int = 16) -> EncodingCostPoint:
+    """Measure the three methods with the instrumented encoders.
+
+    Used by tests to confirm the analytical counts; the measured counts can
+    be marginally lower when a decode coefficient happens to be zero.
+    """
+    config = StairConfig(n=n, r=r, m=m, e=tuple(e))
+    code = StairCode(config)
+    rng = np.random.default_rng(42)
+    data = [rng.integers(0, 256, symbol_size, dtype=np.uint8)
+            for _ in range(config.num_data_symbols)]
+    measured = {}
+    for method in ("standard", "upstairs", "downstairs"):
+        code.counter.reset()
+        code.encode(data, method=method)
+        measured[method] = code.counter.total()
+    return EncodingCostPoint(e=config.e, standard=measured["standard"],
+                             upstairs=measured["upstairs"],
+                             downstairs=measured["downstairs"])

@@ -1,0 +1,108 @@
+"""Storage-space analysis (§6.1, Figure 10, and the §2 IDR comparison).
+
+Given a failure scenario (m, e), traditional device-level erasure codes
+need ``m + m'`` parity chunks per stripe while STAIR codes need ``m``
+chunks plus ``s`` symbols, saving ``r*m' - s`` symbols per stripe, i.e.
+``m' - s/r`` devices per array.  SD codes save ``s - s/r`` devices (their
+maximum), but only exist for ``s <= 3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def devices_saved_stair(s: int, m_prime: int, r: int) -> float:
+    """Devices saved by a STAIR code over traditional erasure codes.
+
+    Figure 10 plots this as a function of s, m' and r: ``m' - s / r``.
+    """
+    if m_prime > s:
+        raise ValueError("m' cannot exceed s (each of the m' chunks has >= 1 failure)")
+    return m_prime - s / r
+
+
+def devices_saved_sd(s: int, r: int) -> float:
+    """Devices saved by an SD code: ``s - s / r`` (the STAIR maximum)."""
+    return s - s / r
+
+
+def symbols_saved_stair(s: int, m_prime: int, r: int) -> int:
+    """Symbols saved per stripe by STAIR over traditional codes: r*m' - s."""
+    return r * m_prime - s
+
+
+def redundant_sectors_stair(e: Sequence[int], m: int, r: int) -> int:
+    """Redundant sectors per stripe of a STAIR code: m*r + s."""
+    return m * r + sum(e)
+
+
+def redundant_sectors_idr(beta: int, n: int, m: int, r: int) -> int:
+    """Redundant sectors per stripe of the IDR scheme protecting bursts of
+    length beta: beta redundant sectors in each of the n-m data chunks plus
+    the m parity chunks (the §2 comparison: n=8, m=2, beta=4 -> 24 + 2r)."""
+    return beta * (n - m) + m * r
+
+
+def redundant_sectors_traditional(m: int, m_prime: int, r: int) -> int:
+    """Redundant sectors per stripe of traditional codes: (m + m') chunks."""
+    return (m + m_prime) * r
+
+
+def storage_efficiency_stair(n: int, r: int, m: int, s: int) -> float:
+    """Eq. 8 for STAIR codes (s = 0 gives Reed-Solomon)."""
+    return (r * (n - m) - s) / (r * n)
+
+
+@dataclass(frozen=True)
+class SpaceComparison:
+    """Space overhead of the competing schemes for one failure scenario."""
+
+    n: int
+    r: int
+    m: int
+    e: tuple[int, ...]
+    stair_redundant_sectors: int
+    traditional_redundant_sectors: int
+    idr_redundant_sectors: int
+    sd_redundant_sectors: int
+
+    @property
+    def stair_saving_vs_traditional(self) -> int:
+        return self.traditional_redundant_sectors - self.stair_redundant_sectors
+
+    @property
+    def stair_saving_vs_idr(self) -> int:
+        return self.idr_redundant_sectors - self.stair_redundant_sectors
+
+
+def compare_space(n: int, r: int, m: int, e: Sequence[int]) -> SpaceComparison:
+    """Side-by-side redundancy of STAIR, traditional, IDR and SD codes."""
+    e_sorted = tuple(sorted(int(x) for x in e))
+    s = sum(e_sorted)
+    m_prime = len(e_sorted)
+    beta = e_sorted[-1] if e_sorted else 0
+    return SpaceComparison(
+        n=n, r=r, m=m, e=e_sorted,
+        stair_redundant_sectors=redundant_sectors_stair(e_sorted, m, r),
+        traditional_redundant_sectors=redundant_sectors_traditional(m, m_prime, r),
+        idr_redundant_sectors=redundant_sectors_idr(beta, n, m, r),
+        sd_redundant_sectors=m * r + s,
+    )
+
+
+def figure10_grid(s_values: Sequence[int] = (1, 2, 3, 4),
+                  r_values: Sequence[int] = tuple(range(1, 33)),
+                  ) -> dict[int, dict[int, list[float]]]:
+    """Data behind Figure 10: devices saved vs r for each (s, m').
+
+    Returns ``grid[s][m_prime] = [saving for each r in r_values]``.
+    """
+    grid: dict[int, dict[int, list[float]]] = {}
+    for s in s_values:
+        grid[s] = {}
+        for m_prime in range(1, s + 1):
+            grid[s][m_prime] = [devices_saved_stair(s, m_prime, r)
+                                for r in r_values if r >= 1]
+    return grid

@@ -1,0 +1,102 @@
+"""Update-penalty analysis (§6.3, Figures 14 and 15).
+
+The update penalty is the average number of parity symbols that must be
+rewritten when one data symbol is updated.  For STAIR codes it follows
+from the uneven parity relations (the generator's non-zero structure);
+for SD codes from their dense encoding matrix; Reed-Solomon codes always
+touch exactly m row parities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Sequence
+
+from repro.codes.sd import SDCode
+from repro.core.config import StairConfig, enumerate_e_vectors
+from repro.core.stair import StairCode
+
+
+def stair_update_penalty(n: int, r: int, m: int, e: Sequence[int]) -> float:
+    """Update penalty of the STAIR code with coverage vector e."""
+    code = StairCode(StairConfig(n=n, r=r, m=m, e=tuple(e)))
+    return code.update_penalty()
+
+
+def reed_solomon_update_penalty(m: int) -> float:
+    """Every data symbol contributes to exactly the m row parities."""
+    return float(m)
+
+
+def sd_update_penalty(n: int, r: int, m: int, s: int) -> float:
+    """Update penalty of the SD code with s global parity sectors."""
+    return SDCode(n=n, r=r, m=m, s=s).update_penalty()
+
+
+@dataclass(frozen=True)
+class PenaltyStatistics:
+    """Min / mean / max update penalty over all e vectors for a given s."""
+
+    s: int
+    minimum: float
+    average: float
+    maximum: float
+    per_vector: dict[tuple[int, ...], float]
+
+
+def stair_penalty_statistics(n: int, r: int, m: int, s: int,
+                             m_prime_max: int | None = None,
+                             ) -> PenaltyStatistics:
+    """Update-penalty statistics over every coverage vector with total s.
+
+    This is the error-bar data of Figure 15 ("the maximum and minimum
+    update penalty values among all possible configurations of e").
+    """
+    m_prime_cap = m_prime_max if m_prime_max is not None else n - m
+    per_vector: dict[tuple[int, ...], float] = {}
+    for e in enumerate_e_vectors(s, m_prime_max=m_prime_cap, e_max_cap=r):
+        per_vector[e] = stair_update_penalty(n, r, m, e)
+    if not per_vector:
+        raise ValueError(f"no valid e vectors for s={s} with r={r}")
+    values = list(per_vector.values())
+    return PenaltyStatistics(s=s, minimum=min(values), average=mean(values),
+                             maximum=max(values), per_vector=per_vector)
+
+
+def figure14_data(n: int = 16, s: int = 4, m_values: Sequence[int] = (1, 2, 3),
+                  r_values: Sequence[int] = (8, 16, 24, 32),
+                  ) -> dict[int, dict[tuple[int, ...], dict[int, float]]]:
+    """Data behind Figure 14: update penalty vs e for each r and m.
+
+    Returns ``data[r][e][m] = penalty``.
+    """
+    vectors = list(enumerate_e_vectors(s))
+    data: dict[int, dict[tuple[int, ...], dict[int, float]]] = {}
+    for r in r_values:
+        data[r] = {}
+        for e in vectors:
+            if max(e) > r:
+                continue
+            data[r][e] = {m: stair_update_penalty(n, r, m, e) for m in m_values}
+    return data
+
+
+def figure15_data(n: int = 16, r: int = 16, m_values: Sequence[int] = (1, 2, 3),
+                  stair_s_values: Sequence[int] = (1, 2, 3, 4),
+                  sd_s_values: Sequence[int] = (1, 2, 3),
+                  ) -> dict[int, dict[str, object]]:
+    """Data behind Figure 15: RS vs SD vs STAIR update penalties.
+
+    Returns ``data[m]`` containing the RS penalty, SD penalties per s and
+    STAIR penalty statistics per s.
+    """
+    data: dict[int, dict[str, object]] = {}
+    for m in m_values:
+        data[m] = {
+            "rs": reed_solomon_update_penalty(m),
+            "sd": {s: sd_update_penalty(n, r, m, s) for s in sd_s_values},
+            "stair": {s: stair_penalty_statistics(n, r, m, s)
+                      for s in stair_s_values},
+        }
+    return data

@@ -1,0 +1,46 @@
+"""Storage-array simulator: devices, stripes, failures, scrubbing, rebuild.
+
+The simulator stands in for the physical disk arrays the paper deploys
+erasure codes on; it drives the same encode/decode code paths end-to-end
+and provides the workload and failure generators used by the examples,
+integration tests and benchmarks.
+"""
+
+from repro.array.device import Device, DeviceState
+from repro.array.failures import (
+    BurstLengthDistribution,
+    DeviceFailure,
+    FailureEvent,
+    FailureInjector,
+    SectorFailure,
+)
+from repro.array.storage_array import ArrayStatus, DataLossError, StorageArray
+from repro.array.workload import (
+    UpdateOperation,
+    random_payload,
+    random_symbols,
+    sequential_write_trace,
+    stripe_data_for,
+    symbol_size_for_stripe,
+    update_trace,
+)
+
+__all__ = [
+    "Device",
+    "DeviceState",
+    "StorageArray",
+    "ArrayStatus",
+    "DataLossError",
+    "FailureInjector",
+    "FailureEvent",
+    "DeviceFailure",
+    "SectorFailure",
+    "BurstLengthDistribution",
+    "random_symbols",
+    "random_payload",
+    "stripe_data_for",
+    "symbol_size_for_stripe",
+    "update_trace",
+    "UpdateOperation",
+    "sequential_write_trace",
+]

@@ -1,0 +1,91 @@
+"""Device model for the storage-array simulator.
+
+A :class:`Device` stores one chunk (r sectors) per stripe and tracks its
+own health plus per-sector failures.  Reads return ``None`` for sectors
+that are currently unreadable, which is exactly how the stripe codes see
+erasures.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+
+class DeviceState(Enum):
+    """Operational state of a device."""
+
+    HEALTHY = "healthy"
+    FAILED = "failed"
+
+
+class Device:
+    """One storage device: a column of chunks, one per stripe."""
+
+    def __init__(self, device_id: int, num_stripes: int, rows_per_chunk: int,
+                 symbol_size: int) -> None:
+        self.device_id = device_id
+        self.num_stripes = num_stripes
+        self.rows_per_chunk = rows_per_chunk
+        self.symbol_size = symbol_size
+        self.state = DeviceState.HEALTHY
+        # sectors[stripe][row] -> symbol buffer (None until written).
+        self._sectors: list[list[Optional[np.ndarray]]] = [
+            [None] * rows_per_chunk for _ in range(num_stripes)
+        ]
+        self._bad_sectors: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # I/O
+    # ------------------------------------------------------------------ #
+    def write(self, stripe: int, row: int, symbol: np.ndarray) -> None:
+        """Write one sector.  Writing clears any latent failure at the address."""
+        if self.state is DeviceState.FAILED:
+            raise IOError(f"device {self.device_id} has failed")
+        self._sectors[stripe][row] = np.asarray(symbol).copy()
+        self._bad_sectors.discard((stripe, row))
+
+    def read(self, stripe: int, row: int) -> Optional[np.ndarray]:
+        """Read one sector; ``None`` if the device/sector is unreadable."""
+        if self.state is DeviceState.FAILED:
+            return None
+        if (stripe, row) in self._bad_sectors:
+            return None
+        symbol = self._sectors[stripe][row]
+        return None if symbol is None else symbol.copy()
+
+    # ------------------------------------------------------------------ #
+    # Failure handling
+    # ------------------------------------------------------------------ #
+    def fail(self) -> None:
+        """Fail the whole device (all sectors become unreadable)."""
+        self.state = DeviceState.FAILED
+
+    def replace(self) -> None:
+        """Replace a failed device with a blank healthy one."""
+        self.state = DeviceState.HEALTHY
+        self._sectors = [[None] * self.rows_per_chunk
+                         for _ in range(self.num_stripes)]
+        self._bad_sectors.clear()
+
+    def fail_sector(self, stripe: int, row: int) -> None:
+        """Mark one sector as unreadable (a latent sector error)."""
+        self._bad_sectors.add((stripe, row))
+
+    def repair_sector(self, stripe: int, row: int, symbol: np.ndarray) -> None:
+        """Rewrite a sector after recovery, clearing the failure."""
+        self.write(stripe, row, symbol)
+
+    @property
+    def is_failed(self) -> bool:
+        return self.state is DeviceState.FAILED
+
+    def bad_sectors(self) -> set[tuple[int, int]]:
+        """Currently failed sector addresses (stripe, row)."""
+        return set(self._bad_sectors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Device({self.device_id}, {self.state.value}, "
+                f"{len(self._bad_sectors)} bad sectors)")

@@ -1,0 +1,79 @@
+"""Workload generators for examples, tests and benchmarks.
+
+The paper's performance evaluation encodes stripes of random bytes and
+its motivation sections describe backup/WORM and update-heavy workloads;
+these helpers generate both kinds of traffic plus the symbol-level inputs
+the benchmark harness feeds the codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.codes.base import StripeCode
+
+
+def random_symbols(count: int, symbol_size: int,
+                   seed: int | None = None,
+                   dtype: np.dtype | type = np.uint8) -> list[np.ndarray]:
+    """Generate ``count`` random symbols of ``symbol_size`` elements."""
+    rng = np.random.default_rng(seed)
+    high = np.iinfo(dtype).max + 1
+    return [rng.integers(0, high, size=symbol_size, dtype=dtype)
+            for _ in range(count)]
+
+
+def random_payload(num_bytes: int, seed: int | None = None) -> bytes:
+    """Generate a random byte payload."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=num_bytes, dtype=np.uint8).tobytes()
+
+
+def stripe_data_for(code: StripeCode, symbol_size: int,
+                    seed: int | None = None) -> list[np.ndarray]:
+    """Random data symbols shaped for one stripe of ``code``."""
+    return random_symbols(code.num_data_symbols, symbol_size, seed=seed)
+
+
+def symbol_size_for_stripe(code: StripeCode, stripe_bytes: int) -> int:
+    """Symbol size so that the whole r x n stripe occupies ``stripe_bytes``.
+
+    Matches the paper's methodology (e.g. a 32 MB stripe divided into
+    r x n sectors); the result is floored to at least one byte.
+    """
+    return max(1, stripe_bytes // (code.n * code.r))
+
+
+@dataclass(frozen=True)
+class UpdateOperation:
+    """One small-write: overwrite a single data symbol of a stripe."""
+
+    stripe: int
+    data_index: int
+    payload: np.ndarray
+
+
+def update_trace(code: StripeCode, num_stripes: int, operations: int,
+                 symbol_size: int, seed: int | None = None,
+                 ) -> Iterator[UpdateOperation]:
+    """A random small-write trace (for the update-penalty experiments)."""
+    rng = np.random.default_rng(seed)
+    for _ in range(operations):
+        yield UpdateOperation(
+            stripe=int(rng.integers(0, num_stripes)),
+            data_index=int(rng.integers(0, code.num_data_symbols)),
+            payload=rng.integers(0, 256, size=symbol_size, dtype=np.uint8),
+        )
+
+
+def sequential_write_trace(total_bytes: int, stripe_capacity: int) -> list[int]:
+    """Byte counts per stripe for a full-stripe sequential write workload."""
+    sizes = []
+    remaining = total_bytes
+    while remaining > 0:
+        sizes.append(min(stripe_capacity, remaining))
+        remaining -= stripe_capacity
+    return sizes

@@ -1,0 +1,27 @@
+"""Benchmark harness: speed measurement, per-figure data generators, reporting."""
+
+from repro.bench.reporting import format_table, print_table, summarize_ratio
+from repro.bench.speed import (
+    SpeedResult,
+    device_only_losses,
+    measure_decoding_speed,
+    measure_encoding_speed,
+    stripe_symbols,
+    worst_case_losses_sd,
+    worst_case_losses_stair,
+)
+from repro.bench import figures
+
+__all__ = [
+    "figures",
+    "SpeedResult",
+    "measure_encoding_speed",
+    "measure_decoding_speed",
+    "stripe_symbols",
+    "worst_case_losses_stair",
+    "worst_case_losses_sd",
+    "device_only_losses",
+    "format_table",
+    "print_table",
+    "summarize_ratio",
+]

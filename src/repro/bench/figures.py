@@ -1,0 +1,360 @@
+"""Per-figure data generators for the paper's evaluation (§6 and §7).
+
+Each ``figure*_rows`` function regenerates the data series behind one
+figure of the paper and returns them as a list of row dicts, ready to be
+printed by :mod:`repro.bench.reporting` or asserted by the benchmark
+suite.  Absolute speeds differ from the paper's SIMD C implementation;
+the claims being reproduced are the orderings and trends.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.encoding_cost import figure9_data
+from repro.analysis.space import devices_saved_sd, devices_saved_stair
+from repro.analysis.update_penalty import figure14_data, figure15_data
+from repro.codes.sd import SDCode
+from repro.codes.stair_adapter import StairStripeCode
+from repro.core.complexity import downstairs_mult_xors, upstairs_mult_xors
+from repro.core.config import StairConfig, enumerate_e_vectors
+from repro.bench.speed import (
+    SpeedResult,
+    measure_decoding_speed,
+    measure_encoding_speed,
+    worst_case_losses_sd,
+    worst_case_losses_stair,
+)
+from repro.reliability import (
+    CodeReliability,
+    CorrelatedSectorModel,
+    IndependentSectorModel,
+    SystemParameters,
+    mttdl_system,
+)
+
+#: Stripe size used by the stripe-size sweep (Figure 12).  The paper uses a
+#: fixed 32 MB stripe; a pure Python reproduction uses smaller stripes to keep
+#: the sweeps fast -- the relative ordering of the codes is unchanged.
+DEFAULT_STRIPE_BYTES = 1 << 20
+
+#: Sector size used by the n/r speed sweeps (Figures 11 and 13).  Fixing the
+#: sector size (rather than the whole stripe size) keeps the per-operation
+#: interpreter overhead constant across configurations, so the scaling trends
+#: with n and r reflect the algorithms rather than NumPy call overhead; the
+#: paper's fixed 32 MB stripe achieves the same effect with SIMD C because its
+#: per-operation overhead is negligible.
+DEFAULT_SYMBOL_BYTES = 8 << 10
+
+#: SD code constructions are only published for s <= 3; the benchmarks use
+#: the same limit when building the SD baselines.
+SD_MAX_S = 3
+
+
+def worst_e_for_s(n: int, r: int, m: int, s: int) -> tuple[int, ...]:
+    """The coverage vector with the highest (i.e. worst) encoding cost.
+
+    The paper takes "a conservative approach to analyze the worst-case
+    performance of STAIR codes": for a given s it tests every e and keeps
+    the slowest.  The encoder always picks min(X_up, X_down), so the worst
+    e maximises that minimum.
+    """
+    candidates = [e for e in enumerate_e_vectors(s, m_prime_max=n - m, e_max_cap=r)]
+    def cost(e: tuple[int, ...]) -> int:
+        cfg = StairConfig(n=n, r=r, m=m, e=e)
+        return min(upstairs_mult_xors(cfg), downstairs_mult_xors(cfg))
+    return max(candidates, key=cost)
+
+
+def _stair_code(n: int, r: int, m: int, s: int) -> StairStripeCode:
+    return StairStripeCode(n=n, r=r, m=m, e=worst_e_for_s(n, r, m, s))
+
+
+def _sd_code(n: int, r: int, m: int, s: int,
+             required_losses: Sequence[tuple[int, int]] | None = None) -> SDCode:
+    """Build an SD baseline, preferring a base whose decode pattern works."""
+    last = None
+    for base in (2, 3, 5, 7, 11):
+        code = SDCode(n=n, r=r, m=m, s=s, global_base=base)
+        try:
+            code.encoding_matrix()
+        except Exception:
+            continue
+        last = code
+        if required_losses is None or code.tolerates(list(required_losses)):
+            return code
+    if last is None:
+        raise RuntimeError(f"unable to build SD code for n={n}, r={r}, m={m}, s={s}")
+    return last
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9: encoding complexity vs e
+# --------------------------------------------------------------------------- #
+def figure9_rows(n: int = 8, m: int = 2, s: int = 4,
+                 r_values: Sequence[int] = (8, 16, 24, 32)) -> list[dict]:
+    rows = []
+    for r, points in figure9_data(n=n, m=m, s=s, r_values=r_values).items():
+        for point in points:
+            rows.append({
+                "r": r, "e": point.e, "standard": point.standard,
+                "upstairs": point.upstairs, "downstairs": point.downstairs,
+                "best": point.best(),
+            })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10: space saving
+# --------------------------------------------------------------------------- #
+def figure10_rows(s_values: Sequence[int] = (1, 2, 3, 4),
+                  r_values: Sequence[int] = (4, 8, 16, 24, 32)) -> list[dict]:
+    rows = []
+    for s in s_values:
+        for m_prime in range(1, s + 1):
+            for r in r_values:
+                rows.append({
+                    "s": s, "m_prime": m_prime, "r": r,
+                    "stair_devices_saved": devices_saved_stair(s, m_prime, r),
+                    "sd_devices_saved": devices_saved_sd(s, r),
+                })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 11-13: encoding / decoding speed
+# --------------------------------------------------------------------------- #
+def encoding_speed_rows(n_values: Sequence[int], r_values: Sequence[int],
+                        m_values: Sequence[int] = (1, 2, 3),
+                        stair_s_values: Sequence[int] = (1, 2, 3, 4),
+                        sd_s_values: Sequence[int] = (1, 2, 3),
+                        symbol_bytes: int = DEFAULT_SYMBOL_BYTES,
+                        repeats: int = 2) -> list[dict]:
+    """Speed grid shared by Figures 11(a) and 11(b)."""
+    rows = []
+    for n in n_values:
+        for r in r_values:
+            for m in m_values:
+                for s in stair_s_values:
+                    code = _stair_code(n, r, m, s)
+                    result = measure_encoding_speed(code, repeats=repeats,
+                                                    symbol_bytes=symbol_bytes)
+                    rows.append(_speed_row("STAIR", n, r, m, s, result))
+                for s in sd_s_values:
+                    code = _sd_code(n, r, m, s)
+                    result = measure_encoding_speed(code, repeats=repeats,
+                                                    symbol_bytes=symbol_bytes)
+                    rows.append(_speed_row("SD", n, r, m, s, result))
+    return rows
+
+
+def decoding_speed_rows(n_values: Sequence[int], r_values: Sequence[int],
+                        m_values: Sequence[int] = (1, 2, 3),
+                        stair_s_values: Sequence[int] = (1, 2, 3, 4),
+                        sd_s_values: Sequence[int] = (1, 2, 3),
+                        symbol_bytes: int = DEFAULT_SYMBOL_BYTES,
+                        repeats: int = 2) -> list[dict]:
+    """Worst-case decoding speed grid shared by Figures 13(a) and 13(b)."""
+    rows = []
+    for n in n_values:
+        for r in r_values:
+            for m in m_values:
+                for s in stair_s_values:
+                    e = worst_e_for_s(n, r, m, s)
+                    code = StairStripeCode(n=n, r=r, m=m, e=e)
+                    losses = worst_case_losses_stair(n, r, m, e)
+                    result = measure_decoding_speed(code, losses, repeats=repeats,
+                                                    symbol_bytes=symbol_bytes)
+                    rows.append(_speed_row("STAIR", n, r, m, s, result))
+                for s in sd_s_values:
+                    losses = worst_case_losses_sd(n, r, m, s)
+                    code = _sd_code(n, r, m, s, required_losses=losses)
+                    result = measure_decoding_speed(code, losses, repeats=repeats,
+                                                    symbol_bytes=symbol_bytes)
+                    rows.append(_speed_row("SD", n, r, m, s, result))
+    return rows
+
+
+def figure12_rows(n: int = 16, r: int = 16, m_values: Sequence[int] = (1, 2, 3),
+                  stair_s_values: Sequence[int] = (1, 2, 3, 4),
+                  sd_s_values: Sequence[int] = (1, 2, 3),
+                  stripe_sizes: Sequence[int] = (128 << 10, 512 << 10,
+                                                 2 << 20, 8 << 20),
+                  repeats: int = 1) -> list[dict]:
+    """Encoding speed vs stripe size (Figure 12)."""
+    rows = []
+    for stripe_bytes in stripe_sizes:
+        for m in m_values:
+            for s in stair_s_values:
+                code = _stair_code(n, r, m, s)
+                result = measure_encoding_speed(code, stripe_bytes, repeats)
+                row = _speed_row("STAIR", n, r, m, s, result)
+                row["stripe_bytes"] = stripe_bytes
+                rows.append(row)
+            for s in sd_s_values:
+                code = _sd_code(n, r, m, s)
+                result = measure_encoding_speed(code, stripe_bytes, repeats)
+                row = _speed_row("SD", n, r, m, s, result)
+                row["stripe_bytes"] = stripe_bytes
+                rows.append(row)
+    return rows
+
+
+def _speed_row(family: str, n: int, r: int, m: int, s: int,
+               result: SpeedResult) -> dict:
+    return {"family": family, "n": n, "r": r, "m": m, "s": s,
+            "mb_per_second": result.mb_per_second,
+            "seconds_per_stripe": result.seconds_per_stripe,
+            "stripe_bytes": result.stripe_bytes}
+
+
+def stair_vs_sd_summary(rows: Sequence[dict]) -> dict[str, float]:
+    """Aggregate STAIR-vs-SD speed improvement over a speed grid.
+
+    Compares, for every (n, r, m, s) with s <= SD_MAX_S, the STAIR speed
+    against the SD speed -- the aggregation behind the paper's "+106.03%
+    on average" (encoding) and "+102.99%" (decoding) claims.
+    """
+    sd_index = {(row["n"], row["r"], row["m"], row["s"]): row["mb_per_second"]
+                for row in rows if row["family"] == "SD"}
+    improvements = []
+    for row in rows:
+        if row["family"] != "STAIR" or row["s"] > SD_MAX_S:
+            continue
+        key = (row["n"], row["r"], row["m"], row["s"])
+        if key in sd_index and sd_index[key] > 0:
+            improvements.append((row["mb_per_second"] / sd_index[key] - 1) * 100)
+    if not improvements:
+        return {"average_pct": 0.0, "min_pct": 0.0, "max_pct": 0.0, "points": 0}
+    return {"average_pct": sum(improvements) / len(improvements),
+            "min_pct": min(improvements), "max_pct": max(improvements),
+            "points": len(improvements)}
+
+
+# --------------------------------------------------------------------------- #
+# Figures 14-15: update penalty
+# --------------------------------------------------------------------------- #
+def figure14_rows(n: int = 16, s: int = 4, m_values: Sequence[int] = (1, 2, 3),
+                  r_values: Sequence[int] = (8, 16, 24, 32)) -> list[dict]:
+    rows = []
+    for r, per_e in figure14_data(n=n, s=s, m_values=m_values,
+                                  r_values=r_values).items():
+        for e, per_m in per_e.items():
+            for m, penalty in per_m.items():
+                rows.append({"r": r, "e": e, "m": m, "update_penalty": penalty})
+    return rows
+
+
+def figure15_rows(n: int = 16, r: int = 16,
+                  m_values: Sequence[int] = (1, 2, 3)) -> list[dict]:
+    rows = []
+    for m, entry in figure15_data(n=n, r=r, m_values=m_values).items():
+        rows.append({"m": m, "code": "RS", "s": 0, "penalty": entry["rs"],
+                     "min": entry["rs"], "max": entry["rs"]})
+        for s, penalty in entry["sd"].items():
+            rows.append({"m": m, "code": "SD", "s": s, "penalty": penalty,
+                         "min": penalty, "max": penalty})
+        for s, stats in entry["stair"].items():
+            rows.append({"m": m, "code": "STAIR", "s": s,
+                         "penalty": stats.average, "min": stats.minimum,
+                         "max": stats.maximum})
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 17-19: reliability
+# --------------------------------------------------------------------------- #
+P_BIT_SWEEP = (1e-14, 1e-13, 1e-12, 1e-11, 1e-10)
+
+FIG17_CODES = (
+    CodeReliability.reed_solomon(),
+    CodeReliability.stair([1]),
+    CodeReliability.stair([2]),
+    CodeReliability.stair([1, 1]),
+    CodeReliability.sd(2),
+    CodeReliability.stair([3]),
+    CodeReliability.stair([1, 2]),
+    CodeReliability.stair([1, 1, 1]),
+)
+
+FIG18_CODES = FIG17_CODES + (CodeReliability.sd(1), CodeReliability.sd(3))
+
+
+def figure17_rows(params: SystemParameters | None = None,
+                  p_bits: Sequence[float] = P_BIT_SWEEP) -> list[dict]:
+    """MTTDL_sys vs P_bit under independent sector failures."""
+    params = params or SystemParameters()
+    rows = []
+    for p_bit in p_bits:
+        model = IndependentSectorModel.from_p_bit(p_bit, params.r,
+                                                  params.sector_bytes)
+        for code in FIG17_CODES:
+            rows.append({"p_bit": p_bit, "code": code.label(),
+                         "mttdl_hours": mttdl_system(code, params, model)})
+    return rows
+
+
+def figure18_rows(params: SystemParameters | None = None,
+                  p_bits: Sequence[float] = P_BIT_SWEEP,
+                  b1: float = 0.98, alpha: float = 1.79) -> list[dict]:
+    """MTTDL_sys vs P_bit under correlated (bursty) sector failures."""
+    params = params or SystemParameters()
+    rows = []
+    for p_bit in p_bits:
+        model = CorrelatedSectorModel.from_p_bit(p_bit, params.r,
+                                                 params.sector_bytes,
+                                                 b1=b1, alpha=alpha)
+        for code in FIG18_CODES:
+            rows.append({"p_bit": p_bit, "code": code.label(),
+                         "mttdl_hours": mttdl_system(code, params, model)})
+    return rows
+
+
+BURSTINESS_PAIRS = ((0.9, 1.0), (0.98, 1.79), (0.99, 2.0),
+                    (0.999, 3.0), (0.9999, 4.0))
+
+
+def figure19a_rows(params: SystemParameters | None = None,
+                   pairs: Sequence[tuple[float, float]] = BURSTINESS_PAIRS,
+                   ) -> list[dict]:
+    """Burst-length CDFs for the (b1, alpha) pairs of Figure 19(a)."""
+    params = params or SystemParameters()
+    rows = []
+    for b1, alpha in pairs:
+        model = CorrelatedSectorModel(p_sec=1e-6, r=params.r, b1=b1, alpha=alpha)
+        cdf = model.burst_cdf()
+        for length, value in enumerate(cdf, start=1):
+            rows.append({"b1": b1, "alpha": alpha, "length": length,
+                         "cdf": float(value)})
+    return rows
+
+
+def figure19b_rows(params: SystemParameters | None = None,
+                   s_values: Sequence[int] = tuple(range(1, 13)),
+                   p_bits: Sequence[float] = (1e-14, 1e-12, 1e-10),
+                   pairs: Sequence[tuple[float, float]] = ((0.9, 1.0),
+                                                           (0.99, 2.0),
+                                                           (0.999, 3.0),
+                                                           (0.9999, 4.0)),
+                   ) -> list[dict]:
+    """MTTDL of e=(s) vs e=(1, s-1) under varying burstiness (Figure 19(b))."""
+    params = params or SystemParameters()
+    rows = []
+    for p_bit in p_bits:
+        for b1, alpha in pairs:
+            model = CorrelatedSectorModel.from_p_bit(p_bit, params.r,
+                                                     params.sector_bytes,
+                                                     b1=b1, alpha=alpha)
+            for s in s_values:
+                concentrated = CodeReliability.stair([s])
+                rows.append({"p_bit": p_bit, "b1": b1, "alpha": alpha, "s": s,
+                             "e": f"({s})",
+                             "mttdl_hours": mttdl_system(concentrated, params,
+                                                         model)})
+                if s >= 2:
+                    split = CodeReliability.stair([1, s - 1])
+                    rows.append({"p_bit": p_bit, "b1": b1, "alpha": alpha, "s": s,
+                                 "e": f"(1,{s - 1})",
+                                 "mttdl_hours": mttdl_system(split, params,
+                                                             model)})
+    return rows

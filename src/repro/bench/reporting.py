@@ -1,0 +1,58 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The paper presents its evaluation as figures; in a terminal environment
+we print the same series as aligned tables so the numbers (and more
+importantly their ordering and trends) can be compared directly against
+the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None, float_format: str = "{:.2f}") -> str:
+    """Render rows as an aligned text table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                title: str | None = None, float_format: str = "{:.2f}") -> None:
+    """Print an aligned text table (convenience wrapper)."""
+    print()
+    print(format_table(headers, rows, title=title, float_format=float_format))
+
+
+def summarize_ratio(label: str, numerators: Sequence[float],
+                    denominators: Sequence[float]) -> str:
+    """Average / min / max percentage improvement of one series over another.
+
+    Used for the paper's aggregate claims such as "STAIR codes improve the
+    encoding speed by 106.03% on average (29.30% to 225.14%)".
+    """
+    ratios = [(a / b - 1.0) * 100.0 for a, b in zip(numerators, denominators) if b > 0]
+    if not ratios:
+        return f"{label}: no comparable points"
+    avg = sum(ratios) / len(ratios)
+    return (f"{label}: +{avg:.1f}% on average "
+            f"(range {min(ratios):+.1f}% to {max(ratios):+.1f}%)")

@@ -1,0 +1,139 @@
+"""Encoding/decoding speed measurement (§6.2 methodology).
+
+The paper constructs an in-memory stripe of random bytes, divides it into
+``r x n`` sectors, and reports the amount of data encoded (or decoded)
+per second, averaged over several runs.  These helpers reproduce that
+methodology for any :class:`~repro.codes.base.StripeCode`, plus the
+worst-case failure patterns used for the decoding measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.codes.base import Grid, StripeCode
+
+
+@dataclass(frozen=True)
+class SpeedResult:
+    """Result of one speed measurement."""
+
+    label: str
+    stripe_bytes: int
+    seconds_per_stripe: float
+    mb_per_second: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label}: {self.mb_per_second:.1f} MB/s"
+
+
+def _symbol_dtype(code: StripeCode) -> np.dtype:
+    field = getattr(code, "field", None)
+    if field is not None and getattr(field, "w", 8) > 8:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint8)
+
+
+def stripe_symbols(code: StripeCode, stripe_bytes: int,
+                   seed: int = 0,
+                   symbol_bytes: int | None = None) -> tuple[list[np.ndarray], int]:
+    """Random data symbols for one stripe.
+
+    By default the whole r x n stripe occupies ``stripe_bytes`` (the
+    paper's methodology: a fixed-size in-memory stripe divided into
+    sectors).  Passing ``symbol_bytes`` instead fixes the sector size and
+    lets the stripe grow with n and r -- the speed sweeps use this so that
+    the per-operation interpreter overhead (which the paper's SIMD C
+    implementation does not have) stays constant across configurations
+    and does not mask the algorithmic trends.
+    """
+    dtype = _symbol_dtype(code)
+    itemsize = np.dtype(dtype).itemsize
+    if symbol_bytes is not None:
+        symbol_elems = max(1, symbol_bytes // itemsize)
+    else:
+        symbol_elems = max(1, stripe_bytes // (code.n * code.r * itemsize))
+    rng = np.random.default_rng(seed)
+    high = np.iinfo(dtype).max + 1
+    data = [rng.integers(0, high, size=symbol_elems, dtype=dtype)
+            for _ in range(code.num_data_symbols)]
+    actual_bytes = symbol_elems * itemsize * code.n * code.r
+    return data, actual_bytes
+
+
+def measure_encoding_speed(code: StripeCode, stripe_bytes: int = 1 << 20,
+                           repeats: int = 3, seed: int = 0,
+                           label: str | None = None,
+                           symbol_bytes: int | None = None) -> SpeedResult:
+    """Measure the encoding throughput of a stripe code."""
+    data, actual_bytes = stripe_symbols(code, stripe_bytes, seed,
+                                        symbol_bytes=symbol_bytes)
+    code.encode(data)  # warm-up (builds caches / encoding matrices)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        code.encode(data)
+    elapsed = time.perf_counter() - start
+    seconds = elapsed / repeats
+    return SpeedResult(
+        label=label or code.describe(),
+        stripe_bytes=actual_bytes,
+        seconds_per_stripe=seconds,
+        mb_per_second=actual_bytes / seconds / 1e6,
+    )
+
+
+def measure_decoding_speed(code: StripeCode, lost_positions: Sequence[tuple[int, int]],
+                           stripe_bytes: int = 1 << 20, repeats: int = 3,
+                           seed: int = 0, label: str | None = None,
+                           symbol_bytes: int | None = None) -> SpeedResult:
+    """Measure decoding throughput for a given failure pattern."""
+    data, actual_bytes = stripe_symbols(code, stripe_bytes, seed,
+                                        symbol_bytes=symbol_bytes)
+    encoded = code.encode(data)
+    damaged: Grid = [[None if (i, j) in set(lost_positions) else encoded[i][j]
+                      for j in range(code.n)] for i in range(code.r)]
+    code.decode(damaged)  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        code.decode(damaged)
+    elapsed = time.perf_counter() - start
+    seconds = elapsed / repeats
+    return SpeedResult(
+        label=label or code.describe(),
+        stripe_bytes=actual_bytes,
+        seconds_per_stripe=seconds,
+        mb_per_second=actual_bytes / seconds / 1e6,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Worst-case failure patterns (§6.2.2)
+# --------------------------------------------------------------------------- #
+def worst_case_losses_stair(n: int, r: int, m: int,
+                            e: Sequence[int]) -> list[tuple[int, int]]:
+    """The m leftmost chunks entirely lost plus e-shaped sector failures in
+    the following m' chunks (the paper's worst-case decoding scenario)."""
+    losses = [(i, j) for j in range(m) for i in range(r)]
+    for l, e_l in enumerate(sorted(e)):
+        col = m + l
+        losses.extend((r - 1 - h, col) for h in range(e_l))
+    return losses
+
+
+def worst_case_losses_sd(n: int, r: int, m: int, s: int) -> list[tuple[int, int]]:
+    """The m leftmost chunks entirely lost plus s sector failures spread one
+    per following chunk."""
+    losses = [(i, j) for j in range(m) for i in range(r)]
+    for q in range(s):
+        losses.append((r - 1, m + q))
+    return losses
+
+
+def device_only_losses(r: int, m: int) -> list[tuple[int, int]]:
+    """m whole-device failures and no sector failures (the common case of
+    §6.2.2 where decoding reduces to Reed-Solomon decoding)."""
+    return [(i, j) for j in range(m) for i in range(r)]

@@ -1,0 +1,35 @@
+"""Erasure-code families: STAIR plus every baseline the paper compares against.
+
+* :class:`~repro.codes.stair_adapter.StairStripeCode` -- STAIR codes behind
+  the generic stripe-code interface.
+* :class:`~repro.codes.reed_solomon.ReedSolomonStripeCode` -- traditional
+  device-level Reed-Solomon coding (the space-overhead baseline).
+* :class:`~repro.codes.sd.SDCode` -- sector-disk codes (the performance
+  baseline).
+* :class:`~repro.codes.idr.IDRScheme` -- intra-device redundancy.
+* :class:`~repro.codes.raid.RAID5Code` / :class:`~repro.codes.raid.RAID6Code`
+  -- industrial names for the RS baseline.
+"""
+
+from repro.codes.base import Grid, StripeCode
+from repro.codes.idr import IDRScheme
+from repro.codes.raid import RAID5Code, RAID6Code
+from repro.codes.reed_solomon import ReedSolomonStripeCode
+from repro.codes.registry import available_codes, build_code, register_code
+from repro.codes.sd import SDCode, SDConstructionError
+from repro.codes.stair_adapter import StairStripeCode
+
+__all__ = [
+    "Grid",
+    "StripeCode",
+    "StairStripeCode",
+    "ReedSolomonStripeCode",
+    "SDCode",
+    "SDConstructionError",
+    "IDRScheme",
+    "RAID5Code",
+    "RAID6Code",
+    "build_code",
+    "available_codes",
+    "register_code",
+]

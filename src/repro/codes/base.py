@@ -1,0 +1,85 @@
+"""The generic stripe-code interface shared by STAIR and all baselines.
+
+The storage-array simulator, the benchmark harness and the reliability
+models are written against this interface so that every code family
+(STAIR, plain Reed-Solomon, SD, IDR) is interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+Grid = list[list[Optional[np.ndarray]]]
+
+
+class StripeCode(abc.ABC):
+    """An erasure code operating on an r x n stripe of equal-size symbols."""
+
+    #: Human-readable code family name ("STAIR", "RS", "SD", "IDR").
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of chunks (devices) per stripe."""
+
+    @property
+    @abc.abstractmethod
+    def r(self) -> int:
+        """Number of symbols (sectors) per chunk."""
+
+    @property
+    @abc.abstractmethod
+    def num_data_symbols(self) -> int:
+        """User-data symbols per stripe."""
+
+    @property
+    def num_parity_symbols(self) -> int:
+        """Parity symbols per stripe."""
+        return self.n * self.r - self.num_data_symbols
+
+    @property
+    def storage_efficiency(self) -> float:
+        """Fraction of the stripe devoted to user data."""
+        return self.num_data_symbols / (self.n * self.r)
+
+    @abc.abstractmethod
+    def encode(self, data: Sequence[np.ndarray]) -> Grid:
+        """Encode ``num_data_symbols`` symbols into a full r x n grid."""
+
+    @abc.abstractmethod
+    def decode(self, stripe: Grid) -> Grid:
+        """Recover lost (``None``) symbols of a damaged stripe.
+
+        Implementations raise a code-specific error when the failure
+        pattern is outside their coverage.
+        """
+
+    @abc.abstractmethod
+    def data_positions(self) -> Sequence[tuple[int, int]]:
+        """Stripe coordinates of the data symbols, in linear order."""
+
+    # ------------------------------------------------------------------ #
+    # Convenience defaults
+    # ------------------------------------------------------------------ #
+    def extract_data(self, stripe: Grid) -> list[np.ndarray]:
+        """Pull the user data symbols (linear order) out of a full stripe."""
+        out = []
+        for row, col in self.data_positions():
+            symbol = stripe[row][col]
+            if symbol is None:
+                raise ValueError(f"data symbol at ({row},{col}) is lost")
+            out.append(symbol)
+        return out
+
+    def tolerates(self, lost_positions: Sequence[tuple[int, int]]) -> bool:
+        """Best-effort coverage predicate; defaults to attempting a decode."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description used in benchmark tables."""
+        return (f"{self.name}(n={self.n}, r={self.r}, "
+                f"data={self.num_data_symbols}/{self.n * self.r})")

@@ -1,0 +1,30 @@
+"""RAID-5 / RAID-6 convenience wrappers.
+
+These are the familiar industrial names for the device-level
+Reed-Solomon baseline with one or two parity devices.  RAID-6 is the
+paper's motivating example of using a whole extra parity device just to
+survive one sector failure during a rebuild.
+"""
+
+from __future__ import annotations
+
+from repro.codes.reed_solomon import ReedSolomonStripeCode
+from repro.gf.field import GField
+
+
+class RAID5Code(ReedSolomonStripeCode):
+    """Single-parity device-level code (tolerates one device failure)."""
+
+    name = "RAID-5"
+
+    def __init__(self, n: int, r: int, field: GField | None = None) -> None:
+        super().__init__(n=n, r=r, m=1, field=field)
+
+
+class RAID6Code(ReedSolomonStripeCode):
+    """Double-parity device-level code (tolerates two device failures)."""
+
+    name = "RAID-6"
+
+    def __init__(self, n: int, r: int, field: GField | None = None) -> None:
+        super().__init__(n=n, r=r, m=2, field=field)

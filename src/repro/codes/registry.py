@@ -1,0 +1,52 @@
+"""A small registry mapping code-family names to factories.
+
+Used by the benchmark harness and examples to build codes from textual
+descriptions like ``stair(n=8, r=16, m=1, e=(1,2))``-style keyword sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.codes.base import StripeCode
+from repro.codes.idr import IDRScheme
+from repro.codes.raid import RAID5Code, RAID6Code
+from repro.codes.reed_solomon import ReedSolomonStripeCode
+from repro.codes.sd import SDCode
+from repro.codes.stair_adapter import StairStripeCode
+
+_FACTORIES: dict[str, Callable[..., StripeCode]] = {
+    "stair": StairStripeCode,
+    "rs": ReedSolomonStripeCode,
+    "reed-solomon": ReedSolomonStripeCode,
+    "sd": SDCode,
+    "idr": IDRScheme,
+    "raid5": RAID5Code,
+    "raid6": RAID6Code,
+}
+
+
+def available_codes() -> list[str]:
+    """Names of all registered code families."""
+    return sorted(_FACTORIES)
+
+
+def build_code(name: str, **params: Any) -> StripeCode:
+    """Instantiate a stripe code by family name.
+
+    >>> code = build_code("stair", n=8, r=4, m=2, e=(1, 1, 2))
+    >>> code.name
+    'STAIR'
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown code family {name!r}; available: {available_codes()}"
+        ) from None
+    return factory(**params)
+
+
+def register_code(name: str, factory: Callable[..., StripeCode]) -> None:
+    """Register a custom code family (used by downstream extensions/tests)."""
+    _FACTORIES[name.lower()] = factory

@@ -1,0 +1,383 @@
+"""Sector-disk (SD) codes [Plank & Blaum, FAST '13 / TOS '14].
+
+SD codes devote ``m`` entire devices plus ``s`` individual sectors of a
+stripe to parity and tolerate the failure of any ``m`` devices plus any
+``s`` sectors.  They are the paper's main point of comparison: more
+space-efficient than device-level RS, but only known to exist for
+``s <= 3`` and encoded (in the authors' released implementation) "in a
+decoding manner without any parity reuse" -- which is why STAIR codes
+out-run them.
+
+This module reproduces that baseline:
+
+* the stripe layout (``m`` parity devices; ``s`` parity sectors in the
+  last row of the right-most data devices);
+* a parity-check construction with per-row MDS equations plus ``s``
+  Vandermonde-style global equations.  The published SD constructions
+  rely on exhaustive coefficient searches; we provide
+  :func:`SDCode.construct`, which searches a small family of coefficient
+  bases and *verifies* the SD property exhaustively for small
+  configurations.  For large benchmark configurations the default
+  coefficients are used unverified -- exactly the situation of the
+  original codes beyond their published parameter range -- because the
+  performance comparison only exercises the encoding/decoding algorithm;
+* a no-reuse encoder (every parity symbol is a dense combination of data
+  symbols obtained by solving the parity-check system once) and a
+  syndrome-based decoder.
+
+The word size is chosen as the smallest of {8, 16} for which the stripe's
+``r*n`` symbols have distinct Vandermonde coefficients, mirroring the
+paper's observation that SD codes sometimes need ``w > 8`` while STAIR
+codes always fit in GF(2^8).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.codes.base import Grid, StripeCode
+from repro.core.exceptions import DecodingFailureError, EncodingInputError
+from repro.gf.field import GField, get_field
+from repro.gf.matrix import GFMatrix, SingularMatrixError
+from repro.gf.regions import OperationCounter, RegionOps
+from repro.rs.cauchy import CauchyRSCode
+
+
+class SDConstructionError(ValueError):
+    """Raised when no verified SD construction is found by the search."""
+
+
+class SDCode(StripeCode):
+    """A sector-disk code with ``m`` parity devices and ``s`` parity sectors."""
+
+    name = "SD"
+
+    def __init__(self, n: int, r: int, m: int, s: int,
+                 field: GField | None = None, global_base: int = 2,
+                 global_rows: np.ndarray | None = None) -> None:
+        if not (0 <= m < n):
+            raise EncodingInputError(f"require 0 <= m < n, got m={m}, n={n}")
+        if r < 1 or s < 0:
+            raise EncodingInputError("require r >= 1 and s >= 0")
+        if s > n - m:
+            raise EncodingInputError(
+                f"s={s} parity sectors cannot exceed the n-m={n - m} data devices "
+                "in the last row"
+            )
+        self._n, self._r, self.m, self.s = n, r, m, s
+        if field is None:
+            # Need r*n distinct non-zero powers of the primitive element for
+            # the global equations, hence the order must exceed r*n.
+            field = get_field(8) if r * n < 256 else get_field(16)
+        self.field = field
+        self.global_base = global_base
+        if global_rows is not None:
+            global_rows = np.asarray(global_rows, dtype=np.int64)
+            if global_rows.shape != (s, r * n):
+                raise EncodingInputError(
+                    f"global_rows must have shape ({s}, {r * n})"
+                )
+        self.global_rows = global_rows
+        self.row_code = CauchyRSCode(n, n - m, self.field) if m else None
+        self.counter = OperationCounter()
+
+        self._parity_positions = self._build_parity_positions()
+        self._parity_lookup = {pos: k for k, pos in enumerate(self._parity_positions)}
+        self._data_positions = [
+            (i, j) for i in range(r) for j in range(n)
+            if (i, j) not in self._parity_lookup
+        ]
+        self._data_lookup = {pos: k for k, pos in enumerate(self._data_positions)}
+        self._check_matrix = self._build_check_matrix()
+        self._encoding_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def r(self) -> int:
+        return self._r
+
+    @property
+    def num_data_symbols(self) -> int:
+        return self._r * self._n - len(self._parity_positions)
+
+    def data_positions(self) -> list[tuple[int, int]]:
+        return list(self._data_positions)
+
+    def parity_positions(self) -> list[tuple[int, int]]:
+        """Stripe coordinates of all parity symbols (row parities then globals)."""
+        return list(self._parity_positions)
+
+    def _build_parity_positions(self) -> list[tuple[int, int]]:
+        positions = [(i, j) for i in range(self._r)
+                     for j in range(self._n - self.m, self._n)]
+        # Global parity sectors: the last row of the right-most data devices.
+        for q in range(self.s):
+            positions.append((self._r - 1, self._n - self.m - self.s + q))
+        return positions
+
+    # ------------------------------------------------------------------ #
+    # Parity-check matrix
+    # ------------------------------------------------------------------ #
+    def _symbol_index(self, row: int, col: int) -> int:
+        return row * self._n + col
+
+    def _build_check_matrix(self) -> np.ndarray:
+        """(m*r + s) x (r*n) parity-check matrix over the field."""
+        f = self.field
+        equations = self.m * self._r + self.s
+        h = np.zeros((equations, self._r * self._n), dtype=np.int64)
+
+        # Per-row MDS equations: parity k of row i equals the Cauchy
+        # combination of that row's data symbols.
+        if self.m:
+            parity_block = self.row_code.parity_matrix().data  # (n-m) x m
+            for i in range(self._r):
+                for k in range(self.m):
+                    eq = i * self.m + k
+                    for j in range(self._n - self.m):
+                        h[eq, self._symbol_index(i, j)] = parity_block[j, k]
+                    h[eq, self._symbol_index(i, self._n - self.m + k)] = 1
+
+        # Global equations: explicit coefficient rows if supplied, otherwise
+        # Vandermonde rows over the chosen base.
+        for q in range(self.s):
+            eq = self.m * self._r + q
+            if self.global_rows is not None:
+                h[eq, :] = self.global_rows[q]
+                continue
+            for i in range(self._r):
+                for j in range(self._n):
+                    idx = self._symbol_index(i, j)
+                    h[eq, idx] = f.pow(self.global_base, (q + 1) * idx)
+        return h
+
+    # ------------------------------------------------------------------ #
+    # Encoding (no parity reuse: dense solve of the check system)
+    # ------------------------------------------------------------------ #
+    def encoding_matrix(self) -> np.ndarray:
+        """(num_parities x num_data) dense matrix mapping data to parities.
+
+        Obtained by solving the parity-check system with the parity
+        positions treated as erasures; cached after the first call.
+        """
+        if self._encoding_matrix is not None:
+            return self._encoding_matrix
+        parity_idx = [self._symbol_index(*pos) for pos in self._parity_positions]
+        data_idx = [self._symbol_index(*pos) for pos in self._data_positions]
+        h_parity = GFMatrix(self._check_matrix[:, parity_idx], self.field)
+        h_data = GFMatrix(self._check_matrix[:, data_idx], self.field)
+        try:
+            inv = h_parity.inverse()
+        except SingularMatrixError as exc:
+            raise SDConstructionError(
+                "parity-position sub-matrix is singular; the SD coefficients "
+                "do not form a valid code for this configuration"
+            ) from exc
+        self._encoding_matrix = inv.matmul(h_data).data
+        return self._encoding_matrix
+
+    def encode(self, data: Sequence[np.ndarray]) -> Grid:
+        if len(data) != self.num_data_symbols:
+            raise EncodingInputError(
+                f"expected {self.num_data_symbols} data symbols, got {len(data)}"
+            )
+        ops = RegionOps(self.field, self.counter)
+        matrix = self.encoding_matrix()
+        grid: Grid = [[None] * self._n for _ in range(self._r)]
+        data_list = [np.asarray(d) for d in data]
+        for pos, symbol in zip(self._data_positions, data_list):
+            grid[pos[0]][pos[1]] = symbol
+        for k, (row, col) in enumerate(self._parity_positions):
+            grid[row][col] = ops.linear_combination(matrix[k], data_list)
+        return grid
+
+    # ------------------------------------------------------------------ #
+    # Decoding (syndrome based)
+    # ------------------------------------------------------------------ #
+    def decode(self, stripe: Grid) -> Grid:
+        ops = RegionOps(self.field, self.counter)
+        lost = [(i, j) for i in range(self._r) for j in range(self._n)
+                if stripe[i][j] is None]
+        if not lost:
+            return [[np.asarray(cell) for cell in row] for row in stripe]
+        if len(lost) > self.m * self._r + self.s:
+            raise DecodingFailureError(
+                f"{len(lost)} lost symbols exceed the {self.m * self._r + self.s} "
+                "parity symbols of the SD code", unrecovered=lost)
+
+        lost_idx = [self._symbol_index(i, j) for i, j in lost]
+        h_lost = self._check_matrix[:, lost_idx]
+        equation_rows = self._independent_rows(h_lost, len(lost))
+        if equation_rows is None:
+            raise DecodingFailureError(
+                "failure pattern is not covered by this SD code", unrecovered=lost)
+
+        # Syndromes of the selected equations over the surviving symbols.
+        symbol_size = self._symbol_size(stripe)
+        syndromes = []
+        for eq in equation_rows:
+            acc = ops.zeros(symbol_size)
+            coeffs = self._check_matrix[eq]
+            for i in range(self._r):
+                base = i * self._n
+                row = stripe[i]
+                for j in range(self._n):
+                    symbol = row[j]
+                    if symbol is None:
+                        continue
+                    c = int(coeffs[base + j])
+                    if c:
+                        ops.mult_xor(np.asarray(symbol), acc, c)
+            syndromes.append(acc)
+
+        solver = GFMatrix(h_lost[equation_rows, :], self.field).inverse()
+        repaired = [[None if cell is None else np.asarray(cell) for cell in row]
+                    for row in stripe]
+        for out_index, (i, j) in enumerate(lost):
+            repaired[i][j] = ops.linear_combination(solver.data[out_index], syndromes)
+        return repaired  # type: ignore[return-value]
+
+    def _independent_rows(self, matrix: np.ndarray,
+                          needed: int) -> list[int] | None:
+        """Greedily pick ``needed`` equation rows with full column rank.
+
+        A single incremental Gaussian elimination: each candidate row is
+        reduced against the pivots collected so far and kept only if it
+        contributes a new pivot column.
+        """
+        f = self.field
+        selected: list[int] = []
+        pivots: list[tuple[int, np.ndarray]] = []  # (pivot column, reduced row)
+        for row_index in range(matrix.shape[0]):
+            row = matrix[row_index].astype(np.int64).copy()
+            for col, pivot_row in pivots:
+                factor = int(row[col])
+                if factor:
+                    row ^= f.mul_vector(factor, pivot_row).astype(np.int64)
+            nonzero = np.nonzero(row)[0]
+            if nonzero.size == 0:
+                continue
+            col = int(nonzero[0])
+            row = f.mul_vector(f.inv(int(row[col])), row).astype(np.int64)
+            pivots.append((col, row))
+            selected.append(row_index)
+            if len(selected) == needed:
+                return selected
+        return None
+
+    @staticmethod
+    def _symbol_size(stripe: Grid) -> int:
+        for row in stripe:
+            for cell in row:
+                if cell is not None:
+                    return len(cell)
+        raise DecodingFailureError("stripe contains no surviving symbols")
+
+    # ------------------------------------------------------------------ #
+    # SD-property verification and construction search
+    # ------------------------------------------------------------------ #
+    def tolerates(self, lost_positions: Sequence[tuple[int, int]]) -> bool:
+        lost_idx = [self._symbol_index(i, j) for i, j in lost_positions]
+        if len(lost_idx) > self.m * self._r + self.s:
+            return False
+        sub = GFMatrix(self._check_matrix[:, lost_idx], self.field)
+        return sub.rank() == len(lost_idx)
+
+    def verify_sd_property(self, max_patterns: int | None = 4000,
+                           rng: np.random.Generator | None = None) -> bool:
+        """Check that every m-device + s-sector failure pattern is decodable.
+
+        Exhaustive for small stripes; falls back to ``max_patterns`` random
+        patterns when the space is larger.
+        """
+        device_patterns = list(combinations(range(self._n), self.m))
+        rng = rng or np.random.default_rng(7)
+        for devices in device_patterns:
+            device_cells = [(i, j) for j in devices for i in range(self._r)]
+            surviving = [(i, j) for i in range(self._r) for j in range(self._n)
+                         if j not in devices]
+            sector_patterns = list(combinations(surviving, self.s))
+            if max_patterns is not None and len(sector_patterns) > max_patterns:
+                chosen = rng.choice(len(sector_patterns),
+                                    size=max_patterns, replace=False)
+                sector_patterns = [sector_patterns[int(c)] for c in chosen]
+            for sectors in sector_patterns:
+                if not self.tolerates(device_cells + list(sectors)):
+                    return False
+        return True
+
+    @classmethod
+    def construct(cls, n: int, r: int, m: int, s: int,
+                  field: GField | None = None,
+                  bases: Sequence[int] = (2, 3, 4, 5, 6, 7, 9, 11, 13, 19),
+                  random_trials: int = 40, seed: int = 2014,
+                  max_patterns: int | None = 2000) -> "SDCode":
+        """Search for a verified SD construction.
+
+        Mirrors the exhaustive-search flavour of the published SD
+        constructions: Vandermonde-style global equations over a family of
+        bases are tried first, then ``random_trials`` random global
+        coefficient rows, until one candidate passes
+        :meth:`verify_sd_property`.  Only intended for small
+        configurations; the verification cost grows combinatorially.
+        """
+        candidates: list[SDCode] = []
+
+        def try_candidate(**kwargs) -> SDCode | None:
+            try:
+                code = cls(n, r, m, s, field=field, **kwargs)
+                code.encoding_matrix()
+            except (SDConstructionError, SingularMatrixError, ValueError):
+                return None
+            candidates.append(code)
+            if code.verify_sd_property(max_patterns=max_patterns):
+                return code
+            return None
+
+        for base in bases:
+            found = try_candidate(global_base=base)
+            if found is not None:
+                return found
+
+        rng = np.random.default_rng(seed)
+        if field is None:
+            field_for_order = get_field(8) if r * n < 256 else get_field(16)
+        else:
+            field_for_order = field
+        order = field_for_order.order
+        for _ in range(random_trials):
+            rows = rng.integers(1, order, size=(s, r * n), dtype=np.int64)
+            found = try_candidate(global_rows=rows)
+            if found is not None:
+                return found
+
+        if not candidates:
+            raise SDConstructionError(
+                f"no SD construction found for n={n}, r={r}, m={m}, s={s}"
+            )
+        raise SDConstructionError(
+            f"no *verified* SD construction found for n={n}, r={r}, m={m}, s={s}; "
+            "the unverified default may still be used for performance studies"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Analysis helpers
+    # ------------------------------------------------------------------ #
+    def update_penalty(self) -> float:
+        """Average parity symbols touched per data-symbol update."""
+        matrix = self.encoding_matrix()
+        k = self.num_data_symbols
+        return int(np.count_nonzero(matrix)) / k if k else 0.0
+
+    def mult_xor_count(self) -> int:
+        """Mult_XORs per encoded stripe (no parity reuse)."""
+        return int(np.count_nonzero(self.encoding_matrix()))

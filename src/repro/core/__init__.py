@@ -1,0 +1,51 @@
+"""STAIR codes: the paper's primary contribution.
+
+Public entry points:
+
+* :class:`~repro.core.config.StairConfig` -- validated (n, r, m, e)
+  parameters with derived quantities (m', s, storage efficiency, ...).
+* :class:`~repro.core.stair.StairCode` -- encode/decode stripes with
+  automatic selection between upstairs, downstairs and standard encoding,
+  plus the analysis helpers used throughout the evaluation.
+* :class:`~repro.core.stripe_data.StairStripe` -- one encoded stripe.
+"""
+
+from repro.core.config import StairConfig, enumerate_e_vectors
+from repro.core.exceptions import (
+    ConfigurationError,
+    DecodingFailureError,
+    EncodingInputError,
+    StairError,
+)
+from repro.core.layout import StripeLayout, SymbolKind
+from repro.core.stair import StairCode
+from repro.core.stripe_data import StairStripe
+from repro.core.decoder import check_coverage
+from repro.core.complexity import (
+    EncodingCosts,
+    choose_encoding_method,
+    downstairs_mult_xors,
+    encoding_costs,
+    standard_mult_xors,
+    upstairs_mult_xors,
+)
+
+__all__ = [
+    "StairConfig",
+    "StairCode",
+    "StairStripe",
+    "StripeLayout",
+    "SymbolKind",
+    "StairError",
+    "ConfigurationError",
+    "DecodingFailureError",
+    "EncodingInputError",
+    "check_coverage",
+    "enumerate_e_vectors",
+    "EncodingCosts",
+    "encoding_costs",
+    "upstairs_mult_xors",
+    "downstairs_mult_xors",
+    "standard_mult_xors",
+    "choose_encoding_method",
+]

@@ -1,0 +1,88 @@
+"""Encoding-complexity model (§5.3): Mult_XOR counts of the three methods.
+
+These analytical counts reproduce Eq. (5) and Eq. (6) of the paper and the
+standard-encoding count derived from the uneven parity relations.  The
+encoder auto-selection of :class:`~repro.core.stair.StairCode` uses them,
+and Figure 9 of the paper is regenerated from them
+(``benchmarks/bench_fig09_encoding_complexity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import StairConfig
+
+
+def upstairs_mult_xors(config: StairConfig) -> int:
+    """X_up, Eq. (5): (n-m)(m*r + s) + r*(n-m)*e_max."""
+    n, r, m = config.n, config.r, config.m
+    s, e_max = config.s, config.e_max
+    return (n - m) * (m * r + s) + r * (n - m) * e_max
+
+
+def downstairs_mult_xors(config: StairConfig) -> int:
+    """X_down, Eq. (6): (n-m)(m + m')*r + r*s."""
+    n, r, m = config.n, config.r, config.m
+    s, m_prime = config.s, config.m_prime
+    return (n - m) * (m + m_prime) * r + r * s
+
+
+def standard_mult_xors(config: StairConfig,
+                       parity_coefficients: np.ndarray | None = None) -> int:
+    """Mult_XORs of standard encoding.
+
+    Exact value is the number of non-zero generator coefficients (one
+    Mult_XOR per contributing data symbol per parity symbol).  When the
+    generator is not supplied, an upper bound is returned that assumes
+    every parity depends on all data symbols at or above/left of it --
+    tests use the exact form.
+    """
+    if parity_coefficients is not None:
+        return int(np.count_nonzero(parity_coefficients))
+    # Upper bound: every one of the (m*r + s) parities touches all data.
+    return config.num_parity_symbols * config.num_data_symbols
+
+
+@dataclass(frozen=True)
+class EncodingCosts:
+    """Mult_XOR counts of the three encoding methods for one configuration."""
+
+    upstairs: int
+    downstairs: int
+    standard: int
+
+    def best_method(self) -> str:
+        """Name of the cheapest method (ties go to the earlier name)."""
+        costs = {"upstairs": self.upstairs, "downstairs": self.downstairs,
+                 "standard": self.standard}
+        return min(costs, key=costs.get)  # type: ignore[arg-type]
+
+
+def encoding_costs(config: StairConfig,
+                   parity_coefficients: np.ndarray | None = None) -> EncodingCosts:
+    """Compute the Mult_XOR counts of all three encoding methods."""
+    return EncodingCosts(
+        upstairs=upstairs_mult_xors(config),
+        downstairs=downstairs_mult_xors(config),
+        standard=standard_mult_xors(config, parity_coefficients),
+    )
+
+
+def choose_encoding_method(config: StairConfig,
+                           parity_coefficients: np.ndarray | None = None,
+                           allow_standard: bool = True) -> str:
+    """Pick the cheapest encoding method for a configuration.
+
+    Mirrors the paper's implementation note: "we always pre-compute the
+    number of Mult_XORs for each of the encoding methods, and then choose
+    the one with the fewest Mult_XORs".  When ``allow_standard`` is False
+    only upstairs/downstairs are considered (useful when the generator
+    matrix has not been derived yet).
+    """
+    costs = encoding_costs(config, parity_coefficients)
+    if not allow_standard or parity_coefficients is None:
+        return "upstairs" if costs.upstairs <= costs.downstairs else "downstairs"
+    return costs.best_method()

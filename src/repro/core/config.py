@@ -1,0 +1,200 @@
+"""STAIR code configuration.
+
+A STAIR code is parameterised by (n, r, m, e) -- see Table 1 of the
+paper:
+
+* ``n``  -- chunks (devices) per stripe,
+* ``r``  -- sectors (symbols) per chunk,
+* ``m``  -- maximum number of entirely failed chunks (device failures),
+* ``e``  -- the sector-failure coverage vector ``(e_0 <= ... <= e_{m'-1})``:
+  at most ``m'`` of the surviving chunks may contain sector failures, the
+  l-th worst of them having at most ``e_l`` failed sectors.
+
+``m' = len(e)`` and ``s = sum(e)`` are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.exceptions import ConfigurationError
+from repro.gf.field import GField, get_field
+from repro.gf.tables import SUPPORTED_WORD_SIZES
+
+
+@dataclass(frozen=True)
+class StairConfig:
+    """Validated STAIR code parameters.
+
+    The ``e`` vector is stored sorted in non-decreasing order (the paper's
+    convention); callers may pass it in any order.
+
+    Examples
+    --------
+    >>> cfg = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+    >>> cfg.m_prime, cfg.s
+    (3, 4)
+    """
+
+    n: int
+    r: int
+    m: int
+    e: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "e", tuple(sorted(int(x) for x in self.e)))
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"n must be >= 2, got {self.n}")
+        if self.r < 1:
+            raise ConfigurationError(f"r must be >= 1, got {self.r}")
+        if not (0 <= self.m < self.n):
+            raise ConfigurationError(
+                f"m must satisfy 0 <= m < n, got m={self.m}, n={self.n}"
+            )
+        if any(x < 1 for x in self.e):
+            raise ConfigurationError("all entries of e must be >= 1")
+        if any(x > self.r for x in self.e):
+            raise ConfigurationError(
+                f"entries of e cannot exceed r={self.r}, got e={self.e}"
+            )
+        if self.m_prime > self.n - self.m:
+            raise ConfigurationError(
+                f"m'={self.m_prime} cannot exceed n-m={self.n - self.m}"
+            )
+        if self.m == 0 and not self.e:
+            raise ConfigurationError("code with m=0 and empty e has no parity")
+        if self.s >= self.r * (self.n - self.m):
+            raise ConfigurationError(
+                "s must leave at least one data symbol per stripe "
+                f"(s={self.s}, data-chunk symbols={self.r * (self.n - self.m)})"
+            )
+        # A usable word size must exist.
+        self.word_size  # noqa: B018 - property performs the check
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def m_prime(self) -> int:
+        """m': number of chunks that may simultaneously have sector failures."""
+        return len(self.e)
+
+    @property
+    def s(self) -> int:
+        """s: total number of tolerable sector failures per stripe."""
+        return sum(self.e)
+
+    @property
+    def e_max(self) -> int:
+        """The largest entry of e (0 when e is empty)."""
+        return self.e[-1] if self.e else 0
+
+    @property
+    def data_chunks(self) -> int:
+        """Number of data chunks per stripe, n - m."""
+        return self.n - self.m
+
+    @property
+    def num_data_symbols(self) -> int:
+        """Data symbols per stripe once global parities live inside the stripe."""
+        return self.r * self.data_chunks - self.s
+
+    @property
+    def num_parity_symbols(self) -> int:
+        """Parity symbols per stripe: m full chunks plus s global parities."""
+        return self.m * self.r + self.s
+
+    @property
+    def total_symbols(self) -> int:
+        """All symbols in a stripe, r * n."""
+        return self.r * self.n
+
+    @property
+    def storage_efficiency(self) -> float:
+        """Fraction of the stripe that stores user data (Eq. 8 of the paper)."""
+        return self.num_data_symbols / self.total_symbols
+
+    @property
+    def word_size(self) -> int:
+        """Smallest usable GF(2^w) word size for this configuration.
+
+        STAIR codes require ``n + m' <= 2^w`` and ``r + e_max <= 2^w``.
+        We never go below w = 8 so that symbols are byte-addressable (the
+        paper likewise uses w = 8 for every configuration it evaluates and
+        falls back to larger words only when the stripe geometry demands it).
+        """
+        row_len = self.n + self.m_prime
+        col_len = self.r + self.e_max
+        for w in SUPPORTED_WORD_SIZES:
+            if w < 8:
+                continue
+            if row_len <= (1 << w) and col_len <= (1 << w):
+                return w
+        raise ConfigurationError(
+            f"no supported word size fits n+m'={row_len}, r+e_max={col_len}"
+        )
+
+    def field(self) -> GField:
+        """Return the GF(2^w) field instance for this configuration."""
+        return get_field(self.word_size)
+
+    # ------------------------------------------------------------------ #
+    # Interpretation helpers (the special cases discussed in §2)
+    # ------------------------------------------------------------------ #
+    def is_pmds_equivalent(self) -> bool:
+        """True when e = (1): the code is a new PMDS/SD construction with s=1."""
+        return self.e == (1,)
+
+    def is_full_chunk_equivalent(self) -> bool:
+        """True when e = (r): equivalent to a systematic (n, n-m-1) code."""
+        return self.e == (self.r,)
+
+    def is_idr_equivalent(self) -> bool:
+        """True when e = (eps,...,eps) with m' = n-m: equivalent to an IDR scheme."""
+        return (self.m_prime == self.data_chunks
+                and len(set(self.e)) == 1
+                and self.e_max < self.r)
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the configuration."""
+        return (f"STAIR(n={self.n}, r={self.r}, m={self.m}, e={self.e}; "
+                f"m'={self.m_prime}, s={self.s}, w={self.word_size})")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def enumerate_e_vectors(s: int, m_prime_max: int | None = None,
+                        e_max_cap: int | None = None) -> Iterator[tuple[int, ...]]:
+    """Enumerate all sector-failure coverage vectors with a given total ``s``.
+
+    Each vector is a non-decreasing tuple of positive integers summing to
+    ``s`` (a partition of s).  ``m_prime_max`` bounds the number of parts
+    (i.e. m') and ``e_max_cap`` bounds the largest part (i.e. must be <= r).
+
+    The paper's evaluation sweeps "all possible configurations of e for a
+    given s" (e.g. Figures 9, 14 and 15); this helper provides that sweep.
+    """
+    if s < 0:
+        raise ValueError("s must be non-negative")
+
+    def partitions(total: int, max_part: int) -> Iterator[list[int]]:
+        if total == 0:
+            yield []
+            return
+        for part in range(min(total, max_part), 0, -1):
+            for rest in partitions(total - part, part):
+                yield [part] + rest
+
+    cap = e_max_cap if e_max_cap is not None else s
+    for partition in partitions(s, cap):
+        if m_prime_max is not None and len(partition) > m_prime_max:
+            continue
+        yield tuple(sorted(partition))

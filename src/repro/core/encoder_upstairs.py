@@ -1,0 +1,74 @@
+"""Upstairs encoding (§5.1.1): recovery-based encoding.
+
+The inside global parity symbols and the row parity chunks are treated as
+lost, the outside global parity symbols are pinned to zero, and the
+upstairs decoder reconstructs them.  Because the outside globals are
+identically zero they never need to be stored, and the homomorphic
+property (hence fault tolerance) is untouched.
+
+Its Mult_XOR cost is Eq. (5) of the paper:
+
+    X_up = (n - m) * (m*r + s)  +  r * (n - m) * e_max
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import StairConfig
+from repro.core.decoder import StairDecoder
+from repro.core.exceptions import EncodingInputError
+from repro.core.layout import StripeLayout
+from repro.gf.regions import RegionOps
+from repro.rs.systematic import SystematicMDSCode
+
+
+class UpstairsEncoder:
+    """Encodes a stripe with the upstairs (recovery-based) method."""
+
+    def __init__(self, config: StairConfig, layout: StripeLayout,
+                 crow: SystematicMDSCode, ccol: SystematicMDSCode | None) -> None:
+        self.config = config
+        self.layout = layout
+        self.decoder = StairDecoder(config, layout, crow, ccol)
+
+    def encode(self, data: Sequence[np.ndarray],
+               ops: RegionOps | None = None) -> list[list[np.ndarray]]:
+        """Encode the data symbols into a full r x n stripe.
+
+        ``data`` must contain exactly ``config.num_data_symbols`` symbols in
+        the layout's linear order (row-major over data positions, skipping
+        the inside-global-parity cells).
+        """
+        ops = ops or RegionOps(self.config.field())
+        stripe = build_data_grid(self.config, self.layout, data)
+        # Parity positions (row parity chunks and inside global parities)
+        # are left as None: encoding is recovering them, without the
+        # row-local shortcut (which would turn this into downstairs-style
+        # row encoding and change the operation count).
+        return self.decoder.decode(stripe, ops=ops, practical=False)
+
+    @property
+    def last_schedule(self):
+        """Schedule of the most recent encode (see Table 2 / Figure 5)."""
+        return self.decoder.last_schedule
+
+
+def build_data_grid(config: StairConfig, layout: StripeLayout,
+                    data: Sequence[np.ndarray]) -> list[list[np.ndarray | None]]:
+    """Place linear data symbols into an r x n grid, parity cells left None."""
+    if len(data) != layout.num_data_symbols:
+        raise EncodingInputError(
+            f"expected {layout.num_data_symbols} data symbols, got {len(data)}"
+        )
+    sizes = {len(d) for d in data}
+    if len(sizes) > 1:
+        raise EncodingInputError("all data symbols must have the same size")
+    grid: list[list[np.ndarray | None]] = [
+        [None] * config.n for _ in range(config.r)
+    ]
+    for index, (row, col) in enumerate(layout.data_positions()):
+        grid[row][col] = np.asarray(data[index])
+    return grid

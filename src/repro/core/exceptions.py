@@ -1,0 +1,30 @@
+"""Exception types raised by the STAIR code implementation."""
+
+from __future__ import annotations
+
+
+class StairError(Exception):
+    """Base class for all STAIR-code errors."""
+
+
+class ConfigurationError(StairError, ValueError):
+    """Raised when (n, r, m, e) parameters are invalid or inconsistent."""
+
+
+class DecodingFailureError(StairError, RuntimeError):
+    """Raised when a failure pattern cannot be recovered.
+
+    This happens when the pattern exceeds the coverage defined by ``m``
+    and ``e`` (or, equivalently, when the upstairs-decoding peel stalls
+    before all stored symbols are known).
+    """
+
+    def __init__(self, message: str,
+                 unrecovered: list[tuple[int, int]] | None = None) -> None:
+        super().__init__(message)
+        #: Stripe positions (row, col) that could not be recovered.
+        self.unrecovered = unrecovered or []
+
+
+class EncodingInputError(StairError, ValueError):
+    """Raised when the data passed to an encoder has the wrong shape."""

@@ -1,0 +1,77 @@
+"""Symbolic derivation of the full STAIR generator matrix.
+
+Every parity symbol of a STAIR stripe (row parities and inside global
+parities) is a fixed GF-linear combination of the stripe's data symbols.
+Rather than deriving those coefficients algebraically, we *encode unit
+vectors*: run the upstairs encoder with each data symbol set to a
+coefficient row (the k-th data symbol is the k-th unit vector of length
+``num_data_symbols``).  Region arithmetic on these rows is exactly
+coefficient arithmetic, so the "symbols" that come out at the parity
+positions are the generator coefficients themselves.
+
+The resulting matrix drives standard encoding (§5.3), the uneven
+parity-relation analysis (§5.2 / Property 5.1) and the update-penalty
+evaluation (§6.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import StairConfig
+from repro.core.encoder_upstairs import UpstairsEncoder
+from repro.core.layout import StripeLayout
+from repro.gf.field import GField
+from repro.gf.regions import RegionOps
+from repro.rs.systematic import SystematicMDSCode
+
+
+def derive_parity_coefficients(config: StairConfig, layout: StripeLayout,
+                               crow: SystematicMDSCode,
+                               ccol: SystematicMDSCode | None,
+                               field: GField) -> np.ndarray:
+    """Return the parity-coefficient matrix of the STAIR code.
+
+    Shape is ``(num_parity_symbols, num_data_symbols)``; row ``p`` holds
+    the coefficients of the data symbols (in layout linear order) whose
+    GF-linear combination equals parity symbol ``p`` (in layout parity
+    order: inside global parities first, then row parities row-major).
+    """
+    k = layout.num_data_symbols
+    encoder = UpstairsEncoder(config, layout, crow, ccol)
+    ops = RegionOps(field)
+    unit_symbols = []
+    dtype = field.element_dtype
+    for index in range(k):
+        vec = np.zeros(k, dtype=dtype)
+        vec[index] = 1
+        unit_symbols.append(vec)
+    stripe = encoder.encode(unit_symbols, ops=ops)
+
+    coeffs = np.zeros((layout.num_parity_symbols, k), dtype=np.int64)
+    for p, (row, col) in enumerate(layout.parity_positions()):
+        coeffs[p] = stripe[row][col].astype(np.int64)
+    return coeffs
+
+
+def full_generator_matrix(config: StairConfig, layout: StripeLayout,
+                          parity_coefficients: np.ndarray) -> np.ndarray:
+    """Return the full (data -> stripe) generator matrix.
+
+    Shape ``(num_data_symbols, r * n)``: column ``q`` (stripe position in
+    row-major order) holds the coefficients mapping data symbols to the
+    stripe symbol at that position.  Data positions map to unit columns,
+    parity positions to the corresponding parity-coefficient column.
+    """
+    k = layout.num_data_symbols
+    total = config.r * config.n
+    gen = np.zeros((k, total), dtype=np.int64)
+    for q in range(total):
+        row, col = divmod(q, config.n)
+        kind_is_parity = not layout.is_data(row, col)
+        if kind_is_parity:
+            p = layout.parity_index(row, col)
+            gen[:, q] = parity_coefficients[p]
+        else:
+            gen[layout.data_index(row, col), q] = 1
+    return gen

@@ -1,0 +1,215 @@
+"""Symbol layout of a STAIR stripe and of its canonical (augmented) stripe.
+
+A stripe is an r x n array of symbols (Figure 1 of the paper):
+
+* columns ``0 .. n-m-1`` are *data chunks*,
+* columns ``n-m .. n-1`` are *row parity chunks*.
+
+With the extended encoding of §5 the ``s`` global parity symbols live
+*inside* the stripe, at the bottom of the ``m'`` rightmost data chunks in
+the stair pattern: chunk ``n-m-m'+l`` holds ``e_l`` global parities in its
+last ``e_l`` rows.
+
+The *canonical stripe* of §4.1 augments this to a grid of
+``(r + e_max) x (n + m')`` cells: ``m'`` extra columns of intermediate
+parity symbols on the right, and ``e_max`` extra rows of virtual parity
+symbols at the bottom.  Every row of the grid is a ``C_row`` codeword and
+every column is a ``C_col`` codeword (the homomorphic property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.core.config import StairConfig
+
+
+class SymbolKind(Enum):
+    """Classification of a position inside the stored r x n stripe."""
+
+    DATA = "data"
+    ROW_PARITY = "row_parity"
+    GLOBAL_PARITY = "global_parity"
+
+
+@dataclass(frozen=True)
+class GlobalParityPosition:
+    """Location of one inside global parity symbol ``ĝ_{h,l}``."""
+
+    row: int
+    col: int
+    l: int   # which stair chunk (0 .. m'-1)
+    h: int   # index within that chunk (0 .. e_l - 1)
+
+
+class StripeLayout:
+    """Maps between symbol roles, stripe coordinates and linear data indices."""
+
+    def __init__(self, config: StairConfig) -> None:
+        self.config = config
+        n, r, m = config.n, config.r, config.m
+        m_prime = config.m_prime
+
+        #: Columns (devices) holding data chunks.
+        self.data_columns = tuple(range(n - m))
+        #: Columns (devices) holding row parity chunks.
+        self.parity_columns = tuple(range(n - m, n))
+        #: Columns that carry inside global parity symbols (the "stair" chunks),
+        #: ordered by l = 0 .. m'-1 (leftmost stair chunk first).
+        self.stair_columns = tuple(range(n - m - m_prime, n - m))
+
+        self._global_positions: list[GlobalParityPosition] = []
+        self._global_lookup: dict[tuple[int, int], GlobalParityPosition] = {}
+        for l, col in enumerate(self.stair_columns):
+            e_l = config.e[l]
+            for h in range(e_l):
+                pos = GlobalParityPosition(row=r - e_l + h, col=col, l=l, h=h)
+                self._global_positions.append(pos)
+                self._global_lookup[(pos.row, pos.col)] = pos
+
+        # Linear ordering of data symbols: row-major over data columns,
+        # skipping inside-global-parity positions.
+        self._data_order: list[tuple[int, int]] = []
+        self._data_index: dict[tuple[int, int], int] = {}
+        for i in range(r):
+            for j in self.data_columns:
+                if (i, j) in self._global_lookup:
+                    continue
+                self._data_index[(i, j)] = len(self._data_order)
+                self._data_order.append((i, j))
+
+        # Linear ordering of parity symbols: global parities first (by l, h),
+        # then row parities row-major.  Used by the generator-matrix view.
+        self._parity_order: list[tuple[int, int]] = []
+        for pos in self._global_positions:
+            self._parity_order.append((pos.row, pos.col))
+        for i in range(r):
+            for j in self.parity_columns:
+                self._parity_order.append((i, j))
+        self._parity_index = {pos: k for k, pos in enumerate(self._parity_order)}
+
+    # ------------------------------------------------------------------ #
+    # Role queries (stored stripe, r x n)
+    # ------------------------------------------------------------------ #
+    def kind(self, row: int, col: int) -> SymbolKind:
+        """Classify the stripe position ``(row, col)``."""
+        self._check_bounds(row, col)
+        if col >= self.config.n - self.config.m:
+            return SymbolKind.ROW_PARITY
+        if (row, col) in self._global_lookup:
+            return SymbolKind.GLOBAL_PARITY
+        return SymbolKind.DATA
+
+    def is_data(self, row: int, col: int) -> bool:
+        return self.kind(row, col) is SymbolKind.DATA
+
+    def is_row_parity(self, row: int, col: int) -> bool:
+        return self.kind(row, col) is SymbolKind.ROW_PARITY
+
+    def is_global_parity(self, row: int, col: int) -> bool:
+        return self.kind(row, col) is SymbolKind.GLOBAL_PARITY
+
+    def global_parity_positions(self) -> tuple[GlobalParityPosition, ...]:
+        """All inside global parity positions in (l, h) order."""
+        return tuple(self._global_positions)
+
+    def global_parity_at(self, row: int, col: int) -> GlobalParityPosition | None:
+        """Return the global-parity descriptor at a position, if any."""
+        return self._global_lookup.get((row, col))
+
+    # ------------------------------------------------------------------ #
+    # Linear data / parity indexing
+    # ------------------------------------------------------------------ #
+    def data_positions(self) -> tuple[tuple[int, int], ...]:
+        """Stripe coordinates of all data symbols, in linear-index order."""
+        return tuple(self._data_order)
+
+    def parity_positions(self) -> tuple[tuple[int, int], ...]:
+        """Stripe coordinates of all parity symbols (globals then row parities)."""
+        return tuple(self._parity_order)
+
+    def data_index(self, row: int, col: int) -> int:
+        """Linear index of the data symbol at ``(row, col)``."""
+        try:
+            return self._data_index[(row, col)]
+        except KeyError:
+            raise ValueError(f"({row}, {col}) is not a data position") from None
+
+    def data_position(self, index: int) -> tuple[int, int]:
+        """Stripe coordinates of the ``index``-th data symbol."""
+        return self._data_order[index]
+
+    def parity_index(self, row: int, col: int) -> int:
+        """Linear index of the parity symbol at ``(row, col)``."""
+        try:
+            return self._parity_index[(row, col)]
+        except KeyError:
+            raise ValueError(f"({row}, {col}) is not a parity position") from None
+
+    def parity_position(self, index: int) -> tuple[int, int]:
+        """Stripe coordinates of the ``index``-th parity symbol."""
+        return self._parity_order[index]
+
+    @property
+    def num_data_symbols(self) -> int:
+        return len(self._data_order)
+
+    @property
+    def num_parity_symbols(self) -> int:
+        return len(self._parity_order)
+
+    # ------------------------------------------------------------------ #
+    # Canonical (augmented) stripe geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def grid_rows(self) -> int:
+        """Rows of the canonical stripe: r stored + e_max augmented."""
+        return self.config.r + self.config.e_max
+
+    @property
+    def grid_cols(self) -> int:
+        """Columns of the canonical stripe: n real + m' intermediate parity."""
+        return self.config.n + self.config.m_prime
+
+    def is_stored_cell(self, grid_row: int, grid_col: int) -> bool:
+        """True for cells of the canonical grid that exist in the real stripe."""
+        return grid_row < self.config.r and grid_col < self.config.n
+
+    def is_augmented_row(self, grid_row: int) -> bool:
+        return grid_row >= self.config.r
+
+    def is_intermediate_column(self, grid_col: int) -> bool:
+        return grid_col >= self.config.n
+
+    def outside_global_cells(self) -> Iterator[tuple[int, int, int, int]]:
+        """Canonical-grid cells holding outside global parities ``g_{h,l}``.
+
+        Yields ``(grid_row, grid_col, l, h)`` for every *real* (non-dummy)
+        outside global parity: intermediate column ``l``, augmented row
+        ``h`` with ``h < e_l``.
+        """
+        r, n = self.config.r, self.config.n
+        for l, e_l in enumerate(self.config.e):
+            for h in range(e_l):
+                yield r + h, n + l, l, h
+
+    def chunk_cells(self, col: int) -> list[tuple[int, int]]:
+        """All stored cells of chunk ``col`` (top to bottom)."""
+        return [(i, col) for i in range(self.config.r)]
+
+    def row_cells(self, row: int) -> list[tuple[int, int]]:
+        """All stored cells of stripe row ``row`` (left to right)."""
+        return [(row, j) for j in range(self.config.n)]
+
+    # ------------------------------------------------------------------ #
+    def _check_bounds(self, row: int, col: int) -> None:
+        if not (0 <= row < self.config.r and 0 <= col < self.config.n):
+            raise IndexError(
+                f"position ({row}, {col}) outside stripe "
+                f"{self.config.r}x{self.config.n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StripeLayout({self.config.describe()})"

@@ -1,0 +1,115 @@
+"""Uneven parity relations (§5.2) and update penalty (§6.3).
+
+After the global parities are relocated inside the stripe, the relation
+between data and parity symbols becomes uneven: a parity symbol at stripe
+position (i0, j0) depends only on data symbols d_{i,j} with i <= i0 and
+j <= j0 (Property 5.1), and within a stair tread/riser it is further
+unrelated to the other columns/rows of that tread/riser.
+
+The *update penalty* is the average number of parity symbols that must be
+rewritten when one data symbol changes -- Figure 14 and Figure 15 of the
+paper.  Both analyses are read off the parity-coefficient matrix derived
+in :mod:`repro.core.generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import StairConfig
+from repro.core.layout import StripeLayout
+
+
+def parity_dependencies(layout: StripeLayout,
+                        parity_coefficients: np.ndarray) -> list[set[int]]:
+    """For each parity symbol, the set of data indices it depends on."""
+    deps: list[set[int]] = []
+    for p in range(layout.num_parity_symbols):
+        deps.append(set(np.nonzero(parity_coefficients[p])[0].tolist()))
+    return deps
+
+
+def data_dependencies(layout: StripeLayout,
+                      parity_coefficients: np.ndarray) -> list[set[int]]:
+    """For each data symbol, the set of parity indices it contributes to."""
+    deps: list[set[int]] = [set() for _ in range(layout.num_data_symbols)]
+    for p in range(layout.num_parity_symbols):
+        for d in np.nonzero(parity_coefficients[p])[0]:
+            deps[int(d)].add(p)
+    return deps
+
+
+def update_penalty(layout: StripeLayout,
+                   parity_coefficients: np.ndarray) -> float:
+    """Average number of parity symbols affected by a single data update."""
+    k = layout.num_data_symbols
+    if k == 0:
+        return 0.0
+    total = int(np.count_nonzero(parity_coefficients))
+    return total / k
+
+
+def update_penalty_per_symbol(layout: StripeLayout,
+                              parity_coefficients: np.ndarray) -> list[int]:
+    """Number of parity symbols affected by each individual data symbol."""
+    return [int(np.count_nonzero(parity_coefficients[:, d]))
+            for d in range(layout.num_data_symbols)]
+
+
+def check_property_5_1(config: StairConfig, layout: StripeLayout,
+                       parity_coefficients: np.ndarray) -> list[str]:
+    """Verify Property 5.1 structurally; returns a list of violations.
+
+    Three facets are checked:
+
+    1. *Monotonicity*: a parity at stripe position (i0, j0) depends only on
+       data symbols at positions (i, j) with i <= i0 and j <= j0.
+    2. *Tread independence*: an inside global parity in stair chunk l does
+       not depend on data symbols in a different stair chunk l' that shares
+       the same tread (i.e. e_{l'} == e_l).
+    3. *Riser independence*: a row parity in a row above the whole stair
+       (i0 < r - e_max) depends only on data symbols of its own row.
+    """
+    violations: list[str] = []
+    deps = parity_dependencies(layout, parity_coefficients)
+    data_pos = layout.data_positions()
+
+    for p, (pi, pj) in enumerate(layout.parity_positions()):
+        for d in deps[p]:
+            di, dj = data_pos[d]
+            if di > pi or dj > pj:
+                violations.append(
+                    f"parity at ({pi},{pj}) depends on data at ({di},{dj}) "
+                    "violating the monotone property"
+                )
+
+    # Tread independence among stair chunks with equal e_l.
+    for pos in layout.global_parity_positions():
+        p = layout.parity_index(pos.row, pos.col)
+        for other_l, other_col in enumerate(layout.stair_columns):
+            if other_col == pos.col or config.e[other_l] != config.e[pos.l]:
+                continue
+            for d in deps[p]:
+                di, dj = data_pos[d]
+                if dj == other_col:
+                    violations.append(
+                        f"global parity ĝ({pos.h},{pos.l}) depends on data in "
+                        f"column {other_col} of the same tread"
+                    )
+                    break
+
+    # Riser independence for rows above the stair.
+    boundary = config.r - config.e_max
+    for p, (pi, pj) in enumerate(layout.parity_positions()):
+        if not layout.is_row_parity(pi, pj) or pi >= boundary:
+            continue
+        for d in deps[p]:
+            di, _ = data_pos[d]
+            if di != pi:
+                violations.append(
+                    f"row parity at ({pi},{pj}) above the stair depends on "
+                    f"data in row {di}"
+                )
+                break
+
+    return violations

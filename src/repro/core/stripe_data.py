@@ -1,0 +1,139 @@
+"""The :class:`StairStripe` container: one encoded stripe of symbols.
+
+A thin wrapper over an r x n grid of NumPy symbol buffers that knows the
+stripe layout, so callers can address symbols by role (data / row parity /
+global parity), extract or replace the user data, and injure the stripe
+for recovery experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import StairConfig
+from repro.core.layout import StripeLayout
+
+
+class StairStripe:
+    """An encoded stripe: r rows x n chunks of equal-size symbols."""
+
+    def __init__(self, config: StairConfig, layout: StripeLayout,
+                 symbols: Sequence[Sequence[Optional[np.ndarray]]]) -> None:
+        if len(symbols) != config.r or any(len(row) != config.n for row in symbols):
+            raise ValueError("symbol grid does not match the stripe geometry")
+        self.config = config
+        self.layout = layout
+        self.symbols: list[list[Optional[np.ndarray]]] = [
+            [None if cell is None else np.asarray(cell) for cell in row]
+            for row in symbols
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Element access
+    # ------------------------------------------------------------------ #
+    def get(self, row: int, col: int) -> Optional[np.ndarray]:
+        """Return the symbol at (row, col); ``None`` if it is lost."""
+        return self.symbols[row][col]
+
+    def set(self, row: int, col: int, symbol: Optional[np.ndarray]) -> None:
+        """Replace the symbol at (row, col)."""
+        self.symbols[row][col] = None if symbol is None else np.asarray(symbol)
+
+    @property
+    def symbol_size(self) -> int:
+        """Size (in field elements) of each symbol."""
+        for row in self.symbols:
+            for cell in row:
+                if cell is not None:
+                    return len(cell)
+        raise ValueError("stripe has no surviving symbols")
+
+    def copy(self) -> "StairStripe":
+        """Deep copy of the stripe."""
+        return StairStripe(self.config, self.layout,
+                           [[None if c is None else np.copy(c) for c in row]
+                            for row in self.symbols])
+
+    # ------------------------------------------------------------------ #
+    # Role-based views
+    # ------------------------------------------------------------------ #
+    def data_symbols(self) -> list[np.ndarray]:
+        """User data symbols in the layout's linear order."""
+        out = []
+        for row, col in self.layout.data_positions():
+            symbol = self.symbols[row][col]
+            if symbol is None:
+                raise ValueError(f"data symbol at ({row},{col}) is lost")
+            out.append(symbol)
+        return out
+
+    def parity_symbols(self) -> list[np.ndarray]:
+        """Parity symbols (global parities first, then row parities)."""
+        out = []
+        for row, col in self.layout.parity_positions():
+            symbol = self.symbols[row][col]
+            if symbol is None:
+                raise ValueError(f"parity symbol at ({row},{col}) is lost")
+            out.append(symbol)
+        return out
+
+    def chunk(self, col: int) -> list[Optional[np.ndarray]]:
+        """All symbols of chunk (device) ``col``, top to bottom."""
+        return [self.symbols[i][col] for i in range(self.config.r)]
+
+    # ------------------------------------------------------------------ #
+    # Failure injection
+    # ------------------------------------------------------------------ #
+    def lost_positions(self) -> list[tuple[int, int]]:
+        """Stripe positions currently marked lost."""
+        return [(i, j) for i in range(self.config.r) for j in range(self.config.n)
+                if self.symbols[i][j] is None]
+
+    def erase(self, positions: Iterable[tuple[int, int]]) -> "StairStripe":
+        """Return a copy with the given positions marked lost."""
+        damaged = self.copy()
+        for row, col in positions:
+            damaged.symbols[row][col] = None
+        return damaged
+
+    def erase_chunks(self, columns: Iterable[int]) -> "StairStripe":
+        """Return a copy with entire chunks (device failures) marked lost."""
+        damaged = self.copy()
+        for col in columns:
+            for row in range(self.config.r):
+                damaged.symbols[row][col] = None
+        return damaged
+
+    # ------------------------------------------------------------------ #
+    # Serialisation helpers
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialise the stripe (row-major) to raw bytes."""
+        parts = []
+        for row in self.symbols:
+            for cell in row:
+                if cell is None:
+                    raise ValueError("cannot serialise a stripe with lost symbols")
+                parts.append(np.asarray(cell, dtype=np.uint8).tobytes())
+        return b"".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StairStripe):
+            return NotImplemented
+        if self.config != other.config:
+            return False
+        for i in range(self.config.r):
+            for j in range(self.config.n):
+                a, b = self.symbols[i][j], other.symbols[i][j]
+                if (a is None) != (b is None):
+                    return False
+                if a is not None and not np.array_equal(a, b):
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lost = len(self.lost_positions())
+        return (f"StairStripe({self.config.r}x{self.config.n}, "
+                f"{lost} lost symbols)")

@@ -1,0 +1,34 @@
+"""Galois-field substrate for the STAIR-code reproduction.
+
+This package provides everything the erasure-coding layers need from
+finite-field arithmetic:
+
+* :class:`~repro.gf.field.GField` -- GF(2^w) for w in {4, 8, 16} with
+  log/antilog tables and (for w <= 8) full multiplication tables.
+* :mod:`~repro.gf.regions` -- vectorised *region* operations over NumPy
+  buffers, most importantly ``mult_xor`` which is the paper's basic cost
+  unit (one multiply-accumulate of a whole sector by a field constant).
+* :mod:`~repro.gf.matrix` -- dense matrices over GF(2^w): multiplication,
+  Gaussian-elimination inversion, rank, and the Vandermonde / Cauchy
+  constructions used to build systematic MDS codes.
+* :mod:`~repro.gf.polynomial` -- polynomials over GF(2^w) (evaluation,
+  interpolation), used by the classical Reed-Solomon view and by tests.
+
+The default field used throughout the project is GF(2^8), obtained via
+:func:`default_field`.
+"""
+
+from repro.gf.field import GField, default_field, get_field
+from repro.gf.regions import RegionOps, OperationCounter
+from repro.gf.matrix import GFMatrix
+from repro.gf.polynomial import GFPolynomial
+
+__all__ = [
+    "GField",
+    "default_field",
+    "get_field",
+    "RegionOps",
+    "OperationCounter",
+    "GFMatrix",
+    "GFPolynomial",
+]

@@ -1,0 +1,180 @@
+"""Scalar Galois-field arithmetic for GF(2^w).
+
+:class:`GField` wraps the lookup tables in :mod:`repro.gf.tables` and
+exposes the element-level operations every other layer is written
+against.  Elements are plain Python ints in ``[0, 2**w)``; the field
+object itself is immutable and cached per word size.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable
+
+import numpy as np
+
+from repro.gf.tables import SUPPORTED_WORD_SIZES, get_tables
+
+
+class GField:
+    """The finite field GF(2^w) for w in {4, 8, 16}.
+
+    Addition and subtraction are XOR.  Multiplication and division use
+    log/antilog tables; for ``w <= 8`` a full multiplication table is also
+    available and is what the vectorised region operations index into.
+
+    Parameters
+    ----------
+    w:
+        Word size in bits.
+    """
+
+    def __init__(self, w: int = 8) -> None:
+        tables = get_tables(w)
+        self.w = w
+        self.order = tables.order
+        self.prim_poly = tables.prim_poly
+        self._exp = tables.exp
+        self._log = tables.log
+        self._inv = tables.inv
+        self._mul_table = tables.mul_table
+        self._div_table = tables.div_table
+
+    # ------------------------------------------------------------------ #
+    # Basic element arithmetic
+    # ------------------------------------------------------------------ #
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return a ^ b
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction (identical to addition in characteristic 2)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) + int(self._log[b])])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``.  Raises ``ZeroDivisionError`` if b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^w)")
+        if a == 0:
+            return 0
+        diff = (int(self._log[a]) - int(self._log[b])) % (self.order - 1)
+        return int(self._exp[diff])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse.  Raises ``ZeroDivisionError`` for 0."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return int(self._inv[a])
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise ``a`` to the (possibly negative) integer power ``e``."""
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise ZeroDivisionError("zero to a negative power")
+            return 0
+        exponent = (int(self._log[a]) * e) % (self.order - 1)
+        return int(self._exp[exponent])
+
+    def exp(self, e: int) -> int:
+        """Return alpha**e where alpha is the primitive element."""
+        return int(self._exp[e % (self.order - 1)])
+
+    def log(self, a: int) -> int:
+        """Discrete logarithm base the primitive element."""
+        if a == 0:
+            raise ValueError("log of zero is undefined")
+        return int(self._log[a])
+
+    # ------------------------------------------------------------------ #
+    # Vector helpers (1-D NumPy arrays of field elements)
+    # ------------------------------------------------------------------ #
+    @property
+    def element_dtype(self) -> np.dtype:
+        """NumPy dtype used to store field elements of this word size."""
+        return np.dtype(np.uint8) if self.w <= 8 else np.dtype(np.uint16)
+
+    def mul_table_row(self, c: int) -> np.ndarray:
+        """Return the lookup array mapping every element ``b`` to ``c * b``.
+
+        Only available for ``w <= 8`` (where the full table exists); the
+        region operations for w = 16 use the log/antilog path instead.
+        """
+        if self._mul_table is None:
+            raise NotImplementedError(
+                "full multiplication table only built for w <= 8"
+            )
+        return self._mul_table[c]
+
+    def mul_vector(self, c: int, vec: np.ndarray) -> np.ndarray:
+        """Multiply a vector of field elements by the constant ``c``."""
+        vec = np.asarray(vec)
+        if c == 0:
+            return np.zeros_like(vec)
+        if c == 1:
+            return vec.copy()
+        if self._mul_table is not None:
+            return self._mul_table[c][vec]
+        # Log/antilog path (w = 16).
+        out = np.zeros_like(vec)
+        nz = vec != 0
+        logs = self._log[vec[nz]].astype(np.int64) + int(self._log[c])
+        out[nz] = self._exp[logs].astype(vec.dtype)
+        return out
+
+    def dot(self, coeffs: Iterable[int], vectors: Iterable[np.ndarray]) -> np.ndarray:
+        """Return ``sum_i coeffs[i] * vectors[i]`` over the field.
+
+        All vectors must share the same shape and dtype.
+        """
+        result: np.ndarray | None = None
+        for c, v in zip(coeffs, vectors):
+            if c == 0:
+                continue
+            term = self.mul_vector(c, v)
+            result = term if result is None else result ^ term
+        if result is None:
+            first = next(iter(vectors))
+            return np.zeros_like(first)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def elements(self) -> range:
+        """Iterate over all field elements (0 .. order-1)."""
+        return range(self.order)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GField(2^{self.w})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GField) and other.w == self.w
+
+    def __hash__(self) -> int:
+        return hash(("GField", self.w))
+
+
+@lru_cache(maxsize=None)
+def get_field(w: int) -> GField:
+    """Return the cached :class:`GField` instance for word size ``w``."""
+    if w not in SUPPORTED_WORD_SIZES:
+        raise ValueError(f"unsupported word size {w}; supported: {SUPPORTED_WORD_SIZES}")
+    return GField(w)
+
+
+def default_field() -> GField:
+    """The project-wide default field, GF(2^8).
+
+    The STAIR paper uses w = 8 for all of its experiments because
+    ``n + m' <= 256`` and ``r + e_max <= 256`` hold for every configuration
+    it considers; we follow the same choice.
+    """
+    return get_field(8)

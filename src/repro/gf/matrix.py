@@ -1,0 +1,274 @@
+"""Dense matrices over GF(2^w).
+
+These matrices hold *coefficients* (not data regions); they are used to
+build generator matrices for the systematic MDS codes, to invert
+sub-matrices during erasure decoding, and to derive the full STAIR
+generator matrix symbolically.  Entries are stored in a NumPy integer
+array; all arithmetic goes through a :class:`~repro.gf.field.GField`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gf.field import GField, default_field
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible is singular."""
+
+
+class GFMatrix:
+    """A dense matrix of GF(2^w) coefficients.
+
+    The class is deliberately small: just the operations the coding
+    layers need (multiplication, inversion, rank, solving), implemented
+    with straightforward Gaussian elimination.  Matrices are at most a
+    few hundred rows/columns in this project, so clarity wins over
+    asymptotic cleverness.
+    """
+
+    def __init__(self, data: Iterable[Iterable[int]] | np.ndarray,
+                 field: GField | None = None) -> None:
+        self.field = field or default_field()
+        arr = np.array(data, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2:
+            raise ValueError("GFMatrix requires 2-D data")
+        if arr.size and (arr.min() < 0 or arr.max() >= self.field.order):
+            raise ValueError("matrix entries outside field range")
+        self.data = arr
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls, n: int, field: GField | None = None) -> "GFMatrix":
+        """Return the n x n identity matrix."""
+        return cls(np.eye(n, dtype=np.int64), field)
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int, field: GField | None = None) -> "GFMatrix":
+        """Return an all-zero matrix."""
+        return cls(np.zeros((rows, cols), dtype=np.int64), field)
+
+    @classmethod
+    def vandermonde(cls, rows: int, cols: int,
+                    field: GField | None = None) -> "GFMatrix":
+        """Return the ``rows x cols`` Vandermonde matrix ``V[i][j] = alpha_i^j``.
+
+        The evaluation points are ``0, 1, ..., rows-1`` interpreted as field
+        elements (the classical RAID-style construction).
+        """
+        field = field or default_field()
+        data = np.zeros((rows, cols), dtype=np.int64)
+        for i in range(rows):
+            for j in range(cols):
+                data[i, j] = field.pow(i, j) if i or j == 0 else 0
+        # Row 0 is [1, 0, 0, ...]; rows i>0 are [1, i, i^2, ...].
+        for j in range(cols):
+            data[0, j] = 1 if j == 0 else 0
+        return cls(data, field)
+
+    @classmethod
+    def cauchy(cls, x_points: Sequence[int], y_points: Sequence[int],
+               field: GField | None = None) -> "GFMatrix":
+        """Return the Cauchy matrix ``C[i][j] = 1 / (x_i + y_j)``.
+
+        Requires all ``x_i + y_j`` to be non-zero, which holds whenever the
+        x and y point sets are disjoint.
+        """
+        field = field or default_field()
+        data = np.zeros((len(x_points), len(y_points)), dtype=np.int64)
+        for i, x in enumerate(x_points):
+            for j, y in enumerate(y_points):
+                denom = field.add(x, y)
+                if denom == 0:
+                    raise ValueError("Cauchy matrix requires disjoint point sets")
+                data[i, j] = field.inv(denom)
+        return cls(data, field)
+
+    # ------------------------------------------------------------------ #
+    # Shape / accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.data.shape[1]
+
+    def copy(self) -> "GFMatrix":
+        return GFMatrix(self.data.copy(), self.field)
+
+    def row(self, i: int) -> np.ndarray:
+        return self.data[i].copy()
+
+    def col(self, j: int) -> np.ndarray:
+        return self.data[:, j].copy()
+
+    def submatrix(self, row_indices: Sequence[int],
+                  col_indices: Sequence[int] | None = None) -> "GFMatrix":
+        """Return the sub-matrix restricted to the given rows/columns."""
+        rows = self.data[list(row_indices), :]
+        if col_indices is not None:
+            rows = rows[:, list(col_indices)]
+        return GFMatrix(rows, self.field)
+
+    def hstack(self, other: "GFMatrix") -> "GFMatrix":
+        """Horizontally concatenate with another matrix."""
+        return GFMatrix(np.hstack([self.data, other.data]), self.field)
+
+    def vstack(self, other: "GFMatrix") -> "GFMatrix":
+        """Vertically concatenate with another matrix."""
+        return GFMatrix(np.vstack([self.data, other.data]), self.field)
+
+    def transpose(self) -> "GFMatrix":
+        return GFMatrix(self.data.T.copy(), self.field)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "GFMatrix") -> "GFMatrix":
+        """Matrix multiplication over the field."""
+        if self.cols != other.rows:
+            raise ValueError(
+                f"shape mismatch for matmul: {self.shape} @ {other.shape}"
+            )
+        f = self.field
+        result = np.zeros((self.rows, other.cols), dtype=np.int64)
+        for i in range(self.rows):
+            row = self.data[i]
+            for k in range(self.cols):
+                a = int(row[k])
+                if a == 0:
+                    continue
+                other_row = other.data[k]
+                for j in range(other.cols):
+                    b = int(other_row[j])
+                    if b:
+                        result[i, j] ^= f.mul(a, b)
+        return GFMatrix(result, f)
+
+    def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
+        return self.matmul(other)
+
+    def add(self, other: "GFMatrix") -> "GFMatrix":
+        """Entry-wise addition (XOR)."""
+        if self.shape != other.shape:
+            raise ValueError("shape mismatch for addition")
+        return GFMatrix(np.bitwise_xor(self.data, other.data), self.field)
+
+    def mul_vector(self, vector: Sequence[int]) -> np.ndarray:
+        """Multiply this matrix by a coefficient column vector."""
+        vec = np.asarray(vector, dtype=np.int64)
+        if vec.shape[0] != self.cols:
+            raise ValueError("vector length mismatch")
+        f = self.field
+        out = np.zeros(self.rows, dtype=np.int64)
+        for i in range(self.rows):
+            acc = 0
+            row = self.data[i]
+            for j in range(self.cols):
+                a, b = int(row[j]), int(vec[j])
+                if a and b:
+                    acc ^= f.mul(a, b)
+            out[i] = acc
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Gaussian elimination: inverse, rank, solve
+    # ------------------------------------------------------------------ #
+    def inverse(self) -> "GFMatrix":
+        """Return the inverse matrix (Gauss-Jordan elimination).
+
+        Row updates are vectorised through the field's constant-times-vector
+        primitive so that the sub-matrix inversions performed during erasure
+        decoding stay cheap even for ~100x100 systems.
+
+        Raises
+        ------
+        SingularMatrixError
+            If the matrix is singular (or not square).
+        """
+        if self.rows != self.cols:
+            raise SingularMatrixError("only square matrices can be inverted")
+        f = self.field
+        n = self.rows
+        aug = np.hstack([self.data.copy(),
+                         np.eye(n, dtype=np.int64)])
+        for col in range(n):
+            pivot = None
+            for r in range(col, n):
+                if aug[r, col]:
+                    pivot = r
+                    break
+            if pivot is None:
+                raise SingularMatrixError("matrix is singular over GF(2^w)")
+            if pivot != col:
+                aug[[col, pivot]] = aug[[pivot, col]]
+            pivot_inv = f.inv(int(aug[col, col]))
+            aug[col] = f.mul_vector(pivot_inv, aug[col]).astype(np.int64)
+            pivot_row = aug[col]
+            for r in range(n):
+                factor = int(aug[r, col])
+                if r == col or not factor:
+                    continue
+                aug[r] ^= f.mul_vector(factor, pivot_row).astype(np.int64)
+        return GFMatrix(aug[:, n:], f)
+
+    def rank(self) -> int:
+        """Return the rank of the matrix over the field."""
+        f = self.field
+        mat = self.data.copy()
+        rows, cols = mat.shape
+        rank = 0
+        for col in range(cols):
+            pivot = None
+            for r in range(rank, rows):
+                if mat[r, col]:
+                    pivot = r
+                    break
+            if pivot is None:
+                continue
+            if pivot != rank:
+                mat[[rank, pivot]] = mat[[pivot, rank]]
+            pivot_inv = f.inv(int(mat[rank, col]))
+            mat[rank] = f.mul_vector(pivot_inv, mat[rank]).astype(np.int64)
+            pivot_row = mat[rank]
+            for r in range(rows):
+                factor = int(mat[r, col])
+                if r == rank or not factor:
+                    continue
+                mat[r] ^= f.mul_vector(factor, pivot_row).astype(np.int64)
+            rank += 1
+            if rank == rows:
+                break
+        return rank
+
+    def is_invertible(self) -> bool:
+        """True if the matrix is square and non-singular."""
+        return self.rows == self.cols and self.rank() == self.rows
+
+    def solve(self, rhs: Sequence[int]) -> np.ndarray:
+        """Solve ``A x = rhs`` for a square invertible A."""
+        return self.inverse().mul_vector(rhs)
+
+    # ------------------------------------------------------------------ #
+    # Dunder conveniences
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, GFMatrix)
+                and self.field == other.field
+                and np.array_equal(self.data, other.data))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GFMatrix({self.rows}x{self.cols}, GF(2^{self.field.w}))"

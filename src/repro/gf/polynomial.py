@@ -1,0 +1,135 @@
+"""Polynomials over GF(2^w).
+
+Used by the classical (evaluation/interpolation) view of Reed-Solomon
+codes and as an independent cross-check of the matrix-based encoders in
+tests.  Coefficients are stored lowest-degree first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gf.field import GField, default_field
+
+
+class GFPolynomial:
+    """A polynomial with coefficients in GF(2^w)."""
+
+    def __init__(self, coefficients: Sequence[int],
+                 field: GField | None = None) -> None:
+        self.field = field or default_field()
+        coeffs = [int(c) % self.field.order for c in coefficients]
+        # Normalise: strip trailing (high-degree) zeros but keep at least one.
+        while len(coeffs) > 1 and coeffs[-1] == 0:
+            coeffs.pop()
+        self.coefficients = coeffs
+
+    # ------------------------------------------------------------------ #
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (0 for constants, including zero)."""
+        return len(self.coefficients) - 1
+
+    def is_zero(self) -> bool:
+        return self.coefficients == [0]
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate at ``x`` using Horner's rule."""
+        f = self.field
+        acc = 0
+        for c in reversed(self.coefficients):
+            acc = f.add(f.mul(acc, x), c)
+        return acc
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def add(self, other: "GFPolynomial") -> "GFPolynomial":
+        f = self.field
+        a, b = self.coefficients, other.coefficients
+        length = max(len(a), len(b))
+        out = [0] * length
+        for i in range(length):
+            ca = a[i] if i < len(a) else 0
+            cb = b[i] if i < len(b) else 0
+            out[i] = f.add(ca, cb)
+        return GFPolynomial(out, f)
+
+    __add__ = add
+    __sub__ = add  # characteristic 2
+
+    def mul(self, other: "GFPolynomial") -> "GFPolynomial":
+        f = self.field
+        a, b = self.coefficients, other.coefficients
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    out[i + j] ^= f.mul(ca, cb)
+        return GFPolynomial(out, f)
+
+    __mul__ = mul
+
+    def scale(self, constant: int) -> "GFPolynomial":
+        """Multiply every coefficient by a field constant."""
+        f = self.field
+        return GFPolynomial([f.mul(c, constant) for c in self.coefficients], f)
+
+    def divmod(self, divisor: "GFPolynomial") -> tuple["GFPolynomial", "GFPolynomial"]:
+        """Polynomial long division; returns (quotient, remainder)."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        f = self.field
+        remainder = list(self.coefficients)
+        dcoeffs = divisor.coefficients
+        dlead_inv = f.inv(dcoeffs[-1])
+        ddeg = divisor.degree
+        if self.degree < ddeg:
+            return GFPolynomial([0], f), GFPolynomial(remainder, f)
+        quotient = [0] * (self.degree - ddeg + 1)
+        for shift in range(len(quotient) - 1, -1, -1):
+            coef = remainder[shift + ddeg]
+            if coef == 0:
+                continue
+            factor = f.mul(coef, dlead_inv)
+            quotient[shift] = factor
+            for i, dc in enumerate(dcoeffs):
+                remainder[shift + i] ^= f.mul(factor, dc)
+        return GFPolynomial(quotient, f), GFPolynomial(remainder, f)
+
+    # ------------------------------------------------------------------ #
+    # Interpolation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def interpolate(cls, points: Sequence[tuple[int, int]],
+                    field: GField | None = None) -> "GFPolynomial":
+        """Lagrange interpolation through ``(x, y)`` points with distinct x."""
+        field = field or default_field()
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x values")
+        result = cls([0], field)
+        for i, (xi, yi) in enumerate(points):
+            if yi == 0:
+                continue
+            numerator = cls([1], field)
+            denominator = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                numerator = numerator.mul(cls([xj, 1], field))
+                denominator = field.mul(denominator, field.add(xi, xj))
+            scale = field.mul(yi, field.inv(denominator))
+            result = result.add(numerator.scale(scale))
+        return result
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, GFPolynomial)
+                and self.field == other.field
+                and self.coefficients == other.coefficients)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GFPolynomial({self.coefficients})"

@@ -1,0 +1,130 @@
+"""Construction of log/antilog and multiplication tables for GF(2^w).
+
+The tables are built once per word size and cached.  The primitive
+polynomials used here are the standard ones adopted by most storage-domain
+Galois-field libraries (including GF-Complete, which the paper's C
+implementation uses), so encodings produced by this library are
+bit-compatible with codes built on those polynomials.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Primitive polynomials (including the leading x^w term) for supported
+#: word sizes, expressed as integers.  E.g. for w=8 the polynomial is
+#: x^8 + x^4 + x^3 + x^2 + 1 -> 0x11D.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    4: 0x13,      # x^4 + x + 1
+    8: 0x11D,     # x^8 + x^4 + x^3 + x^2 + 1
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+#: Word sizes supported by this library.
+SUPPORTED_WORD_SIZES = tuple(sorted(PRIMITIVE_POLYNOMIALS))
+
+
+class TableSet:
+    """The numeric tables backing one GF(2^w) field.
+
+    Attributes
+    ----------
+    w:
+        Word size in bits.
+    order:
+        Number of field elements, ``2**w``.
+    exp:
+        Antilog table of length ``2 * (order - 1)`` so that
+        ``exp[log[a] + log[b]]`` works without an explicit modulo.
+    log:
+        Log table of length ``order`` (``log[0]`` is defined as 0 but must
+        never be used; multiplication handles zero separately).
+    mul_table:
+        Full ``order x order`` multiplication table (only built for
+        ``w <= 8``; ``None`` otherwise).
+    div_table:
+        Full ``order x order`` division table (only for ``w <= 8``).
+    inv:
+        Multiplicative-inverse table of length ``order`` (``inv[0] = 0``).
+    """
+
+    def __init__(self, w: int) -> None:
+        if w not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(
+                f"unsupported word size w={w}; supported: {SUPPORTED_WORD_SIZES}"
+            )
+        self.w = w
+        self.order = 1 << w
+        self.prim_poly = PRIMITIVE_POLYNOMIALS[w]
+        self.exp, self.log = _build_log_tables(w, self.prim_poly)
+        self.inv = _build_inverse_table(self.exp, self.log, self.order)
+        if w <= 8:
+            self.mul_table, self.div_table = _build_full_tables(
+                self.exp, self.log, self.order
+            )
+        else:
+            self.mul_table = None
+            self.div_table = None
+
+
+def _build_log_tables(w: int, prim_poly: int) -> tuple[np.ndarray, np.ndarray]:
+    """Build antilog (``exp``) and log tables for GF(2^w).
+
+    The ``exp`` table is doubled in length so that adding two logs never
+    needs a modulo reduction when multiplying non-zero elements.
+    """
+    order = 1 << w
+    dtype = np.uint32 if w > 8 else np.uint16
+    exp = np.zeros(2 * (order - 1), dtype=dtype)
+    log = np.zeros(order, dtype=dtype)
+    x = 1
+    for i in range(order - 1):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & order:
+            x ^= prim_poly
+    # Duplicate for modulo-free indexing.
+    exp[order - 1:] = exp[: order - 1]
+    return exp, log
+
+
+def _build_inverse_table(exp: np.ndarray, log: np.ndarray, order: int) -> np.ndarray:
+    """Build the multiplicative-inverse lookup table."""
+    inv = np.zeros(order, dtype=log.dtype)
+    for a in range(1, order):
+        inv[a] = exp[(order - 1) - int(log[a])]
+    return inv
+
+
+def _build_full_tables(
+    exp: np.ndarray, log: np.ndarray, order: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build full order x order multiplication and division tables.
+
+    Only feasible for small word sizes (w <= 8: 64 KiB each for w=8).
+    The multiplication table doubles as the per-constant lookup map used
+    by the vectorised region operations: ``mul_table[c]`` is a length-256
+    array mapping every byte ``b`` to ``c * b``.
+    """
+    a = np.arange(order, dtype=np.int64)
+    la = log[a].astype(np.int64)
+    # Outer sum of logs; rows/cols with zero handled afterwards.
+    sums = la[:, None] + la[None, :]
+    mul = exp[sums].astype(np.uint8 if order <= 256 else np.uint16)
+    mul[0, :] = 0
+    mul[:, 0] = 0
+
+    div = np.zeros_like(mul)
+    diffs = (la[:, None] - la[None, :]) % (order - 1)
+    div[:, 1:] = exp[diffs[:, 1:]].astype(mul.dtype)
+    div[0, :] = 0
+    return mul, div
+
+
+@lru_cache(maxsize=None)
+def get_tables(w: int) -> TableSet:
+    """Return the (cached) :class:`TableSet` for GF(2^w)."""
+    return TableSet(w)

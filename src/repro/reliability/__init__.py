@@ -1,0 +1,85 @@
+"""Reliability analysis of STAIR codes and baselines (§7 of the paper).
+
+* :mod:`repro.reliability.sector_models` -- independent and correlated
+  (bursty) sector-failure models.
+* :mod:`repro.reliability.pstr` -- per-stripe unrecoverability P_str:
+  generic enumeration for any coverage vector plus the closed forms of
+  Appendix B.
+* :mod:`repro.reliability.markov` -- the critical-mode Markov chain and
+  MTTDL_arr.
+* :mod:`repro.reliability.mttdl` -- system-level MTTDL (Eq. 7-11) with the
+  paper's parameter defaults.
+* :mod:`repro.reliability.configurator` -- how to pick e (§2, §7.2).
+"""
+
+from repro.reliability.configurator import (
+    CoverageRanking,
+    candidate_coverages,
+    coverage_for_burst,
+    rank_coverages,
+    recommend_coverage,
+)
+from repro.reliability.markov import (
+    critical_mode_chain,
+    mean_time_to_absorption,
+    mttdl_arr_closed_form,
+    mttdl_arr_markov,
+    mttdl_arr_two_parity,
+)
+from repro.reliability.mttdl import (
+    CodeReliability,
+    SystemParameters,
+    mttdl_array,
+    mttdl_system,
+    number_of_arrays,
+    p_array,
+)
+from repro.reliability.pstr import (
+    pstr_generic,
+    pstr_reed_solomon,
+    pstr_sd,
+    pstr_sd_generic,
+    pstr_stair_all_ones,
+    pstr_stair_one_one_plus,
+    pstr_stair_one_plus,
+    pstr_stair_single,
+    pstr_stair_two_plus,
+)
+from repro.reliability.sector_models import (
+    CorrelatedSectorModel,
+    IndependentSectorModel,
+    SectorFailureModel,
+    sector_failure_probability,
+)
+
+__all__ = [
+    "SystemParameters",
+    "CodeReliability",
+    "mttdl_system",
+    "mttdl_array",
+    "p_array",
+    "number_of_arrays",
+    "IndependentSectorModel",
+    "CorrelatedSectorModel",
+    "SectorFailureModel",
+    "sector_failure_probability",
+    "pstr_generic",
+    "pstr_sd_generic",
+    "pstr_reed_solomon",
+    "pstr_sd",
+    "pstr_stair_single",
+    "pstr_stair_one_plus",
+    "pstr_stair_two_plus",
+    "pstr_stair_one_one_plus",
+    "pstr_stair_all_ones",
+    "mean_time_to_absorption",
+    "critical_mode_chain",
+    "mttdl_arr_closed_form",
+    "mttdl_arr_markov",
+    "mttdl_arr_two_parity",
+    "coverage_for_burst",
+    "candidate_coverages",
+    "rank_coverages",
+    "recommend_coverage",
+    "CoverageRanking",
+]

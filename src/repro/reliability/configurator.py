@@ -1,0 +1,75 @@
+"""Choosing the sector-failure coverage vector e (§2 and §7.2).
+
+Practitioners pick ``e`` from two observations about their drives:
+
+* the maximum burst length β they need to survive (set ``e_max = β``), and
+* how bursty failures are (``b1``, ``alpha``): bursty drives favour
+  concentrating the budget in one chunk (e = (s)); scattered failures
+  favour spreading it (e = (1, ..., 1)).
+
+:func:`candidate_coverages` enumerates the e vectors worth considering
+for a redundancy budget, :func:`rank_coverages` orders them by the MTTDL
+they achieve under a given sector-failure model, and
+:func:`recommend_coverage` combines both -- reproducing the qualitative
+guidance of §7.2 (e.g. that e = (1, 2) beats e = (3) and e = (1, 1, 1)
+under independent failures, while e = (s) wins under bursty failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import enumerate_e_vectors
+from repro.reliability.mttdl import CodeReliability, SystemParameters, mttdl_system
+from repro.reliability.sector_models import SectorFailureModel
+
+
+def coverage_for_burst(beta: int, extra_single_failures: int = 1) -> tuple[int, ...]:
+    """The paper's §2 recipe: tolerate one burst of length β plus a few
+    isolated sector failures in other chunks (e.g. β = 4 -> e = (1, 4))."""
+    if beta < 1:
+        raise ValueError("beta must be >= 1")
+    if extra_single_failures < 0:
+        raise ValueError("extra_single_failures must be >= 0")
+    return tuple([1] * extra_single_failures + [beta])
+
+
+def candidate_coverages(s: int, r: int, max_chunks: int | None = None,
+                        ) -> list[tuple[int, ...]]:
+    """All e vectors with total redundancy s (bounded by r per chunk)."""
+    return list(enumerate_e_vectors(s, m_prime_max=max_chunks, e_max_cap=r))
+
+
+@dataclass(frozen=True)
+class CoverageRanking:
+    """MTTDL achieved by one candidate coverage vector."""
+
+    e: tuple[int, ...]
+    mttdl_hours: float
+
+
+def rank_coverages(candidates: Sequence[Sequence[int]],
+                   params: SystemParameters,
+                   model: SectorFailureModel) -> list[CoverageRanking]:
+    """Rank candidate e vectors by system MTTDL (best first)."""
+    ranked = [
+        CoverageRanking(e=tuple(sorted(int(x) for x in e)),
+                        mttdl_hours=mttdl_system(CodeReliability.stair(e),
+                                                 params, model))
+        for e in candidates
+    ]
+    ranked.sort(key=lambda item: item.mttdl_hours, reverse=True)
+    return ranked
+
+
+def recommend_coverage(s: int, params: SystemParameters,
+                       model: SectorFailureModel,
+                       max_chunks: int | None = None) -> CoverageRanking:
+    """Best coverage vector for a redundancy budget of s parity sectors."""
+    candidates = candidate_coverages(s, params.r,
+                                     max_chunks=max_chunks or params.n - params.m)
+    ranked = rank_coverages(candidates, params, model)
+    if not ranked:
+        raise ValueError("no candidate coverage vectors for the given budget")
+    return ranked[0]

@@ -1,0 +1,160 @@
+"""System-level MTTDL model (§7.1.1, Eq. 7-11) and the code descriptions it
+compares.
+
+The workflow mirrors the paper's numerical study (§7.2):
+
+1. pick a storage-system parameter set (:class:`SystemParameters`, whose
+   defaults are the paper's: 10 PB of user data on 300 GB SATA drives,
+   512-byte sectors, 1/λ = 500,000 h, 1/μ = 17.8 h, n = 8, r = 16, m = 1);
+2. pick a sector-failure model (independent or correlated) for a given
+   ``P_bit``;
+3. pick an erasure-code description (:class:`CodeReliability` for RS,
+   STAIR with any ``e``, or SD with any ``s``), which supplies the storage
+   efficiency (Eq. 8) and ``P_str``;
+4. call :func:`mttdl_system` to obtain MTTDL_sys (Eq. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor
+from typing import Sequence
+
+from repro.reliability.markov import mttdl_arr_closed_form
+from repro.reliability.pstr import (
+    pstr_generic,
+    pstr_reed_solomon,
+    pstr_sd_generic,
+)
+from repro.reliability.sector_models import SectorFailureModel
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Storage-system parameters used throughout §7.2.
+
+    The capacity figures use binary prefixes (10 PiB of user data on
+    300 GiB devices); this is what reproduces the paper's table of
+    ``N_arr`` values (4994 arrays for Reed-Solomon, 5039 for s = 1, ...).
+    """
+
+    user_data_bytes: float = 10 * 2 ** 50   # U: 10 PB (binary)
+    device_capacity_bytes: float = 300 * 2 ** 30   # C: 300 GB (binary)
+    sector_bytes: int = 512                 # S
+    mean_time_to_failure_hours: float = 500_000.0   # 1/lambda
+    mean_time_to_rebuild_hours: float = 17.8        # 1/mu
+    n: int = 8
+    r: int = 16
+    m: int = 1
+
+    @property
+    def failure_rate(self) -> float:
+        """λ (per hour)."""
+        return 1.0 / self.mean_time_to_failure_hours
+
+    @property
+    def rebuild_rate(self) -> float:
+        """μ (per hour)."""
+        return 1.0 / self.mean_time_to_rebuild_hours
+
+    @property
+    def stripes_per_array(self) -> int:
+        """⌊C / (S·r)⌋, the number of stripes in one array (Eq. 11)."""
+        return int(floor(self.device_capacity_bytes
+                         / (self.sector_bytes * self.r)))
+
+
+@dataclass(frozen=True)
+class CodeReliability:
+    """Reliability-relevant description of one erasure code.
+
+    ``kind`` is ``"rs"``, ``"stair"`` or ``"sd"``; ``e`` is the STAIR
+    coverage vector and ``s`` the SD global-parity count (for RS both are
+    empty/zero).
+    """
+
+    kind: str
+    e: tuple[int, ...] = ()
+    s: int = 0
+
+    @classmethod
+    def reed_solomon(cls) -> "CodeReliability":
+        return cls(kind="rs")
+
+    @classmethod
+    def stair(cls, e: Sequence[int]) -> "CodeReliability":
+        return cls(kind="stair", e=tuple(sorted(int(x) for x in e)),
+                   s=int(sum(e)))
+
+    @classmethod
+    def sd(cls, s: int) -> "CodeReliability":
+        return cls(kind="sd", s=int(s))
+
+    def label(self) -> str:
+        if self.kind == "rs":
+            return "RS"
+        if self.kind == "sd":
+            return f"SD s={self.s}"
+        return f"STAIR e={self.e}"
+
+    # ------------------------------------------------------------------ #
+    def storage_efficiency(self, params: SystemParameters) -> float:
+        """Eq. 8: E = (r·(n-m) - s) / (r·n)."""
+        r, n, m = params.r, params.n, params.m
+        return (r * (n - m) - self.s) / (r * n)
+
+    def p_str(self, params: SystemParameters,
+              model: SectorFailureModel) -> float:
+        """P_str for this code under the given sector-failure model."""
+        n, m, r = params.n, params.m, params.r
+        if self.kind == "rs":
+            return pstr_reed_solomon(n, m, model)
+        if self.kind == "sd":
+            return pstr_sd_generic(self.s, n, m, model, r)
+        if self.kind == "stair":
+            return pstr_generic(self.e, n, m, model, r)
+        raise ValueError(f"unknown code kind {self.kind!r}")
+
+
+def number_of_arrays(code: CodeReliability, params: SystemParameters) -> int:
+    """Eq. 7: N_arr = ceil( (U / E) / (C · n) )."""
+    efficiency = code.storage_efficiency(params)
+    raw = (params.user_data_bytes / efficiency) / (
+        params.device_capacity_bytes * params.n)
+    arrays = int(raw)
+    if raw > arrays:
+        arrays += 1
+    return arrays
+
+
+def p_array(code: CodeReliability, params: SystemParameters,
+            model: SectorFailureModel) -> float:
+    """Eq. 11: probability that an array in critical mode hits unrecoverable
+    sector failures."""
+    p_str = code.p_str(params, model)
+    stripes = params.stripes_per_array
+    # 1 - (1 - Pstr)^stripes, computed stably for tiny Pstr.
+    if p_str <= 0.0:
+        return 0.0
+    if p_str >= 1.0:
+        return 1.0
+    return float(1.0 - (1.0 - p_str) ** stripes)
+
+
+def mttdl_array(code: CodeReliability, params: SystemParameters,
+                model: SectorFailureModel) -> float:
+    """Eq. 10: MTTDL of a single array (hours)."""
+    if params.m != 1:
+        raise ValueError(
+            "the paper's closed-form array model covers m = 1 only; "
+            "use repro.reliability.markov for other m"
+        )
+    parr = p_array(code, params, model)
+    return mttdl_arr_closed_form(params.n, params.failure_rate,
+                                 params.rebuild_rate, parr)
+
+
+def mttdl_system(code: CodeReliability, params: SystemParameters,
+                 model: SectorFailureModel) -> float:
+    """Eq. 9: MTTDL of the whole storage system (hours)."""
+    return mttdl_array(code, params, model) / number_of_arrays(code, params)

@@ -1,0 +1,208 @@
+"""P_str: probability that a stripe in critical mode is unrecoverable.
+
+During the rebuild of one failed device (critical mode) the stripe has
+``n - m`` surviving chunks, each of which may contain sector failures.
+``P_str`` is the probability that those failures exceed what the code's
+remaining redundancy can repair.  Appendix B of the paper gives explicit
+expressions for Reed-Solomon codes, several STAIR configurations and SD
+codes; this module implements
+
+* :func:`pstr_generic` -- an exact enumeration valid for *any* coverage
+  vector ``e`` (the paper only states closed forms for a few shapes), and
+* the closed forms of Appendix B (Eq. 18-26), used to cross-validate the
+  generic enumerator in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from math import comb, factorial
+from typing import Callable, Sequence
+
+from repro.reliability.sector_models import SectorFailureModel
+
+PchkFunc = Callable[[int], float]
+
+
+def _as_pchk(model: SectorFailureModel | PchkFunc) -> PchkFunc:
+    if isinstance(model, SectorFailureModel):
+        return model.p_chk
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# Generic enumeration
+# --------------------------------------------------------------------------- #
+def _covered_probability(chunks: int, max_failures: int, r: int,
+                         pchk: PchkFunc,
+                         covered: Callable[[tuple[int, ...]], bool]) -> float:
+    """Sum the probability of every per-chunk failure-count multiset that is
+    covered.
+
+    ``covered`` receives the non-zero failure counts sorted descending.
+    Counts above ``max_failures`` can never be covered, so the enumeration
+    only considers counts in ``1..max_failures`` spread over at most
+    ``chunks`` chunks -- a tiny space for realistic parameters.
+    """
+    p0 = pchk(0)
+    total = p0 ** chunks  # no chunk damaged
+    if max_failures <= 0:
+        return total
+    max_damaged = chunks
+    for k in range(1, max_damaged + 1):
+        for counts in combinations_with_replacement(
+                range(1, max_failures + 1), k):
+            sorted_desc = tuple(sorted(counts, reverse=True))
+            if not covered(sorted_desc):
+                continue
+            # Number of ways to assign these counts to distinct chunks.
+            multiplicities: dict[int, int] = {}
+            for c in counts:
+                multiplicities[c] = multiplicities.get(c, 0) + 1
+            ways = comb(chunks, k) * factorial(k)
+            for mult in multiplicities.values():
+                ways //= factorial(mult)
+            prob = 1.0
+            for c in counts:
+                prob *= pchk(c)
+            total += ways * prob * p0 ** (chunks - k)
+    return total
+
+
+def pstr_generic(e: Sequence[int], n: int, m: int,
+                 model: SectorFailureModel | PchkFunc, r: int) -> float:
+    """P_str of a STAIR code with coverage vector ``e`` (any shape).
+
+    A per-chunk failure pattern is recoverable iff, after sorting the
+    non-zero counts in descending order, at most ``m'`` chunks are damaged
+    and the i-th largest count is at most the i-th largest entry of ``e``.
+    """
+    e_desc = sorted(e, reverse=True)
+
+    def covered(counts: tuple[int, ...]) -> bool:
+        if len(counts) > len(e_desc):
+            return False
+        return all(c <= e_desc[i] for i, c in enumerate(counts))
+
+    max_failures = e_desc[0] if e_desc else 0
+    return 1.0 - _covered_probability(n - m, max_failures, r,
+                                      _as_pchk(model), covered)
+
+
+def pstr_sd_generic(s: int, n: int, m: int,
+                    model: SectorFailureModel | PchkFunc, r: int) -> float:
+    """P_str of an SD code: recoverable iff the stripe has at most s failures."""
+    def covered(counts: tuple[int, ...]) -> bool:
+        return sum(counts) <= s
+
+    return 1.0 - _covered_probability(n - m, s, r, _as_pchk(model), covered)
+
+
+def pstr_reed_solomon(n: int, m: int,
+                      model: SectorFailureModel | PchkFunc) -> float:
+    """P_str of a device-level RS code in critical mode (Eq. 18).
+
+    With the last erasure capability consumed by the failed device, any
+    sector failure in a surviving chunk is unrecoverable.
+    """
+    pchk = _as_pchk(model)
+    return 1.0 - pchk(0) ** (n - m)
+
+
+# --------------------------------------------------------------------------- #
+# Closed forms of Appendix B (used for cross-validation)
+# --------------------------------------------------------------------------- #
+def pstr_stair_single(e_value: int, n: int, m: int,
+                      model: SectorFailureModel | PchkFunc) -> float:
+    """Eq. 19: STAIR with e = (s): one chunk may have up to s failures."""
+    pchk = _as_pchk(model)
+    k = n - m
+    p0 = pchk(0)
+    covered = p0 ** k
+    covered += comb(k, 1) * sum(pchk(i) for i in range(1, e_value + 1)) * p0 ** (k - 1)
+    return 1.0 - covered
+
+
+def pstr_stair_one_plus(s: int, n: int, m: int,
+                        model: SectorFailureModel | PchkFunc) -> float:
+    """Eq. 20: STAIR with e = (1, s-1), s >= 2."""
+    pchk = _as_pchk(model)
+    k = n - m
+    p0 = pchk(0)
+    covered = p0 ** k
+    covered += comb(k, 1) * sum(pchk(i) for i in range(1, s)) * p0 ** (k - 1)
+    covered += comb(k, 2) * pchk(1) ** 2 * p0 ** (k - 2)
+    covered += (comb(k, 1) * comb(k - 1, 1)
+                * sum(pchk(i) for i in range(2, s)) * pchk(1) * p0 ** (k - 2))
+    return 1.0 - covered
+
+
+def pstr_stair_two_plus(s: int, n: int, m: int,
+                        model: SectorFailureModel | PchkFunc) -> float:
+    """Eq. 21: STAIR with e = (2, s-2), s >= 4."""
+    pchk = _as_pchk(model)
+    k = n - m
+    p0 = pchk(0)
+    covered = p0 ** k
+    covered += comb(k, 1) * sum(pchk(i) for i in range(1, s - 1)) * p0 ** (k - 1)
+    covered += comb(k, 2) * pchk(1) ** 2 * p0 ** (k - 2)
+    covered += (comb(k, 1) * comb(k - 1, 1)
+                * sum(pchk(i) for i in range(2, s - 1)) * pchk(1) * p0 ** (k - 2))
+    covered += comb(k, 2) * pchk(2) ** 2 * p0 ** (k - 2)
+    covered += (comb(k, 1) * comb(k - 1, 1)
+                * sum(pchk(i) for i in range(3, s - 1)) * pchk(2) * p0 ** (k - 2))
+    return 1.0 - covered
+
+
+def pstr_stair_one_one_plus(s: int, n: int, m: int,
+                            model: SectorFailureModel | PchkFunc) -> float:
+    """Eq. 22: STAIR with e = (1, 1, s-2), s >= 3."""
+    pchk = _as_pchk(model)
+    k = n - m
+    p0 = pchk(0)
+    covered = p0 ** k
+    covered += comb(k, 1) * sum(pchk(i) for i in range(1, s - 1)) * p0 ** (k - 1)
+    covered += comb(k, 2) * pchk(1) ** 2 * p0 ** (k - 2)
+    covered += (comb(k, 1) * comb(k - 1, 1)
+                * sum(pchk(i) for i in range(2, s - 1)) * pchk(1) * p0 ** (k - 2))
+    covered += comb(k, 3) * pchk(1) ** 3 * p0 ** (k - 3)
+    covered += (comb(k, 2) * comb(k - 2, 1)
+                * sum(pchk(i) for i in range(2, s - 1)) * pchk(1) ** 2 * p0 ** (k - 3))
+    return 1.0 - covered
+
+
+def pstr_stair_all_ones(s: int, n: int, m: int,
+                        model: SectorFailureModel | PchkFunc) -> float:
+    """Eq. 23: STAIR with e = (1, 1, ..., 1) of length s."""
+    pchk = _as_pchk(model)
+    k = n - m
+    p0 = pchk(0)
+    covered = sum(comb(k, i) * pchk(1) ** i * p0 ** (k - i)
+                  for i in range(0, s + 1))
+    return 1.0 - covered
+
+
+def pstr_sd(s: int, n: int, m: int,
+            model: SectorFailureModel | PchkFunc) -> float:
+    """Eq. 24-26: SD codes with s <= 3 (falls back to the generic form)."""
+    pchk = _as_pchk(model)
+    k = n - m
+    p0 = pchk(0)
+    if s == 1:
+        covered = p0 ** k + comb(k, 1) * pchk(1) * p0 ** (k - 1)
+        return 1.0 - covered
+    if s == 2:
+        covered = p0 ** k
+        covered += comb(k, 1) * (pchk(1) + pchk(2)) * p0 ** (k - 1)
+        covered += comb(k, 2) * pchk(1) ** 2 * p0 ** (k - 2)
+        return 1.0 - covered
+    if s == 3:
+        covered = p0 ** k
+        covered += comb(k, 1) * (pchk(1) + pchk(2) + pchk(3)) * p0 ** (k - 1)
+        covered += comb(k, 2) * pchk(1) ** 2 * p0 ** (k - 2)
+        covered += comb(k, 1) * comb(k - 1, 1) * pchk(2) * pchk(1) * p0 ** (k - 2)
+        covered += comb(k, 3) * pchk(1) ** 3 * p0 ** (k - 3)
+        return 1.0 - covered
+    raise ValueError(
+        "closed-form SD P_str is only given for s <= 3; use pstr_sd_generic"
+    )

@@ -1,0 +1,137 @@
+"""Sector-failure models for the reliability analysis (§7.1.2).
+
+Both models are parameterised by the unrecoverable bit-error probability
+``P_bit`` (Eq. 12 turns it into the per-sector failure probability
+``P_sec``) and expose ``P_chk(i)``: the probability that a chunk of ``r``
+sectors suffers exactly ``i`` sector failures.
+
+* :class:`IndependentSectorModel` -- sector failures are independent
+  (Eq. 13); failures tend to scatter across chunks.
+* :class:`CorrelatedSectorModel` -- sector failures arrive in bursts whose
+  length distribution follows the field study of Schroeder et al.:
+  a fraction ``b1`` of bursts have length one and the remainder follow a
+  Pareto tail with index ``alpha`` (Eq. 14-17); failures tend to pile up
+  inside a single chunk.
+"""
+
+from __future__ import annotations
+
+import abc
+from math import comb
+
+import numpy as np
+
+#: Default sector size in bytes (the paper uses 512-byte sectors).
+DEFAULT_SECTOR_BYTES = 512
+
+
+def sector_failure_probability(p_bit: float,
+                               sector_bytes: int = DEFAULT_SECTOR_BYTES) -> float:
+    """P_sec from P_bit (Eq. 12): 1 - (1 - P_bit)^(8*S)."""
+    if not (0.0 <= p_bit <= 1.0):
+        raise ValueError("p_bit must lie in [0, 1]")
+    return 1.0 - (1.0 - p_bit) ** (sector_bytes * 8)
+
+
+class SectorFailureModel(abc.ABC):
+    """Base class: per-chunk sector-failure count distribution."""
+
+    def __init__(self, p_sec: float, r: int) -> None:
+        if not (0.0 <= p_sec <= 1.0):
+            raise ValueError("p_sec must lie in [0, 1]")
+        if r < 1:
+            raise ValueError("r must be >= 1")
+        self.p_sec = p_sec
+        self.r = r
+
+    @classmethod
+    def from_p_bit(cls, p_bit: float, r: int,
+                   sector_bytes: int = DEFAULT_SECTOR_BYTES, **kwargs):
+        """Construct the model from the bit-error probability."""
+        return cls(sector_failure_probability(p_bit, sector_bytes), r, **kwargs)
+
+    @abc.abstractmethod
+    def p_chk(self, i: int) -> float:
+        """Probability that a chunk has exactly ``i`` failed sectors."""
+
+    def p_chk_vector(self) -> np.ndarray:
+        """The full distribution ``[P_chk(0), ..., P_chk(r)]``."""
+        return np.array([self.p_chk(i) for i in range(self.r + 1)])
+
+    def p_chunk_damaged(self) -> float:
+        """Probability that a chunk has at least one failed sector."""
+        return 1.0 - self.p_chk(0)
+
+
+class IndependentSectorModel(SectorFailureModel):
+    """Independent sector failures: binomial per-chunk counts (Eq. 13)."""
+
+    def p_chk(self, i: int) -> float:
+        if not (0 <= i <= self.r):
+            return 0.0
+        return (comb(self.r, i) * self.p_sec ** i
+                * (1.0 - self.p_sec) ** (self.r - i))
+
+
+class CorrelatedSectorModel(SectorFailureModel):
+    """Bursty sector failures following the (b1, alpha) parametric fit.
+
+    Parameters
+    ----------
+    p_sec:
+        Per-sector failure probability (same expected number of failed
+        sectors as the independent model -- the paper's comparison keeps
+        P_sec fixed across models).
+    r:
+        Sectors per chunk.  Burst lengths are truncated at ``r`` and a
+        burst never spans two chunks (the paper's simplifying assumptions).
+    b1:
+        Fraction of bursts of length one.
+    alpha:
+        Pareto tail index fitted to bursts of length >= 2.
+    """
+
+    def __init__(self, p_sec: float, r: int, b1: float = 0.98,
+                 alpha: float = 1.79) -> None:
+        super().__init__(p_sec, r)
+        if not (0.0 < b1 <= 1.0):
+            raise ValueError("b1 must lie in (0, 1]")
+        if alpha <= 0.0:
+            raise ValueError("alpha must be positive")
+        self.b1 = b1
+        self.alpha = alpha
+        self.burst_pmf = self._burst_length_pmf()
+        #: Average burst length B (Eq. 14).
+        self.mean_burst_length = float(
+            np.dot(np.arange(1, self.r + 1), self.burst_pmf))
+
+    def _burst_length_pmf(self) -> np.ndarray:
+        """b_i for i = 1..r: P(L=1)=b1, Pareto tail truncated at r."""
+        pmf = np.zeros(self.r)
+        if self.r == 1:
+            pmf[0] = 1.0
+            return pmf
+        pmf[0] = self.b1
+        # Discrete Pareto tail: P(L >= i | L >= 2) = (2/i)^alpha for i >= 2.
+        survival = np.array([(2.0 / i) ** self.alpha
+                             for i in range(2, self.r + 2)])
+        tail = survival[:-1] - survival[1:]
+        tail[-1] = survival[-2]  # truncate: mass of lengths >= r collapses to r
+        tail = tail / tail.sum() * (1.0 - self.b1)
+        pmf[1:] = tail
+        return pmf
+
+    def burst_cdf(self) -> np.ndarray:
+        """CDF of the burst length over 1..r (Figure 19a)."""
+        return np.cumsum(self.burst_pmf)
+
+    def p_chk(self, i: int) -> float:
+        if not (0 <= i <= self.r):
+            return 0.0
+        # Probability a chunk is hit by at least one burst (Eq. 15-16).
+        p_hit = min(1.0, self.r * self.p_sec / self.mean_burst_length)
+        if i == 0:
+            return 1.0 - p_hit
+        # A damaged chunk contains one burst of length i with fraction b_i
+        # (Eq. 17).
+        return self.burst_pmf[i - 1] * p_hit

@@ -1,0 +1,32 @@
+"""Systematic MDS (Reed-Solomon family) codes.
+
+These are the building blocks the STAIR construction calls ``C_row`` and
+``C_col``: systematic (η, κ) MDS codes with no restriction on length or
+fault tolerance.  Two constructions are provided, matching the paper's
+references:
+
+* :class:`~repro.rs.cauchy.CauchyRSCode` -- Cauchy Reed-Solomon codes
+  (the construction the paper's implementation uses).
+* :class:`~repro.rs.vandermonde.VandermondeRSCode` -- classical
+  Vandermonde-based systematic Reed-Solomon codes (Plank's tutorial with
+  the Plank-Ding correction).
+
+Both return :class:`~repro.rs.systematic.SystematicMDSCode` behaviour:
+``encode`` produces parity symbols, ``recover`` reconstructs any erased
+symbols from any κ surviving ones, and ``decode_matrix`` exposes the
+coefficient view used by the STAIR schedulers.
+"""
+
+from repro.rs.systematic import SystematicMDSCode, UnrecoverableErasureError
+from repro.rs.cauchy import CauchyRSCode
+from repro.rs.vandermonde import VandermondeRSCode
+from repro.rs.verify import verify_mds_property, verify_systematic
+
+__all__ = [
+    "SystematicMDSCode",
+    "UnrecoverableErasureError",
+    "CauchyRSCode",
+    "VandermondeRSCode",
+    "verify_mds_property",
+    "verify_systematic",
+]

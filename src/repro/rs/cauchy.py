@@ -1,0 +1,39 @@
+"""Cauchy Reed-Solomon codes.
+
+The STAIR paper implements both of its building-block codes (``C_row``
+and ``C_col``) as Cauchy Reed-Solomon codes because they impose no
+restriction on code length or fault tolerance.  A Cauchy matrix has the
+property that *every* square sub-matrix is invertible, so a generator of
+the form ``[I | C]`` with ``C`` Cauchy yields a systematic MDS code.
+"""
+
+from __future__ import annotations
+
+from repro.gf.field import GField, default_field
+from repro.gf.matrix import GFMatrix
+from repro.rs.systematic import SystematicMDSCode
+
+
+class CauchyRSCode(SystematicMDSCode):
+    """Systematic Cauchy Reed-Solomon (η, κ) code over GF(2^w).
+
+    The parity block is the κ x (η-κ) Cauchy matrix built from the point
+    sets ``x_i = i`` (for data symbols) and ``y_j = κ + j`` (for parity
+    symbols); the sets are disjoint so every denominator is non-zero.
+    The field must satisfy ``η <= 2^w``.
+    """
+
+    def __init__(self, length: int, dimension: int,
+                 field: GField | None = None) -> None:
+        field = field or default_field()
+        if length > field.order:
+            raise ValueError(
+                f"codeword length {length} exceeds field order {field.order}; "
+                f"use a larger word size"
+            )
+        parities = length - dimension
+        x_points = list(range(dimension))
+        y_points = list(range(dimension, dimension + parities))
+        cauchy = GFMatrix.cauchy(x_points, y_points, field)
+        generator = GFMatrix.identity(dimension, field).hstack(cauchy)
+        super().__init__(length, dimension, generator, field)

@@ -1,0 +1,70 @@
+"""Vandermonde-based systematic Reed-Solomon codes.
+
+This is the classical construction from Plank's RAID tutorial with the
+Plank-Ding correction: start from an η x κ Vandermonde matrix (every κ
+rows of which are linearly independent because the evaluation points are
+distinct), then apply elementary *column* operations to bring its top
+κ x κ block to the identity.  Column operations preserve the
+"any κ rows are independent" property, so the result is a systematic MDS
+generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import GField, default_field
+from repro.gf.matrix import GFMatrix
+from repro.rs.systematic import SystematicMDSCode
+
+
+def _systematic_vandermonde(length: int, dimension: int,
+                            field: GField) -> GFMatrix:
+    """Return a κ x η systematic MDS generator from a Vandermonde matrix."""
+    # Build the η x κ Vandermonde matrix V[i][j] = i^j (row 0 -> [1,0,..,0]).
+    data = np.zeros((length, dimension), dtype=np.int64)
+    for i in range(length):
+        for j in range(dimension):
+            data[i, j] = field.pow(i, j) if i != 0 else (1 if j == 0 else 0)
+
+    # Column-reduce so that the top κ x κ block becomes the identity.
+    for col in range(dimension):
+        # Find a column (>= col) with a non-zero entry in row `col` and swap.
+        pivot_col = None
+        for c in range(col, dimension):
+            if data[col, c]:
+                pivot_col = c
+                break
+        if pivot_col is None:  # pragma: no cover - cannot happen for Vandermonde
+            raise ValueError("Vandermonde matrix unexpectedly singular")
+        if pivot_col != col:
+            data[:, [col, pivot_col]] = data[:, [pivot_col, col]]
+        # Scale the pivot column so the diagonal entry becomes 1.
+        inv = field.inv(int(data[col, col]))
+        for i in range(length):
+            data[i, col] = field.mul(int(data[i, col]), inv)
+        # Eliminate the other entries of row `col`.
+        for c in range(dimension):
+            if c == col or not data[col, c]:
+                continue
+            factor = int(data[col, c])
+            for i in range(length):
+                data[i, c] ^= field.mul(factor, int(data[i, col]))
+
+    # data is η x κ with identity on top; the generator is its transpose.
+    return GFMatrix(data.T.copy(), field)
+
+
+class VandermondeRSCode(SystematicMDSCode):
+    """Systematic Vandermonde Reed-Solomon (η, κ) code over GF(2^w)."""
+
+    def __init__(self, length: int, dimension: int,
+                 field: GField | None = None) -> None:
+        field = field or default_field()
+        if length > field.order:
+            raise ValueError(
+                f"codeword length {length} exceeds field order {field.order}; "
+                f"use a larger word size"
+            )
+        generator = _systematic_vandermonde(length, dimension, field)
+        super().__init__(length, dimension, generator, field)

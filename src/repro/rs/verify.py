@@ -1,0 +1,81 @@
+"""Verification helpers for MDS codes.
+
+Used by the test suite and by the SD-code search to check that a
+candidate generator matrix really defines an MDS code (every κ columns
+linearly independent) and is systematic.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.gf.matrix import GFMatrix
+from repro.rs.systematic import SystematicMDSCode
+
+
+def verify_systematic(code: SystematicMDSCode) -> bool:
+    """Return True if the generator's left κ x κ block is the identity."""
+    k = code.dimension
+    return bool(np.array_equal(code.generator.data[:, :k], np.eye(k, dtype=np.int64)))
+
+
+def verify_mds_property(code: SystematicMDSCode,
+                        max_combinations: int | None = 20000) -> bool:
+    """Exhaustively check that every κ columns of the generator are independent.
+
+    Equivalent to checking that any κ codeword symbols determine the data,
+    i.e. the code tolerates any η - κ erasures.  The number of subsets is
+    C(η, κ); ``max_combinations`` bounds the work for larger codes (the
+    check then covers a deterministic prefix of subsets and returns early).
+    """
+    n, k = code.length, code.dimension
+    checked = 0
+    for cols in combinations(range(n), k):
+        sub = code.generator.submatrix(range(k), cols)
+        if not sub.is_invertible():
+            return False
+        checked += 1
+        if max_combinations is not None and checked >= max_combinations:
+            break
+    return True
+
+
+def verify_erasure_recovery(code: SystematicMDSCode, symbol_size: int = 8,
+                            trials: int | None = None, seed: int = 0) -> bool:
+    """Encode random data and confirm recovery from every erasure pattern.
+
+    For codes where the number of erasure patterns C(η, η-κ) is large,
+    ``trials`` random patterns are checked instead of all of them.
+    """
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, code.field.order, size=symbol_size,
+                         dtype=code.field.element_dtype)
+            for _ in range(code.dimension)]
+    codeword = code.encode_codeword(data)
+    erasable = code.length - code.dimension
+
+    def check(pattern: tuple[int, ...]) -> bool:
+        damaged = [None if i in pattern else codeword[i]
+                   for i in range(code.length)]
+        recovered = code.recover_all(damaged)
+        return all(np.array_equal(recovered[i], codeword[i])
+                   for i in range(code.length))
+
+    all_patterns = list(combinations(range(code.length), erasable))
+    if trials is not None and len(all_patterns) > trials:
+        indices = rng.choice(len(all_patterns), size=trials, replace=False)
+        patterns = [all_patterns[i] for i in indices]
+    else:
+        patterns = all_patterns
+    return all(check(p) for p in patterns)
+
+
+def count_nonzero_coefficients(matrix: GFMatrix) -> int:
+    """Number of non-zero entries of a coefficient matrix.
+
+    Handy for the standard-encoding Mult_XOR count, which equals the
+    number of non-zero generator coefficients linking data to parities.
+    """
+    return int(np.count_nonzero(matrix.data))

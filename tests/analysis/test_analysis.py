@@ -1,0 +1,106 @@
+"""Tests for the space, update-penalty and encoding-cost analyses."""
+
+import pytest
+
+from repro.analysis import (
+    compare_space,
+    devices_saved_sd,
+    devices_saved_stair,
+    encoding_cost_sweep,
+    figure9_data,
+    figure10_grid,
+    figure14_data,
+    figure15_data,
+    redundant_sectors_idr,
+    redundant_sectors_stair,
+    redundant_sectors_traditional,
+    reed_solomon_update_penalty,
+    sd_update_penalty,
+    stair_penalty_statistics,
+    stair_update_penalty,
+    storage_efficiency_stair,
+)
+
+
+class TestSpace:
+    def test_devices_saved_formula(self):
+        assert devices_saved_stair(s=4, m_prime=4, r=16) == pytest.approx(4 - 0.25)
+        assert devices_saved_stair(s=4, m_prime=2, r=16) == pytest.approx(1.75)
+        assert devices_saved_sd(s=3, r=16) == pytest.approx(3 - 3 / 16)
+
+    def test_m_prime_cannot_exceed_s(self):
+        with pytest.raises(ValueError):
+            devices_saved_stair(s=2, m_prime=3, r=8)
+
+    def test_saving_grows_with_r_and_m_prime(self):
+        assert devices_saved_stair(4, 4, 32) > devices_saved_stair(4, 4, 8)
+        assert devices_saved_stair(4, 4, 16) > devices_saved_stair(4, 2, 16)
+
+    def test_idr_comparison_from_section_2(self):
+        """n=8, m=2, beta=4: IDR adds 24 redundant sectors, STAIR e=(1,4) adds 5."""
+        assert redundant_sectors_idr(4, 8, 2, 16) - 2 * 16 == 24
+        assert redundant_sectors_stair((1, 4), 2, 16) - 2 * 16 == 5
+
+    def test_traditional_redundancy(self):
+        assert redundant_sectors_traditional(m=2, m_prime=3, r=16) == 80
+
+    def test_storage_efficiency(self):
+        assert storage_efficiency_stair(8, 16, 1, 0) == pytest.approx(7 / 8)
+        assert storage_efficiency_stair(8, 16, 1, 3) == pytest.approx(
+            (112 - 3) / 128)
+
+    def test_compare_space(self):
+        comparison = compare_space(8, 16, 2, (1, 4))
+        assert comparison.stair_saving_vs_traditional == 2 * 16 - 5
+        assert comparison.stair_saving_vs_idr == 24 - 5
+
+    def test_figure10_grid_shape(self):
+        grid = figure10_grid(s_values=(1, 2), r_values=(8, 16))
+        assert set(grid) == {1, 2}
+        assert set(grid[2]) == {1, 2}
+        assert len(grid[2][1]) == 2
+
+
+class TestUpdatePenalty:
+    def test_rs_penalty(self):
+        assert reed_solomon_update_penalty(2) == 2.0
+
+    def test_stair_penalty_exceeds_rs(self):
+        assert stair_update_penalty(8, 8, 2, (1, 2)) > 2.0
+
+    def test_sd_penalty_exceeds_rs(self):
+        assert sd_update_penalty(8, 8, 2, 2) > 2.0
+
+    def test_statistics_cover_all_vectors(self):
+        stats = stair_penalty_statistics(8, 8, 1, 3)
+        assert set(stats.per_vector) == {(3,), (1, 2), (1, 1, 1)}
+        assert stats.minimum <= stats.average <= stats.maximum
+
+    def test_figure14_data_structure(self):
+        data = figure14_data(n=8, s=3, m_values=(1, 2), r_values=(8,))
+        assert set(data) == {8}
+        assert (1, 2) in data[8]
+        assert set(data[8][(1, 2)]) == {1, 2}
+
+    def test_figure15_penalties_increase_with_s(self):
+        data = figure15_data(n=8, r=8, m_values=(1,), stair_s_values=(1, 2, 3),
+                             sd_s_values=(1, 2))
+        stair = data[1]["stair"]
+        assert stair[1].average < stair[2].average < stair[3].average
+        assert data[1]["rs"] == 1.0
+
+
+class TestEncodingCost:
+    def test_sweep_covers_all_partitions(self):
+        points = encoding_cost_sweep(8, 16, 2, 4)
+        assert {p.e for p in points} == {(4,), (1, 3), (2, 2), (1, 1, 2),
+                                         (1, 1, 1, 1)}
+
+    def test_parity_reuse_beats_standard_for_large_r(self):
+        for point in encoding_cost_sweep(8, 32, 2, 4):
+            assert min(point.upstairs, point.downstairs) < point.standard
+            assert point.best() in ("upstairs", "downstairs")
+
+    def test_figure9_data_keys(self):
+        data = figure9_data(r_values=(8, 16))
+        assert set(data) == {8, 16}

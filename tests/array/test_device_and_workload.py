@@ -1,0 +1,134 @@
+"""Unit tests for the device model, failure distributions and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.array import (
+    BurstLengthDistribution,
+    Device,
+    DeviceState,
+    random_payload,
+    random_symbols,
+    sequential_write_trace,
+    stripe_data_for,
+    symbol_size_for_stripe,
+    update_trace,
+)
+from repro.codes import ReedSolomonStripeCode
+
+
+class TestDevice:
+    def test_write_read_roundtrip(self):
+        device = Device(0, num_stripes=2, rows_per_chunk=4, symbol_size=16)
+        symbol = np.arange(16, dtype=np.uint8)
+        device.write(1, 2, symbol)
+        assert np.array_equal(device.read(1, 2), symbol)
+        assert device.read(0, 0) is None  # never written
+
+    def test_read_returns_copy(self):
+        device = Device(0, 1, 2, 8)
+        device.write(0, 0, np.zeros(8, dtype=np.uint8))
+        view = device.read(0, 0)
+        view[0] = 9
+        assert device.read(0, 0)[0] == 0
+
+    def test_device_failure(self):
+        device = Device(0, 1, 2, 8)
+        device.write(0, 0, np.ones(8, dtype=np.uint8))
+        device.fail()
+        assert device.is_failed
+        assert device.state is DeviceState.FAILED
+        assert device.read(0, 0) is None
+        with pytest.raises(IOError):
+            device.write(0, 1, np.ones(8, dtype=np.uint8))
+
+    def test_replace_clears_contents(self):
+        device = Device(0, 1, 2, 8)
+        device.write(0, 0, np.ones(8, dtype=np.uint8))
+        device.fail()
+        device.replace()
+        assert not device.is_failed
+        assert device.read(0, 0) is None
+
+    def test_sector_failure_and_repair(self):
+        device = Device(0, 1, 2, 8)
+        device.write(0, 1, np.ones(8, dtype=np.uint8))
+        device.fail_sector(0, 1)
+        assert device.read(0, 1) is None
+        assert device.bad_sectors() == {(0, 1)}
+        device.repair_sector(0, 1, np.full(8, 7, dtype=np.uint8))
+        assert np.array_equal(device.read(0, 1), np.full(8, 7, dtype=np.uint8))
+        assert device.bad_sectors() == set()
+
+
+class TestBurstLengthDistribution:
+    def test_pmf_sums_to_one(self):
+        dist = BurstLengthDistribution(b1=0.9, alpha=1.5, max_length=16)
+        assert dist.pmf.sum() == pytest.approx(1.0)
+        assert dist.pmf[1] == pytest.approx(0.9)
+
+    def test_mean_close_to_field_measurements(self):
+        """The paper cites B ~= 1.03 for b1 = 0.98-ish drives."""
+        dist = BurstLengthDistribution(b1=0.98, alpha=1.79, max_length=16)
+        assert 1.0 < dist.mean() < 1.2
+
+    def test_cdf_monotone(self):
+        dist = BurstLengthDistribution(b1=0.9, alpha=1.0, max_length=16)
+        cdf = dist.cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_degenerate_max_length_one(self):
+        dist = BurstLengthDistribution(b1=0.5, alpha=2.0, max_length=1)
+        assert dist.pmf[1] == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BurstLengthDistribution(b1=0.0)
+        with pytest.raises(ValueError):
+            BurstLengthDistribution(alpha=0.0)
+        with pytest.raises(ValueError):
+            BurstLengthDistribution(max_length=0)
+
+    def test_sampling_respects_support(self):
+        dist = BurstLengthDistribution(b1=0.7, alpha=1.2, max_length=8)
+        samples = dist.sample(np.random.default_rng(0), size=500)
+        assert samples.min() >= 1 and samples.max() <= 8
+
+
+class TestWorkloads:
+    def test_random_symbols_shape_and_dtype(self):
+        symbols = random_symbols(5, 32, seed=1)
+        assert len(symbols) == 5
+        assert all(sym.dtype == np.uint8 and len(sym) == 32 for sym in symbols)
+
+    def test_random_symbols_uint16(self):
+        symbols = random_symbols(2, 8, seed=1, dtype=np.uint16)
+        assert all(sym.dtype == np.uint16 for sym in symbols)
+
+    def test_random_payload_deterministic_with_seed(self):
+        assert random_payload(64, seed=3) == random_payload(64, seed=3)
+
+    def test_stripe_data_for_code(self):
+        code = ReedSolomonStripeCode(n=6, r=4, m=2)
+        data = stripe_data_for(code, symbol_size=16, seed=2)
+        assert len(data) == code.num_data_symbols
+
+    def test_symbol_size_for_stripe(self):
+        code = ReedSolomonStripeCode(n=16, r=16, m=2)
+        assert symbol_size_for_stripe(code, 32 << 20) == (32 << 20) // 256
+        assert symbol_size_for_stripe(code, 10) == 1
+
+    def test_update_trace(self):
+        code = ReedSolomonStripeCode(n=6, r=4, m=2)
+        ops = list(update_trace(code, num_stripes=4, operations=10,
+                                symbol_size=8, seed=5))
+        assert len(ops) == 10
+        for op in ops:
+            assert 0 <= op.stripe < 4
+            assert 0 <= op.data_index < code.num_data_symbols
+            assert len(op.payload) == 8
+
+    def test_sequential_write_trace(self):
+        assert sequential_write_trace(100, 40) == [40, 40, 20]
+        assert sequential_write_trace(0, 40) == []

@@ -1,0 +1,166 @@
+"""Integration tests for the storage-array simulator."""
+
+import numpy as np
+import pytest
+
+from repro.array import (
+    BurstLengthDistribution,
+    DataLossError,
+    FailureInjector,
+    StorageArray,
+    random_payload,
+)
+from repro.codes import ReedSolomonStripeCode, StairStripeCode
+
+
+@pytest.fixture
+def stair_array():
+    code = StairStripeCode(n=8, r=4, m=2, e=(1, 1, 2))
+    return StorageArray(code, num_stripes=3, symbol_size=64)
+
+
+class TestReadWrite:
+    def test_capacity(self, stair_array):
+        assert stair_array.stripe_capacity == 20 * 64
+        assert stair_array.capacity == 3 * 20 * 64
+
+    def test_roundtrip(self, stair_array):
+        payload = random_payload(stair_array.capacity - 10, seed=1)
+        stair_array.write(payload)
+        assert stair_array.read(len(payload)) == payload
+
+    def test_single_stripe_write_and_padding(self, stair_array):
+        stair_array.write_stripe(1, b"hello world")
+        blob = stair_array.read_stripe(1)
+        assert blob.startswith(b"hello world")
+        assert len(blob) == stair_array.stripe_capacity
+
+    def test_oversized_writes_rejected(self, stair_array):
+        with pytest.raises(ValueError):
+            stair_array.write_stripe(0, b"x" * (stair_array.stripe_capacity + 1))
+        with pytest.raises(ValueError):
+            stair_array.write(b"x" * (stair_array.capacity + 1))
+
+    def test_invalid_stripe_index(self, stair_array):
+        with pytest.raises(IndexError):
+            stair_array.read_stripe(5)
+
+    def test_invalid_num_stripes(self):
+        code = StairStripeCode(n=8, r=4, m=2, e=(1,))
+        with pytest.raises(ValueError):
+            StorageArray(code, num_stripes=0)
+
+
+class TestFailuresAndRecovery:
+    def test_degraded_read_with_device_and_sector_failures(self, stair_array):
+        payload = random_payload(stair_array.capacity, seed=2)
+        stair_array.write(payload)
+        stair_array.fail_device(2)
+        stair_array.fail_device(6)
+        stair_array.fail_sector(stripe=0, row=3, device=5)
+        stair_array.fail_sector(stripe=1, row=0, device=0)
+        assert stair_array.read(len(payload)) == payload
+
+    def test_degraded_read_can_be_disallowed(self, stair_array):
+        stair_array.write(random_payload(stair_array.capacity, seed=3))
+        stair_array.fail_device(0)
+        with pytest.raises(DataLossError):
+            stair_array.read_stripe(0, degraded_ok=False)
+
+    def test_data_loss_detected(self, stair_array):
+        stair_array.write(random_payload(stair_array.capacity, seed=4))
+        for device in (0, 1, 2):
+            stair_array.fail_device(device)
+        with pytest.raises(DataLossError):
+            stair_array.read_stripe(0)
+
+    def test_status_reporting(self, stair_array):
+        stair_array.write(random_payload(stair_array.capacity, seed=5))
+        assert stair_array.status().healthy
+        stair_array.fail_device(1)
+        stair_array.fail_sector(2, 1, 4)
+        status = stair_array.status()
+        assert status.failed_devices == [1]
+        assert status.bad_sectors == 1
+        assert status.stripes_with_damage == 3
+        assert not status.healthy
+
+    def test_rebuild_restores_health(self, stair_array):
+        payload = random_payload(stair_array.capacity, seed=6)
+        stair_array.write(payload)
+        stair_array.fail_device(3)
+        stair_array.fail_device(7)
+        assert sorted(stair_array.rebuild()) == [3, 7]
+        assert stair_array.status().healthy
+        assert stair_array.read(len(payload)) == payload
+
+    def test_rebuild_without_failures_is_noop(self, stair_array):
+        stair_array.write(random_payload(stair_array.capacity, seed=7))
+        assert stair_array.rebuild() == []
+
+    def test_scrub_repairs_latent_sector_errors(self, stair_array):
+        payload = random_payload(stair_array.capacity, seed=8)
+        stair_array.write(payload)
+        stair_array.fail_sector(0, 0, 0)
+        stair_array.fail_sector(2, 3, 5)
+        assert stair_array.scrub() == 2
+        assert stair_array.status().healthy
+        assert stair_array.read(len(payload)) == payload
+
+    def test_update_symbol_counts_parity_writes(self, stair_array):
+        stair_array.write(random_payload(stair_array.capacity, seed=9))
+        rewritten = stair_array.update_symbol(
+            0, 0, np.arange(64, dtype=np.uint8))
+        assert rewritten >= stair_array.code.config.m
+        blob = stair_array.read_stripe(0)
+        assert blob[:64] == bytes(range(64))
+
+
+class TestWithReedSolomon:
+    def test_rs_array_cannot_survive_extra_sector_failure(self):
+        code = ReedSolomonStripeCode(n=6, r=4, m=1)
+        array = StorageArray(code, num_stripes=1, symbol_size=32)
+        payload = random_payload(array.capacity, seed=10)
+        array.write(payload)
+        array.fail_device(0)
+        array.fail_sector(0, 2, 3)
+        with pytest.raises(DataLossError):
+            array.read_stripe(0)
+
+    def test_stair_array_survives_the_same_scenario(self):
+        code = StairStripeCode(n=6, r=4, m=1, e=(1,))
+        array = StorageArray(code, num_stripes=1, symbol_size=32)
+        payload = random_payload(array.capacity, seed=10)
+        array.write(payload)
+        array.fail_device(0)
+        array.fail_sector(0, 2, 3)
+        assert array.read(len(payload)) == payload
+
+
+class TestFailureInjection:
+    def test_injector_events(self, stair_array):
+        stair_array.write(random_payload(stair_array.capacity, seed=11))
+        injector = FailureInjector(8, 3, 4, seed=0)
+        stair_array.inject(injector.random_device_failures(2))
+        assert len(stair_array.status().failed_devices) == 2
+        event = injector.random_sector_failures(
+            3, exclude_devices=stair_array.status().failed_devices)
+        stair_array.inject(event)
+        assert stair_array.status().bad_sectors == 3
+
+    def test_burst_injection_respects_chunk_boundary(self):
+        injector = FailureInjector(8, 2, 4, seed=1)
+        dist = BurstLengthDistribution(b1=0.0 + 1e-9, alpha=1.0, max_length=4)
+        event = injector.burst_sector_failures(5, dist)
+        for failure in event.sector_failures:
+            assert 0 <= failure.row < 4
+
+    def test_worst_case_event_matches_coverage(self, stair_array):
+        injector = FailureInjector(8, 3, 4, seed=2)
+        event = injector.worst_case_event(m=2, e=(1, 1, 2))
+        assert len(event.device_failures) == 2
+        assert len(event.sector_failures) == 4
+        payload = random_payload(stair_array.capacity, seed=12)
+        stair_array.write(payload)
+        stair_array.inject(event)
+        assert stair_array.read(len(payload)) == payload

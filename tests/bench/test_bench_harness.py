@@ -1,0 +1,133 @@
+"""Tests for the benchmark harness (speed measurement, figure data, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    device_only_losses,
+    format_table,
+    measure_decoding_speed,
+    measure_encoding_speed,
+    stripe_symbols,
+    summarize_ratio,
+    worst_case_losses_sd,
+    worst_case_losses_stair,
+)
+from repro.bench.figures import (
+    figure9_rows,
+    figure10_rows,
+    figure17_rows,
+    figure18_rows,
+    figure19a_rows,
+    figure19b_rows,
+    stair_vs_sd_summary,
+    worst_e_for_s,
+)
+from repro.codes import SDCode, StairStripeCode
+
+
+class TestSpeedMeasurement:
+    def test_stripe_symbols_fixed_stripe_size(self):
+        code = StairStripeCode(n=8, r=4, m=2, e=(1,))
+        data, total = stripe_symbols(code, stripe_bytes=32 * 8 * 4)
+        assert len(data) == code.num_data_symbols
+        assert total == 32 * 8 * 4
+        assert len(data[0]) == 32
+
+    def test_stripe_symbols_fixed_symbol_size(self):
+        code = StairStripeCode(n=8, r=4, m=2, e=(1,))
+        data, total = stripe_symbols(code, stripe_bytes=0, symbol_bytes=64)
+        assert len(data[0]) == 64
+        assert total == 64 * 8 * 4
+
+    def test_stripe_symbols_uint16_for_wide_stripes(self):
+        code = SDCode(n=32, r=16, m=1, s=1)
+        data, _ = stripe_symbols(code, stripe_bytes=1 << 16)
+        assert data[0].dtype == np.uint16
+
+    def test_encoding_speed_result(self):
+        code = StairStripeCode(n=6, r=4, m=1, e=(1,))
+        result = measure_encoding_speed(code, stripe_bytes=6 * 4 * 64, repeats=1)
+        assert result.mb_per_second > 0
+        assert result.seconds_per_stripe > 0
+        assert "STAIR" in result.label
+
+    def test_decoding_speed_result(self):
+        code = StairStripeCode(n=6, r=4, m=1, e=(1,))
+        losses = worst_case_losses_stair(6, 4, 1, (1,))
+        result = measure_decoding_speed(code, losses, stripe_bytes=6 * 4 * 64,
+                                        repeats=1)
+        assert result.mb_per_second > 0
+
+    def test_worst_case_loss_patterns(self):
+        stair = worst_case_losses_stair(8, 4, 2, (1, 2))
+        assert len(stair) == 2 * 4 + 3
+        assert {(i, 0) for i in range(4)} <= set(stair)
+        sd = worst_case_losses_sd(8, 4, 2, 3)
+        assert len(sd) == 2 * 4 + 3
+        assert device_only_losses(4, 2) == [(i, j) for j in range(2)
+                                            for i in range(4)]
+
+    def test_worst_e_for_s_is_a_partition(self):
+        e = worst_e_for_s(8, 16, 2, 4)
+        assert sum(e) == 4 and e == tuple(sorted(e))
+
+
+class TestFigureData:
+    def test_figure9_rows(self):
+        rows = figure9_rows(r_values=(8,))
+        assert {row["e"] for row in rows} == {(4,), (1, 3), (2, 2), (1, 1, 2),
+                                              (1, 1, 1, 1)}
+        assert all(row["best"] in ("standard", "upstairs", "downstairs")
+                   for row in rows)
+
+    def test_figure10_rows(self):
+        rows = figure10_rows(s_values=(2,), r_values=(8,))
+        assert len(rows) == 2  # m' = 1, 2
+        assert all(row["stair_devices_saved"] <= row["sd_devices_saved"]
+                   for row in rows)
+
+    def test_figure17_and_18_rows(self):
+        rows17 = figure17_rows(p_bits=(1e-12,))
+        rows18 = figure18_rows(p_bits=(1e-12,))
+        assert {row["code"] for row in rows17} >= {"RS", "STAIR e=(1,)", "SD s=2"}
+        assert all(row["mttdl_hours"] > 0 for row in rows17 + rows18)
+
+    def test_figure19_rows(self):
+        cdf_rows = figure19a_rows(pairs=((0.9, 1.0),))
+        assert max(row["cdf"] for row in cdf_rows) <= 1.0 + 1e-12
+        mttdl_rows = figure19b_rows(s_values=(2,), p_bits=(1e-12,),
+                                    pairs=((0.9, 1.0),))
+        labels = {row["e"] for row in mttdl_rows}
+        assert labels == {"(2)", "(1,1)"}
+
+    def test_stair_vs_sd_summary(self):
+        rows = [
+            {"family": "STAIR", "n": 8, "r": 16, "m": 1, "s": 2,
+             "mb_per_second": 200.0},
+            {"family": "SD", "n": 8, "r": 16, "m": 1, "s": 2,
+             "mb_per_second": 100.0},
+            {"family": "STAIR", "n": 8, "r": 16, "m": 1, "s": 4,
+             "mb_per_second": 50.0},
+        ]
+        summary = stair_vs_sd_summary(rows)
+        assert summary["points"] == 1
+        assert summary["average_pct"] == pytest.approx(100.0)
+
+    def test_stair_vs_sd_summary_empty(self):
+        assert stair_vs_sd_summary([])["points"] == 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"], [[1, 2.5], [30, 4.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long header" in lines[1]
+        assert "2.50" in text
+
+    def test_summarize_ratio(self):
+        message = summarize_ratio("enc", [200, 150], [100, 100])
+        assert "+75.0%" in message
+        assert summarize_ratio("none", [], []).endswith("no comparable points")

@@ -1,0 +1,117 @@
+"""Tests for the IDR baseline, the STAIR adapter and the code registry."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    IDRScheme,
+    ReedSolomonStripeCode,
+    StairStripeCode,
+    available_codes,
+    build_code,
+    register_code,
+)
+from repro.core.exceptions import DecodingFailureError, EncodingInputError
+
+
+def random_data(code, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size, dtype=np.uint8)
+            for _ in range(code.num_data_symbols)]
+
+
+class TestIDRScheme:
+    def test_geometry(self):
+        idr = IDRScheme(n=6, r=4, m=1, epsilon=1)
+        assert idr.num_data_symbols == 15
+        assert idr.redundant_sectors() == 1 * 5 + 1 * 4
+        assert len(idr.data_positions()) == 15
+
+    def test_parameter_validation(self):
+        with pytest.raises(EncodingInputError):
+            IDRScheme(n=6, r=4, m=0, epsilon=1)
+        with pytest.raises(EncodingInputError):
+            IDRScheme(n=6, r=4, m=1, epsilon=4)
+
+    def test_encode_systematic(self):
+        idr = IDRScheme(n=6, r=4, m=1, epsilon=1)
+        data = random_data(idr)
+        grid = idr.encode(data)
+        for symbol, original in zip(idr.extract_data(grid), data):
+            assert np.array_equal(symbol, original)
+
+    def test_recovers_device_plus_per_chunk_sector_failures(self):
+        idr = IDRScheme(n=6, r=4, m=1, epsilon=1)
+        grid = idr.encode(random_data(idr, seed=1))
+        damaged = [[None if j == 5 else grid[i][j] for j in range(6)]
+                   for i in range(4)]
+        damaged[0][0] = None   # one sector failure per data chunk is covered
+        damaged[3][2] = None
+        repaired = idr.decode(damaged)
+        assert all(np.array_equal(repaired[i][j], grid[i][j])
+                   for i in range(4) for j in range(6))
+
+    def test_two_failures_in_one_chunk_with_device_failure_fails(self):
+        idr = IDRScheme(n=6, r=4, m=1, epsilon=1)
+        grid = idr.encode(random_data(idr, seed=2))
+        damaged = [[None if j == 5 else grid[i][j] for j in range(6)]
+                   for i in range(4)]
+        damaged[0][0] = None
+        damaged[1][0] = None
+        with pytest.raises(DecodingFailureError):
+            idr.decode(damaged)
+
+    def test_wrong_data_count(self):
+        idr = IDRScheme(n=6, r=4, m=1, epsilon=1)
+        with pytest.raises(EncodingInputError):
+            idr.encode(random_data(idr)[:-1])
+
+
+class TestStairAdapter:
+    def test_roundtrip_through_generic_interface(self):
+        code = StairStripeCode(n=8, r=4, m=2, e=(1, 1, 2))
+        data = random_data(code, seed=3)
+        grid = code.encode(data)
+        damaged = [[None if j in (6, 7) else grid[i][j] for j in range(8)]
+                   for i in range(4)]
+        repaired = code.decode(damaged)
+        assert all(np.array_equal(repaired[i][j], grid[i][j])
+                   for i in range(4) for j in range(8))
+
+    def test_exposes_config_quantities(self):
+        code = StairStripeCode(n=8, r=4, m=2, e=(1, 1, 2))
+        assert code.n == 8 and code.r == 4
+        assert code.num_data_symbols == 20
+        assert code.update_penalty() > 2
+        assert code.field.w == 8
+        assert code.tolerates([(0, 0)])
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            StairStripeCode()
+
+    def test_describe_mentions_family(self):
+        assert "STAIR" in StairStripeCode(n=8, r=4, m=2, e=(1,)).describe()
+
+
+class TestRegistry:
+    def test_available_codes(self):
+        names = available_codes()
+        for expected in ("stair", "rs", "sd", "idr", "raid5", "raid6"):
+            assert expected in names
+
+    def test_build_each_family(self):
+        assert build_code("stair", n=8, r=4, m=2, e=(1, 1, 2)).name == "STAIR"
+        assert build_code("rs", n=8, r=4, m=2).name == "RS"
+        assert build_code("sd", n=8, r=4, m=2, s=2).name == "SD"
+        assert build_code("idr", n=8, r=4, m=2, epsilon=1).name == "IDR"
+        assert build_code("raid5", n=5, r=4).name == "RAID-5"
+        assert build_code("raid6", n=6, r=4).name == "RAID-6"
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            build_code("fountain", n=8, r=4)
+
+    def test_register_custom_family(self):
+        register_code("my-rs", ReedSolomonStripeCode)
+        assert build_code("my-rs", n=6, r=4, m=1).name == "RS"

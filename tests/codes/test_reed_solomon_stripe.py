@@ -1,0 +1,91 @@
+"""Tests for the device-level Reed-Solomon baseline and RAID wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.codes import RAID5Code, RAID6Code, ReedSolomonStripeCode
+from repro.core.exceptions import DecodingFailureError, EncodingInputError
+
+
+def random_data(code, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size, dtype=np.uint8)
+            for _ in range(code.num_data_symbols)]
+
+
+class TestReedSolomonStripe:
+    def test_geometry(self):
+        code = ReedSolomonStripeCode(n=8, r=4, m=2)
+        assert code.n == 8 and code.r == 4
+        assert code.num_data_symbols == 24
+        assert code.num_parity_symbols == 8
+        assert code.storage_efficiency == pytest.approx(0.75)
+        assert len(code.data_positions()) == 24
+
+    def test_parameter_validation(self):
+        with pytest.raises(EncodingInputError):
+            ReedSolomonStripeCode(n=4, r=4, m=0)
+        with pytest.raises(EncodingInputError):
+            ReedSolomonStripeCode(n=4, r=0, m=1)
+        with pytest.raises(EncodingInputError):
+            ReedSolomonStripeCode(n=4, r=4, m=4)
+
+    def test_encode_shape_and_systematic(self):
+        code = ReedSolomonStripeCode(n=6, r=3, m=2)
+        data = random_data(code)
+        grid = code.encode(data)
+        assert len(grid) == 3 and len(grid[0]) == 6
+        assert all(np.array_equal(sym, data[i])
+                   for i, sym in enumerate(code.extract_data(grid)))
+
+    def test_wrong_data_count(self):
+        code = ReedSolomonStripeCode(n=6, r=3, m=2)
+        with pytest.raises(EncodingInputError):
+            code.encode(random_data(code)[:-1])
+
+    def test_device_failures_recovered(self):
+        code = ReedSolomonStripeCode(n=6, r=3, m=2)
+        data = random_data(code, seed=1)
+        grid = code.encode(data)
+        damaged = [[None if j in (0, 4) else grid[i][j] for j in range(6)]
+                   for i in range(3)]
+        repaired = code.decode(damaged)
+        assert all(np.array_equal(repaired[i][j], grid[i][j])
+                   for i in range(3) for j in range(6))
+
+    def test_sector_failures_beyond_m_per_row_fail(self):
+        code = ReedSolomonStripeCode(n=6, r=3, m=2)
+        grid = code.encode(random_data(code, seed=2))
+        damaged = [list(row) for row in grid]
+        damaged[1][0] = damaged[1][1] = damaged[1][2] = None
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+    def test_tolerates_predicate(self):
+        code = ReedSolomonStripeCode(n=6, r=3, m=2)
+        assert code.tolerates([(0, 0), (0, 1), (1, 3)])
+        assert not code.tolerates([(0, 0), (0, 1), (0, 2)])
+
+    def test_update_penalty_is_m(self):
+        assert ReedSolomonStripeCode(n=8, r=4, m=3).update_penalty() == 3.0
+
+    def test_counter_accumulates(self):
+        code = ReedSolomonStripeCode(n=6, r=3, m=2)
+        code.encode(random_data(code, seed=3))
+        assert code.counter.total() > 0
+
+
+class TestRAIDWrappers:
+    def test_raid5_is_single_parity(self):
+        code = RAID5Code(n=5, r=4)
+        assert code.m == 1 and code.name == "RAID-5"
+        grid = code.encode(random_data(code, seed=4))
+        damaged = [[None if j == 2 else grid[i][j] for j in range(5)]
+                   for i in range(4)]
+        repaired = code.decode(damaged)
+        assert np.array_equal(repaired[0][2], grid[0][2])
+
+    def test_raid6_is_double_parity(self):
+        code = RAID6Code(n=6, r=2)
+        assert code.m == 2 and code.name == "RAID-6"
+        assert code.num_data_symbols == 8

@@ -1,0 +1,157 @@
+"""Tests for the SD-code baseline."""
+
+import numpy as np
+import pytest
+
+from repro.codes import SDCode, SDConstructionError
+from repro.core.exceptions import DecodingFailureError, EncodingInputError
+from repro.gf.field import get_field
+
+
+def random_data(code, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    high = code.field.order
+    return [rng.integers(0, high, size, dtype=code.field.element_dtype)
+            for _ in range(code.num_data_symbols)]
+
+
+class TestLayout:
+    def test_parity_positions(self):
+        code = SDCode(n=6, r=4, m=1, s=2)
+        positions = code.parity_positions()
+        # One parity device (column 5) plus two sectors in the last row.
+        assert [(i, 5) for i in range(4)] == positions[:4]
+        assert positions[4:] == [(3, 3), (3, 4)]
+        assert code.num_data_symbols == 6 * 4 - 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(EncodingInputError):
+            SDCode(n=4, r=4, m=4, s=1)
+        with pytest.raises(EncodingInputError):
+            SDCode(n=4, r=4, m=1, s=4)   # more sectors than data devices
+        with pytest.raises(EncodingInputError):
+            SDCode(n=4, r=0, m=1, s=1)
+
+    def test_word_size_selection(self):
+        assert SDCode(n=8, r=8, m=1, s=1).field is get_field(8)
+        assert SDCode(n=32, r=16, m=1, s=1).field is get_field(16)
+
+    def test_global_rows_shape_validated(self):
+        with pytest.raises(EncodingInputError):
+            SDCode(n=6, r=4, m=1, s=2, global_rows=np.zeros((1, 24)))
+
+
+class TestEncodeDecode:
+    def test_encode_is_systematic(self):
+        code = SDCode(n=6, r=4, m=1, s=2)
+        data = random_data(code)
+        grid = code.encode(data)
+        for symbol, original in zip(code.extract_data(grid), data):
+            assert np.array_equal(symbol, original)
+
+    def test_wrong_data_count(self):
+        code = SDCode(n=6, r=4, m=1, s=2)
+        with pytest.raises(EncodingInputError):
+            code.encode(random_data(code)[:-1])
+
+    def test_parity_check_equations_hold(self):
+        """Every check equation evaluates to zero on an encoded stripe."""
+        code = SDCode(n=6, r=4, m=1, s=2)
+        grid = code.encode(random_data(code, seed=1))
+        field = code.field
+        h = code._check_matrix
+        for eq in range(h.shape[0]):
+            acc = np.zeros(16, dtype=np.uint8)
+            for i in range(4):
+                for j in range(6):
+                    c = int(h[eq, i * 6 + j])
+                    if c:
+                        acc ^= field.mul_vector(c, grid[i][j])
+            assert not acc.any()
+
+    def test_device_plus_sector_failures_recovered(self):
+        code = SDCode(n=6, r=4, m=1, s=2)
+        data = random_data(code, seed=2)
+        grid = code.encode(data)
+        damaged = [[None if j == 1 else grid[i][j] for j in range(6)]
+                   for i in range(4)]
+        damaged[0][0] = None
+        damaged[2][4] = None
+        repaired = code.decode(damaged)
+        assert all(np.array_equal(repaired[i][j], grid[i][j])
+                   for i in range(4) for j in range(6))
+
+    def test_decode_with_no_losses(self):
+        code = SDCode(n=6, r=4, m=1, s=1)
+        grid = code.encode(random_data(code, seed=3))
+        repaired = code.decode([list(row) for row in grid])
+        assert all(np.array_equal(repaired[i][j], grid[i][j])
+                   for i in range(4) for j in range(6))
+
+    def test_too_many_losses_raise(self):
+        code = SDCode(n=6, r=4, m=1, s=1)
+        grid = code.encode(random_data(code, seed=4))
+        damaged = [[None if j in (0, 1) else grid[i][j] for j in range(6)]
+                   for i in range(4)]
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+    def test_uncovered_pattern_raises(self):
+        code = SDCode(n=6, r=4, m=1, s=1)
+        grid = code.encode(random_data(code, seed=5))
+        damaged = [list(row) for row in grid]
+        # Three losses in a single row: only the row's own check equation and
+        # the one global equation involve them, so no SD code can solve it.
+        damaged[0][0] = None
+        damaged[0][1] = None
+        damaged[0][2] = None
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+
+class TestSDProperty:
+    def test_verified_construction_small(self):
+        code = SDCode.construct(6, 4, 1, 1, max_patterns=400)
+        assert code.verify_sd_property(max_patterns=400)
+
+    def test_verified_construction_s2(self):
+        code = SDCode.construct(6, 4, 1, 2, max_patterns=400)
+        assert code.verify_sd_property(max_patterns=200)
+
+    def test_tolerates_predicate(self):
+        code = SDCode.construct(6, 4, 1, 1, max_patterns=400)
+        device = [(i, 2) for i in range(4)]
+        assert code.tolerates(device + [(0, 0)])
+        assert not code.tolerates(device + [(0, 0), (1, 0)])
+
+    def test_construct_reports_failure(self):
+        with pytest.raises(SDConstructionError):
+            SDCode.construct(8, 4, 1, 3, bases=(2,), random_trials=0,
+                             max_patterns=50)
+
+
+class TestAnalysis:
+    def test_update_penalty_at_least_m_plus_sometimes_more(self):
+        code = SDCode(n=8, r=4, m=2, s=2)
+        assert code.update_penalty() >= 2.0
+
+    def test_mult_xor_count_matches_encoding_matrix(self):
+        code = SDCode(n=8, r=4, m=2, s=2)
+        assert code.mult_xor_count() == int(
+            np.count_nonzero(code.encoding_matrix()))
+
+    def test_encoding_matrix_cached(self):
+        code = SDCode(n=8, r=4, m=2, s=2)
+        assert code.encoding_matrix() is code.encoding_matrix()
+
+    def test_row_parities_of_upper_rows_are_row_local(self):
+        """Rows other than the last depend only on their own row's data, so
+        the encoding matrix must be sparse there (no global coupling)."""
+        code = SDCode(n=8, r=4, m=1, s=1)
+        matrix = code.encoding_matrix()
+        data_positions = code.data_positions()
+        for k, (row, col) in enumerate(code.parity_positions()):
+            if row == code.r - 1:
+                continue
+            deps = {data_positions[d][0] for d in np.nonzero(matrix[k])[0]}
+            assert deps == {row}

@@ -1,0 +1,109 @@
+"""Unit tests for the canonical-stripe grid engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodingFailureError, StairConfig
+from repro.core.canonical import CanonicalStripe, ScheduleStep
+from repro.core.layout import StripeLayout
+from repro.gf.regions import RegionOps
+from repro.rs.cauchy import CauchyRSCode
+
+CONFIG = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+
+
+@pytest.fixture
+def grid():
+    layout = StripeLayout(CONFIG)
+    field = CONFIG.field()
+    crow = CauchyRSCode(CONFIG.n + CONFIG.m_prime, CONFIG.data_chunks, field)
+    ccol = CauchyRSCode(CONFIG.r + CONFIG.e_max, CONFIG.r, field)
+    return CanonicalStripe(CONFIG, layout, crow, ccol, RegionOps(field))
+
+
+def symbol(value, size=8):
+    return np.full(size, value, dtype=np.uint8)
+
+
+class TestCellBookkeeping:
+    def test_dimensions(self, grid):
+        assert grid.rows == 6 and grid.cols == 11
+
+    def test_set_get_known(self, grid):
+        assert not grid.is_known(0, 0)
+        grid.set(0, 0, symbol(1))
+        assert grid.is_known(0, 0)
+        assert np.array_equal(grid.get(0, 0), symbol(1))
+
+    def test_counts_and_unknown_lists(self, grid):
+        grid.set(1, 2, symbol(1))
+        grid.set(1, 4, symbol(2))
+        assert grid.known_in_row(1) == 2
+        assert grid.known_in_col(2) == 1
+        assert grid.unknown_cells_in_row(1, col_limit=5) == [0, 1, 3]
+        assert 1 not in grid.unknown_cells_in_col(2, row_limit=4)
+
+    def test_load_and_extract_stripe(self, grid):
+        stripe = [[symbol(i * 8 + j) for j in range(8)] for i in range(4)]
+        grid.load_stripe(stripe)
+        out = grid.extract_stripe()
+        assert np.array_equal(out[2][5], stripe[2][5])
+
+    def test_extract_with_missing_cells_raises(self, grid):
+        with pytest.raises(DecodingFailureError) as excinfo:
+            grid.extract_stripe()
+        assert len(excinfo.value.unrecovered) == 32
+
+    def test_place_outside_globals_requires_size(self, grid):
+        with pytest.raises(ValueError):
+            grid.place_outside_globals()
+        grid.place_outside_globals(symbol_size=8)
+        # g0,0 / g0,1 / g0,2 / g1,2 occupy the augmented rows.
+        assert grid.is_known(4, 8) and grid.is_known(5, 10)
+        assert not grid.is_known(5, 8)
+        assert not grid.get(4, 8).any()
+
+
+class TestRecoveryPrimitives:
+    def test_recover_row_and_recording(self, grid):
+        row_data = [symbol(j + 1) for j in range(6)]
+        for j, sym in enumerate(row_data):
+            grid.set(0, j, sym)
+        assert grid.can_recover_row(0)
+        filled = grid.recover_row(0, targets=[6, 7])
+        assert sorted(filled) == [(0, 6), (0, 7)]
+        assert grid.steps == [ScheduleStep("row", 0, ((0, 6), (0, 7)))]
+
+    def test_recover_col(self, grid):
+        for i in range(4):
+            grid.set(i, 0, symbol(i + 1))
+        assert grid.can_recover_col(0)
+        filled = grid.recover_col(0)
+        assert sorted(filled) == [(4, 0), (5, 0)]
+
+    def test_recover_without_enough_symbols_raises(self, grid):
+        grid.set(0, 0, symbol(1))
+        assert not grid.can_recover_row(0)
+        with pytest.raises(Exception):
+            grid.recover_row(0)
+
+    def test_recover_col_without_column_code(self):
+        config = StairConfig(n=6, r=4, m=2, e=())
+        layout = StripeLayout(config)
+        field = config.field()
+        crow = CauchyRSCode(config.n, config.data_chunks, field)
+        grid = CanonicalStripe(config, layout, crow, None, RegionOps(field))
+        with pytest.raises(DecodingFailureError):
+            grid.recover_col(0)
+        assert not grid.can_recover_col(0)
+
+    def test_row_recovery_is_consistent_with_encoding(self, grid):
+        """Recovering the parity cells of a full data row must equal C_row
+        encoding of that row."""
+        row_data = [symbol(j + 3) for j in range(6)]
+        for j, sym in enumerate(row_data):
+            grid.set(2, j, sym)
+        grid.recover_row(2)
+        expected = grid.crow.encode(row_data)
+        for k in range(5):
+            assert np.array_equal(grid.get(2, 6 + k), expected[k])

@@ -1,0 +1,99 @@
+"""Tests for the Mult_XOR complexity model (Eq. 5, Eq. 6, §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.encoding_cost import measured_costs
+from repro.core import (
+    StairCode,
+    StairConfig,
+    choose_encoding_method,
+    downstairs_mult_xors,
+    encoding_costs,
+    standard_mult_xors,
+    upstairs_mult_xors,
+)
+
+EXAMPLE = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+
+
+class TestAnalyticalCounts:
+    def test_example_equation_5(self):
+        # (n-m)(m*r + s) + r(n-m)e_max = 6*(8+4) + 4*6*2 = 120.
+        assert upstairs_mult_xors(EXAMPLE) == 120
+
+    def test_example_equation_6(self):
+        # (n-m)(m+m')r + r*s = 6*5*4 + 4*4 = 136.
+        assert downstairs_mult_xors(EXAMPLE) == 136
+
+    def test_standard_upper_bound_without_generator(self):
+        assert standard_mult_xors(EXAMPLE) == EXAMPLE.num_parity_symbols * \
+            EXAMPLE.num_data_symbols
+
+    def test_standard_exact_with_generator(self):
+        code = StairCode(EXAMPLE)
+        exact = standard_mult_xors(EXAMPLE, code.parity_coefficients())
+        assert 0 < exact <= standard_mult_xors(EXAMPLE)
+
+    def test_costs_dataclass(self):
+        costs = encoding_costs(EXAMPLE)
+        assert costs.upstairs == 120 and costs.downstairs == 136
+        assert costs.best_method() == "upstairs"
+
+    @pytest.mark.parametrize("e,expected_winner", [
+        ((4,), "downstairs"),       # m' = 1: downstairs wins
+        ((1, 1, 1, 1), "upstairs"),  # m' = 4: upstairs wins
+    ])
+    def test_m_prime_determines_winner(self, e, expected_winner):
+        config = StairConfig(n=8, r=16, m=2, e=e)
+        costs = encoding_costs(config)
+        winner = ("upstairs" if costs.upstairs <= costs.downstairs
+                  else "downstairs")
+        assert winner == expected_winner
+
+    def test_choose_encoding_method_without_generator(self):
+        assert choose_encoding_method(EXAMPLE) in ("upstairs", "downstairs")
+        assert choose_encoding_method(
+            StairConfig(n=8, r=16, m=2, e=(4,))) == "downstairs"
+
+    def test_choose_encoding_method_with_generator(self):
+        code = StairCode(EXAMPLE)
+        method = choose_encoding_method(EXAMPLE, code.parity_coefficients())
+        costs = encoding_costs(EXAMPLE, code.parity_coefficients())
+        assert method == costs.best_method()
+
+
+class TestMeasuredCounts:
+    def test_measured_matches_equation_5_and_6_for_example(self):
+        point = measured_costs(8, 4, 2, (1, 1, 2))
+        assert point.upstairs == upstairs_mult_xors(EXAMPLE)
+        assert point.downstairs == downstairs_mult_xors(EXAMPLE)
+
+    def test_measured_standard_equals_nonzero_generator_entries(self):
+        code = StairCode(EXAMPLE)
+        point = measured_costs(8, 4, 2, (1, 1, 2))
+        assert point.standard == int(
+            np.count_nonzero(code.parity_coefficients()))
+
+    @pytest.mark.parametrize("params", [
+        (6, 4, 1, (2,)),
+        (6, 6, 2, (1, 3)),
+        (9, 5, 3, (2, 2)),
+    ])
+    def test_measured_close_to_analytic_for_other_configs(self, params):
+        n, r, m, e = params
+        config = StairConfig(n=n, r=r, m=m, e=e)
+        point = measured_costs(n, r, m, e)
+        # A decode coefficient can occasionally be zero, so the measured count
+        # may be marginally below the analytical value, never above it.
+        assert point.upstairs <= upstairs_mult_xors(config)
+        assert point.upstairs >= 0.9 * upstairs_mult_xors(config)
+        assert point.downstairs <= downstairs_mult_xors(config)
+        assert point.downstairs >= 0.9 * downstairs_mult_xors(config)
+
+    def test_code_level_wrapper(self):
+        code = StairCode(EXAMPLE)
+        costs = code.mult_xor_counts()
+        assert costs.upstairs == 120
+        assert costs.downstairs == 136
+        assert costs.standard > 0

@@ -1,0 +1,120 @@
+"""Unit tests for StairConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core import ConfigurationError, StairConfig, enumerate_e_vectors
+from repro.gf.field import get_field
+
+
+class TestValidation:
+    def test_example_configuration(self):
+        cfg = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+        assert cfg.m_prime == 3
+        assert cfg.s == 4
+        assert cfg.e_max == 2
+        assert cfg.data_chunks == 6
+        assert cfg.num_data_symbols == 20
+        assert cfg.num_parity_symbols == 12
+        assert cfg.total_symbols == 32
+
+    def test_e_is_sorted(self):
+        cfg = StairConfig(n=8, r=4, m=1, e=(2, 1, 1))
+        assert cfg.e == (1, 1, 2)
+
+    def test_m_must_be_less_than_n(self):
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=4, r=4, m=4, e=(1,))
+
+    def test_negative_or_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=8, r=4, m=1, e=(0, 1))
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=8, r=4, m=1, e=(-1,))
+
+    def test_e_entry_larger_than_r_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=8, r=4, m=1, e=(5,))
+
+    def test_too_many_chunks_with_sector_failures_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=4, r=4, m=2, e=(1, 1, 1))
+
+    def test_n_and_r_minimums(self):
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=1, r=4, m=0, e=(1,))
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=4, r=0, m=1, e=())
+
+    def test_code_without_any_parity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StairConfig(n=4, r=4, m=0, e=())
+
+    def test_empty_e_with_parity_devices_allowed(self):
+        cfg = StairConfig(n=6, r=4, m=2, e=())
+        assert cfg.s == 0 and cfg.m_prime == 0 and cfg.e_max == 0
+
+    def test_m_zero_with_sector_parity_allowed(self):
+        cfg = StairConfig(n=4, r=4, m=0, e=(1, 1))
+        assert cfg.num_parity_symbols == 2
+
+
+class TestDerivedQuantities:
+    def test_storage_efficiency_matches_equation_8(self):
+        cfg = StairConfig(n=8, r=16, m=1, e=(1, 2))
+        expected = (16 * 7 - 3) / (16 * 8)
+        assert cfg.storage_efficiency == pytest.approx(expected)
+
+    def test_word_size_defaults_to_8(self):
+        assert StairConfig(n=8, r=4, m=2, e=(1, 1, 2)).word_size == 8
+        assert StairConfig(n=32, r=32, m=3, e=(1, 1, 4)).word_size == 8
+
+    def test_word_size_grows_for_wide_stripes(self):
+        cfg = StairConfig(n=250, r=8, m=2, e=(1,) * 10)
+        assert cfg.word_size == 16
+
+    def test_field_matches_word_size(self):
+        cfg = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+        assert cfg.field() is get_field(8)
+
+    def test_describe_mentions_parameters(self):
+        text = StairConfig(n=8, r=4, m=2, e=(1, 1, 2)).describe()
+        assert "n=8" in text and "e=(1, 1, 2)" in text
+
+    def test_special_case_predicates(self):
+        assert StairConfig(n=8, r=4, m=2, e=(1,)).is_pmds_equivalent()
+        assert StairConfig(n=8, r=4, m=2, e=(4,)).is_full_chunk_equivalent()
+        assert StairConfig(n=6, r=4, m=2, e=(2, 2, 2, 2)).is_idr_equivalent()
+        assert not StairConfig(n=8, r=4, m=2, e=(1, 2)).is_idr_equivalent()
+
+    def test_configs_are_hashable_and_comparable(self):
+        a = StairConfig(n=8, r=4, m=2, e=(2, 1, 1))
+        b = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestEnumerateEVectors:
+    def test_partitions_of_four(self):
+        vectors = set(enumerate_e_vectors(4))
+        assert vectors == {(4,), (1, 3), (2, 2), (1, 1, 2), (1, 1, 1, 1)}
+
+    def test_m_prime_cap(self):
+        vectors = set(enumerate_e_vectors(4, m_prime_max=2))
+        assert vectors == {(4,), (1, 3), (2, 2)}
+
+    def test_e_max_cap(self):
+        vectors = set(enumerate_e_vectors(4, e_max_cap=2))
+        assert vectors == {(2, 2), (1, 1, 2), (1, 1, 1, 1)}
+
+    def test_zero_budget(self):
+        assert list(enumerate_e_vectors(0)) == [()]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_e_vectors(-1))
+
+    def test_all_vectors_sum_to_s(self):
+        for s in range(1, 8):
+            for e in enumerate_e_vectors(s):
+                assert sum(e) == s
+                assert e == tuple(sorted(e))

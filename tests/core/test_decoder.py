@@ -1,0 +1,169 @@
+"""Tests for upstairs / practical decoding and failure coverage."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecodingFailureError,
+    StairCode,
+    StairConfig,
+    check_coverage,
+)
+
+EXAMPLE = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+
+
+def make_code_and_stripe(config=EXAMPLE, symbol_size=16, seed=0):
+    code = StairCode(config)
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, symbol_size, dtype=np.uint8)
+            for _ in range(config.num_data_symbols)]
+    return code, code.encode(data), data
+
+
+class TestWorstCaseRecovery:
+    def test_paper_worst_case(self):
+        """Two failed devices plus the e = (1,1,2) sector-failure pattern."""
+        code, stripe, data = make_code_and_stripe()
+        damaged = stripe.erase_chunks([6, 7]).erase(
+            [(3, 3), (3, 4), (2, 5), (3, 5)])
+        repaired = code.decode(damaged)
+        assert repaired == stripe
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(repaired.data_symbols(), data))
+
+    def test_failed_devices_can_be_data_devices(self):
+        code, stripe, _ = make_code_and_stripe(seed=1)
+        damaged = stripe.erase_chunks([0, 1]).erase(
+            [(0, 3), (1, 4), (2, 5), (3, 5)])
+        assert code.decode(damaged) == stripe
+
+    def test_sector_failures_anywhere_in_chunk(self):
+        code, stripe, _ = make_code_and_stripe(seed=2)
+        damaged = stripe.erase_chunks([2, 6]).erase(
+            [(0, 0), (1, 3), (0, 5), (2, 5)])
+        assert code.decode(damaged) == stripe
+
+    def test_all_device_failure_patterns(self):
+        code, stripe, _ = make_code_and_stripe(seed=3)
+        for chunks in combinations(range(8), 2):
+            damaged = stripe.erase_chunks(chunks)
+            assert code.decode(damaged) == stripe
+
+    def test_row_local_patterns(self):
+        """At most m losses per row are repaired by row parities alone."""
+        code, stripe, _ = make_code_and_stripe(seed=4)
+        damaged = stripe.erase([(0, 0), (0, 5), (1, 2), (2, 7), (3, 3), (3, 6)])
+        assert code.decode(damaged) == stripe
+
+    def test_decode_with_no_losses(self):
+        code, stripe, _ = make_code_and_stripe(seed=5)
+        assert code.decode(stripe) == stripe
+
+    def test_decode_without_practical_shortcut(self):
+        code, stripe, _ = make_code_and_stripe(seed=6)
+        damaged = stripe.erase_chunks([6, 7]).erase([(3, 5), (2, 5)])
+        assert code.decode(damaged, practical=False) == stripe
+
+    def test_decode_accepts_plain_grids(self):
+        code, stripe, _ = make_code_and_stripe(seed=7)
+        grid = [[None if j == 6 else stripe.get(i, j) for j in range(8)]
+                for i in range(4)]
+        assert code.decode(grid) == stripe
+
+
+class TestBeyondCoverage:
+    def test_too_many_device_failures(self):
+        code, stripe, _ = make_code_and_stripe(seed=8)
+        with pytest.raises(DecodingFailureError):
+            code.decode(stripe.erase_chunks([0, 1, 2]))
+
+    def test_too_many_sector_failures_in_one_chunk(self):
+        code, stripe, _ = make_code_and_stripe(seed=9)
+        damaged = stripe.erase_chunks([6, 7]).erase(
+            [(0, 5), (1, 5), (2, 5)])  # three failures but e_max = 2
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+    def test_too_many_chunks_with_sector_failures(self):
+        code, stripe, _ = make_code_and_stripe(seed=10)
+        damaged = stripe.erase_chunks([6, 7]).erase(
+            [(3, 0), (3, 1), (3, 2), (3, 3)])  # four chunks but m' = 3
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+    def test_error_reports_unrecovered_positions(self):
+        code, stripe, _ = make_code_and_stripe(seed=11)
+        with pytest.raises(DecodingFailureError) as excinfo:
+            code.decode(stripe.erase_chunks([0, 1, 2]))
+        assert excinfo.value.unrecovered
+
+    def test_empty_stripe_rejected(self):
+        code, stripe, _ = make_code_and_stripe(seed=12)
+        empty = [[None] * 8 for _ in range(4)]
+        with pytest.raises(DecodingFailureError):
+            code.decode(empty)
+
+    def test_sector_failures_without_global_parity(self):
+        config = StairConfig(n=6, r=4, m=1, e=())
+        code = StairCode(config)
+        rng = np.random.default_rng(13)
+        data = [rng.integers(0, 256, 8, dtype=np.uint8)
+                for _ in range(config.num_data_symbols)]
+        stripe = code.encode(data)
+        damaged = stripe.erase([(0, 0), (0, 1)])  # two losses in one row, m=1
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+
+class TestCoveragePredicate:
+    def test_within_coverage(self):
+        losses = ([(i, 6) for i in range(4)] + [(i, 7) for i in range(4)]
+                  + [(3, 3), (3, 4), (2, 5), (3, 5)])
+        assert check_coverage(EXAMPLE, losses)
+
+    def test_beyond_coverage_extra_chunk(self):
+        losses = ([(i, 6) for i in range(4)] + [(i, 7) for i in range(4)]
+                  + [(3, 0), (3, 1), (3, 2), (3, 3)])
+        assert not check_coverage(EXAMPLE, losses)
+
+    def test_beyond_coverage_deep_chunk(self):
+        losses = [(0, 0), (1, 0), (2, 0)]
+        # Without a device failure the 3-deep chunk is absorbed by m; adding
+        # two failed devices leaves it to the e coverage, which allows only 2.
+        assert check_coverage(EXAMPLE, losses)
+        losses += [(i, 6) for i in range(4)] + [(i, 7) for i in range(4)]
+        assert not check_coverage(EXAMPLE, losses)
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ValueError):
+            check_coverage(EXAMPLE, [(4, 0)])
+
+    def test_code_level_wrapper(self):
+        code = StairCode(EXAMPLE)
+        assert code.check_coverage([(0, 0)])
+        assert not code.check_coverage([(i, j) for i in range(4)
+                                        for j in range(3)])
+
+
+class TestMultipleConfigurations:
+    @pytest.mark.parametrize("config", [
+        StairConfig(n=6, r=4, m=1, e=(2,)),
+        StairConfig(n=6, r=6, m=2, e=(1, 3)),
+        StairConfig(n=5, r=3, m=1, e=(1, 1, 1)),
+        StairConfig(n=9, r=5, m=3, e=(2, 2)),
+        StairConfig(n=4, r=4, m=0, e=(1, 2)),
+        StairConfig(n=5, r=4, m=1, e=(1, 1, 2, 2)),
+    ], ids=lambda c: c.describe())
+    def test_worst_case_pattern_recovers(self, config):
+        code, stripe, _ = make_code_and_stripe(config, seed=20)
+        # Worst case: the m rightmost chunks fail entirely, and the stair
+        # chunks additionally lose e_l sectors each at the bottom.
+        damaged = stripe.erase_chunks(range(config.n - config.m, config.n))
+        losses = []
+        for l, col in enumerate(code.layout.stair_columns):
+            losses.extend((config.r - 1 - h, col) for h in range(config.e[l]))
+        damaged = damaged.erase(losses)
+        assert code.decode(damaged) == stripe

@@ -1,0 +1,155 @@
+"""Tests for the three STAIR encoding methods and the byte-level API."""
+
+import numpy as np
+import pytest
+
+from repro.core import EncodingInputError, StairCode, StairConfig
+from repro.core.stripe_data import StairStripe
+
+CONFIGS = [
+    StairConfig(n=8, r=4, m=2, e=(1, 1, 2)),   # the paper's running example
+    StairConfig(n=6, r=4, m=1, e=(2,)),
+    StairConfig(n=6, r=6, m=2, e=(1, 3)),
+    StairConfig(n=5, r=3, m=1, e=(1, 1, 1)),
+    StairConfig(n=9, r=5, m=3, e=(2, 2)),
+    StairConfig(n=6, r=4, m=2, e=()),           # no sector-failure parity
+    StairConfig(n=4, r=4, m=0, e=(1, 2)),       # no device-failure parity
+]
+
+
+def make_data(config, symbol_size=24, seed=11):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, symbol_size, dtype=np.uint8)
+            for _ in range(config.num_data_symbols)]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+class TestMethodEquivalence:
+    def test_all_methods_produce_identical_stripes(self, config):
+        code = StairCode(config)
+        data = make_data(config)
+        stripes = [code.encode(data, method=method)
+                   for method in ("upstairs", "downstairs", "standard")]
+        assert stripes[0] == stripes[1] == stripes[2]
+
+    def test_encoding_is_systematic(self, config):
+        code = StairCode(config)
+        data = make_data(config, seed=13)
+        stripe = code.encode(data)
+        for index, symbol in enumerate(stripe.data_symbols()):
+            assert np.array_equal(symbol, data[index])
+
+    def test_auto_method_matches_explicit(self, config):
+        code = StairCode(config)
+        data = make_data(config, seed=17)
+        assert code.encode(data) == code.encode(data, method="upstairs")
+
+
+class TestEncodingValidation:
+    def test_wrong_symbol_count(self):
+        code = StairCode(CONFIGS[0])
+        data = make_data(CONFIGS[0])[:-1]
+        with pytest.raises(EncodingInputError):
+            code.encode(data)
+
+    def test_inconsistent_symbol_sizes(self):
+        code = StairCode(CONFIGS[0])
+        data = make_data(CONFIGS[0])
+        data[3] = data[3][:8]
+        with pytest.raises(EncodingInputError):
+            code.encode(data)
+
+    def test_unknown_method(self):
+        code = StairCode(CONFIGS[0])
+        with pytest.raises(EncodingInputError):
+            code.encode(make_data(CONFIGS[0]), method="sideways")
+
+    def test_unknown_default_method_rejected(self):
+        with pytest.raises(Exception):
+            StairCode(CONFIGS[0], method="sideways")
+
+    def test_unknown_mds_construction_rejected(self):
+        with pytest.raises(Exception):
+            StairCode(CONFIGS[0], mds_construction="magic")
+
+    def test_vandermonde_construction_works(self):
+        config = CONFIGS[0]
+        code = StairCode(config, mds_construction="vandermonde")
+        data = make_data(config)
+        stripe = code.encode(data)
+        repaired = code.decode(stripe.erase_chunks([6, 7]))
+        assert repaired == stripe
+
+
+class TestByteInterface:
+    def test_encode_decode_bytes_roundtrip(self):
+        config = CONFIGS[0]
+        code = StairCode(config)
+        payload = bytes(range(256)) * 3
+        stripe = code.encode_bytes(payload, symbol_size=64)
+        damaged = stripe.erase_chunks([0]).erase([(3, 3), (1, 5)])
+        assert code.decode_bytes(damaged, length=len(payload)) == payload
+
+    def test_payload_too_large(self):
+        code = StairCode(CONFIGS[0])
+        with pytest.raises(EncodingInputError):
+            code.encode_bytes(b"x" * (code.config.num_data_symbols * 8 + 1),
+                              symbol_size=8)
+
+    def test_symbol_size_must_be_positive(self):
+        code = StairCode(CONFIGS[0])
+        with pytest.raises(EncodingInputError):
+            code.encode_bytes(b"hello", symbol_size=0)
+
+    def test_payload_is_zero_padded(self):
+        code = StairCode(CONFIGS[0])
+        stripe = code.encode_bytes(b"abc", symbol_size=16)
+        blob = code.decode_bytes(stripe)
+        assert blob.startswith(b"abc")
+        assert set(blob[3:]) == {0}
+
+
+class TestBaselineConstruction:
+    """The §3 construction with outside global parity symbols."""
+
+    def test_baseline_roundtrip_with_failures(self):
+        config = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+        code = StairCode(config)
+        rng = np.random.default_rng(3)
+        data = [rng.integers(0, 256, 16, dtype=np.uint8)
+                for _ in range(config.r * config.data_chunks)]
+        stripe, outside = code.encode_baseline(data)
+        assert [len(group) for group in outside] == [1, 1, 2]
+
+        damaged = stripe.erase_chunks([6, 7]).erase(
+            [(3, 3), (3, 4), (2, 5), (3, 5)])
+        repaired = code.decode_baseline(damaged, outside)
+        assert repaired == stripe
+
+    def test_baseline_data_capacity_is_larger(self):
+        config = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+        code = StairCode(config)
+        with pytest.raises(EncodingInputError):
+            code.encode_baseline(make_data(config))  # too few symbols
+
+    def test_baseline_row_parities_match_inside_construction(self):
+        """With zeroed stair cells, inside and outside constructions agree on
+        the row parity chunks of the rows above the stair."""
+        config = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+        code = StairCode(config)
+        rng = np.random.default_rng(5)
+        inside_data = make_data(config, seed=5)
+        inside = code.encode(inside_data)
+
+        baseline_data = []
+        for i in range(config.r):
+            for j in range(config.data_chunks):
+                if code.layout.is_global_parity(i, j):
+                    baseline_data.append(inside.get(i, j))
+                else:
+                    baseline_data.append(
+                        inside_data[code.layout.data_index(i, j)])
+        baseline, _ = code.encode_baseline(baseline_data)
+        for i in range(config.r):
+            for j in code.layout.parity_columns:
+                assert np.array_equal(baseline.get(i, j), inside.get(i, j))

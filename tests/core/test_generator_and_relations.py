@@ -1,0 +1,125 @@
+"""Tests for the generator-matrix derivation, Property 5.1 and update penalty."""
+
+import numpy as np
+import pytest
+
+from repro.core import StairCode, StairConfig
+from repro.core.generator import full_generator_matrix
+from repro.core.parity_relations import (
+    check_property_5_1,
+    data_dependencies,
+    parity_dependencies,
+    update_penalty,
+    update_penalty_per_symbol,
+)
+
+EXAMPLE = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+
+
+@pytest.fixture(scope="module")
+def example_code():
+    return StairCode(EXAMPLE)
+
+
+class TestGeneratorMatrix:
+    def test_shape(self, example_code):
+        coeffs = example_code.parity_coefficients()
+        assert coeffs.shape == (EXAMPLE.num_parity_symbols,
+                                EXAMPLE.num_data_symbols)
+
+    def test_cached(self, example_code):
+        assert example_code.parity_coefficients() is \
+            example_code.parity_coefficients()
+
+    def test_standard_encoding_from_generator_matches_upstairs(self, example_code):
+        rng = np.random.default_rng(0)
+        data = [rng.integers(0, 256, 16, dtype=np.uint8)
+                for _ in range(EXAMPLE.num_data_symbols)]
+        assert example_code.encode(data, method="standard") == \
+            example_code.encode(data, method="upstairs")
+
+    def test_full_generator_has_identity_on_data_positions(self, example_code):
+        gen = example_code.generator_matrix()
+        layout = example_code.layout
+        assert gen.shape == (EXAMPLE.num_data_symbols,
+                             EXAMPLE.r * EXAMPLE.n)
+        for index, (row, col) in enumerate(layout.data_positions()):
+            column = gen[:, row * EXAMPLE.n + col]
+            expected = np.zeros(EXAMPLE.num_data_symbols, dtype=np.int64)
+            expected[index] = 1
+            assert np.array_equal(column, expected)
+
+    def test_full_generator_parity_columns_match_coefficients(self, example_code):
+        gen = full_generator_matrix(EXAMPLE, example_code.layout,
+                                    example_code.parity_coefficients())
+        layout = example_code.layout
+        for p, (row, col) in enumerate(layout.parity_positions()):
+            assert np.array_equal(gen[:, row * EXAMPLE.n + col],
+                                  example_code.parity_coefficients()[p])
+
+    def test_generator_rows_nonzero(self, example_code):
+        """Every parity symbol depends on at least one data symbol."""
+        coeffs = example_code.parity_coefficients()
+        assert all(np.count_nonzero(coeffs[p]) > 0
+                   for p in range(coeffs.shape[0]))
+
+
+class TestProperty51:
+    @pytest.mark.parametrize("config", [
+        EXAMPLE,
+        StairConfig(n=6, r=4, m=1, e=(2,)),
+        StairConfig(n=6, r=6, m=2, e=(1, 3)),
+        StairConfig(n=16, r=8, m=2, e=(1, 1, 2)),
+    ], ids=lambda c: c.describe())
+    def test_no_violations(self, config):
+        code = StairCode(config)
+        violations = check_property_5_1(config, code.layout,
+                                        code.parity_coefficients())
+        assert violations == []
+
+    def test_example_specific_relations_from_figure_8(self, example_code):
+        """p_{1,1} (row 1 parity) depends only on row 1's data; ĝ_{0,1} does
+        not depend on column 3 (same tread); p_{2,0} sees rows 0-2 only."""
+        layout = example_code.layout
+        deps = parity_dependencies(layout, example_code.parity_coefficients())
+        data_pos = layout.data_positions()
+
+        p11 = layout.parity_index(1, 7)
+        assert {data_pos[d][0] for d in deps[p11]} == {1}
+
+        g01 = layout.parity_index(3, 4)
+        assert all(data_pos[d][1] != 3 for d in deps[g01])
+
+        p20 = layout.parity_index(2, 6)
+        assert {data_pos[d][0] for d in deps[p20]} <= {0, 1, 2}
+
+    def test_global_parities_depend_on_many_symbols(self, example_code):
+        """The bottom-right global parity is encoded from almost all data."""
+        layout = example_code.layout
+        deps = parity_dependencies(layout, example_code.parity_coefficients())
+        bottom_right = layout.parity_index(3, 5)
+        assert len(deps[bottom_right]) >= EXAMPLE.num_data_symbols * 0.75
+
+
+class TestUpdatePenalty:
+    def test_matches_dependency_counts(self, example_code):
+        layout = example_code.layout
+        coeffs = example_code.parity_coefficients()
+        per_symbol = update_penalty_per_symbol(layout, coeffs)
+        assert update_penalty(layout, coeffs) == pytest.approx(
+            sum(per_symbol) / len(per_symbol))
+        data_deps = data_dependencies(layout, coeffs)
+        assert per_symbol == [len(deps) for deps in data_deps]
+
+    def test_every_data_symbol_is_protected(self, example_code):
+        """Each data symbol must contribute to at least m + 1 parities."""
+        per_symbol = example_code.update_penalty_per_symbol()
+        assert min(per_symbol) >= EXAMPLE.m + 1
+
+    def test_penalty_increases_with_m(self):
+        penalties = [StairCode(StairConfig(n=8, r=8, m=m, e=(1, 2))).update_penalty()
+                     for m in (1, 2, 3)]
+        assert penalties[0] < penalties[1] < penalties[2]
+
+    def test_rs_lower_bound(self, example_code):
+        assert example_code.update_penalty() > EXAMPLE.m

@@ -1,0 +1,139 @@
+"""Unit tests for the stripe layout and canonical-stripe geometry."""
+
+import pytest
+
+from repro.core import StairConfig
+from repro.core.layout import StripeLayout, SymbolKind
+
+
+@pytest.fixture
+def example():
+    """The paper's running example: n=8, r=4, m=2, e=(1,1,2)."""
+    config = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+    return config, StripeLayout(config)
+
+
+class TestRoles:
+    def test_column_partition(self, example):
+        _, layout = example
+        assert layout.data_columns == (0, 1, 2, 3, 4, 5)
+        assert layout.parity_columns == (6, 7)
+        assert layout.stair_columns == (3, 4, 5)
+
+    def test_global_parity_positions_match_figure_5(self, example):
+        _, layout = example
+        positions = {(p.row, p.col): (p.l, p.h)
+                     for p in layout.global_parity_positions()}
+        # ĝ0,0 at (3,3), ĝ0,1 at (3,4), ĝ0,2 at (2,5), ĝ1,2 at (3,5).
+        assert positions == {(3, 3): (0, 0), (3, 4): (1, 0),
+                             (2, 5): (2, 0), (3, 5): (2, 1)}
+
+    def test_kind_classification(self, example):
+        _, layout = example
+        assert layout.kind(0, 0) is SymbolKind.DATA
+        assert layout.kind(3, 3) is SymbolKind.GLOBAL_PARITY
+        assert layout.kind(1, 6) is SymbolKind.ROW_PARITY
+        assert layout.is_data(2, 2)
+        assert layout.is_global_parity(2, 5)
+        assert layout.is_row_parity(0, 7)
+
+    def test_kind_out_of_bounds(self, example):
+        _, layout = example
+        with pytest.raises(IndexError):
+            layout.kind(4, 0)
+        with pytest.raises(IndexError):
+            layout.kind(0, 8)
+
+    def test_global_parity_at(self, example):
+        _, layout = example
+        assert layout.global_parity_at(3, 5).h == 1
+        assert layout.global_parity_at(0, 0) is None
+
+
+class TestLinearIndexing:
+    def test_counts(self, example):
+        config, layout = example
+        assert layout.num_data_symbols == config.num_data_symbols == 20
+        assert layout.num_parity_symbols == config.num_parity_symbols == 12
+
+    def test_data_index_roundtrip(self, example):
+        _, layout = example
+        for index, position in enumerate(layout.data_positions()):
+            assert layout.data_index(*position) == index
+            assert layout.data_position(index) == position
+
+    def test_parity_index_roundtrip(self, example):
+        _, layout = example
+        for index, position in enumerate(layout.parity_positions()):
+            assert layout.parity_index(*position) == index
+            assert layout.parity_position(index) == position
+
+    def test_parity_order_globals_first(self, example):
+        _, layout = example
+        first_four = layout.parity_positions()[:4]
+        assert first_four == ((3, 3), (3, 4), (2, 5), (3, 5))
+
+    def test_data_positions_skip_global_cells(self, example):
+        _, layout = example
+        data_cells = set(layout.data_positions())
+        assert (3, 3) not in data_cells
+        assert (2, 5) not in data_cells
+        assert (0, 0) in data_cells
+
+    def test_wrong_role_lookup_raises(self, example):
+        _, layout = example
+        with pytest.raises(ValueError):
+            layout.data_index(3, 3)
+        with pytest.raises(ValueError):
+            layout.parity_index(0, 0)
+
+
+class TestCanonicalGeometry:
+    def test_grid_dimensions(self, example):
+        _, layout = example
+        assert layout.grid_rows == 6   # r + e_max = 4 + 2
+        assert layout.grid_cols == 11  # n + m' = 8 + 3
+
+    def test_cell_classification(self, example):
+        _, layout = example
+        assert layout.is_stored_cell(3, 7)
+        assert not layout.is_stored_cell(4, 0)
+        assert not layout.is_stored_cell(0, 8)
+        assert layout.is_augmented_row(4)
+        assert not layout.is_augmented_row(3)
+        assert layout.is_intermediate_column(8)
+        assert not layout.is_intermediate_column(7)
+
+    def test_outside_global_cells_match_figure_3(self, example):
+        _, layout = example
+        cells = list(layout.outside_global_cells())
+        # g0,0 at (4,8), g0,1 at (4,9), g0,2 at (4,10), g1,2 at (5,10).
+        assert [(row, col) for row, col, _, _ in cells] == [
+            (4, 8), (4, 9), (4, 10), (5, 10)]
+
+    def test_chunk_and_row_cells(self, example):
+        _, layout = example
+        assert layout.chunk_cells(2) == [(0, 2), (1, 2), (2, 2), (3, 2)]
+        assert layout.row_cells(1) == [(1, j) for j in range(8)]
+
+
+class TestDegenerateLayouts:
+    def test_no_global_parities(self):
+        config = StairConfig(n=6, r=4, m=2, e=())
+        layout = StripeLayout(config)
+        assert layout.global_parity_positions() == ()
+        assert layout.num_data_symbols == 16
+        assert layout.grid_rows == 4 and layout.grid_cols == 6
+
+    def test_full_chunk_of_global_parities(self):
+        config = StairConfig(n=5, r=3, m=1, e=(3,))
+        layout = StripeLayout(config)
+        rows = [p.row for p in layout.global_parity_positions()]
+        cols = {p.col for p in layout.global_parity_positions()}
+        assert rows == [0, 1, 2] and cols == {3}
+
+    def test_stair_spans_all_data_chunks(self):
+        config = StairConfig(n=5, r=4, m=1, e=(1, 1, 2, 2))
+        layout = StripeLayout(config)
+        assert layout.stair_columns == (0, 1, 2, 3)
+        assert layout.num_data_symbols == 4 * 4 - 6

@@ -1,0 +1,98 @@
+"""Schedule tests: Tables 2 and 3 of the paper.
+
+The paper walks through the exact sequence of C_row / C_col operations
+that upstairs decoding (Table 2) and downstairs encoding (Table 3)
+perform on the running example (n=8, r=4, m=2, e=(1,1,2)).  These tests
+assert that our schedulers perform the same steps in the same order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StairCode, StairConfig
+from repro.core.canonical import ScheduleStep
+
+EXAMPLE = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+
+
+@pytest.fixture(scope="module")
+def code_and_stripe():
+    code = StairCode(EXAMPLE)
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 256, 8, dtype=np.uint8)
+            for _ in range(EXAMPLE.num_data_symbols)]
+    return code, code.encode(data)
+
+
+def test_upstairs_decoding_schedule_matches_table_2(code_and_stripe):
+    code, stripe = code_and_stripe
+    damaged = stripe.erase_chunks([6, 7]).erase([(3, 3), (3, 4), (2, 5), (3, 5)])
+    code.decode(damaged, practical=False)
+    steps = code.last_decode_schedule
+
+    # Steps 1-3: good chunks 0-2 produce their virtual symbols d*_{0,j}, d*_{1,j}.
+    assert steps[0] == ScheduleStep("col", 0, ((4, 0), (5, 0)))
+    assert steps[1] == ScheduleStep("col", 1, ((4, 1), (5, 1)))
+    assert steps[2] == ScheduleStep("col", 2, ((4, 2), (5, 2)))
+    # Step 4: augmented row 0 (grid row 4) recovers d*_{0,3..5}.
+    assert steps[3] == ScheduleStep("row", 4, ((4, 3), (4, 4), (4, 5)))
+    # Steps 5-6: chunks 3 and 4 recover their lost symbol and next virtual.
+    assert steps[4] == ScheduleStep("col", 3, ((3, 3), (5, 3)))
+    assert steps[5] == ScheduleStep("col", 4, ((3, 4), (5, 4)))
+    # Step 7: augmented row 1 (grid row 5) recovers d*_{1,5}.
+    assert steps[6] == ScheduleStep("row", 5, ((5, 5),))
+    # Step 8: chunk 5 recovers its two lost symbols.
+    assert steps[7] == ScheduleStep("col", 5, ((2, 5), (3, 5)))
+    # Steps 9-12: the failed chunks 6-7 are rebuilt row by row.
+    for offset, row in enumerate(range(4)):
+        assert steps[8 + offset] == ScheduleStep("row", row, ((row, 6), (row, 7)))
+    assert len(steps) == 12
+
+
+def test_upstairs_encoding_uses_the_same_schedule(code_and_stripe):
+    code, _ = code_and_stripe
+    rng = np.random.default_rng(1)
+    data = [rng.integers(0, 256, 8, dtype=np.uint8)
+            for _ in range(EXAMPLE.num_data_symbols)]
+    code.encode(data, method="upstairs")
+    steps = code._upstairs.last_schedule
+    kinds = [(step.kind, step.index) for step in steps]
+    assert kinds == [("col", 0), ("col", 1), ("col", 2), ("row", 4),
+                     ("col", 3), ("col", 4), ("row", 5), ("col", 5),
+                     ("row", 0), ("row", 1), ("row", 2), ("row", 3)]
+
+
+def test_downstairs_encoding_schedule_matches_table_3(code_and_stripe):
+    code, _ = code_and_stripe
+    rng = np.random.default_rng(2)
+    data = [rng.integers(0, 256, 8, dtype=np.uint8)
+            for _ in range(EXAMPLE.num_data_symbols)]
+    code.encode(data, method="downstairs")
+    steps = code.last_downstairs_schedule
+
+    # Step 1-2: rows 0 and 1 generate row parities and intermediate parities.
+    assert steps[0] == ScheduleStep("row", 0, ((0, 6), (0, 7), (0, 8), (0, 9), (0, 10)))
+    assert steps[1] == ScheduleStep("row", 1, ((1, 6), (1, 7), (1, 8), (1, 9), (1, 10)))
+    # Step 3: intermediate chunk 2 (grid column 10) recovers p'_{2,2}, p'_{3,2}.
+    assert steps[2] == ScheduleStep("col", 10, ((2, 10), (3, 10)))
+    # Step 4: row 2 generates ĝ0,2 and its parities.
+    assert steps[3] == ScheduleStep("row", 2, ((2, 5), (2, 6), (2, 7), (2, 8), (2, 9)))
+    # Steps 5-6: intermediate chunks 1 and 0 (columns 9 and 8).
+    assert steps[4] == ScheduleStep("col", 9, ((3, 9),))
+    assert steps[5] == ScheduleStep("col", 8, ((3, 8),))
+    # Step 7: row 3 generates the remaining global and row parities.
+    assert steps[6] == ScheduleStep("row", 3, ((3, 3), (3, 4), (3, 5), (3, 6), (3, 7)))
+    assert len(steps) == 7
+
+
+def test_downstairs_outputs_per_row_equal_m_plus_m_prime(code_and_stripe):
+    """Every C_row step of downstairs encoding produces m + m' symbols."""
+    code, _ = code_and_stripe
+    rng = np.random.default_rng(3)
+    data = [rng.integers(0, 256, 8, dtype=np.uint8)
+            for _ in range(EXAMPLE.num_data_symbols)]
+    code.encode(data, method="downstairs")
+    row_steps = [s for s in code.last_downstairs_schedule if s.kind == "row"]
+    assert all(len(s.recovered) == EXAMPLE.m + EXAMPLE.m_prime for s in row_steps)
+    col_steps = [s for s in code.last_downstairs_schedule if s.kind == "col"]
+    assert sum(len(s.recovered) for s in col_steps) == EXAMPLE.s

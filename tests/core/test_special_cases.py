@@ -1,0 +1,106 @@
+"""Tests for the special cases of the coverage vector e discussed in §2."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodingFailureError, StairCode, StairConfig
+
+
+def encode_random(config, seed=0, symbol_size=16):
+    code = StairCode(config)
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, symbol_size, dtype=np.uint8)
+            for _ in range(config.num_data_symbols)]
+    return code, code.encode(data)
+
+
+class TestPMDSEquivalent:
+    """e = (1): a new construction of a PMDS/SD code with s = 1."""
+
+    def test_one_extra_sector_failure_anywhere(self):
+        config = StairConfig(n=6, r=4, m=2, e=(1,))
+        code, stripe = encode_random(config)
+        for position in [(0, 0), (2, 3), (3, 5)]:
+            damaged = stripe.erase_chunks([4, 5]).erase([position])
+            assert code.decode(damaged) == stripe
+
+    def test_two_sector_failures_in_one_chunk_fail(self):
+        config = StairConfig(n=6, r=4, m=2, e=(1,))
+        code, stripe = encode_random(config)
+        damaged = stripe.erase_chunks([4, 5]).erase([(0, 0), (1, 0)])
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+
+class TestFullChunkEquivalent:
+    """e = (r): same function as a systematic (n, n-m-1) code."""
+
+    def test_tolerates_m_plus_one_device_failures(self):
+        config = StairConfig(n=6, r=3, m=2, e=(3,))
+        code, stripe = encode_random(config)
+        # m = 2 device failures plus one further chunk entirely lost.
+        damaged = stripe.erase_chunks([1, 4, 5])
+        assert code.decode(damaged) == stripe
+
+    def test_does_not_tolerate_m_plus_two(self):
+        config = StairConfig(n=6, r=3, m=2, e=(3,))
+        code, stripe = encode_random(config)
+        with pytest.raises(DecodingFailureError):
+            code.decode(stripe.erase_chunks([0, 1, 4, 5]))
+
+
+class TestIDREquivalent:
+    """e = (eps, ..., eps) with m' = n - m behaves like intra-device redundancy."""
+
+    def test_every_data_chunk_may_lose_eps_sectors(self):
+        config = StairConfig(n=5, r=4, m=1, e=(1, 1, 1, 1))
+        code, stripe = encode_random(config)
+        damaged = stripe.erase_chunks([4]).erase(
+            [(0, 0), (3, 1), (2, 2), (1, 3)])
+        assert code.decode(damaged) == stripe
+
+    def test_space_advantage_over_idr(self):
+        """§2: n=8, m=2, beta=4 -> IDR needs 24 redundant sectors, STAIR with
+        e = (1, 4) only five."""
+        from repro.analysis.space import compare_space
+        comparison = compare_space(n=8, r=16, m=2, e=(1, 4))
+        idr_extra = comparison.idr_redundant_sectors - 2 * 16
+        stair_extra = comparison.stair_redundant_sectors - 2 * 16
+        assert idr_extra == 24
+        assert stair_extra == 5
+
+
+class TestBurstCoverage:
+    """§2: e = (1, 4) tolerates a burst of four sector failures plus one more."""
+
+    def test_long_burst_plus_single_failure(self):
+        config = StairConfig(n=8, r=8, m=2, e=(1, 4))
+        code, stripe = encode_random(config)
+        burst = [(3, 2), (4, 2), (5, 2), (6, 2)]  # four contiguous sectors
+        damaged = stripe.erase_chunks([6, 7]).erase(burst + [(0, 4)])
+        assert code.decode(damaged) == stripe
+
+    def test_burst_longer_than_coverage_fails(self):
+        config = StairConfig(n=8, r=8, m=2, e=(1, 4))
+        code, stripe = encode_random(config)
+        burst = [(i, 2) for i in range(5)]  # five contiguous sectors
+        damaged = stripe.erase_chunks([6, 7]).erase(burst)
+        with pytest.raises(DecodingFailureError):
+            code.decode(damaged)
+
+
+class TestDegenerateConfigurations:
+    def test_pure_reed_solomon(self):
+        """e = (): STAIR degenerates to device-level RS."""
+        config = StairConfig(n=6, r=4, m=2, e=())
+        code, stripe = encode_random(config)
+        assert code.decode(stripe.erase_chunks([0, 3])) == stripe
+
+    def test_sector_only_code(self):
+        """m = 0: the code only protects against sector failures."""
+        config = StairConfig(n=4, r=4, m=0, e=(1, 2))
+        code, stripe = encode_random(config)
+        damaged = stripe.erase([(0, 0), (2, 3), (3, 3)])
+        assert code.decode(damaged) == stripe
+        with pytest.raises(DecodingFailureError):
+            code.decode(stripe.erase_chunks([0]))

@@ -1,0 +1,122 @@
+"""Property-based tests of STAIR fault tolerance (the §4.2 theorem).
+
+Hypothesis draws random configurations (n, r, m, e) and random failure
+patterns within the declared coverage; the decoder must always recover
+the stripe exactly.  A complementary test checks that the three encoding
+methods always agree, and that patterns just beyond coverage are
+rejected rather than silently mis-decoded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DecodingFailureError, StairCode, StairConfig
+
+_CODE_CACHE: dict[StairConfig, StairCode] = {}
+
+
+def get_code(config: StairConfig) -> StairCode:
+    if config not in _CODE_CACHE:
+        _CODE_CACHE[config] = StairCode(config)
+    return _CODE_CACHE[config]
+
+
+@st.composite
+def stair_configurations(draw):
+    n = draw(st.integers(min_value=4, max_value=9))
+    r = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=0, max_value=min(3, n - 2)))
+    m_prime = draw(st.integers(min_value=1, max_value=min(3, n - m)))
+    e = tuple(sorted(draw(st.lists(st.integers(min_value=1, max_value=min(3, r)),
+                                   min_size=m_prime, max_size=m_prime))))
+    if m == 0 and not e:
+        e = (1,)
+    # Keep at least one data symbol in the stripe (required by StairConfig).
+    while sum(e) >= r * (n - m) and len(e) > 1:
+        e = e[:-1]
+    if sum(e) >= r * (n - m):
+        e = (1,)
+    return StairConfig(n=n, r=r, m=m, e=e)
+
+
+@st.composite
+def covered_failure_pattern(draw, config):
+    """A random failure pattern within the coverage defined by (m, e)."""
+    columns = list(range(config.n))
+    num_failed_devices = draw(st.integers(min_value=0, max_value=config.m))
+    failed_devices = draw(st.permutations(columns)) [:num_failed_devices]
+    remaining = [c for c in columns if c not in failed_devices]
+
+    losses = [(i, j) for j in failed_devices for i in range(config.r)]
+    num_sector_chunks = draw(st.integers(min_value=0,
+                                         max_value=min(config.m_prime,
+                                                       len(remaining))))
+    sector_chunks = draw(st.permutations(remaining))[:num_sector_chunks]
+    e_desc = sorted(config.e, reverse=True)
+    for index, chunk in enumerate(sector_chunks):
+        budget = e_desc[index]
+        count = draw(st.integers(min_value=1, max_value=budget))
+        rows = draw(st.permutations(range(config.r)))[:count]
+        losses.extend((row, chunk) for row in rows)
+    return losses
+
+
+@given(stair_configurations(), st.data(), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=60, deadline=None)
+def test_any_covered_failure_pattern_is_recovered(config, data_strategy, seed):
+    code = get_code(config)
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, 8, dtype=np.uint8)
+            for _ in range(config.num_data_symbols)]
+    stripe = code.encode(data)
+    losses = data_strategy.draw(covered_failure_pattern(config))
+    assert code.check_coverage(losses)
+    repaired = code.decode(stripe.erase(losses))
+    assert repaired == stripe
+
+
+@given(stair_configurations(), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=25, deadline=None)
+def test_encoding_methods_always_agree(config, seed):
+    code = get_code(config)
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, 8, dtype=np.uint8)
+            for _ in range(config.num_data_symbols)]
+    upstairs = code.encode(data, method="upstairs")
+    downstairs = code.encode(data, method="downstairs")
+    assert upstairs == downstairs
+
+
+@given(stair_configurations(), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=25, deadline=None)
+def test_patterns_beyond_coverage_raise_not_corrupt(config, seed):
+    """One more failed chunk than the coverage allows must raise (never return
+    a wrong stripe)."""
+    code = get_code(config)
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, 8, dtype=np.uint8)
+            for _ in range(config.num_data_symbols)]
+    stripe = code.encode(data)
+    # Fail m devices entirely plus one extra chunk entirely: recoverable only
+    # when e covers a whole chunk (e_max == r), in which case skip.
+    if config.e_max == config.r or config.m + 1 >= config.n:
+        return
+    damaged = stripe.erase_chunks(range(config.m + 1))
+    try:
+        repaired = code.decode(damaged)
+    except DecodingFailureError:
+        return
+    # If it decoded anyway (pattern happened to be within coverage due to
+    # absorbing the extra chunk into e), the result must be correct.
+    assert repaired == stripe
+
+
+@given(stair_configurations())
+@settings(max_examples=40, deadline=None)
+def test_storage_efficiency_bounds(config):
+    efficiency = config.storage_efficiency
+    assert 0.0 < efficiency < 1.0
+    rs_efficiency = (config.n - config.m) / config.n
+    assert efficiency <= rs_efficiency

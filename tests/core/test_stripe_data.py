@@ -1,0 +1,98 @@
+"""Tests for the StairStripe container."""
+
+import numpy as np
+import pytest
+
+from repro.core import StairCode, StairConfig
+from repro.core.layout import StripeLayout
+from repro.core.stripe_data import StairStripe
+
+CONFIG = StairConfig(n=8, r=4, m=2, e=(1, 1, 2))
+
+
+@pytest.fixture
+def stripe():
+    code = StairCode(CONFIG)
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 256, 16, dtype=np.uint8)
+            for _ in range(CONFIG.num_data_symbols)]
+    return code.encode(data)
+
+
+class TestBasics:
+    def test_geometry_validation(self):
+        layout = StripeLayout(CONFIG)
+        with pytest.raises(ValueError):
+            StairStripe(CONFIG, layout, [[None] * 8] * 3)
+        with pytest.raises(ValueError):
+            StairStripe(CONFIG, layout, [[None] * 7] * 4)
+
+    def test_get_set(self, stripe):
+        symbol = np.arange(16, dtype=np.uint8)
+        stripe.set(0, 0, symbol)
+        assert np.array_equal(stripe.get(0, 0), symbol)
+        stripe.set(0, 0, None)
+        assert stripe.get(0, 0) is None
+
+    def test_symbol_size(self, stripe):
+        assert stripe.symbol_size == 16
+
+    def test_symbol_size_requires_survivors(self):
+        layout = StripeLayout(CONFIG)
+        empty = StairStripe(CONFIG, layout, [[None] * 8 for _ in range(4)])
+        with pytest.raises(ValueError):
+            empty.symbol_size
+
+    def test_copy_is_deep(self, stripe):
+        clone = stripe.copy()
+        clone.get(0, 0)[0] ^= 0xFF
+        assert not np.array_equal(clone.get(0, 0), stripe.get(0, 0))
+
+    def test_equality(self, stripe):
+        assert stripe == stripe.copy()
+        other = stripe.copy()
+        other.set(1, 1, np.zeros(16, dtype=np.uint8))
+        assert stripe != other
+        assert stripe != object()  # NotImplemented path falls back to False
+
+    def test_chunk_view(self, stripe):
+        chunk = stripe.chunk(3)
+        assert len(chunk) == 4
+        assert np.array_equal(chunk[0], stripe.get(0, 3))
+
+
+class TestRoleViews:
+    def test_data_symbols_count(self, stripe):
+        assert len(stripe.data_symbols()) == CONFIG.num_data_symbols
+
+    def test_parity_symbols_count(self, stripe):
+        assert len(stripe.parity_symbols()) == CONFIG.num_parity_symbols
+
+    def test_views_raise_when_lost(self, stripe):
+        damaged = stripe.erase([(0, 0)])
+        with pytest.raises(ValueError):
+            damaged.data_symbols()
+        damaged = stripe.erase([(0, 7)])
+        with pytest.raises(ValueError):
+            damaged.parity_symbols()
+
+
+class TestFailureInjection:
+    def test_erase_returns_new_stripe(self, stripe):
+        damaged = stripe.erase([(0, 0), (1, 1)])
+        assert stripe.get(0, 0) is not None
+        assert damaged.get(0, 0) is None
+        assert damaged.lost_positions() == [(0, 0), (1, 1)]
+
+    def test_erase_chunks(self, stripe):
+        damaged = stripe.erase_chunks([6, 7])
+        assert len(damaged.lost_positions()) == 8
+        assert all(col in (6, 7) for _, col in damaged.lost_positions())
+
+    def test_to_bytes_roundtrip_length(self, stripe):
+        blob = stripe.to_bytes()
+        assert len(blob) == CONFIG.total_symbols * 16
+
+    def test_to_bytes_rejects_damaged(self, stripe):
+        with pytest.raises(ValueError):
+            stripe.erase([(2, 2)]).to_bytes()

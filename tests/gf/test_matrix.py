@@ -1,0 +1,159 @@
+"""Unit tests for GF matrices (inverse, rank, constructions)."""
+
+import numpy as np
+import pytest
+
+from repro.gf.field import get_field
+from repro.gf.matrix import GFMatrix, SingularMatrixError
+
+
+@pytest.fixture
+def field():
+    return get_field(8)
+
+
+def random_invertible(n, field, seed=0):
+    rng = np.random.default_rng(seed)
+    while True:
+        data = rng.integers(0, field.order, (n, n))
+        matrix = GFMatrix(data, field)
+        if matrix.is_invertible():
+            return matrix
+
+
+class TestConstruction:
+    def test_identity(self, field):
+        ident = GFMatrix.identity(4, field)
+        assert ident.shape == (4, 4)
+        assert np.array_equal(ident.data, np.eye(4, dtype=np.int64))
+
+    def test_zeros(self, field):
+        assert not GFMatrix.zeros(2, 3, field).data.any()
+
+    def test_rejects_out_of_range_entries(self, field):
+        with pytest.raises(ValueError):
+            GFMatrix([[300]], field)
+        with pytest.raises(ValueError):
+            GFMatrix([[-1]], field)
+
+    def test_one_dimensional_input_promoted(self, field):
+        m = GFMatrix([1, 2, 3], field)
+        assert m.shape == (1, 3)
+
+    def test_rejects_3d(self, field):
+        with pytest.raises(ValueError):
+            GFMatrix(np.zeros((2, 2, 2), dtype=np.int64), field)
+
+    def test_cauchy_every_submatrix_invertible(self, field):
+        cauchy = GFMatrix.cauchy(range(4), range(4, 8), field)
+        for rows in [(0, 1), (1, 3), (0, 2, 3)]:
+            for cols in [(0, 1), (1, 2), (0, 1, 3)]:
+                if len(rows) != len(cols):
+                    continue
+                assert cauchy.submatrix(rows, cols).is_invertible()
+
+    def test_cauchy_overlapping_points_rejected(self, field):
+        with pytest.raises(ValueError):
+            GFMatrix.cauchy([0, 1], [1, 2], field)
+
+    def test_vandermonde_rows_independent(self, field):
+        vand = GFMatrix.vandermonde(6, 3, field)
+        for rows in [(0, 1, 2), (1, 3, 5), (2, 3, 4)]:
+            assert vand.submatrix(rows, range(3)).is_invertible()
+
+
+class TestArithmetic:
+    def test_matmul_with_identity(self, field):
+        m = random_invertible(4, field, seed=1)
+        ident = GFMatrix.identity(4, field)
+        assert m.matmul(ident) == m
+        assert ident @ m == m
+
+    def test_matmul_shape_mismatch(self, field):
+        with pytest.raises(ValueError):
+            GFMatrix.zeros(2, 3, field).matmul(GFMatrix.zeros(2, 3, field))
+
+    def test_add_is_xor(self, field):
+        a = GFMatrix([[1, 2], [3, 4]], field)
+        b = GFMatrix([[5, 6], [7, 8]], field)
+        assert np.array_equal(a.add(b).data, a.data ^ b.data)
+
+    def test_add_shape_mismatch(self, field):
+        with pytest.raises(ValueError):
+            GFMatrix.zeros(2, 2, field).add(GFMatrix.zeros(3, 3, field))
+
+    def test_mul_vector_matches_matmul(self, field):
+        m = random_invertible(3, field, seed=2)
+        vec = [5, 9, 200]
+        column = GFMatrix(np.array(vec).reshape(3, 1), field)
+        assert np.array_equal(m.mul_vector(vec), m.matmul(column).data.ravel())
+
+    def test_mul_vector_length_mismatch(self, field):
+        with pytest.raises(ValueError):
+            GFMatrix.identity(3, field).mul_vector([1, 2])
+
+
+class TestInverseAndRank:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 16])
+    def test_inverse_roundtrip(self, field, size):
+        m = random_invertible(size, field, seed=size)
+        product = m.matmul(m.inverse())
+        assert product == GFMatrix.identity(size, field)
+
+    def test_inverse_of_singular_raises(self, field):
+        singular = GFMatrix([[1, 2], [1, 2]], field)
+        with pytest.raises(SingularMatrixError):
+            singular.inverse()
+
+    def test_inverse_of_non_square_raises(self, field):
+        with pytest.raises(SingularMatrixError):
+            GFMatrix.zeros(2, 3, field).inverse()
+
+    def test_rank_full_and_deficient(self, field):
+        assert GFMatrix.identity(5, field).rank() == 5
+        assert GFMatrix([[1, 2], [2, 4]], field).rank() < 2
+        assert GFMatrix.zeros(3, 3, field).rank() == 0
+
+    def test_rank_of_rectangular(self, field):
+        cauchy = GFMatrix.cauchy(range(3), range(3, 8), field)
+        assert cauchy.rank() == 3
+
+    def test_solve(self, field):
+        m = random_invertible(5, field, seed=7)
+        x = [1, 2, 3, 4, 5]
+        rhs = m.mul_vector(x)
+        assert np.array_equal(m.solve(rhs), np.array(x))
+
+    def test_inverse_w16(self):
+        field = get_field(16)
+        m = random_invertible(6, field, seed=11)
+        assert m.matmul(m.inverse()) == GFMatrix.identity(6, field)
+
+
+class TestSlicing:
+    def test_submatrix_row_and_col(self, field):
+        m = GFMatrix(np.arange(12).reshape(3, 4) % 256, field)
+        sub = m.submatrix([0, 2], [1, 3])
+        assert np.array_equal(sub.data, np.array([[1, 3], [9, 11]]))
+
+    def test_row_col_copies(self, field):
+        m = GFMatrix(np.arange(4).reshape(2, 2), field)
+        row = m.row(0)
+        row[0] = 99
+        assert m.data[0, 0] == 0
+        col = m.col(1)
+        col[0] = 99
+        assert m.data[0, 1] == 1
+
+    def test_hstack_vstack_transpose(self, field):
+        a = GFMatrix.identity(2, field)
+        b = GFMatrix.zeros(2, 2, field)
+        assert a.hstack(b).shape == (2, 4)
+        assert a.vstack(b).shape == (4, 2)
+        assert a.transpose() == a
+
+    def test_copy_is_independent(self, field):
+        a = GFMatrix.identity(2, field)
+        b = a.copy()
+        b.data[0, 0] = 0
+        assert a.data[0, 0] == 1

@@ -1,0 +1,97 @@
+"""Unit tests for polynomials over GF(2^w)."""
+
+import pytest
+
+from repro.gf.field import get_field
+from repro.gf.polynomial import GFPolynomial
+
+
+@pytest.fixture
+def field():
+    return get_field(8)
+
+
+class TestBasics:
+    def test_normalisation_strips_leading_zeros(self, field):
+        p = GFPolynomial([1, 2, 0, 0], field)
+        assert p.coefficients == [1, 2]
+        assert p.degree == 1
+
+    def test_zero_polynomial(self, field):
+        z = GFPolynomial([0, 0], field)
+        assert z.is_zero() and z.degree == 0
+
+    def test_evaluate_constant_and_linear(self, field):
+        assert GFPolynomial([7], field).evaluate(100) == 7
+        p = GFPolynomial([3, 1], field)  # x + 3
+        assert p.evaluate(5) == field.add(5, 3)
+
+    def test_evaluate_horner_matches_direct(self, field):
+        p = GFPolynomial([1, 2, 3, 4], field)
+        x = 17
+        direct = 0
+        for i, c in enumerate(p.coefficients):
+            direct ^= field.mul(c, field.pow(x, i))
+        assert p.evaluate(x) == direct
+
+
+class TestArithmetic:
+    def test_addition_is_coefficientwise_xor(self, field):
+        a = GFPolynomial([1, 2, 3], field)
+        b = GFPolynomial([4, 5], field)
+        assert a.add(b).coefficients == [5, 7, 3]
+
+    def test_addition_cancels(self, field):
+        a = GFPolynomial([1, 2, 3], field)
+        assert a.add(a).is_zero()
+
+    def test_multiplication_degree(self, field):
+        a = GFPolynomial([1, 1], field)
+        b = GFPolynomial([2, 0, 1], field)
+        assert a.mul(b).degree == 3
+
+    def test_multiplication_agrees_with_evaluation(self, field):
+        a = GFPolynomial([3, 5, 7], field)
+        b = GFPolynomial([2, 9], field)
+        product = a.mul(b)
+        for x in (0, 1, 2, 50, 200):
+            assert product.evaluate(x) == field.mul(a.evaluate(x), b.evaluate(x))
+
+    def test_scale(self, field):
+        p = GFPolynomial([1, 2, 3], field)
+        scaled = p.scale(4)
+        for x in (0, 3, 77):
+            assert scaled.evaluate(x) == field.mul(4, p.evaluate(x))
+
+    def test_divmod_roundtrip(self, field):
+        dividend = GFPolynomial([7, 3, 0, 1, 9], field)
+        divisor = GFPolynomial([1, 0, 5], field)
+        quotient, remainder = dividend.divmod(divisor)
+        reconstructed = quotient.mul(divisor).add(remainder)
+        assert reconstructed == dividend
+        assert remainder.degree < divisor.degree
+
+    def test_divmod_by_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            GFPolynomial([1], field).divmod(GFPolynomial([0], field))
+
+    def test_divmod_smaller_dividend(self, field):
+        q, r = GFPolynomial([5], field).divmod(GFPolynomial([1, 1], field))
+        assert q.is_zero() and r.coefficients == [5]
+
+
+class TestInterpolation:
+    def test_roundtrip(self, field):
+        original = GFPolynomial([9, 4, 7, 1], field)
+        points = [(x, original.evaluate(x)) for x in (1, 2, 3, 4)]
+        assert GFPolynomial.interpolate(points, field) == original
+
+    def test_interpolation_matches_points(self, field):
+        points = [(0, 13), (1, 200), (5, 7), (9, 0)]
+        poly = GFPolynomial.interpolate(points, field)
+        for x, y in points:
+            assert poly.evaluate(x) == y
+
+    def test_duplicate_x_rejected(self, field):
+        with pytest.raises(ValueError):
+            GFPolynomial.interpolate([(1, 2), (1, 3)], field)

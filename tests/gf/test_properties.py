@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for the Galois-field substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.field import get_field
+from repro.gf.matrix import GFMatrix, SingularMatrixError
+from repro.gf.regions import RegionOps
+
+FIELD = get_field(8)
+elements = st.integers(min_value=0, max_value=255)
+nonzero_elements = st.integers(min_value=1, max_value=255)
+
+
+@given(elements, elements, elements)
+def test_field_axioms(a, b, c):
+    f = FIELD
+    # Commutativity and associativity of both operations.
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    # Distributivity.
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    # Identities.
+    assert f.add(a, 0) == a
+    assert f.mul(a, 1) == a
+    # Additive inverse is the element itself (characteristic 2).
+    assert f.add(a, a) == 0
+
+
+@given(nonzero_elements)
+def test_multiplicative_inverse(a):
+    assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+
+@given(nonzero_elements, nonzero_elements)
+def test_log_homomorphism(a, b):
+    f = FIELD
+    product = f.mul(a, b)
+    assert product != 0
+    assert f.log(product) == (f.log(a) + f.log(b)) % 255
+
+
+@given(st.lists(elements, min_size=1, max_size=6),
+       st.lists(st.lists(elements, min_size=1, max_size=32), min_size=1,
+                max_size=6))
+@settings(max_examples=50)
+def test_linear_combination_matches_scalar_model(coeffs, symbol_rows):
+    size = len(symbol_rows[0])
+    symbols = [np.array((row * ((size // len(row)) + 1))[:size], dtype=np.uint8)
+               for row in symbol_rows]
+    count = min(len(coeffs), len(symbols))
+    coeffs, symbols = coeffs[:count], symbols[:count]
+    ops = RegionOps(FIELD)
+    result = ops.linear_combination(coeffs, symbols)
+    for position in range(size):
+        expected = 0
+        for c, sym in zip(coeffs, symbols):
+            expected ^= FIELD.mul(c, int(sym[position]))
+        assert int(result[position]) == expected
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=40)
+def test_matrix_inverse_roundtrip(size, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, (size, size))
+    matrix = GFMatrix(data, FIELD)
+    try:
+        inverse = matrix.inverse()
+    except SingularMatrixError:
+        assert matrix.rank() < size
+        return
+    assert matrix.matmul(inverse) == GFMatrix.identity(size, FIELD)
+    assert matrix.rank() == size
+
+
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=40)
+def test_cauchy_matrices_have_full_rank(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.choice(256, size=rows + cols, replace=False)
+    cauchy = GFMatrix.cauchy(points[:rows].tolist(), points[rows:].tolist(), FIELD)
+    assert cauchy.rank() == min(rows, cols)

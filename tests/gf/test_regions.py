@@ -1,0 +1,152 @@
+"""Unit tests for vectorised region operations and the Mult_XOR counter."""
+
+import numpy as np
+import pytest
+
+from repro.gf.field import get_field
+from repro.gf.regions import OperationCounter, RegionOps
+
+
+@pytest.fixture
+def ops():
+    return RegionOps(get_field(8))
+
+
+class TestOperationCounter:
+    def test_total_and_reset(self):
+        counter = OperationCounter(mult_xors=3, xors=2, bytes_processed=100)
+        assert counter.total() == 5
+        counter.reset()
+        assert counter.total() == 0
+        assert counter.bytes_processed == 0
+
+    def test_merge(self):
+        a = OperationCounter(mult_xors=1, xors=2, bytes_processed=10)
+        b = OperationCounter(mult_xors=3, xors=4, bytes_processed=20)
+        a.merge(b)
+        assert (a.mult_xors, a.xors, a.bytes_processed) == (4, 6, 30)
+
+
+class TestMultXor:
+    def test_matches_scalar_arithmetic(self, ops):
+        field = ops.field
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 256, 64, dtype=np.uint8)
+        dst = rng.integers(0, 256, 64, dtype=np.uint8)
+        expected = dst ^ field.mul_vector(19, src)
+        ops.mult_xor(src, dst, 19)
+        assert np.array_equal(dst, expected)
+
+    def test_constant_zero_is_noop(self, ops):
+        src = np.ones(16, dtype=np.uint8)
+        dst = np.full(16, 7, dtype=np.uint8)
+        ops.mult_xor(src, dst, 0)
+        assert np.all(dst == 7)
+        assert ops.counter.total() == 0
+
+    def test_constant_one_counts_as_xor(self, ops):
+        src = np.full(16, 3, dtype=np.uint8)
+        dst = np.full(16, 5, dtype=np.uint8)
+        ops.mult_xor(src, dst, 1)
+        assert np.all(dst == 6)
+        assert ops.counter.xors == 1
+        assert ops.counter.mult_xors == 0
+
+    def test_general_constant_counts_as_mult_xor(self, ops):
+        src = np.ones(16, dtype=np.uint8)
+        dst = np.zeros(16, dtype=np.uint8)
+        ops.mult_xor(src, dst, 5)
+        assert ops.counter.mult_xors == 1
+        assert ops.counter.bytes_processed == 16
+
+    def test_xor_into(self, ops):
+        src = np.full(8, 0xF0, dtype=np.uint8)
+        dst = np.full(8, 0x0F, dtype=np.uint8)
+        ops.xor_into(src, dst)
+        assert np.all(dst == 0xFF)
+        assert ops.counter.xors == 1
+
+    def test_mult_returns_new_array(self, ops):
+        src = np.arange(8, dtype=np.uint8)
+        out = ops.mult(src, 3)
+        assert out is not src
+        assert np.array_equal(out, ops.field.mul_vector(3, src))
+
+
+class TestLinearCombination:
+    def test_matches_manual_sum(self, ops):
+        rng = np.random.default_rng(1)
+        symbols = [rng.integers(0, 256, 32, dtype=np.uint8) for _ in range(4)]
+        coeffs = [3, 0, 1, 200]
+        result = ops.linear_combination(coeffs, symbols)
+        expected = np.zeros(32, dtype=np.uint8)
+        for c, sym in zip(coeffs, symbols):
+            expected ^= ops.field.mul_vector(c, sym)
+        assert np.array_equal(result, expected)
+
+    def test_counts_only_nonzero_coefficients(self, ops):
+        symbols = [np.ones(8, dtype=np.uint8) for _ in range(4)]
+        ops.linear_combination([0, 1, 2, 0], symbols)
+        assert ops.counter.total() == 2
+
+    def test_length_mismatch_raises(self, ops):
+        with pytest.raises(ValueError):
+            ops.linear_combination([1, 2], [np.zeros(4, dtype=np.uint8)])
+
+    def test_empty_input_requires_size(self, ops):
+        with pytest.raises(ValueError):
+            ops.linear_combination([], [])
+        assert np.array_equal(ops.linear_combination([], [], size=4),
+                              np.zeros(4, dtype=np.uint8))
+
+    def test_matrix_vector(self, ops):
+        rng = np.random.default_rng(2)
+        symbols = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(3)]
+        matrix = np.array([[1, 2, 3], [0, 0, 0]], dtype=np.int64)
+        out = ops.matrix_vector(matrix, symbols)
+        assert len(out) == 2
+        assert np.array_equal(out[0], ops.linear_combination([1, 2, 3], symbols))
+        assert not out[1].any()
+
+    def test_matrix_vector_shape_mismatch(self, ops):
+        with pytest.raises(ValueError):
+            ops.matrix_vector(np.eye(2, dtype=np.int64),
+                              [np.zeros(4, dtype=np.uint8)])
+
+
+class TestSymbolHelpers:
+    def test_zeros(self, ops):
+        z = ops.zeros(10)
+        assert z.dtype == np.uint8 and len(z) == 10 and not z.any()
+
+    def test_bytes_roundtrip(self, ops):
+        payload = bytes(range(32))
+        symbol = ops.from_bytes(payload)
+        assert ops.to_bytes(symbol) == payload
+
+    def test_bytes_roundtrip_w16(self):
+        ops = RegionOps(get_field(16))
+        payload = bytes(range(64))
+        assert ops.to_bytes(ops.from_bytes(payload)) == payload
+
+    def test_from_bytes_w16_odd_length_raises(self):
+        ops = RegionOps(get_field(16))
+        with pytest.raises(ValueError):
+            ops.from_bytes(b"abc")
+
+    def test_random_respects_field_order(self, ops):
+        sym = ops.random(1000, np.random.default_rng(3))
+        assert sym.max() < ops.field.order
+
+
+class TestW16Regions:
+    def test_mult_xor_w16(self):
+        field = get_field(16)
+        ops = RegionOps(field)
+        rng = np.random.default_rng(4)
+        src = rng.integers(0, field.order, 16, dtype=np.uint16)
+        dst = np.zeros(16, dtype=np.uint16)
+        ops.mult_xor(src, dst, 1234)
+        expected = np.array([field.mul(1234, int(v)) for v in src],
+                            dtype=np.uint16)
+        assert np.array_equal(dst, expected)

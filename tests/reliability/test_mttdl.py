@@ -1,0 +1,152 @@
+"""Tests for the Markov chain, the MTTDL model and the coverage configurator."""
+
+import pytest
+
+from repro.reliability import (
+    CodeReliability,
+    CorrelatedSectorModel,
+    IndependentSectorModel,
+    SystemParameters,
+    candidate_coverages,
+    coverage_for_burst,
+    critical_mode_chain,
+    mean_time_to_absorption,
+    mttdl_arr_closed_form,
+    mttdl_arr_markov,
+    mttdl_arr_two_parity,
+    mttdl_array,
+    mttdl_system,
+    number_of_arrays,
+    p_array,
+    rank_coverages,
+    recommend_coverage,
+)
+
+
+class TestMarkovModel:
+    def test_closed_form_matches_numerical_chain(self):
+        lam, mu = 1 / 500_000, 1 / 17.8
+        for p_arr in (0.0, 1e-6, 1e-3, 0.5, 1.0):
+            assert mttdl_arr_markov(8, lam, mu, p_arr) == pytest.approx(
+                mttdl_arr_closed_form(8, lam, mu, p_arr), rel=1e-9)
+
+    def test_generator_rows_sum_to_zero(self):
+        chain = critical_mode_chain(8, 1 / 500_000, 1 / 17.8, 1e-3)
+        assert chain.sum(axis=1) == pytest.approx([0, 0, 0])
+
+    def test_absorbing_start_state(self):
+        chain = critical_mode_chain(8, 1e-6, 1e-1, 0.1)
+        assert mean_time_to_absorption(chain, absorbing=[2], start=2) == 0.0
+
+    def test_mttdl_decreases_with_p_arr(self):
+        lam, mu = 1 / 500_000, 1 / 17.8
+        values = [mttdl_arr_closed_form(8, lam, mu, p) for p in (0, 1e-4, 1e-2, 1)]
+        assert values == sorted(values, reverse=True)
+
+    def test_two_parity_arrays_are_more_reliable(self):
+        lam, mu = 1 / 500_000, 1 / 17.8
+        assert mttdl_arr_two_parity(8, lam, mu, 1e-3) > \
+            mttdl_arr_closed_form(8, lam, mu, 1e-3)
+
+
+class TestSystemModel:
+    @pytest.fixture
+    def params(self):
+        return SystemParameters()
+
+    def test_default_parameters_match_paper(self, params):
+        assert params.user_data_bytes == 10 * 2 ** 50
+        assert params.device_capacity_bytes == 300 * 2 ** 30
+        assert params.n == 8 and params.r == 16 and params.m == 1
+        assert params.failure_rate == pytest.approx(1 / 500_000)
+        assert params.rebuild_rate == pytest.approx(1 / 17.8)
+        assert params.stripes_per_array == int(300 * 2 ** 30 // (512 * 16))
+
+    def test_storage_efficiency_equation_8(self, params):
+        assert CodeReliability.reed_solomon().storage_efficiency(params) == \
+            pytest.approx(16 * 7 / (16 * 8))
+        assert CodeReliability.stair([1, 2]).storage_efficiency(params) == \
+            pytest.approx((16 * 7 - 3) / (16 * 8))
+
+    def test_number_of_arrays_matches_paper_table(self, params):
+        """§7.2 lists N_arr for s = 0..12; spot-check a few entries."""
+        expected = {0: 4994, 1: 5039, 2: 5085, 3: 5131, 4: 5179, 12: 5593}
+        for s, n_arr in expected.items():
+            code = (CodeReliability.reed_solomon() if s == 0
+                    else CodeReliability.stair([s]))
+            assert number_of_arrays(code, params) == n_arr
+
+    def test_p_array_bounds(self, params):
+        model = IndependentSectorModel.from_p_bit(1e-12, params.r)
+        value = p_array(CodeReliability.stair([1, 2]), params, model)
+        assert 0.0 <= value <= 1.0
+
+    def test_mttdl_array_requires_m_equal_one(self):
+        params = SystemParameters(m=2)
+        model = IndependentSectorModel.from_p_bit(1e-12, params.r)
+        with pytest.raises(ValueError):
+            mttdl_array(CodeReliability.reed_solomon(), params, model)
+
+    def test_stair_beats_rs_by_orders_of_magnitude(self, params):
+        """Figure 17(a) at P_bit = 1e-14."""
+        model = IndependentSectorModel.from_p_bit(1e-14, params.r)
+        rs = mttdl_system(CodeReliability.reed_solomon(), params, model)
+        stair = mttdl_system(CodeReliability.stair([1]), params, model)
+        assert stair > 100 * rs
+
+    def test_stair_e12_matches_sd2_under_bursts(self, params):
+        """Figure 18(b): STAIR e=(1,2) ~ SD s=2 under correlated failures."""
+        model = CorrelatedSectorModel.from_p_bit(1e-12, params.r,
+                                                 b1=0.98, alpha=1.79)
+        stair = mttdl_system(CodeReliability.stair([1, 2]), params, model)
+        sd = mttdl_system(CodeReliability.sd(2), params, model)
+        assert stair == pytest.approx(sd, rel=0.1)
+
+    def test_unknown_code_kind_rejected(self, params):
+        model = IndependentSectorModel.from_p_bit(1e-12, params.r)
+        with pytest.raises(ValueError):
+            CodeReliability(kind="fountain").p_str(params, model)
+
+    def test_labels(self):
+        assert CodeReliability.reed_solomon().label() == "RS"
+        assert CodeReliability.sd(2).label() == "SD s=2"
+        assert "STAIR" in CodeReliability.stair([1, 2]).label()
+
+
+class TestConfigurator:
+    @pytest.fixture
+    def params(self):
+        return SystemParameters()
+
+    def test_coverage_for_burst(self):
+        assert coverage_for_burst(4) == (1, 4)
+        assert coverage_for_burst(2, extra_single_failures=2) == (1, 1, 2)
+        with pytest.raises(ValueError):
+            coverage_for_burst(0)
+
+    def test_candidate_coverages(self):
+        assert set(candidate_coverages(3, r=16)) == {(3,), (1, 2), (1, 1, 1)}
+        assert set(candidate_coverages(3, r=2)) == {(1, 2), (1, 1, 1)}
+
+    def test_recommendation_independent_failures(self, params):
+        """§7.2.1: under independent failures e=(1,2) is the best s=3 choice."""
+        model = IndependentSectorModel.from_p_bit(1e-10, params.r)
+        assert recommend_coverage(3, params, model).e == (1, 2)
+
+    def test_recommendation_bursty_failures(self, params):
+        """§7.2.2: under bursty failures e=(s) is the best choice."""
+        model = CorrelatedSectorModel.from_p_bit(1e-12, params.r,
+                                                 b1=0.9, alpha=1.0)
+        assert recommend_coverage(3, params, model).e == (3,)
+
+    def test_ranking_is_sorted(self, params):
+        model = IndependentSectorModel.from_p_bit(1e-11, params.r)
+        ranking = rank_coverages(candidate_coverages(4, params.r), params, model)
+        values = [item.mttdl_hours for item in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_candidates_and_invalid_budget(self, params):
+        model = IndependentSectorModel.from_p_bit(1e-11, params.r)
+        assert rank_coverages([], params, model) == []
+        with pytest.raises(ValueError):
+            recommend_coverage(-1, params, model)

@@ -1,0 +1,116 @@
+"""Tests for P_str: generic enumeration vs the closed forms of Appendix B."""
+
+import pytest
+
+from repro.reliability import (
+    CorrelatedSectorModel,
+    IndependentSectorModel,
+    pstr_generic,
+    pstr_reed_solomon,
+    pstr_sd,
+    pstr_sd_generic,
+    pstr_stair_all_ones,
+    pstr_stair_one_one_plus,
+    pstr_stair_one_plus,
+    pstr_stair_single,
+    pstr_stair_two_plus,
+)
+
+N, M, R = 8, 1, 16
+
+# The agreement checks use exaggerated per-sector failure probabilities so the
+# enumerated probabilities sit well above the double-precision noise floor
+# (with realistic P_bit the interesting P_str values are ~1e-16, where both
+# the closed forms and the enumeration are dominated by cancellation error).
+MODELS = [
+    IndependentSectorModel(1e-3, R),
+    IndependentSectorModel.from_p_bit(1e-8, R),
+    CorrelatedSectorModel(2e-3, R, b1=0.9, alpha=1.3),
+    CorrelatedSectorModel.from_p_bit(1e-8, R, b1=0.98, alpha=1.79),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__ + str(m.p_sec))
+class TestClosedFormsAgreeWithGenericEnumeration:
+    def test_equation_19_single_chunk(self, model):
+        for s in (1, 2, 3, 5):
+            assert pstr_generic((s,), N, M, model, R) == pytest.approx(
+                pstr_stair_single(s, N, M, model), rel=1e-6, abs=1e-12)
+
+    def test_equation_20_one_plus(self, model):
+        for s in (2, 3, 4, 6):
+            assert pstr_generic((1, s - 1), N, M, model, R) == pytest.approx(
+                pstr_stair_one_plus(s, N, M, model), rel=1e-6, abs=1e-12)
+
+    def test_equation_21_two_plus(self, model):
+        for s in (4, 5, 6):
+            assert pstr_generic((2, s - 2), N, M, model, R) == pytest.approx(
+                pstr_stair_two_plus(s, N, M, model), rel=1e-6, abs=1e-12)
+
+    def test_equation_22_one_one_plus(self, model):
+        for s in (3, 4, 5):
+            assert pstr_generic((1, 1, s - 2), N, M, model, R) == pytest.approx(
+                pstr_stair_one_one_plus(s, N, M, model), rel=1e-6, abs=1e-12)
+
+    def test_equation_23_all_ones(self, model):
+        for s in (1, 2, 3, 4):
+            assert pstr_generic((1,) * s, N, M, model, R) == pytest.approx(
+                pstr_stair_all_ones(s, N, M, model), rel=1e-6, abs=1e-12)
+
+    def test_equations_24_26_sd(self, model):
+        for s in (1, 2, 3):
+            assert pstr_sd_generic(s, N, M, model, R) == pytest.approx(
+                pstr_sd(s, N, M, model), rel=1e-6, abs=1e-12)
+
+
+class TestOrderings:
+    @pytest.fixture
+    def independent(self):
+        return IndependentSectorModel.from_p_bit(1e-10, R)
+
+    @pytest.fixture
+    def bursty(self):
+        return CorrelatedSectorModel.from_p_bit(1e-10, R, b1=0.9, alpha=1.0)
+
+    def test_rs_is_worst(self, independent):
+        rs = pstr_reed_solomon(N, M, independent)
+        assert rs > pstr_generic((1,), N, M, independent, R)
+        assert rs == pytest.approx(1 - independent.p_chk(0) ** (N - M))
+
+    def test_more_coverage_never_hurts(self, independent):
+        assert pstr_generic((1, 2), N, M, independent, R) <= pstr_generic(
+            (1, 1), N, M, independent, R)
+        assert pstr_generic((1, 1, 1), N, M, independent, R) <= pstr_generic(
+            (1, 1), N, M, independent, R)
+
+    def test_sd_is_lower_bound_for_same_s(self, independent, bursty):
+        """SD covers any placement of s failures, so its P_str is a lower
+        bound over every STAIR e with the same total s."""
+        for model in (independent, bursty):
+            sd = pstr_sd_generic(3, N, M, model, R)
+            for e in ((3,), (1, 2), (1, 1, 1)):
+                assert sd <= pstr_generic(e, N, M, model, R) + 1e-18
+
+    def test_split_coverage_wins_under_independent_failures(self, independent):
+        assert pstr_generic((1, 2), N, M, independent, R) < pstr_generic(
+            (3,), N, M, independent, R)
+
+    def test_concentrated_coverage_wins_under_bursts(self, bursty):
+        assert pstr_generic((3,), N, M, bursty, R) < pstr_generic(
+            (1, 1, 1), N, M, bursty, R)
+
+    def test_stair_e_max_matches_sd_under_bursts(self, bursty):
+        """§7.2.2: STAIR with e=(s) has nearly the same P_str as SD with the
+        same s when failures arrive as single-chunk bursts."""
+        assert pstr_generic((3,), N, M, bursty, R) == pytest.approx(
+            pstr_sd_generic(3, N, M, bursty, R), rel=0.05)
+
+    def test_sd_closed_form_requires_small_s(self, independent):
+        with pytest.raises(ValueError):
+            pstr_sd(4, N, M, independent)
+
+    def test_probabilities_are_valid(self, independent, bursty):
+        for model in (independent, bursty):
+            for e in ((1,), (2,), (1, 1), (1, 2), (2, 2), (1, 1, 2)):
+                value = pstr_generic(e, N, M, model, R)
+                assert 0.0 <= value <= 1.0

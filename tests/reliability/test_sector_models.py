@@ -1,0 +1,101 @@
+"""Tests for the independent and correlated sector-failure models."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    CorrelatedSectorModel,
+    IndependentSectorModel,
+    sector_failure_probability,
+)
+
+
+class TestSectorFailureProbability:
+    def test_equation_12(self):
+        p_bit = 1e-12
+        expected = 1.0 - (1.0 - p_bit) ** (512 * 8)
+        assert sector_failure_probability(p_bit) == pytest.approx(expected)
+        assert sector_failure_probability(p_bit) == pytest.approx(512 * 8 * p_bit,
+                                                                  rel=1e-3)
+
+    def test_bounds(self):
+        assert sector_failure_probability(0.0) == 0.0
+        assert sector_failure_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            sector_failure_probability(-0.1)
+
+
+class TestIndependentModel:
+    def test_distribution_sums_to_one(self):
+        model = IndependentSectorModel(p_sec=1e-3, r=16)
+        assert model.p_chk_vector().sum() == pytest.approx(1.0)
+
+    def test_binomial_form(self):
+        model = IndependentSectorModel(p_sec=0.1, r=4)
+        assert model.p_chk(0) == pytest.approx(0.9 ** 4)
+        assert model.p_chk(1) == pytest.approx(4 * 0.1 * 0.9 ** 3)
+        assert model.p_chk(4) == pytest.approx(0.1 ** 4)
+        assert model.p_chk(5) == 0.0
+        assert model.p_chk(-1) == 0.0
+
+    def test_from_p_bit(self):
+        model = IndependentSectorModel.from_p_bit(1e-12, r=16)
+        assert model.p_sec == pytest.approx(sector_failure_probability(1e-12))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IndependentSectorModel(p_sec=1.5, r=16)
+        with pytest.raises(ValueError):
+            IndependentSectorModel(p_sec=0.5, r=0)
+
+    def test_damaged_probability(self):
+        model = IndependentSectorModel(p_sec=1e-4, r=16)
+        assert model.p_chunk_damaged() == pytest.approx(1 - (1 - 1e-4) ** 16)
+
+
+class TestCorrelatedModel:
+    def test_distribution_sums_to_one(self):
+        model = CorrelatedSectorModel(p_sec=1e-4, r=16, b1=0.98, alpha=1.79)
+        assert model.p_chk_vector().sum() == pytest.approx(1.0)
+
+    def test_burst_pmf_properties(self):
+        model = CorrelatedSectorModel(p_sec=1e-4, r=16, b1=0.98, alpha=1.79)
+        assert model.burst_pmf.sum() == pytest.approx(1.0)
+        assert model.burst_pmf[0] == pytest.approx(0.98)
+        # The Pareto tail is decreasing except for the final bucket, which
+        # absorbs the truncated mass of bursts longer than r.
+        assert np.all(np.diff(model.burst_pmf[1:-1]) <= 1e-12)
+        assert 1.0 < model.mean_burst_length < 1.2
+
+    def test_burstier_parameters_have_heavier_tails(self):
+        bursty = CorrelatedSectorModel(p_sec=1e-4, r=16, b1=0.9, alpha=1.0)
+        mild = CorrelatedSectorModel(p_sec=1e-4, r=16, b1=0.9999, alpha=4.0)
+        assert bursty.mean_burst_length > mild.mean_burst_length
+        assert bursty.burst_cdf()[3] < mild.burst_cdf()[3]
+
+    def test_expected_sector_failures_match_independent_model(self):
+        """Both models keep the same expected number of failed sectors."""
+        p_sec, r = 1e-4, 16
+        independent = IndependentSectorModel(p_sec, r)
+        correlated = CorrelatedSectorModel(p_sec, r, b1=0.98, alpha=1.79)
+        expectation_ind = sum(i * independent.p_chk(i) for i in range(r + 1))
+        expectation_cor = sum(i * correlated.p_chk(i) for i in range(r + 1))
+        assert expectation_cor == pytest.approx(expectation_ind, rel=0.02)
+
+    def test_correlated_piles_failures_into_one_chunk(self):
+        """Multi-failure chunks are far more likely under the bursty model."""
+        p_sec, r = 1e-4, 16
+        independent = IndependentSectorModel(p_sec, r)
+        correlated = CorrelatedSectorModel(p_sec, r, b1=0.9, alpha=1.0)
+        assert correlated.p_chk(3) > 100 * independent.p_chk(3)
+
+    def test_r_equal_one(self):
+        model = CorrelatedSectorModel(p_sec=1e-4, r=1, b1=0.9, alpha=1.0)
+        assert model.burst_pmf[0] == pytest.approx(1.0)
+        assert model.p_chk(0) + model.p_chk(1) == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedSectorModel(p_sec=1e-4, r=16, b1=0.0)
+        with pytest.raises(ValueError):
+            CorrelatedSectorModel(p_sec=1e-4, r=16, alpha=0.0)

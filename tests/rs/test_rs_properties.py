@@ -1,0 +1,59 @@
+"""Property-based tests for the MDS building-block codes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rs import CauchyRSCode, VandermondeRSCode
+
+
+@st.composite
+def code_parameters(draw):
+    dimension = draw(st.integers(min_value=1, max_value=8))
+    parities = draw(st.integers(min_value=1, max_value=5))
+    return dimension + parities, dimension
+
+
+@given(code_parameters(), st.integers(min_value=0, max_value=2 ** 31),
+       st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_any_erasure_pattern_within_budget_is_recoverable(params, seed, use_cauchy):
+    """The MDS guarantee: any (length - dimension) erasures can be repaired."""
+    length, dimension = params
+    cls = CauchyRSCode if use_cauchy else VandermondeRSCode
+    code = cls(length, dimension)
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(dimension)]
+    codeword = code.encode_codeword(data)
+    erasures = rng.choice(length, size=length - dimension, replace=False)
+    damaged = [None if i in erasures else codeword[i] for i in range(length)]
+    recovered = code.recover_all(damaged)
+    for original, repaired in zip(codeword, recovered):
+        assert np.array_equal(original, repaired)
+
+
+@given(code_parameters(), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=40, deadline=None)
+def test_encoding_is_linear(params, seed):
+    """encode(a XOR b) == encode(a) XOR encode(b) symbol-wise."""
+    length, dimension = params
+    code = CauchyRSCode(length, dimension)
+    rng = np.random.default_rng(seed)
+    a = [rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(dimension)]
+    b = [rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(dimension)]
+    combined = [x ^ y for x, y in zip(a, b)]
+    pa = code.encode(a)
+    pb = code.encode(b)
+    pc = code.encode(combined)
+    for x, y, z in zip(pa, pb, pc):
+        assert np.array_equal(x ^ y, z)
+
+
+@given(code_parameters())
+@settings(max_examples=30, deadline=None)
+def test_cauchy_and_vandermonde_are_both_systematic(params):
+    length, dimension = params
+    for cls in (CauchyRSCode, VandermondeRSCode):
+        generator = cls(length, dimension).generator.data
+        assert np.array_equal(generator[:, :dimension],
+                              np.eye(dimension, dtype=np.int64))

@@ -1,0 +1,208 @@
+"""Unit tests for the systematic MDS (Reed-Solomon) building-block codes."""
+
+import numpy as np
+import pytest
+
+from repro.gf.field import get_field
+from repro.gf.matrix import GFMatrix
+from repro.gf.regions import OperationCounter, RegionOps
+from repro.rs import (
+    CauchyRSCode,
+    SystematicMDSCode,
+    UnrecoverableErasureError,
+    VandermondeRSCode,
+    verify_mds_property,
+    verify_systematic,
+)
+from repro.rs.verify import count_nonzero_coefficients, verify_erasure_recovery
+
+CODE_CLASSES = [CauchyRSCode, VandermondeRSCode]
+
+
+def random_data(code, size=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, code.field.order, size,
+                         dtype=code.field.element_dtype)
+            for _ in range(code.dimension)]
+
+
+@pytest.mark.parametrize("cls", CODE_CLASSES)
+class TestConstruction:
+    def test_generator_is_systematic(self, cls):
+        code = cls(10, 6)
+        assert verify_systematic(code)
+
+    def test_mds_property_small(self, cls):
+        assert verify_mds_property(cls(8, 4))
+        assert verify_mds_property(cls(7, 5))
+
+    def test_parity_matrix_shape(self, cls):
+        code = cls(11, 6)
+        assert code.parity_matrix().shape == (6, 5)
+
+    def test_length_exceeding_field_order_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(300, 10, get_field(8))
+
+    def test_large_field_allows_long_codes(self, cls):
+        code = cls(300, 290, get_field(16))
+        assert code.length == 300
+
+    def test_invalid_dimensions_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(4, 4)
+        with pytest.raises(ValueError):
+            cls(4, 0)
+
+
+@pytest.mark.parametrize("cls", CODE_CLASSES)
+class TestEncodeRecover:
+    def test_codeword_starts_with_data(self, cls):
+        code = cls(9, 5)
+        data = random_data(code)
+        codeword = code.encode_codeword(data)
+        assert len(codeword) == 9
+        for i in range(5):
+            assert np.array_equal(codeword[i], data[i])
+
+    def test_recover_every_erasure_pattern(self, cls):
+        code = cls(8, 5)
+        assert verify_erasure_recovery(code)
+
+    def test_recover_partial_targets_only(self, cls):
+        code = cls(8, 5)
+        data = random_data(code, seed=3)
+        codeword = code.encode_codeword(data)
+        damaged = list(codeword)
+        damaged[1] = None
+        damaged[6] = None
+        recovered = code.recover(damaged, wanted=[6])
+        assert set(recovered) == {6}
+        assert np.array_equal(recovered[6], codeword[6])
+
+    def test_recover_with_too_few_symbols_raises(self, cls):
+        code = cls(6, 4)
+        data = random_data(code, seed=4)
+        codeword = code.encode_codeword(data)
+        damaged = [None, None, None] + list(codeword[3:])
+        with pytest.raises(UnrecoverableErasureError):
+            code.recover(damaged)
+
+    def test_recover_wrong_length_raises(self, cls):
+        code = cls(6, 4)
+        with pytest.raises(ValueError):
+            code.recover([None] * 5)
+
+    def test_recover_nothing_missing(self, cls):
+        code = cls(6, 4)
+        data = random_data(code, seed=5)
+        codeword = code.encode_codeword(data)
+        assert code.recover(codeword) == {}
+
+    def test_recover_all_returns_full_codeword(self, cls):
+        code = cls(7, 4)
+        data = random_data(code, seed=6)
+        codeword = code.encode_codeword(data)
+        damaged = [None if i in (0, 5, 6) else codeword[i] for i in range(7)]
+        full = code.recover_all(damaged)
+        assert all(np.array_equal(a, b) for a, b in zip(full, codeword))
+
+    def test_encode_counts_operations(self, cls):
+        counter = OperationCounter()
+        ops = RegionOps(get_field(8), counter)
+        code = cls(8, 5)
+        code.encode(random_data(code, seed=7), ops)
+        # Each of the 3 parities is a combination of 5 data symbols.
+        assert counter.total() <= 15
+        assert counter.total() >= 12  # allow a few unit coefficients
+
+    def test_encode_wrong_data_count(self, cls):
+        code = cls(6, 4)
+        with pytest.raises(ValueError):
+            code.encode(random_data(code, seed=8)[:-1])
+
+    def test_encode_inconsistent_sizes(self, cls):
+        code = cls(6, 4)
+        data = random_data(code, seed=9)
+        data[0] = data[0][:16]
+        with pytest.raises(ValueError):
+            code.encode(data)
+
+
+@pytest.mark.parametrize("cls", CODE_CLASSES)
+class TestCoefficientView:
+    def test_decode_matrix_identity_for_data_positions(self, cls):
+        code = cls(8, 5)
+        coeffs = code.decode_matrix(range(5), [0, 3])
+        assert np.array_equal(coeffs[0], np.array([1, 0, 0, 0, 0]))
+        assert np.array_equal(coeffs[1], np.array([0, 0, 0, 1, 0]))
+
+    def test_decode_matrix_reconstructs_scalars(self, cls):
+        code = cls(9, 5)
+        data = [3, 7, 11, 200, 42]
+        codeword = code.scalar_encode(data)
+        known = [2, 4, 5, 7, 8]
+        unknown = [0, 1, 3, 6]
+        coeffs = code.decode_matrix(known, unknown)
+        f = code.field
+        for row, target in zip(coeffs, unknown):
+            value = 0
+            for c, pos in zip(row, known):
+                value ^= f.mul(int(c), codeword[pos])
+            assert value == codeword[target]
+
+    def test_decode_matrix_requires_exactly_k_known(self, cls):
+        code = cls(8, 5)
+        with pytest.raises(ValueError):
+            code.decode_matrix(range(4), [7])
+        with pytest.raises(ValueError):
+            code.decode_matrix([0, 0, 1, 2, 3], [7])
+
+    def test_decode_matrix_is_cached(self, cls):
+        code = cls(8, 5)
+        a = code.decode_matrix((0, 1, 2, 3, 4), (6,))
+        b = code.decode_matrix((0, 1, 2, 3, 4), (6,))
+        assert a is b
+
+    def test_coefficient_for(self, cls):
+        code = cls(8, 5)
+        assert code.coefficient_for(2, 2) == 1
+        assert code.coefficient_for(0, 1) == 0
+
+    def test_scalar_encode_wrong_length(self, cls):
+        code = cls(8, 5)
+        with pytest.raises(ValueError):
+            code.scalar_encode([1, 2, 3])
+
+
+class TestBaseClassValidation:
+    def test_non_systematic_generator_rejected(self):
+        field = get_field(8)
+        generator = GFMatrix.cauchy(range(4), range(4, 10), field)
+        padded = GFMatrix(np.hstack([generator.data,
+                                     np.zeros((4, 0), dtype=np.int64)]), field)
+        with pytest.raises(ValueError):
+            SystematicMDSCode(6, 4, padded, field)
+
+    def test_generator_shape_mismatch_rejected(self):
+        field = get_field(8)
+        generator = GFMatrix.identity(4, field)
+        with pytest.raises(ValueError):
+            SystematicMDSCode(6, 4, generator, field)
+
+    def test_count_nonzero_coefficients(self):
+        code = CauchyRSCode(8, 5)
+        parity = code.parity_matrix()
+        assert count_nonzero_coefficients(parity) == 15
+
+    def test_cross_construction_compatibility(self):
+        """Cauchy and Vandermonde codes both recover the same data."""
+        data = random_data(CauchyRSCode(8, 5), seed=10)
+        for cls in CODE_CLASSES:
+            code = cls(8, 5)
+            codeword = code.encode_codeword(data)
+            damaged = [None, codeword[1], None, codeword[3], codeword[4],
+                       codeword[5], None, codeword[7]]
+            full = code.recover_all(damaged)
+            for i in range(5):
+                assert np.array_equal(full[i], data[i])
