@@ -1,0 +1,95 @@
+"""Throughput of the Monte Carlo reliability simulator.
+
+The benchmark discipline here mirrors the speed benchmarks of §6: the
+vectorized batch runner must not be a naive per-event Python loop.
+Asserted floor (also an acceptance criterion of the subsystem): 1,000
+independent cluster lifetimes for a ~100-device cluster in under 60 s,
+bit-for-bit reproducible from a seed.  pytest-benchmark provides the
+statistical timing; the hard assertions use wall-clock directly so they
+hold even without the plugin's comparison machinery.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codes.registry import parse_code_spec
+from repro.sim.events import ClusterSimulation, Scenario
+from repro.sim.lifetimes import ExponentialLifetime, ExponentialRepair
+from repro.sim.montecarlo import (
+    simulate_array_lifetimes,
+    simulate_cluster_lifetimes,
+)
+
+#: 13 arrays x 8 devices = 104 devices, the "100-device cluster" floor.
+CLUSTER_ARRAYS = 13
+CLUSTER_N = 8
+CLUSTER_TRIALS = 1000
+
+
+def _run_cluster(seed: int = 0):
+    return simulate_cluster_lifetimes(
+        CLUSTER_N, CLUSTER_ARRAYS, p_arr=1e-4, trials=CLUSTER_TRIALS,
+        seed=seed, lifetime=ExponentialLifetime(500_000.0),
+        repair=ExponentialRepair(17.8))
+
+
+def test_cluster_lifetimes_under_60s():
+    start = time.perf_counter()
+    result = _run_cluster()
+    elapsed = time.perf_counter() - start
+    assert result.trials == CLUSTER_TRIALS
+    assert result.losses == CLUSTER_TRIALS
+    assert elapsed < 60.0, f"vectorized runner took {elapsed:.1f}s"
+
+
+def test_cluster_lifetimes_reproducible():
+    first = _run_cluster(seed=42)
+    second = _run_cluster(seed=42)
+    assert np.array_equal(first.times, second.times)
+    third = _run_cluster(seed=43)
+    assert not np.array_equal(first.times, third.times)
+
+
+def test_bench_vectorized_cluster(benchmark):
+    result = benchmark(_run_cluster)
+    assert result.losses == CLUSTER_TRIALS
+
+
+def test_bench_vectorized_array_hard_regime(benchmark):
+    """p_arr = 0: every loss needs the full second-failure race (~4000
+    failure/rebuild cycles per lifetime), the runner's worst case."""
+    result = benchmark(lambda: simulate_array_lifetimes(
+        8, p_arr=0.0, trials=200, seed=0))
+    assert result.losses == 200
+
+
+def test_bench_event_engine_trajectory(benchmark):
+    """One fully detailed trajectory (scrubs + sector errors + writes)."""
+    code = parse_code_spec("rs(n=8,r=16,m=1)")
+    scenario = Scenario(
+        code=code, num_arrays=4, stripes_per_array=256,
+        lifetime=ExponentialLifetime(50_000.0),
+        repair=ExponentialRepair(17.8),
+        scrub_interval_hours=168.0, write_rate_per_hour=0.1,
+        horizon_hours=20_000.0)
+
+    def run():
+        return ClusterSimulation(scenario, np.random.default_rng(7)).run()
+
+    result = benchmark(run)
+    assert result.events_processed > 0
+
+
+def test_throughput_summary(capsys):
+    """Report lifetimes/second for the acceptance configuration."""
+    start = time.perf_counter()
+    _run_cluster()
+    elapsed = time.perf_counter() - start
+    rate = CLUSTER_TRIALS / elapsed
+    with capsys.disabled():
+        print(f"\n[bench_sim_throughput] {CLUSTER_TRIALS} lifetimes of a "
+              f"{CLUSTER_ARRAYS * CLUSTER_N}-device cluster in "
+              f"{elapsed:.2f}s ({rate:,.0f} lifetimes/s)")
+    assert rate > CLUSTER_TRIALS / 60.0

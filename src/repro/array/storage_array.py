@@ -130,7 +130,11 @@ class StorageArray:
         re-encoded and parities that changed are counted and rewritten).
         """
         self._check_stripe(stripe)
-        grid = self.code.decode(self._read_grid(stripe))
+        try:
+            grid = self.code.decode(self._read_grid(stripe))
+        except DecodingFailureError as exc:
+            raise DataLossError(
+                f"cannot update stripe {stripe}: {exc}") from exc
         data = self.code.extract_data(grid)
         if not (0 <= data_index < len(data)):
             raise IndexError("data_index out of range")
@@ -140,6 +144,10 @@ class StorageArray:
         data_cells = set(self.code.data_positions())
         for row in range(self.code.r):
             for dev in range(self.code.n):
+                if self.devices[dev].is_failed:
+                    # Degraded update: nothing can be written to a failed
+                    # device; rebuild() re-derives its chunk later.
+                    continue
                 changed = not np.array_equal(
                     np.asarray(grid[row][dev]), np.asarray(new_grid[row][dev]))
                 if changed or (row, dev) in data_cells:

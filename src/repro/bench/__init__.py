@@ -11,9 +11,11 @@ from repro.bench.speed import (
     worst_case_losses_stair,
 )
 from repro.bench import figures
+from repro.bench.sim_validation import sim_vs_analytic_rows
 
 __all__ = [
     "figures",
+    "sim_vs_analytic_rows",
     "SpeedResult",
     "measure_encoding_speed",
     "measure_decoding_speed",

@@ -15,7 +15,12 @@ from repro.codes.base import Grid, StripeCode
 from repro.codes.idr import IDRScheme
 from repro.codes.raid import RAID5Code, RAID6Code
 from repro.codes.reed_solomon import ReedSolomonStripeCode
-from repro.codes.registry import available_codes, build_code, register_code
+from repro.codes.registry import (
+    available_codes,
+    build_code,
+    parse_code_spec,
+    register_code,
+)
 from repro.codes.sd import SDCode, SDConstructionError
 from repro.codes.stair_adapter import StairStripeCode
 
@@ -30,6 +35,7 @@ __all__ = [
     "RAID5Code",
     "RAID6Code",
     "build_code",
+    "parse_code_spec",
     "available_codes",
     "register_code",
 ]

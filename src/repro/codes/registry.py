@@ -6,6 +6,8 @@ descriptions like ``stair(n=8, r=16, m=1, e=(1,2))``-style keyword sets.
 
 from __future__ import annotations
 
+import ast
+import re
 from typing import Any, Callable
 
 from repro.codes.base import StripeCode
@@ -50,3 +52,54 @@ def build_code(name: str, **params: Any) -> StripeCode:
 def register_code(name: str, factory: Callable[..., StripeCode]) -> None:
     """Register a custom code family (used by downstream extensions/tests)."""
     _FACTORIES[name.lower()] = factory
+
+
+_SPEC_RE = re.compile(r"^\s*([A-Za-z][\w-]*)\s*(?:\((.*)\))?\s*$", re.DOTALL)
+
+
+def parse_code_spec(spec: str) -> StripeCode:
+    """Build a stripe code from a textual spec like
+    ``"stair(n=8,r=16,m=1,e=(1,2))"``.
+
+    The spec is ``family(key=value, ...)`` where ``family`` is any name in
+    :func:`available_codes` and the values are Python literals (ints,
+    tuples, ...).  A bare family name (``"raid5"``) is allowed when the
+    factory needs no arguments.  Used by the simulator CLI and the
+    benchmark harness.
+
+    >>> parse_code_spec("stair(n=8, r=4, m=2, e=(1, 1, 2))").name
+    'STAIR'
+    """
+    match = _SPEC_RE.match(spec)
+    if not match:
+        raise ValueError(f"malformed code spec {spec!r}; "
+                         "expected family(key=value, ...)")
+    name, arg_text = match.groups()
+    params: dict[str, Any] = {}
+    if arg_text and arg_text.strip():
+        try:
+            call = ast.parse(f"_({arg_text})", mode="eval").body
+        except SyntaxError as exc:
+            raise ValueError(f"malformed arguments in code spec {spec!r}: "
+                             f"{exc.msg}") from None
+        if not isinstance(call, ast.Call) or call.args:
+            raise ValueError(
+                f"code spec {spec!r} must use keyword arguments only, "
+                "e.g. rs(n=8, r=16, m=1)"
+            )
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                raise ValueError(f"code spec {spec!r} may not use **kwargs")
+            try:
+                params[keyword.arg] = ast.literal_eval(keyword.value)
+            except ValueError:
+                raise ValueError(
+                    f"argument {keyword.arg!r} in code spec {spec!r} is not "
+                    "a literal"
+                ) from None
+    try:
+        return build_code(name, **params)
+    except TypeError as exc:
+        # e.g. an unexpected keyword: surface it as a spec error.
+        raise ValueError(
+            f"invalid arguments for code family {name!r}: {exc}") from exc

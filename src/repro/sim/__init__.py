@@ -1,0 +1,66 @@
+"""Monte Carlo cluster reliability simulator (§7 cross-validation).
+
+The analytical reliability models of :mod:`repro.reliability` (the
+critical-mode Markov chain, ``P_str`` and the system-level MTTDL of
+Eq. 7-11) assume exponential lifetimes and a single array.  This package
+complements them with simulation:
+
+* :mod:`repro.sim.lifetimes` -- exponential and Weibull device-lifetime
+  models, repair-time models and a latent-sector-error arrival process
+  parameterised from the same ``P_bit`` as the analysis.
+* :mod:`repro.sim.events` -- a binary-heap discrete-event engine driving
+  one cluster trajectory in full detail (device failures, rebuild
+  completions with bounded repair bandwidth, latent-sector-error bursts,
+  periodic scrubs, stripe writes from a workload model).
+* :mod:`repro.sim.cluster` -- the simulated fleet: per-stripe damage
+  state vectors and a vectorized recoverability predicate for any
+  registered stripe code (STAIR, RS/RAID, SD).
+* :mod:`repro.sim.montecarlo` -- a numpy-vectorized batch runner that
+  simulates thousands of independent array/cluster lifetimes at once and
+  reports MTTDL and probability-of-data-loss with confidence intervals.
+* :mod:`repro.sim.cli` -- run scenarios from textual code specs such as
+  ``stair(n=8,r=16,m=1,e=(1,2))``.
+
+In the exponential case the Monte Carlo MTTDL statistically matches
+:func:`repro.reliability.mttdl_array` (asserted by the test suite); the
+simulator then generalises to Weibull wear-out, finite scrub intervals
+and repair-bandwidth contention, which the closed forms cannot cover.
+"""
+
+from repro.sim.cluster import CoverageModel, SimulatedArray, SimulatedCluster
+from repro.sim.events import Event, EventQueue, EventType
+from repro.sim.lifetimes import (
+    DeterministicRepair,
+    ExponentialLifetime,
+    ExponentialRepair,
+    LifetimeModel,
+    RepairModel,
+    SectorErrorProcess,
+    WeibullLifetime,
+)
+from repro.sim.montecarlo import (
+    MonteCarloResult,
+    code_reliability_from_code,
+    simulate_array_lifetimes,
+    simulate_cluster_lifetimes,
+)
+
+__all__ = [
+    "CoverageModel",
+    "SimulatedArray",
+    "SimulatedCluster",
+    "Event",
+    "EventQueue",
+    "EventType",
+    "LifetimeModel",
+    "ExponentialLifetime",
+    "WeibullLifetime",
+    "RepairModel",
+    "ExponentialRepair",
+    "DeterministicRepair",
+    "SectorErrorProcess",
+    "MonteCarloResult",
+    "simulate_array_lifetimes",
+    "simulate_cluster_lifetimes",
+    "code_reliability_from_code",
+]

@@ -1,0 +1,337 @@
+"""Binary-heap discrete-event engine for one cluster trajectory.
+
+The engine plays a single, fully detailed cluster lifetime: device
+failures drawn from a :class:`~repro.sim.lifetimes.LifetimeModel`,
+rebuilds with bounded cluster-wide repair bandwidth, latent-sector-error
+bursts, periodic scrubs and stripe writes from a Poisson workload model.
+It is the ground truth that the vectorized batch runner of
+:mod:`repro.sim.montecarlo` is validated against, and the only engine
+that captures effects outside the Markov model (scrub intervals, repair
+contention, normal-mode double damage).
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing counter, so simultaneous events fire in insertion order and
+every run is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.array.failures import BurstLengthDistribution
+from repro.codes.base import StripeCode
+from repro.sim.cluster import SimulatedCluster
+from repro.sim.lifetimes import (
+    ExponentialLifetime,
+    ExponentialRepair,
+    LifetimeModel,
+    RepairModel,
+    SectorErrorProcess,
+)
+
+
+class EventType(enum.Enum):
+    """Kinds of events the engine processes."""
+
+    DEVICE_FAILURE = "device_failure"
+    REBUILD_COMPLETE = "rebuild_complete"
+    SECTOR_ERROR = "sector_error"
+    SCRUB = "scrub"
+    STRIPE_WRITE = "stripe_write"
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; heap-ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    type: EventType = field(compare=False)
+    payload: dict[str, Any] = field(compare=False, default_factory=dict)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, type: EventType, **payload: Any) -> Event:
+        """Insert an event; returns it (so callers can cancel it)."""
+        if not math.isfinite(time):
+            raise ValueError(f"cannot schedule event at time {time!r}")
+        event = Event(time=float(time), seq=self._seq, type=type,
+                      payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the earliest event (inf when empty)."""
+        return self._heap[0].time if self._heap else math.inf
+
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel an event (it is skipped when popped)."""
+        event.payload["cancelled"] = True
+
+    def drain(self) -> Iterator[Event]:
+        """Pop events in order, skipping cancelled ones."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.payload.get("cancelled"):
+                yield event
+
+
+@dataclass
+class Scenario:
+    """Everything that defines one simulated cluster deployment."""
+
+    code: StripeCode
+    num_arrays: int = 1
+    stripes_per_array: int = 1024
+    lifetime: LifetimeModel = field(default_factory=ExponentialLifetime)
+    repair: RepairModel = field(default_factory=ExponentialRepair)
+    #: Latent-sector-error arrivals per device (None disables them).
+    sector_errors: SectorErrorProcess | None = None
+    #: Burst-length distribution for each sector-error arrival (length 1
+    #: bursts when None) -- the Schroeder et al. model shared with §7.
+    burst_lengths: BurstLengthDistribution | None = None
+    #: Hours between scrubs of each array (None disables scrubbing).
+    scrub_interval_hours: float | None = None
+    #: Poisson rate of full-stripe writes per array per hour.
+    write_rate_per_hour: float = 0.0
+    #: Cluster-wide cap on concurrent rebuilds (repair bandwidth).
+    rebuild_concurrency: int = 4
+    #: Stop the run at this time even without data loss.
+    horizon_hours: float = 87_600.0  # ten years
+
+    def __post_init__(self) -> None:
+        if self.num_arrays < 1:
+            raise ValueError("num_arrays must be >= 1")
+        if self.stripes_per_array < 1:
+            raise ValueError("stripes_per_array must be >= 1")
+        if self.rebuild_concurrency < 1:
+            raise ValueError("rebuild_concurrency must be >= 1")
+        if self.horizon_hours <= 0:
+            raise ValueError("horizon_hours must be positive")
+        if (self.scrub_interval_hours is not None
+                and self.scrub_interval_hours <= 0):
+            raise ValueError(
+                "scrub_interval_hours must be positive (None disables)")
+        if self.write_rate_per_hour < 0:
+            raise ValueError("write_rate_per_hour must be >= 0")
+
+
+@dataclass
+class TrajectoryResult:
+    """Outcome of one simulated cluster lifetime."""
+
+    time_to_data_loss: float | None
+    horizon_hours: float
+    cause: str | None
+    events_processed: int
+    event_counts: dict[str, int]
+    final_time: float
+
+    @property
+    def lost_data(self) -> bool:
+        return self.time_to_data_loss is not None
+
+
+class ClusterSimulation:
+    """Discrete-event simulation of one cluster until data loss or horizon."""
+
+    def __init__(self, scenario: Scenario,
+                 seed: int | np.random.Generator | None = None) -> None:
+        self.scenario = scenario
+        self.rng = (seed if isinstance(seed, np.random.Generator)
+                    else np.random.default_rng(seed))
+        self.cluster = SimulatedCluster(
+            scenario.code, scenario.num_arrays, scenario.stripes_per_array)
+        self.queue = EventQueue()
+        self._active_rebuilds = 0
+        self._pending_rebuilds: deque[int] = deque()
+        # array -> devices the in-flight rebuild is reconstructing; a
+        # device that fails after the rebuild started is NOT covered by
+        # it and needs its own pass.
+        self._rebuilding: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Scheduling helpers
+    # ------------------------------------------------------------------ #
+    def _schedule_device_failure(self, array: int, device: int,
+                                 now: float) -> None:
+        lifetime = float(self.scenario.lifetime.sample(self.rng, 1)[0])
+        self.queue.schedule(now + lifetime, EventType.DEVICE_FAILURE,
+                            array=array, device=device)
+
+    def _schedule_sector_error(self, array: int, device: int,
+                               now: float) -> None:
+        process = self.scenario.sector_errors
+        if process is None:
+            return
+        at = process.next_arrival(self.rng, now)
+        if math.isfinite(at):
+            self.queue.schedule(at, EventType.SECTOR_ERROR,
+                                array=array, device=device)
+
+    def _schedule_write(self, array: int, now: float) -> None:
+        rate = self.scenario.write_rate_per_hour
+        if rate <= 0:
+            return
+        self.queue.schedule(now + float(self.rng.exponential(1.0 / rate)),
+                            EventType.STRIPE_WRITE, array=array)
+
+    def _start_or_queue_rebuild(self, array: int, now: float) -> None:
+        if array in self._rebuilding or array in self._pending_rebuilds:
+            return
+        if self._active_rebuilds < self.scenario.rebuild_concurrency:
+            self._start_rebuild(array, now)
+        else:
+            self._pending_rebuilds.append(array)
+
+    def _start_rebuild(self, array: int, now: float) -> None:
+        self._active_rebuilds += 1
+        targets = np.flatnonzero(
+            self.cluster.arrays[array].device_failed).tolist()
+        self._rebuilding[array] = targets
+        duration = float(self.scenario.repair.sample(self.rng, 1)[0])
+        self.queue.schedule(now + duration, EventType.REBUILD_COMPLETE,
+                            array=array)
+
+    def _finish_rebuild_slot(self, array: int, now: float) -> None:
+        self._active_rebuilds -= 1
+        self._rebuilding.pop(array, None)
+        if self._pending_rebuilds:
+            self._start_rebuild(self._pending_rebuilds.popleft(), now)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> TrajectoryResult:
+        """Play the trajectory; returns the (possibly censored) outcome."""
+        scenario = self.scenario
+        counts = {t.value: 0 for t in EventType}
+        for a, array in enumerate(self.cluster.arrays):
+            for d in range(array.n):
+                self._schedule_device_failure(a, d, 0.0)
+                self._schedule_sector_error(a, d, 0.0)
+            if scenario.scrub_interval_hours is not None:
+                # Stagger scrubs so arrays do not all scrub in lock-step.
+                offset = scenario.scrub_interval_hours * (a + 1) / \
+                    scenario.num_arrays
+                self.queue.schedule(offset, EventType.SCRUB, array=a)
+            self._schedule_write(a, 0.0)
+
+        processed = 0
+        for event in self.queue.drain():
+            if event.time > scenario.horizon_hours:
+                return TrajectoryResult(None, scenario.horizon_hours, None,
+                                        processed, counts,
+                                        scenario.horizon_hours)
+            processed += 1
+            counts[event.type.value] += 1
+            loss_cause = self._handle(event)
+            if loss_cause is not None:
+                return TrajectoryResult(event.time, scenario.horizon_hours,
+                                        loss_cause, processed, counts,
+                                        event.time)
+        return TrajectoryResult(None, scenario.horizon_hours, None,
+                                processed, counts, scenario.horizon_hours)
+
+    # ------------------------------------------------------------------ #
+    def _handle(self, event: Event) -> str | None:
+        """Apply one event; returns a data-loss cause string or None."""
+        handler = {
+            EventType.DEVICE_FAILURE: self._on_device_failure,
+            EventType.REBUILD_COMPLETE: self._on_rebuild_complete,
+            EventType.SECTOR_ERROR: self._on_sector_error,
+            EventType.SCRUB: self._on_scrub,
+            EventType.STRIPE_WRITE: self._on_stripe_write,
+        }[event.type]
+        return handler(event)
+
+    def _on_device_failure(self, event: Event) -> str | None:
+        a, d = event.payload["array"], event.payload["device"]
+        array = self.cluster.arrays[a]
+        if array.device_failed[d]:
+            return None  # stale event for a device already down
+        array.fail_device(d)
+        if array.num_failed > array.coverage.m:
+            return "device_failures_exceed_m"
+        self._start_or_queue_rebuild(a, event.time)
+        return None
+
+    def _on_rebuild_complete(self, event: Event) -> str | None:
+        a = event.payload["array"]
+        array = self.cluster.arrays[a]
+        # A rebuild reads every surviving chunk; stripes whose damage
+        # exceeds the code's coverage are unrecoverable -- the μ·P_arr
+        # loss path of the Markov model.
+        if not array.all_recoverable():
+            return "unrecoverable_stripes_during_rebuild"
+        targets = self._rebuilding.get(a, [])
+        replaced = array.rebuild(targets)
+        self._finish_rebuild_slot(a, event.time)
+        for d in replaced:
+            self._schedule_device_failure(a, d, event.time)
+        # Devices that failed while this rebuild ran (m >= 2 only --
+        # with m = 1 a second failure already lost data) need their own
+        # repair window.
+        if array.num_failed:
+            self._start_or_queue_rebuild(a, event.time)
+        return None
+
+    def _on_sector_error(self, event: Event) -> str | None:
+        a, d = event.payload["array"], event.payload["device"]
+        array = self.cluster.arrays[a]
+        self._schedule_sector_error(a, d, event.time)
+        if array.device_failed[d]:
+            return None  # errors on a dead device are moot
+        length = 1
+        if self.scenario.burst_lengths is not None:
+            length = int(self.scenario.burst_lengths.sample(self.rng)[0])
+        if length < 1:
+            return None
+        stripe = int(self.rng.integers(0, array.num_stripes))
+        array.add_sector_errors(stripe, d, length)
+        return None
+
+    def _on_scrub(self, event: Event) -> str | None:
+        a = event.payload["array"]
+        array = self.cluster.arrays[a]
+        interval = self.scenario.scrub_interval_hours
+        assert interval is not None
+        self.queue.schedule(event.time + interval, EventType.SCRUB, array=a)
+        # The scrub reads every stripe: damage beyond coverage is detected
+        # now (normal-mode double damage the Markov model ignores).
+        if not array.all_recoverable():
+            return "unrecoverable_stripes_found_by_scrub"
+        array.scrub()
+        return None
+
+    def _on_stripe_write(self, event: Event) -> str | None:
+        a = event.payload["array"]
+        array = self.cluster.arrays[a]
+        self._schedule_write(a, event.time)
+        stripe = int(self.rng.integers(0, array.num_stripes))
+        if not array.stripe_recoverable(stripe):
+            return "write_hit_unrecoverable_stripe"
+        # A full-stripe write re-encodes and rewrites every surviving
+        # chunk, clearing latent errors in the stripe (Device.write
+        # semantics in repro.array.device).
+        array.clear_stripe_errors(stripe)
+        return None

@@ -1,0 +1,199 @@
+"""Device lifetime, repair-time and sector-error models for the simulator.
+
+The analytical models of §7 assume exponential device lifetimes (rate λ)
+and exponential rebuilds (rate μ).  The simulator accepts those plus the
+Weibull wear-out model that field studies (and the SMRSU-style storage
+simulators) use for aging devices.  All models draw from a
+``numpy.random.Generator`` so that every simulation is reproducible from
+a single seed.
+
+Times are in hours throughout, matching :mod:`repro.reliability`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.reliability.sector_models import (
+    DEFAULT_SECTOR_BYTES,
+    sector_failure_probability,
+)
+
+
+class LifetimeModel(abc.ABC):
+    """Distribution of a fresh device's time to failure."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        """Draw lifetimes (hours) for newly installed devices."""
+
+    @property
+    @abc.abstractmethod
+    def mean_hours(self) -> float:
+        """Expected lifetime (MTTF) in hours."""
+
+
+class ExponentialLifetime(LifetimeModel):
+    """Memoryless lifetimes with MTTF ``1/λ`` (the paper's assumption)."""
+
+    def __init__(self, mttf_hours: float = 500_000.0) -> None:
+        if mttf_hours <= 0:
+            raise ValueError("mttf_hours must be positive")
+        self.mttf_hours = mttf_hours
+
+    @property
+    def rate(self) -> float:
+        """λ (per hour)."""
+        return 1.0 / self.mttf_hours
+
+    @property
+    def mean_hours(self) -> float:
+        return self.mttf_hours
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        return rng.exponential(self.mttf_hours, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialLifetime(mttf={self.mttf_hours:g}h)"
+
+
+class WeibullLifetime(LifetimeModel):
+    """Weibull lifetimes: wear-out (shape > 1) or infant mortality (< 1).
+
+    ``shape`` is the Weibull k (β in the SMRSU configuration files) and
+    ``scale`` the characteristic life η; ``location`` shifts the whole
+    distribution right (a guaranteed failure-free period γ).  With
+    ``shape = 1`` this degenerates to :class:`ExponentialLifetime` with
+    MTTF = ``location + scale``.
+    """
+
+    def __init__(self, scale_hours: float, shape: float,
+                 location_hours: float = 0.0) -> None:
+        if scale_hours <= 0:
+            raise ValueError("scale_hours must be positive")
+        if shape <= 0:
+            raise ValueError("shape must be positive")
+        if location_hours < 0:
+            raise ValueError("location_hours must be >= 0")
+        self.scale_hours = scale_hours
+        self.shape = shape
+        self.location_hours = location_hours
+
+    @property
+    def mean_hours(self) -> float:
+        return self.location_hours + self.scale_hours * math.gamma(
+            1.0 + 1.0 / self.shape)
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        return (self.location_hours
+                + self.scale_hours * rng.weibull(self.shape, size=size))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"WeibullLifetime(scale={self.scale_hours:g}h, "
+                f"shape={self.shape:g}, loc={self.location_hours:g}h)")
+
+
+class RepairModel(abc.ABC):
+    """Distribution of the time to rebuild one failed device."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        """Draw rebuild durations (hours)."""
+
+    @property
+    @abc.abstractmethod
+    def mean_hours(self) -> float:
+        """Expected rebuild time (1/μ) in hours."""
+
+
+class ExponentialRepair(RepairModel):
+    """Exponential rebuilds with mean ``1/μ`` (the Markov model's shape)."""
+
+    def __init__(self, mean_hours: float = 17.8) -> None:
+        if mean_hours <= 0:
+            raise ValueError("mean_hours must be positive")
+        self._mean_hours = mean_hours
+
+    @property
+    def rate(self) -> float:
+        """μ (per hour)."""
+        return 1.0 / self._mean_hours
+
+    @property
+    def mean_hours(self) -> float:
+        return self._mean_hours
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        return rng.exponential(self._mean_hours, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialRepair(mean={self._mean_hours:g}h)"
+
+
+class DeterministicRepair(RepairModel):
+    """Fixed-duration rebuilds (capacity / rebuild-bandwidth)."""
+
+    def __init__(self, hours: float) -> None:
+        if hours <= 0:
+            raise ValueError("hours must be positive")
+        self.hours = hours
+
+    @property
+    def mean_hours(self) -> float:
+        return self.hours
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        return np.full(size, self.hours, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeterministicRepair({self.hours:g}h)"
+
+
+class SectorErrorProcess:
+    """Poisson arrival of latent sector errors on one device.
+
+    The analysis of §7 works with a *static* per-sector failure
+    probability ``P_sec`` -- the chance a sector is found bad during a
+    rebuild.  The simulator needs a *process*: errors arrive at rate
+    ``rate_per_device_hour`` and persist until the next scrub or write of
+    the affected stripe.  :meth:`from_p_bit` converts the paper's
+    ``P_bit`` into that rate by matching the steady-state bad-sector
+    probability under a scrub interval ``T``: an error arriving uniformly
+    within a scrub period survives on average ``T/2`` hours, so
+    ``P_sec ≈ rate_per_sector * T / 2``.
+    """
+
+    def __init__(self, rate_per_device_hour: float) -> None:
+        if rate_per_device_hour < 0:
+            raise ValueError("rate must be >= 0")
+        self.rate_per_device_hour = rate_per_device_hour
+
+    @classmethod
+    def from_p_bit(cls, p_bit: float, sectors_per_device: int,
+                   scrub_interval_hours: float,
+                   sector_bytes: int = DEFAULT_SECTOR_BYTES,
+                   ) -> "SectorErrorProcess":
+        """Match steady-state ``P_sec`` under the given scrub interval."""
+        if scrub_interval_hours <= 0:
+            raise ValueError("scrub_interval_hours must be positive")
+        p_sec = sector_failure_probability(p_bit, sector_bytes)
+        rate_per_sector = 2.0 * p_sec / scrub_interval_hours
+        return cls(rate_per_sector * sectors_per_device)
+
+    def next_arrival(self, rng: np.random.Generator, now: float) -> float:
+        """Absolute time of the next error on this device (inf if rate 0)."""
+        if self.rate_per_device_hour == 0.0:
+            return math.inf
+        return now + float(rng.exponential(1.0 / self.rate_per_device_hour))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SectorErrorProcess(rate={self.rate_per_device_hour:g}/h)"

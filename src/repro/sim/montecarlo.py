@@ -1,0 +1,321 @@
+"""Numpy-vectorized Monte Carlo batch runner for array/cluster lifetimes.
+
+Instead of replaying one event queue per trial, thousands of independent
+lifetimes advance together as numpy lanes: each lane keeps the absolute
+failure time of every device in its array, rounds alternate between "next
+device fails" and "rebuild race" (second failure vs. rebuild completion
+vs. unrecoverable sector damage discovered at rebuild time), and finished
+lanes drop out of the batch.  Keeping *absolute* failure times makes the
+scheme exact for non-memoryless (Weibull) lifetimes too: a surviving
+device's failure time was fixed when it was installed and simply carries
+over across rounds.
+
+The sector-failure leg reuses the analysis layer: the probability that a
+rebuild trips over unrecoverable sector damage is ``P_arr`` from
+:func:`repro.reliability.mttdl.p_array`, i.e. the same ``P_str``
+machinery (and therefore the same code coverage) as Eq. 10-11.  In the
+exponential case the estimated MTTDL must statistically agree with the
+closed form -- the cross-validation asserted in the test suite.  Repair
+bandwidth contention, scrub intervals and workload effects are out of
+scope here; the event engine of :mod:`repro.sim.events` covers those.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codes.base import StripeCode
+from repro.reliability.mttdl import (
+    CodeReliability,
+    SystemParameters,
+    p_array,
+)
+from repro.reliability.sector_models import SectorFailureModel
+from repro.sim.cluster import CoverageModel
+from repro.sim.lifetimes import (
+    ExponentialLifetime,
+    ExponentialRepair,
+    LifetimeModel,
+    RepairModel,
+)
+
+#: Safety valve for the vectorized loops (a round is one failure/rebuild
+#: cycle across the whole active batch; realistic runs need thousands).
+MAX_ROUNDS = 2_000_000
+
+
+def code_reliability_from_code(code: StripeCode) -> CodeReliability:
+    """Map a concrete stripe code to its analytic reliability description."""
+    coverage = CoverageModel.from_code(code)
+    if coverage.kind == "stair":
+        return CodeReliability.stair(coverage.e)
+    if coverage.kind == "sd":
+        return CodeReliability.sd(coverage.s)
+    if coverage.kind == "rs":
+        return CodeReliability.reed_solomon()
+    raise ValueError(
+        f"no analytic P_str model for coverage kind {coverage.kind!r}"
+    )
+
+
+@dataclass
+class MonteCarloResult:
+    """Batch of simulated times to data loss, with summary statistics.
+
+    ``times`` holds one entry per trial; ``inf`` marks a trial censored
+    at the horizon without data loss.
+    """
+
+    times: np.ndarray
+    horizon_hours: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def trials(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def losses(self) -> int:
+        return int(np.isfinite(self.times).sum())
+
+    @property
+    def loss_times(self) -> np.ndarray:
+        return self.times[np.isfinite(self.times)]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mttdl_hours(self) -> float:
+        """Sample-mean time to data loss (requires uncensored trials)."""
+        if self.losses == 0:
+            raise ValueError("no data-loss events observed; MTTDL undefined")
+        if self.losses < self.trials:
+            raise ValueError(
+                f"{self.trials - self.losses} trials were censored at the "
+                "horizon; the sample mean would be biased -- rerun without "
+                "a horizon or use probability_of_loss_by()"
+            )
+        return float(self.loss_times.mean())
+
+    @property
+    def mttdl_std_error(self) -> float:
+        """Standard error of the MTTDL estimate."""
+        observed = self.loss_times
+        if observed.size < 2:
+            raise ValueError("need >= 2 data-loss events for a std error")
+        return float(observed.std(ddof=1) / math.sqrt(observed.size))
+
+    def mttdl_confidence(self, z: float = 3.0) -> tuple[float, float]:
+        """``z``-sigma confidence interval around the MTTDL estimate."""
+        mean = self.mttdl_hours
+        half = z * self.mttdl_std_error
+        return (mean - half, mean + half)
+
+    def agrees_with(self, analytic_hours: float, z: float = 3.0) -> bool:
+        """Does the analytic value fall inside the z-sigma interval?"""
+        lo, hi = self.mttdl_confidence(z)
+        return lo <= analytic_hours <= hi
+
+    # ------------------------------------------------------------------ #
+    def probability_of_loss_by(self, hours: float,
+                               z: float = 3.0) -> tuple[float, float, float]:
+        """P(data loss by ``hours``) with a Wilson score interval.
+
+        Returns ``(estimate, low, high)``.  Valid also for censored runs
+        as long as ``hours`` does not exceed the horizon.
+        """
+        if self.horizon_hours is not None and hours > self.horizon_hours:
+            raise ValueError("hours exceeds the simulated horizon")
+        k = int((self.times <= hours).sum())
+        n = self.trials
+        p = k / n
+        denom = 1.0 + z * z / n
+        centre = (p + z * z / (2 * n)) / denom
+        half = (z / denom) * math.sqrt(p * (1 - p) / n
+                                       + z * z / (4 * n * n))
+        return p, max(0.0, centre - half), min(1.0, centre + half)
+
+    def summary(self) -> dict:
+        out = {"trials": self.trials, "losses": self.losses,
+               "horizon_hours": self.horizon_hours}
+        if self.losses == self.trials and self.losses >= 2:
+            out["mttdl_hours"] = self.mttdl_hours
+            out["mttdl_std_error"] = self.mttdl_std_error
+        out.update(self.metadata)
+        return out
+
+
+def _as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# --------------------------------------------------------------------------- #
+# Core vectorized loops
+# --------------------------------------------------------------------------- #
+def simulate_array_lifetimes(n: int,
+                             p_arr: float,
+                             trials: int,
+                             seed: int | np.random.Generator | None = None,
+                             lifetime: LifetimeModel | None = None,
+                             repair: RepairModel | None = None,
+                             horizon_hours: float | None = None,
+                             ) -> MonteCarloResult:
+    """Simulate ``trials`` independent single-array lifetimes (m = 1).
+
+    Each array has ``n`` devices and tolerates one device failure; during
+    a rebuild a second device failure loses data immediately, and a
+    completed rebuild trips over unrecoverable sector damage with
+    probability ``p_arr`` (computed upstream from the code's coverage and
+    the sector-failure model).  ``m >= 2`` schemes need the event engine
+    or :func:`repro.reliability.markov.mttdl_arr_two_parity`.
+    """
+    times = _vectorized_lifetimes(n, p_arr, trials, 1, _as_rng(seed),
+                                  lifetime or ExponentialLifetime(),
+                                  repair or ExponentialRepair(),
+                                  horizon_hours)
+    return MonteCarloResult(times, horizon_hours,
+                            {"n": n, "p_arr": p_arr, "num_arrays": 1})
+
+
+def simulate_cluster_lifetimes(n: int,
+                               num_arrays: int,
+                               p_arr: float,
+                               trials: int,
+                               seed: int | np.random.Generator | None = None,
+                               lifetime: LifetimeModel | None = None,
+                               repair: RepairModel | None = None,
+                               horizon_hours: float | None = None,
+                               ) -> MonteCarloResult:
+    """Simulate ``trials`` cluster lifetimes: ``num_arrays`` arrays of
+    ``n`` devices each; the cluster loses data when its first array does.
+
+    All arrays advance as independent vector lanes; a lane retires as
+    soon as its clock passes its trial's best loss time, so work scales
+    with the *cluster* lifetime rather than with full per-array
+    absorption.
+    """
+    times = _vectorized_lifetimes(n, p_arr, trials, num_arrays,
+                                  _as_rng(seed),
+                                  lifetime or ExponentialLifetime(),
+                                  repair or ExponentialRepair(),
+                                  horizon_hours)
+    return MonteCarloResult(times, horizon_hours,
+                            {"n": n, "p_arr": p_arr,
+                             "num_arrays": num_arrays})
+
+
+def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
+                          num_arrays: int, rng: np.random.Generator,
+                          lifetime: LifetimeModel, repair: RepairModel,
+                          horizon_hours: float | None) -> np.ndarray:
+    if n < 2:
+        raise ValueError("need n >= 2 devices per array")
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if not (0.0 <= p_arr <= 1.0):
+        raise ValueError("p_arr must lie in [0, 1]")
+
+    lanes = trials * num_arrays
+    trial_of = np.repeat(np.arange(trials), num_arrays)
+    next_fail = lifetime.sample(rng, (lanes, n))
+    # Best (earliest) loss time seen per trial; lanes that can no longer
+    # beat it retire.  With a horizon, nothing past it matters either.
+    cutoff = np.full(trials, math.inf if horizon_hours is None
+                     else float(horizon_hours))
+    lost = np.zeros(trials, dtype=bool)
+    active = np.arange(lanes)
+
+    for _ in range(MAX_ROUNDS):
+        if active.size == 0:
+            break
+        nf = next_fail[active]
+        two_smallest = np.partition(nf, 1, axis=1)
+        first = two_smallest[:, 0]
+        second = two_smallest[:, 1]
+        failed_dev = nf.argmin(axis=1)
+
+        rebuild_done = first + repair.sample(rng, active.size)
+        second_wins = second < rebuild_done
+        sector_trip = rng.random(active.size) < p_arr
+        loses = second_wins | sector_trip
+        loss_time = np.where(second_wins, second, rebuild_done)
+
+        lane_trials = trial_of[active]
+        effective = loses & (loss_time < cutoff[lane_trials])
+        if effective.any():
+            np.minimum.at(cutoff, lane_trials[effective],
+                          loss_time[effective])
+            lost[lane_trials[effective]] = True
+
+        survives = ~loses & (rebuild_done < cutoff[lane_trials])
+        surv = active[survives]
+        if surv.size:
+            next_fail[surv, failed_dev[survives]] = (
+                rebuild_done[survives]
+                + lifetime.sample(rng, surv.size))
+        active = surv
+    else:  # pragma: no cover - safety valve
+        raise RuntimeError(
+            f"simulation did not converge within {MAX_ROUNDS} rounds; "
+            "set horizon_hours to bound the run"
+        )
+
+    return np.where(lost, cutoff, math.inf)
+
+
+# --------------------------------------------------------------------------- #
+# Bridge to the analysis layer
+# --------------------------------------------------------------------------- #
+def simulate_code_mttdl(code: StripeCode | CodeReliability,
+                        model: SectorFailureModel,
+                        params: SystemParameters | None = None,
+                        trials: int = 1000,
+                        seed: int | np.random.Generator | None = None,
+                        num_arrays: int = 1,
+                        lifetime: LifetimeModel | None = None,
+                        repair: RepairModel | None = None,
+                        horizon_hours: float | None = None,
+                        ) -> MonteCarloResult:
+    """Monte Carlo MTTDL of a code under the paper's system parameters.
+
+    ``P_arr`` comes from the analysis layer (Eq. 11) applied to the same
+    coverage the simulator's damage predicate uses; lifetimes and repairs
+    default to the exponential models with the paper's 1/λ and 1/μ.
+    """
+    params = params or SystemParameters()
+    if params.m != 1:
+        raise ValueError(
+            "the vectorized runner models m = 1 arrays only (second "
+            "failure during rebuild = loss); use the event engine of "
+            "repro.sim.events for m >= 2"
+        )
+    if isinstance(code, CodeReliability):
+        reliability = code
+    else:
+        coverage = CoverageModel.from_code(code)
+        if coverage.m != 1:
+            raise ValueError(
+                f"{type(code).__name__} has m = {coverage.m}; the "
+                "vectorized runner models m = 1 arrays only -- use the "
+                "event engine of repro.sim.events"
+            )
+        if (code.n, code.r) != (params.n, params.r):
+            raise ValueError(
+                f"code geometry (n={code.n}, r={code.r}) does not match "
+                f"SystemParameters (n={params.n}, r={params.r}); the "
+                "sector model and cluster simulation would disagree"
+            )
+        reliability = code_reliability_from_code(code)
+    parr = p_array(reliability, params, model)
+    lifetime = lifetime or ExponentialLifetime(
+        params.mean_time_to_failure_hours)
+    repair = repair or ExponentialRepair(params.mean_time_to_rebuild_hours)
+    result = simulate_cluster_lifetimes(
+        params.n, num_arrays, parr, trials, seed,
+        lifetime=lifetime, repair=repair, horizon_hours=horizon_hours)
+    result.metadata["code"] = reliability.label()
+    return result

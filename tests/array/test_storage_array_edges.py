@@ -1,0 +1,181 @@
+"""Edge paths of the symbol-level StorageArray.
+
+Covers the paths the integration suite leaves out: DataLossError on
+over-budget failure patterns via every repair entry point, the ordering
+of scrub vs. rebuild under combined damage, and degraded reads at the
+exact coverage boundary.
+"""
+
+import pytest
+
+from repro.array import DataLossError, StorageArray, random_payload
+from repro.codes import RAID5Code, ReedSolomonStripeCode, StairStripeCode
+
+
+def _stair_array(num_stripes=2, symbol_size=32):
+    code = StairStripeCode(n=6, r=4, m=1, e=(1, 2))
+    array = StorageArray(code, num_stripes=num_stripes,
+                         symbol_size=symbol_size)
+    payload = random_payload(array.capacity, seed=0)
+    array.write(payload)
+    return array, payload
+
+
+# --------------------------------------------------------------------------- #
+# DataLossError on over-budget failures
+# --------------------------------------------------------------------------- #
+class TestOverBudgetFailures:
+    def test_rebuild_raises_when_too_many_devices_fail(self):
+        array, _ = _stair_array()
+        array.fail_device(0)
+        array.fail_device(1)  # m = 1: a second failed device is fatal
+        with pytest.raises(DataLossError, match="rebuild failed"):
+            array.rebuild()
+
+    def test_rebuild_raises_when_sector_damage_exceeds_e(self):
+        array, _ = _stair_array()
+        array.fail_device(0)
+        # e = (1, 2) allows (2, 1); three bad sectors in one chunk do not.
+        for row in range(3):
+            array.fail_sector(0, row, device=3)
+        with pytest.raises(DataLossError, match="unrecoverable"):
+            array.rebuild()
+
+    def test_scrub_raises_on_unrecoverable_stripe(self):
+        code = RAID5Code(n=5, r=4)
+        array = StorageArray(code, num_stripes=1, symbol_size=32)
+        array.write(random_payload(array.capacity, seed=1))
+        # Two damaged chunks in one row exceed RAID-5's single erasure.
+        array.fail_sector(0, 0, device=0)
+        array.fail_sector(0, 0, device=1)
+        with pytest.raises(DataLossError, match="scrub cannot repair"):
+            array.scrub()
+
+    def test_update_symbol_raises_data_loss_on_unrecoverable_stripe(self):
+        import numpy as np
+        array, _ = _stair_array()
+        array.fail_device(0)
+        array.fail_device(1)  # beyond m = 1
+        with pytest.raises(DataLossError, match="cannot update"):
+            array.update_symbol(0, 0, np.zeros(32, dtype=np.uint8))
+
+    def test_read_stripe_raises_after_over_budget_damage(self):
+        array, _ = _stair_array()
+        array.fail_device(0)
+        array.fail_device(1)
+        with pytest.raises(DataLossError, match="unrecoverable"):
+            array.read_stripe(0)
+
+    def test_damage_beyond_coverage_only_hurts_affected_stripe(self):
+        array, payload = _stair_array(num_stripes=2)
+        for row in range(4):
+            array.fail_sector(0, row, device=0)
+            array.fail_sector(0, row, device=1)
+        with pytest.raises(DataLossError):
+            array.read_stripe(0)
+        # Stripe 1 is untouched and still reads cleanly.
+        capacity = array.stripe_capacity
+        assert array.read_stripe(1) == payload[capacity:2 * capacity]
+
+
+# --------------------------------------------------------------------------- #
+# Scrub-then-rebuild ordering
+# --------------------------------------------------------------------------- #
+class TestScrubRebuildOrdering:
+    def _damaged(self):
+        """One failed device plus in-coverage latent errors elsewhere."""
+        array, payload = _stair_array()
+        array.fail_device(2)
+        array.fail_sector(0, 0, device=4)   # e covers (1,) alongside m=1
+        array.fail_sector(1, 3, device=5)
+        return array, payload
+
+    def test_scrub_then_rebuild_restores_health(self):
+        array, payload = self._damaged()
+        # Degraded scrub: sector repair happens while the device is down.
+        assert array.scrub() == 2
+        assert array.status().bad_sectors == 0
+        assert array.rebuild() == [2]
+        assert array.status().healthy
+        assert array.read(len(payload)) == payload
+
+    def test_rebuild_then_scrub_is_equivalent(self):
+        array, payload = self._damaged()
+        assert array.rebuild() == [2]
+        assert array.status().bad_sectors == 2
+        assert array.scrub() == 2
+        assert array.status().healthy
+        assert array.read(len(payload)) == payload
+
+    def test_scrub_skips_sectors_on_failed_devices(self):
+        array, _ = self._damaged()
+        # Latent error on the failed device itself: not scrubbable, and
+        # subsumed by the device failure.
+        array.fail_sector(0, 1, device=2)
+        assert array.scrub() == 2
+        status = array.status()
+        assert status.failed_devices == [2]
+        # rebuild() rewrites the whole device, clearing its bad sector.
+        array.rebuild()
+        assert array.status().healthy
+
+    def test_scrub_before_second_failure_saves_the_array(self):
+        """The operational point of scrubbing: clearing latent errors
+        before the next device failure keeps the array inside coverage."""
+        code = ReedSolomonStripeCode(n=6, r=4, m=1)
+        scrubbed = StorageArray(code, num_stripes=1, symbol_size=32)
+        payload = random_payload(scrubbed.capacity, seed=2)
+        scrubbed.write(payload)
+        scrubbed.fail_sector(0, 2, device=3)
+        scrubbed.scrub()
+        scrubbed.fail_device(0)
+        assert scrubbed.read(len(payload)) == payload
+
+        unscrubbed = StorageArray(code, num_stripes=1, symbol_size=32)
+        unscrubbed.write(payload)
+        unscrubbed.fail_sector(0, 2, device=3)
+        unscrubbed.fail_device(0)
+        with pytest.raises(DataLossError):
+            unscrubbed.read_stripe(0)
+
+
+# --------------------------------------------------------------------------- #
+# Degraded reads with simultaneous device + sector failures
+# --------------------------------------------------------------------------- #
+class TestDegradedReadsAtCoverageBoundary:
+    def test_worst_case_e_pattern_is_still_readable(self):
+        array, payload = _stair_array()
+        array.fail_device(5)             # consumes the m = 1 budget
+        array.fail_sector(0, 3, device=3)  # chunk with 1 error
+        array.fail_sector(0, 2, device=4)  # chunk with 2 errors
+        array.fail_sector(0, 3, device=4)
+        assert array.read(len(payload)) == payload
+
+    def test_one_sector_past_the_boundary_raises(self):
+        array, _ = _stair_array()
+        array.fail_device(5)
+        array.fail_sector(0, 3, device=3)
+        array.fail_sector(0, 2, device=4)
+        array.fail_sector(0, 3, device=4)
+        array.fail_sector(0, 1, device=1)  # third damaged chunk: beyond e
+        with pytest.raises(DataLossError):
+            array.read_stripe(0)
+
+    def test_update_symbol_on_degraded_stripe(self):
+        """update_symbol decodes, patches and re-encodes even while the
+        stripe carries simultaneous device and sector damage; the failed
+        device is skipped and reconstructed consistently by rebuild()."""
+        import numpy as np
+        array, _ = _stair_array()
+        array.fail_device(1)
+        array.fail_sector(0, 0, device=0)
+        rewritten = array.update_symbol(0, 2, np.zeros(32, dtype=np.uint8))
+        assert rewritten >= 1
+        blob = array.read_stripe(0)
+        assert blob[2 * 32:3 * 32] == b"\x00" * 32
+        # After rebuilding the failed device the updated stripe is fully
+        # consistent again (no degraded decode needed).
+        array.rebuild()
+        assert array.status().healthy
+        clean = array.read_stripe(0, degraded_ok=False)
+        assert clean[2 * 32:3 * 32] == b"\x00" * 32

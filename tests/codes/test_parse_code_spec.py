@@ -1,0 +1,58 @@
+"""Textual code specs: the registry's promised ``stair(n=8, ...)`` form."""
+
+import pytest
+
+from repro.codes.raid import RAID5Code
+from repro.codes.registry import build_code, parse_code_spec, register_code
+from repro.codes.sd import SDCode
+from repro.codes.stair_adapter import StairStripeCode
+
+
+def test_parse_stair_spec_with_tuple():
+    code = parse_code_spec("stair(n=8,r=16,m=1,e=(1,2))")
+    assert isinstance(code, StairStripeCode)
+    assert (code.n, code.r, code.config.m, code.config.e) == (8, 16, 1, (1, 2))
+
+
+def test_parse_is_equivalent_to_build_code():
+    parsed = parse_code_spec("sd(n=8, r=4, m=1, s=2)")
+    built = build_code("sd", n=8, r=4, m=1, s=2)
+    assert isinstance(parsed, SDCode)
+    assert parsed.describe() == built.describe()
+
+
+def test_whitespace_and_case_are_tolerated():
+    code = parse_code_spec("  RAID5( n = 5 , r = 4 )  ")
+    assert isinstance(code, RAID5Code)
+    assert (code.n, code.r) == (5, 4)
+
+
+def test_bare_name_spec_uses_factory_defaults():
+    register_code("fixed-demo", lambda: RAID5Code(n=4, r=2))
+    try:
+        code = parse_code_spec("fixed-demo")
+        assert isinstance(code, RAID5Code)
+        assert code.n == 4
+    finally:
+        from repro.codes import registry
+        registry._FACTORIES.pop("fixed-demo")
+
+
+def test_unknown_family_lists_alternatives():
+    with pytest.raises(ValueError, match="available"):
+        parse_code_spec("turbo(n=8)")
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "stair(n=8",            # unbalanced parens
+    "stair(8, 16)",         # positional args
+    "stair(n=8, **extra)",  # ** expansion
+    "stair(n=open('x'))",   # non-literal value
+    "rs(n=8; r=4)",         # syntax error
+    "123(n=8)",             # family must be an identifier
+    "rs(n=8, r=4, q=1)",    # unknown keyword -> ValueError, not TypeError
+])
+def test_malformed_specs_raise_value_error(bad):
+    with pytest.raises(ValueError):
+        parse_code_spec(bad)

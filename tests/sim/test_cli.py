@@ -1,0 +1,78 @@
+"""Smoke tests for the simulator command-line interface."""
+
+import pytest
+
+from repro.sim.cli import build_parser, main
+
+
+def test_default_run_prints_mttdl_and_agreement(capsys):
+    assert main(["--seed", "0", "--trials", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "MTTDL (sim)" in out
+    assert "MTTDL (analytic)" in out
+    assert "analytic within 3 sigma  yes" in out
+
+
+def test_stair_spec_with_horizon_reports_loss_probability(capsys):
+    assert main(["--code", "stair(n=8,r=16,m=1,e=(1,2))",
+                 "--trials", "50", "--seed", "1", "--p-bit", "1e-10",
+                 "--arrays", "2", "--horizon", "1e7"]) == 0
+    out = capsys.readouterr().out
+    assert "STAIR" in out
+    assert "P(loss by horizon)" in out
+
+
+def test_events_mode_smoke(capsys):
+    assert main(["--mode", "events", "--trials", "3", "--seed", "0",
+                 "--stripes", "64", "--mttf", "5000",
+                 "--horizon", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "Event-driven trajectories" in out
+    assert "data loss in" in out
+
+
+def test_weibull_flag_runs(capsys):
+    assert main(["--trials", "50", "--seed", "2",
+                 "--weibull-shape", "2.0", "--horizon", "1e6"]) == 0
+    out = capsys.readouterr().out
+    # Weibull runs never print the exponential-only analytic comparison.
+    assert "MTTDL (analytic)" not in out
+
+
+def test_rejects_bad_trials():
+    with pytest.raises(SystemExit):
+        main(["--trials", "0"])
+
+
+def test_montecarlo_mode_rejects_m2_codes():
+    """RAID-6 through the vectorized mode would silently use m=1
+    dynamics; the CLI must refuse and point at --mode events."""
+    with pytest.raises(SystemExit, match="--mode events"):
+        main(["--code", "raid6(n=8,r=4)", "--trials", "10"])
+
+
+def test_events_mode_accepts_m2_codes(capsys):
+    assert main(["--mode", "events", "--code", "raid6(n=6,r=4)",
+                 "--trials", "2", "--seed", "0", "--stripes", "32",
+                 "--mttf", "2000", "--horizon", "30000"]) == 0
+    assert "RAID-6" in capsys.readouterr().out
+
+
+def test_bad_spec_exits_cleanly():
+    with pytest.raises(SystemExit, match="malformed code spec"):
+        main(["--code", "stair(n=8", "--trials", "10"])
+    with pytest.raises(SystemExit, match="invalid arguments"):
+        main(["--code", "rs(n=8,r=4,q=1)", "--trials", "10"])
+
+
+def test_events_mode_requires_scrub_interval_for_sector_errors():
+    with pytest.raises(SystemExit, match="scrub-interval"):
+        main(["--mode", "events", "--trials", "2", "--seed", "0",
+              "--scrub-interval", "0"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.mode == "montecarlo"
+    assert args.trials == 1000
+    assert args.seed == 0

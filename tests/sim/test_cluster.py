@@ -1,0 +1,219 @@
+"""Damage-state arrays and the vectorized recoverability predicate.
+
+The load-bearing property: :class:`CoverageModel` must agree with (or be
+a conservative lower bound on) what the real codes of :mod:`repro.codes`
+can actually repair.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes.raid import RAID5Code
+from repro.codes.reed_solomon import ReedSolomonStripeCode
+from repro.codes.sd import SDCode
+from repro.codes.idr import IDRScheme
+from repro.codes.stair_adapter import StairStripeCode
+from repro.sim.cluster import CoverageModel, SimulatedArray, SimulatedCluster
+
+
+def _patterns(n, r, max_failed_devices, max_damaged):
+    """Yield (failed_devices, {chunk: count}) damage patterns."""
+    for f in range(max_failed_devices + 1):
+        failed = tuple(range(n - f, n))
+        healthy = [j for j in range(n) if j not in failed]
+        for k in range(max_damaged + 1):
+            for chunks in itertools.combinations(healthy, k):
+                for counts in itertools.product(range(1, r + 1),
+                                                repeat=k):
+                    yield failed, dict(zip(chunks, counts))
+
+
+def _as_arrays(n, failed, damage):
+    errors = np.zeros((1, n), dtype=np.int16)
+    for chunk, count in damage.items():
+        errors[0, chunk] = count
+    mask = np.zeros(n, dtype=bool)
+    mask[list(failed)] = True
+    return errors, mask
+
+
+def _positions(r, failed, damage, n):
+    """Stacked-from-row-0 lost positions for StripeCode.tolerates."""
+    positions = [(row, j) for j in failed for row in range(r)]
+    for chunk, count in damage.items():
+        positions.extend((row, chunk) for row in range(count))
+    return positions
+
+
+def test_stair_coverage_matches_check_coverage_exactly():
+    code = StairStripeCode(n=4, r=3, m=1, e=(1, 2))
+    coverage = CoverageModel.from_code(code)
+    for failed, damage in _patterns(4, 3, 2, 2):
+        errors, mask = _as_arrays(4, failed, damage)
+        predicted = bool(coverage.stripes_recoverable(errors, mask)[0])
+        actual = code.tolerates(_positions(3, failed, damage, 4))
+        assert predicted == actual, (failed, damage)
+
+
+def test_rs_coverage_matches_row_stacked_patterns():
+    code = ReedSolomonStripeCode(n=5, r=3, m=2)
+    coverage = CoverageModel.from_code(code)
+    for failed, damage in _patterns(5, 3, 3, 2):
+        errors, mask = _as_arrays(5, failed, damage)
+        predicted = bool(coverage.stripes_recoverable(errors, mask)[0])
+        # Worst-case placement: all sector damage stacked in row 0, so
+        # row 0 sees every damaged chunk -- there the chunk-granularity
+        # model is exact.
+        actual = code.tolerates(_positions(3, failed, damage, 5))
+        assert predicted == actual, (failed, damage)
+
+
+def test_rs_coverage_is_conservative_for_spread_patterns():
+    """Damage spread over distinct rows may be decodable even when the
+    chunk-level model (and the paper's Appendix B) writes it off."""
+    code = ReedSolomonStripeCode(n=5, r=3, m=2)
+    coverage = CoverageModel.from_code(code)
+    # Three damaged chunks, one sector each, all in different rows.
+    errors = np.array([[1, 1, 1, 0, 0]], dtype=np.int16)
+    mask = np.zeros(5, dtype=bool)
+    assert not coverage.stripes_recoverable(errors, mask)[0]
+    spread = [(0, 0), (1, 1), (2, 2)]
+    assert code.tolerates(spread)
+
+
+def test_sd_coverage_matches_definition():
+    coverage = CoverageModel(kind="sd", m=1, r=4, s=2)
+
+    def reference(failed_count, counts):
+        # Absorb up to m - f whole chunks (any choice), then the rest
+        # must total at most s sectors.
+        spare = 1 - failed_count
+        if spare < 0:
+            return False
+        best = sorted(counts, reverse=True)
+        return sum(best[spare:]) <= 2
+
+    for f in range(3):
+        for counts in itertools.product(range(5), repeat=3):
+            errors = np.zeros((1, 3 + f), dtype=np.int16)
+            errors[0, :3] = counts
+            mask = np.zeros(3 + f, dtype=bool)
+            mask[3:] = True
+            predicted = bool(coverage.stripes_recoverable(errors, mask)[0])
+            assert predicted == reference(f, counts), (f, counts)
+
+
+def test_idr_coverage_matches_tolerates_on_data_chunks():
+    code = IDRScheme(n=5, r=4, m=1, epsilon=2)
+    coverage = CoverageModel.from_code(code)
+    data_chunks = [0, 1, 2, 3]
+    for k in range(3):
+        for chunks in itertools.combinations(data_chunks, k):
+            for counts in itertools.product(range(1, 5), repeat=k):
+                damage = dict(zip(chunks, counts))
+                errors, mask = _as_arrays(5, (), damage)
+                predicted = bool(
+                    coverage.stripes_recoverable(errors, mask)[0])
+                actual = code.tolerates(_positions(4, (), damage, 5))
+                assert predicted == actual, damage
+
+
+def test_coverage_too_many_device_failures():
+    coverage = CoverageModel(kind="stair", m=1, r=4, e=(1, 2))
+    errors = np.zeros((3, 4), dtype=np.int16)
+    mask = np.array([True, True, False, False])
+    assert not coverage.stripes_recoverable(errors, mask).any()
+
+
+def test_coverage_from_code_dispatch():
+    assert CoverageModel.from_code(RAID5Code(n=5, r=4)).kind == "rs"
+    stair = CoverageModel.from_code(StairStripeCode(n=8, r=4, m=2,
+                                                    e=(1, 1, 2)))
+    assert stair.kind == "stair" and stair.e == (1, 1, 2) and stair.s == 4
+    sd = CoverageModel.from_code(SDCode(n=8, r=4, m=1, s=2))
+    assert sd.kind == "sd" and sd.s == 2
+    with pytest.raises(TypeError):
+        CoverageModel.from_code(object())  # type: ignore[arg-type]
+
+
+def test_tolerates_counts_convenience():
+    coverage = CoverageModel(kind="stair", m=1, r=4, e=(1, 2))
+    assert coverage.tolerates_counts((2, 1))
+    assert coverage.tolerates_counts((2, 2))  # m absorbs one whole chunk
+    assert not coverage.tolerates_counts((2, 2, 2))
+    assert coverage.tolerates_counts((4, 2, 1))  # worst chunk absorbed by m
+    # A failed device consumes the m budget; e still covers (2, 1).
+    assert coverage.tolerates_counts((2, 1), num_failed_devices=1)
+    assert not coverage.tolerates_counts((2, 2), num_failed_devices=1)
+    assert coverage.tolerates_counts((), num_failed_devices=1)
+    assert not coverage.tolerates_counts((), num_failed_devices=2)
+
+
+# --------------------------------------------------------------------------- #
+# SimulatedArray / SimulatedCluster state machine
+# --------------------------------------------------------------------------- #
+def test_simulated_array_damage_lifecycle():
+    code = RAID5Code(n=4, r=4)
+    array = SimulatedArray(code, num_stripes=8)
+    assert array.all_recoverable()
+
+    array.add_sector_errors(stripe=2, device=1, count=2)
+    assert array.total_bad_sectors == 2
+    assert array.all_recoverable()  # one damaged chunk fits within m=1
+
+    array.fail_device(0)
+    assert array.num_failed == 1
+    # Failed device + damaged chunk in stripe 2 exceeds RAID-5 coverage.
+    recoverable = array.stripes_recoverable()
+    assert not recoverable[2]
+    assert recoverable[[0, 1, 3, 4, 5, 6, 7]].all()
+    assert not array.all_recoverable()
+    assert not array.stripe_recoverable(2)
+
+    # A full-stripe write refreshes the surviving chunks of stripe 2.
+    array.clear_stripe_errors(2)
+    assert array.all_recoverable()
+
+    replaced = array.rebuild()
+    assert replaced == [0]
+    assert array.num_failed == 0
+
+
+def test_simulated_array_burst_caps_at_r():
+    array = SimulatedArray(RAID5Code(n=4, r=4), num_stripes=2)
+    array.add_sector_errors(0, 3, count=99)
+    assert array.sector_errors[0, 3] == 4
+
+
+def test_simulated_array_failed_device_absorbs_its_errors():
+    array = SimulatedArray(RAID5Code(n=4, r=4), num_stripes=2)
+    array.add_sector_errors(0, 1, count=2)
+    array.fail_device(1)
+    assert array.total_bad_sectors == 0
+    array.add_sector_errors(0, 1, count=1)  # writes to a dead device: no-op
+    assert array.total_bad_sectors == 0
+
+
+def test_simulated_array_scrub_clears_healthy_chunks():
+    array = SimulatedArray(RAID5Code(n=4, r=4), num_stripes=4)
+    array.add_sector_errors(0, 1, count=2)
+    array.add_sector_errors(3, 2, count=1)
+    assert array.scrub() == 3
+    assert array.total_bad_sectors == 0
+
+
+def test_simulated_cluster_summary():
+    cluster = SimulatedCluster(RAID5Code(n=4, r=4), num_arrays=3,
+                               stripes_per_array=16)
+    assert cluster.num_devices == 12
+    cluster.arrays[1].fail_device(2)
+    cluster.arrays[2].add_sector_errors(5, 0, count=1)
+    summary = cluster.damage_summary()
+    assert summary["failed_devices"] == 1
+    assert summary["bad_sectors"] == 1
+    assert summary["unrecoverable_stripes"] == 0
+    with pytest.raises(ValueError):
+        SimulatedCluster(RAID5Code(n=4, r=4), num_arrays=0,
+                         stripes_per_array=4)

@@ -1,0 +1,240 @@
+"""Event queue ordering and the discrete-event cluster engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.array.failures import BurstLengthDistribution
+from repro.codes.raid import RAID5Code
+from repro.sim.events import (
+    ClusterSimulation,
+    Event,
+    EventQueue,
+    EventType,
+    Scenario,
+)
+from repro.sim.lifetimes import (
+    DeterministicRepair,
+    ExponentialLifetime,
+    ExponentialRepair,
+    SectorErrorProcess,
+)
+
+
+# --------------------------------------------------------------------------- #
+# EventQueue
+# --------------------------------------------------------------------------- #
+def test_queue_orders_by_time_then_insertion():
+    queue = EventQueue()
+    queue.schedule(5.0, EventType.SCRUB, tag="late")
+    queue.schedule(1.0, EventType.DEVICE_FAILURE, tag="early")
+    queue.schedule(5.0, EventType.SECTOR_ERROR, tag="tie-second")
+    assert len(queue) == 3
+    drained = list(queue.drain())
+    assert [e.payload["tag"] for e in drained] == [
+        "early", "late", "tie-second"]
+    assert [e.type for e in drained] == [
+        EventType.DEVICE_FAILURE, EventType.SCRUB, EventType.SECTOR_ERROR]
+
+
+def test_queue_cancel_skips_event():
+    queue = EventQueue()
+    keep = queue.schedule(1.0, EventType.SCRUB, tag="keep")
+    drop = queue.schedule(2.0, EventType.SCRUB, tag="drop")
+    queue.cancel(drop)
+    assert [e.payload["tag"] for e in queue.drain()] == ["keep"]
+    assert keep.seq < drop.seq
+
+
+def test_queue_rejects_non_finite_times():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.schedule(math.inf, EventType.SCRUB)
+    with pytest.raises(ValueError):
+        queue.schedule(math.nan, EventType.SCRUB)
+
+
+def test_queue_peek_time():
+    queue = EventQueue()
+    assert math.isinf(queue.peek_time())
+    queue.schedule(3.5, EventType.SCRUB)
+    assert queue.peek_time() == 3.5
+
+
+def test_event_ordering_dataclass():
+    a = Event(1.0, 0, EventType.SCRUB)
+    b = Event(1.0, 1, EventType.SCRUB)
+    c = Event(0.5, 2, EventType.SCRUB)
+    assert sorted([b, a, c]) == [c, a, b]
+
+
+# --------------------------------------------------------------------------- #
+# Scenario validation
+# --------------------------------------------------------------------------- #
+def test_scenario_validation():
+    code = RAID5Code(n=4, r=4)
+    with pytest.raises(ValueError):
+        Scenario(code=code, num_arrays=0)
+    with pytest.raises(ValueError):
+        Scenario(code=code, stripes_per_array=0)
+    with pytest.raises(ValueError):
+        Scenario(code=code, rebuild_concurrency=0)
+    with pytest.raises(ValueError):
+        Scenario(code=code, horizon_hours=0.0)
+    with pytest.raises(ValueError):
+        Scenario(code=code, scrub_interval_hours=0.0)  # would loop forever
+    with pytest.raises(ValueError):
+        Scenario(code=code, scrub_interval_hours=-1.0)
+    with pytest.raises(ValueError):
+        Scenario(code=code, write_rate_per_hour=-0.1)
+
+
+# --------------------------------------------------------------------------- #
+# ClusterSimulation trajectories
+# --------------------------------------------------------------------------- #
+def _base_scenario(**overrides):
+    defaults = dict(
+        code=RAID5Code(n=4, r=4),
+        num_arrays=2,
+        stripes_per_array=16,
+        lifetime=ExponentialLifetime(1000.0),
+        repair=ExponentialRepair(10.0),
+        horizon_hours=50_000.0,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def test_reliable_cluster_survives_horizon():
+    scenario = _base_scenario(
+        lifetime=ExponentialLifetime(1e12), horizon_hours=1000.0)
+    result = ClusterSimulation(scenario, seed=0).run()
+    assert not result.lost_data
+    assert result.time_to_data_loss is None
+    assert result.final_time == 1000.0
+
+
+def test_failures_without_repair_lose_data():
+    # Rebuilds take ~forever; the second device failure is fatal.
+    scenario = _base_scenario(
+        lifetime=ExponentialLifetime(100.0),
+        repair=DeterministicRepair(1e9),
+        horizon_hours=1e12)
+    result = ClusterSimulation(scenario, seed=1).run()
+    assert result.lost_data
+    assert result.cause == "device_failures_exceed_m"
+    assert result.event_counts["device_failure"] >= 2
+
+
+def test_trajectory_deterministic_per_seed():
+    scenario = _base_scenario()
+    first = ClusterSimulation(scenario, seed=7).run()
+    second = ClusterSimulation(scenario, seed=7).run()
+    assert first.time_to_data_loss == second.time_to_data_loss
+    assert first.events_processed == second.events_processed
+    assert first.event_counts == second.event_counts
+
+
+def test_scrubbing_prevents_latent_error_accumulation():
+    """Same error process: frequent scrubs survive, no scrubs lose data
+    (RAID-5 cannot cover two damaged chunks in one stripe)."""
+    kwargs = dict(
+        lifetime=ExponentialLifetime(1e12),   # no device failures
+        sector_errors=SectorErrorProcess(0.002),
+        horizon_hours=5000.0)
+    scrubbed = ClusterSimulation(
+        _base_scenario(scrub_interval_hours=10.0, **kwargs), seed=3)
+    result = scrubbed.run()
+    assert not result.lost_data
+    assert result.event_counts["sector_error"] > 0
+    assert result.event_counts["scrub"] > 0
+    assert scrubbed.cluster.damage_summary()["unrecoverable_stripes"] == 0
+
+    unscrubbed = ClusterSimulation(
+        _base_scenario(scrub_interval_hours=None,
+                       write_rate_per_hour=0.01, **kwargs), seed=3)
+    result = unscrubbed.run()
+    assert result.lost_data
+    assert result.cause == "write_hit_unrecoverable_stripe"
+
+
+def test_unscrubbed_sector_errors_eventually_fatal():
+    """RAID-5 + latent errors + no scrubbing: a rebuild trips over them."""
+    scenario = _base_scenario(
+        num_arrays=1,
+        lifetime=ExponentialLifetime(2000.0),
+        repair=DeterministicRepair(5.0),
+        sector_errors=SectorErrorProcess(0.05),
+        burst_lengths=BurstLengthDistribution(max_length=4),
+        scrub_interval_hours=None,
+        horizon_hours=1e9)
+    result = ClusterSimulation(scenario, seed=5).run()
+    assert result.lost_data
+    assert result.cause in ("unrecoverable_stripes_during_rebuild",
+                            "device_failures_exceed_m")
+
+
+def test_stripe_writes_clear_latent_errors():
+    """A heavy write workload acts as implicit scrubbing."""
+    scenario = _base_scenario(
+        stripes_per_array=4,
+        lifetime=ExponentialLifetime(1e12),
+        sector_errors=SectorErrorProcess(0.002),
+        write_rate_per_hour=10.0,
+        horizon_hours=2000.0)
+    sim = ClusterSimulation(scenario, seed=11)
+    result = sim.run()
+    assert result.event_counts["stripe_write"] > 0
+    assert not result.lost_data
+    assert sim.cluster.damage_summary()["unrecoverable_stripes"] == 0
+
+
+def test_rebuild_concurrency_queues_rebuilds():
+    scenario = _base_scenario(
+        num_arrays=6,
+        lifetime=ExponentialLifetime(50.0),
+        repair=DeterministicRepair(30.0),
+        rebuild_concurrency=1,
+        horizon_hours=40.0)
+    sim = ClusterSimulation(scenario, seed=13)
+    sim.run()
+    # With 6 arrays failing every ~50h/4-devices and one rebuild slot,
+    # the pending queue must have been exercised.
+    assert sim._active_rebuilds <= 1
+
+
+def test_second_failure_during_rebuild_needs_its_own_rebuild():
+    """m = 2: a device that fails while a rebuild is in flight is NOT
+    repaired for free by that rebuild's completion -- it gets its own
+    repair window."""
+    from repro.codes.raid import RAID6Code
+    scenario = _base_scenario(
+        code=RAID6Code(n=5, r=4),
+        num_arrays=1,
+        lifetime=ExponentialLifetime(1e12),  # only injected failures
+        repair=DeterministicRepair(10.0),
+        horizon_hours=50.0)
+    sim = ClusterSimulation(scenario, seed=0)
+    # Device 0 fails at t=1 (rebuild due t=11); device 1 fails at t=2,
+    # mid-rebuild.
+    sim.queue.schedule(1.0, EventType.DEVICE_FAILURE, array=0, device=0)
+    sim.queue.schedule(2.0, EventType.DEVICE_FAILURE, array=0, device=1)
+    result = sim.run()
+    assert not result.lost_data
+    # Two separate rebuild completions: t=11 (device 0) and t=21 (device 1).
+    assert result.event_counts["rebuild_complete"] == 2
+    assert sim.cluster.arrays[0].num_failed == 0
+
+
+def test_rebuild_replaces_devices_and_reschedules_failures():
+    scenario = _base_scenario(
+        num_arrays=1,
+        lifetime=ExponentialLifetime(500.0),
+        repair=DeterministicRepair(0.5),
+        horizon_hours=20_000.0)
+    sim = ClusterSimulation(scenario, seed=17)
+    result = sim.run()
+    if not result.lost_data:
+        assert sim.cluster.arrays[0].num_failed == 0
+    assert result.event_counts["rebuild_complete"] >= 1

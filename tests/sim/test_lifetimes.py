@@ -1,0 +1,87 @@
+"""Distribution sanity for the lifetime / repair / sector-error models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.lifetimes import (
+    DeterministicRepair,
+    ExponentialLifetime,
+    ExponentialRepair,
+    SectorErrorProcess,
+    WeibullLifetime,
+)
+from repro.reliability.sector_models import sector_failure_probability
+
+
+def test_exponential_lifetime_mean_and_rate():
+    model = ExponentialLifetime(500_000.0)
+    assert model.mean_hours == 500_000.0
+    assert model.rate == pytest.approx(1.0 / 500_000.0)
+    samples = model.sample(np.random.default_rng(0), 200_000)
+    assert samples.shape == (200_000,)
+    assert samples.mean() == pytest.approx(500_000.0, rel=0.02)
+
+
+def test_weibull_mean_matches_gamma_formula():
+    model = WeibullLifetime(scale_hours=1000.0, shape=1.5,
+                            location_hours=50.0)
+    expected = 50.0 + 1000.0 * math.gamma(1 + 1 / 1.5)
+    assert model.mean_hours == pytest.approx(expected)
+    samples = model.sample(np.random.default_rng(1), 200_000)
+    assert samples.min() >= 50.0
+    assert samples.mean() == pytest.approx(expected, rel=0.02)
+
+
+def test_weibull_shape_one_is_exponential():
+    weibull = WeibullLifetime(scale_hours=500.0, shape=1.0)
+    assert weibull.mean_hours == pytest.approx(500.0)
+    samples = weibull.sample(np.random.default_rng(2), 100_000)
+    # Exponential: std == mean.
+    assert samples.std() == pytest.approx(samples.mean(), rel=0.05)
+
+
+def test_repair_models():
+    exp = ExponentialRepair(17.8)
+    assert exp.mean_hours == 17.8
+    assert exp.rate == pytest.approx(1.0 / 17.8)
+    det = DeterministicRepair(12.0)
+    assert det.mean_hours == 12.0
+    draws = det.sample(np.random.default_rng(0), 5)
+    assert np.all(draws == 12.0)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        ExponentialLifetime(0.0)
+    with pytest.raises(ValueError):
+        WeibullLifetime(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        WeibullLifetime(1.0, 0.0)
+    with pytest.raises(ValueError):
+        ExponentialRepair(-1.0)
+    with pytest.raises(ValueError):
+        DeterministicRepair(0.0)
+    with pytest.raises(ValueError):
+        SectorErrorProcess(-1.0)
+
+
+def test_sector_error_process_steady_state_rate():
+    """from_p_bit matches P_sec ~ rate_per_sector * T / 2."""
+    p_bit, sectors, scrub = 1e-12, 4096, 168.0
+    process = SectorErrorProcess.from_p_bit(p_bit, sectors, scrub)
+    p_sec = sector_failure_probability(p_bit)
+    expected_rate = 2.0 * p_sec / scrub * sectors
+    assert process.rate_per_device_hour == pytest.approx(expected_rate)
+
+
+def test_sector_error_process_arrivals():
+    process = SectorErrorProcess(0.5)
+    rng = np.random.default_rng(3)
+    gaps = np.array([process.next_arrival(rng, 10.0) - 10.0
+                     for _ in range(20_000)])
+    assert gaps.min() > 0
+    assert gaps.mean() == pytest.approx(2.0, rel=0.05)
+    silent = SectorErrorProcess(0.0)
+    assert math.isinf(silent.next_arrival(rng, 0.0))

@@ -1,0 +1,208 @@
+"""Vectorized Monte Carlo runner: statistics, determinism and the
+cross-validation against the analytical MTTDL models (§7).
+
+The acceptance property: for an RS/RAID-5 baseline with exponential
+lifetimes the Monte Carlo MTTDL agrees with ``repro.reliability.mttdl``
+within 3σ confidence bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.raid import RAID5Code
+from repro.codes.reed_solomon import ReedSolomonStripeCode
+from repro.codes.sd import SDCode
+from repro.codes.stair_adapter import StairStripeCode
+from repro.reliability.markov import mttdl_arr_closed_form
+from repro.reliability.mttdl import (
+    CodeReliability,
+    SystemParameters,
+    mttdl_array,
+    p_array,
+)
+from repro.reliability.sector_models import IndependentSectorModel
+from repro.sim.lifetimes import (
+    ExponentialLifetime,
+    ExponentialRepair,
+    WeibullLifetime,
+)
+from repro.sim.montecarlo import (
+    MonteCarloResult,
+    code_reliability_from_code,
+    simulate_array_lifetimes,
+    simulate_cluster_lifetimes,
+    simulate_code_mttdl,
+)
+
+PARAMS = SystemParameters()  # the paper's defaults: n=8, 1/λ=5e5h, 1/μ=17.8h
+
+
+# --------------------------------------------------------------------------- #
+# Cross-validation against the analytical models (acceptance criterion)
+# --------------------------------------------------------------------------- #
+def test_raid5_mttdl_agrees_with_analytic_within_3_sigma():
+    """RS/RAID-5, exponential lifetimes, paper parameters."""
+    model = IndependentSectorModel.from_p_bit(1e-12, PARAMS.r,
+                                              PARAMS.sector_bytes)
+    code = CodeReliability.reed_solomon()
+    analytic = mttdl_array(code, PARAMS, model)
+    result = simulate_code_mttdl(code, model, PARAMS, trials=2000, seed=0)
+    assert result.losses == 2000
+    assert result.agrees_with(analytic, z=3.0), (
+        f"simulated {result.mttdl_hours:.4g}h, CI "
+        f"{result.mttdl_confidence(3.0)}, analytic {analytic:.4g}h")
+    # The estimate is also tight: well within 10% of the closed form.
+    assert result.mttdl_hours == pytest.approx(analytic, rel=0.10)
+
+
+def test_stair_mttdl_agrees_with_analytic_within_3_sigma():
+    model = IndependentSectorModel.from_p_bit(1e-10, PARAMS.r,
+                                              PARAMS.sector_bytes)
+    code = CodeReliability.stair([1])
+    analytic = mttdl_array(code, PARAMS, model)
+    result = simulate_code_mttdl(code, model, PARAMS, trials=800, seed=1)
+    assert result.agrees_with(analytic, z=3.0)
+
+
+def test_pure_second_failure_race_matches_markov_closed_form():
+    """p_arr = 0 isolates the (n-1)λ race of the Markov chain."""
+    lam, mu = 1.0 / 100_000.0, 1.0 / 20.0
+    analytic = mttdl_arr_closed_form(6, lam, mu, 0.0)
+    result = simulate_array_lifetimes(
+        6, p_arr=0.0, trials=600, seed=2,
+        lifetime=ExponentialLifetime(100_000.0),
+        repair=ExponentialRepair(20.0))
+    assert result.agrees_with(analytic, z=3.0)
+
+
+def test_certain_sector_loss_means_first_cycle_loss():
+    """p_arr = 1: every critical episode ends in data loss, so the MTTDL
+    is the first-failure time plus the short race segment."""
+    result = simulate_array_lifetimes(
+        8, p_arr=1.0, trials=1500, seed=3,
+        lifetime=ExponentialLifetime(500_000.0))
+    analytic = mttdl_arr_closed_form(8, 1 / 500_000.0, 1 / 17.8, 1.0)
+    assert result.agrees_with(analytic, z=3.0)
+
+
+def test_cluster_mttdl_scales_inversely_with_array_count():
+    """min over N i.i.d. ~exponential array lifetimes → MTTDL / N."""
+    single = simulate_array_lifetimes(8, p_arr=1e-3, trials=1200, seed=4)
+    cluster = simulate_cluster_lifetimes(8, 10, p_arr=1e-3, trials=1200,
+                                         seed=5)
+    ratio = single.mttdl_hours / cluster.mttdl_hours
+    assert ratio == pytest.approx(10.0, rel=0.15)
+
+
+# --------------------------------------------------------------------------- #
+# Determinism and performance-envelope sanity
+# --------------------------------------------------------------------------- #
+def test_seeded_runs_are_bit_identical():
+    a = simulate_cluster_lifetimes(8, 13, p_arr=1e-4, trials=300, seed=9)
+    b = simulate_cluster_lifetimes(8, 13, p_arr=1e-4, trials=300, seed=9)
+    assert np.array_equal(a.times, b.times)
+    c = simulate_cluster_lifetimes(8, 13, p_arr=1e-4, trials=300, seed=10)
+    assert not np.array_equal(a.times, c.times)
+
+
+def test_weibull_first_loss_matches_order_statistics():
+    """With p_arr = 1 the first rebuild loses data, so the MTTDL is
+    essentially E[min of n lifetimes] -- which for Weibull is again
+    Weibull with scale shrunk by n^(-1/k).  Wear-out (k = 3) therefore
+    *delays* the first loss relative to an exponential with equal mean,
+    and the simulated value must match the closed-form order statistic.
+    """
+    import math
+    shape, mean = 3.0, 10_000.0
+    scale = mean / math.gamma(1.0 + 1.0 / shape)
+    weibull = simulate_array_lifetimes(
+        8, p_arr=1.0, trials=1500, seed=6,
+        lifetime=WeibullLifetime(scale, shape))
+    exponential = simulate_array_lifetimes(
+        8, p_arr=1.0, trials=1500, seed=6,
+        lifetime=ExponentialLifetime(mean))
+    assert weibull.mttdl_hours > exponential.mttdl_hours
+    expected_min = scale * 8 ** (-1.0 / shape) * math.gamma(1.0 + 1.0 / shape)
+    # The short rebuild segment (~17.8h) adds a little on top.
+    assert weibull.mttdl_hours == pytest.approx(expected_min, rel=0.05)
+
+
+def test_horizon_censors_trials():
+    result = simulate_array_lifetimes(8, p_arr=0.5, trials=400, seed=7,
+                                      horizon_hours=100_000.0)
+    assert result.losses < result.trials
+    assert np.isinf(result.times).sum() == result.trials - result.losses
+    with pytest.raises(ValueError):
+        _ = result.mttdl_hours  # censored mean would be biased
+    p, lo, hi = result.probability_of_loss_by(100_000.0)
+    assert 0.0 < lo < p < hi < 1.0
+    with pytest.raises(ValueError):
+        result.probability_of_loss_by(200_000.0)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        simulate_array_lifetimes(1, p_arr=0.1, trials=10)
+    with pytest.raises(ValueError):
+        simulate_array_lifetimes(8, p_arr=1.5, trials=10)
+    with pytest.raises(ValueError):
+        simulate_array_lifetimes(8, p_arr=0.1, trials=0)
+    empty = MonteCarloResult(np.array([np.inf, np.inf]))
+    with pytest.raises(ValueError):
+        _ = empty.mttdl_hours
+
+
+# --------------------------------------------------------------------------- #
+# Bridge to the codes / reliability layers
+# --------------------------------------------------------------------------- #
+def test_code_reliability_from_code_mapping():
+    assert code_reliability_from_code(RAID5Code(n=5, r=4)).kind == "rs"
+    assert code_reliability_from_code(
+        ReedSolomonStripeCode(n=8, r=4, m=2)).kind == "rs"
+    stair = code_reliability_from_code(
+        StairStripeCode(n=8, r=4, m=2, e=(1, 1, 2)))
+    assert stair.kind == "stair" and stair.e == (1, 1, 2) and stair.s == 4
+    sd = code_reliability_from_code(SDCode(n=8, r=4, m=1, s=2))
+    assert sd.kind == "sd" and sd.s == 2
+
+
+def test_simulate_code_mttdl_accepts_concrete_codes():
+    model = IndependentSectorModel.from_p_bit(1e-12, 4, 512)
+    params = SystemParameters(n=5, r=4)
+    code = RAID5Code(n=5, r=4)
+    result = simulate_code_mttdl(code, model, params, trials=200, seed=8)
+    assert result.metadata["code"] == "RS"
+    assert result.metadata["p_arr"] == pytest.approx(
+        p_array(CodeReliability.reed_solomon(), params, model))
+    assert result.losses == 200
+
+
+def test_simulate_code_mttdl_rejects_m_greater_than_one():
+    """The vectorized runner models m = 1 only; m >= 2 must be loud,
+    not silently simulated with RAID-5 dynamics."""
+    model = IndependentSectorModel.from_p_bit(1e-12, 4, 512)
+    params = SystemParameters(n=8, r=4, m=2)
+    code = ReedSolomonStripeCode(n=8, r=4, m=2)
+    with pytest.raises(ValueError, match="m = 1"):
+        simulate_code_mttdl(code, model, params, trials=10, seed=0)
+    # Also caught when only the *code* is m = 2 (default params have m=1).
+    with pytest.raises(ValueError, match="m = 1"):
+        simulate_code_mttdl(ReedSolomonStripeCode(n=8, r=16, m=2), model,
+                            SystemParameters(), trials=10, seed=0)
+
+
+def test_simulate_code_mttdl_rejects_geometry_mismatch():
+    """A concrete code whose (n, r) differ from SystemParameters would
+    silently mix two different array shapes."""
+    model = IndependentSectorModel.from_p_bit(1e-12, 16, 512)
+    with pytest.raises(ValueError, match="geometry"):
+        simulate_code_mttdl(RAID5Code(n=5, r=4), model,
+                            SystemParameters(), trials=10, seed=0)
+
+
+def test_wilson_interval_is_sane():
+    times = np.array([10.0, 20.0, np.inf, np.inf])
+    result = MonteCarloResult(times, horizon_hours=50.0)
+    p, lo, hi = result.probability_of_loss_by(50.0)
+    assert p == 0.5
+    assert 0.0 <= lo < 0.5 < hi <= 1.0
