@@ -2,11 +2,16 @@
 
 The benchmark discipline here mirrors the speed benchmarks of §6: the
 vectorized batch runner must not be a naive per-event Python loop.
-Asserted floor (also an acceptance criterion of the subsystem): 1,000
-independent cluster lifetimes for a ~100-device cluster in under 60 s,
-bit-for-bit reproducible from a seed.  pytest-benchmark provides the
-statistical timing; the hard assertions use wall-clock directly so they
-hold even without the plugin's comparison machinery.
+Asserted floors (also acceptance criteria of the subsystem):
+
+* 1,000 independent m = 1 cluster lifetimes for a ~100-device cluster
+  in under 60 s, bit-for-bit reproducible from a seed;
+* >= 1,000 lifetimes/s for an m = 2 SD cluster on the vectorized path
+  (no event-engine fallback).
+
+pytest-benchmark provides the statistical timing; the hard assertions
+use wall-clock directly so they hold even without the plugin's
+comparison machinery.
 """
 
 import time
@@ -35,6 +40,17 @@ def _run_cluster(seed: int = 0):
         repair=ExponentialRepair(17.8))
 
 
+def _run_m2_sd_cluster(seed: int = 0):
+    """An SD(n=8, m=2) cluster in an accelerated-failure regime: short
+    device lifetimes and long rebuilds make critical mode (and the
+    P_arr sector trip) reachable within a tractable number of
+    failure/repair cycles per lifetime."""
+    return simulate_cluster_lifetimes(
+        CLUSTER_N, CLUSTER_ARRAYS, p_arr=0.05, trials=CLUSTER_TRIALS,
+        seed=seed, lifetime=ExponentialLifetime(50_000.0),
+        repair=ExponentialRepair(100.0), m=2)
+
+
 def test_cluster_lifetimes_under_60s():
     start = time.perf_counter()
     result = _run_cluster()
@@ -52,8 +68,36 @@ def test_cluster_lifetimes_reproducible():
     assert not np.array_equal(first.times, third.times)
 
 
+def test_m2_sd_cluster_sustains_1000_lifetimes_per_second():
+    """Acceptance criterion: the vectorized m >= 2 path (not the
+    ~100x slower event engine) simulates an m = 2 SD cluster at
+    >= 1,000 lifetimes/s."""
+    _run_m2_sd_cluster()  # warm numpy caches outside the timed window
+    start = time.perf_counter()
+    result = _run_m2_sd_cluster(seed=1)
+    elapsed = time.perf_counter() - start
+    assert result.trials == CLUSTER_TRIALS
+    assert result.losses == CLUSTER_TRIALS
+    assert result.metadata["m"] == 2
+    rate = CLUSTER_TRIALS / elapsed
+    assert rate >= 1000.0, (
+        f"m=2 SD vectorized path ran at {rate:,.0f} lifetimes/s "
+        f"(floor: 1,000/s)")
+
+
+def test_m2_sd_cluster_reproducible():
+    first = _run_m2_sd_cluster(seed=42)
+    second = _run_m2_sd_cluster(seed=42)
+    assert np.array_equal(first.times, second.times)
+
+
 def test_bench_vectorized_cluster(benchmark):
     result = benchmark(_run_cluster)
+    assert result.losses == CLUSTER_TRIALS
+
+
+def test_bench_vectorized_m2_sd_cluster(benchmark):
+    result = benchmark(_run_m2_sd_cluster)
     assert result.losses == CLUSTER_TRIALS
 
 
@@ -83,13 +127,19 @@ def test_bench_event_engine_trajectory(benchmark):
 
 
 def test_throughput_summary(capsys):
-    """Report lifetimes/second for the acceptance configuration."""
+    """Report lifetimes/second for the acceptance configurations."""
     start = time.perf_counter()
     _run_cluster()
     elapsed = time.perf_counter() - start
     rate = CLUSTER_TRIALS / elapsed
+    start = time.perf_counter()
+    _run_m2_sd_cluster()
+    elapsed_m2 = time.perf_counter() - start
+    rate_m2 = CLUSTER_TRIALS / elapsed_m2
     with capsys.disabled():
         print(f"\n[bench_sim_throughput] {CLUSTER_TRIALS} lifetimes of a "
               f"{CLUSTER_ARRAYS * CLUSTER_N}-device cluster in "
-              f"{elapsed:.2f}s ({rate:,.0f} lifetimes/s)")
+              f"{elapsed:.2f}s ({rate:,.0f} lifetimes/s); m=2 SD in "
+              f"{elapsed_m2:.2f}s ({rate_m2:,.0f} lifetimes/s)")
     assert rate > CLUSTER_TRIALS / 60.0
+    assert rate_m2 > CLUSTER_TRIALS / 60.0

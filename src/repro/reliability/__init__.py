@@ -21,8 +21,10 @@ from repro.reliability.configurator import (
 )
 from repro.reliability.markov import (
     critical_mode_chain,
+    m_parity_chain,
     mean_time_to_absorption,
     mttdl_arr_closed_form,
+    mttdl_arr_m_parity,
     mttdl_arr_markov,
     mttdl_arr_two_parity,
 )
@@ -30,6 +32,7 @@ from repro.reliability.mttdl import (
     CodeReliability,
     SystemParameters,
     mttdl_array,
+    mttdl_array_general,
     mttdl_system,
     number_of_arrays,
     p_array,
@@ -57,6 +60,7 @@ __all__ = [
     "CodeReliability",
     "mttdl_system",
     "mttdl_array",
+    "mttdl_array_general",
     "p_array",
     "number_of_arrays",
     "IndependentSectorModel",
@@ -74,7 +78,9 @@ __all__ = [
     "pstr_stair_all_ones",
     "mean_time_to_absorption",
     "critical_mode_chain",
+    "m_parity_chain",
     "mttdl_arr_closed_form",
+    "mttdl_arr_m_parity",
     "mttdl_arr_markov",
     "mttdl_arr_two_parity",
     "coverage_for_burst",

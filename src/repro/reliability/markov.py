@@ -99,3 +99,45 @@ def mttdl_arr_two_parity(n: int, lam: float, mu: float, p_arr: float) -> float:
     q[2, 3] = loss
     q[2, 2] = -(repair + loss)
     return mean_time_to_absorption(q, absorbing=[3], start=0)
+
+
+def m_parity_chain(n: int, lam: float, mu: float, p_arr: float,
+                   m: int) -> np.ndarray:
+    """Generator matrix of the birth-death chain for any device tolerance m.
+
+    States ``0..m`` count failed devices (state ``m`` is critical mode);
+    state ``m + 1`` is the absorbing data-loss state.  Devices fail at
+    rate ``(n - j) * lam`` and are rebuilt one at a time at rate ``mu``.
+    A rebuild completing in critical mode trips over unrecoverable
+    sector failures with probability ``p_arr``, mirroring the paper's
+    m = 1 model (and degenerating to it at ``m = 1``).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n < m + 1:
+        raise ValueError(f"need n >= m + 1 (n={n}, m={m})")
+    loss_state = m + 1
+    q = np.zeros((m + 2, m + 2))
+    for j in range(m):
+        q[j, j + 1] = (n - j) * lam
+        if j >= 1:
+            q[j, j - 1] = mu
+    q[m, m - 1] = mu * (1.0 - p_arr)
+    q[m, loss_state] = (n - m) * lam + mu * p_arr
+    for j in range(m + 1):
+        q[j, j] = -q[j].sum()
+    return q
+
+
+def mttdl_arr_m_parity(n: int, lam: float, mu: float, p_arr: float,
+                       m: int) -> float:
+    """MTTDL of one array tolerating any number ``m`` of device failures.
+
+    Generalises :func:`mttdl_arr_closed_form` (m = 1) and
+    :func:`mttdl_arr_two_parity` (m = 2) via
+    :func:`mean_time_to_absorption`; the vectorized Monte Carlo runner of
+    :mod:`repro.sim.montecarlo` is cross-validated against this chain in
+    the exponential case.
+    """
+    chain = m_parity_chain(n, lam, mu, p_arr, m)
+    return mean_time_to_absorption(chain, absorbing=[m + 1], start=0)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from math import floor
 from typing import Sequence
 
-from repro.reliability.markov import mttdl_arr_closed_form
+from repro.reliability.markov import mttdl_arr_closed_form, mttdl_arr_m_parity
 from repro.reliability.pstr import (
     pstr_generic,
     pstr_reed_solomon,
@@ -152,6 +152,21 @@ def mttdl_array(code: CodeReliability, params: SystemParameters,
     parr = p_array(code, params, model)
     return mttdl_arr_closed_form(params.n, params.failure_rate,
                                  params.rebuild_rate, parr)
+
+
+def mttdl_array_general(code: CodeReliability, params: SystemParameters,
+                        model: SectorFailureModel) -> float:
+    """MTTDL of a single array for any ``params.m`` (hours).
+
+    For ``m = 1`` this equals Eq. 10; for ``m >= 2`` it solves the
+    general birth-death chain of
+    :func:`repro.reliability.markov.mttdl_arr_m_parity` with the same
+    ``P_arr`` (Eq. 11).  This is the analytic reference the vectorized
+    Monte Carlo runner is validated against.
+    """
+    parr = p_array(code, params, model)
+    return mttdl_arr_m_parity(params.n, params.failure_rate,
+                              params.rebuild_rate, parr, params.m)
 
 
 def mttdl_system(code: CodeReliability, params: SystemParameters,

@@ -1,35 +1,50 @@
 """Monte Carlo cluster reliability simulator (§7 cross-validation).
 
 The analytical reliability models of :mod:`repro.reliability` (the
-critical-mode Markov chain, ``P_str`` and the system-level MTTDL of
+critical-mode Markov chains, ``P_str`` and the system-level MTTDL of
 Eq. 7-11) assume exponential lifetimes and a single array.  This package
 complements them with simulation:
 
 * :mod:`repro.sim.lifetimes` -- exponential and Weibull device-lifetime
-  models, repair-time models and a latent-sector-error arrival process
-  parameterised from the same ``P_bit`` as the analysis.
+  models, repair-time models (including :class:`BandwidthRepair`, which
+  derives the nominal rebuild time from device capacity and per-device
+  rebuild rate) and a latent-sector-error arrival process parameterised
+  from the same ``P_bit`` as the analysis.
 * :mod:`repro.sim.events` -- a binary-heap discrete-event engine driving
-  one cluster trajectory in full detail (device failures, rebuild
-  completions with bounded repair bandwidth, latent-sector-error bursts,
+  one cluster trajectory in full detail (device failures, rebuilds under
+  a contention-aware repair model that divides shared cluster repair
+  bandwidth across concurrent rebuilds, latent-sector-error bursts,
   periodic scrubs, stripe writes from a workload model).
 * :mod:`repro.sim.cluster` -- the simulated fleet: per-stripe damage
   state vectors and a vectorized recoverability predicate for any
-  registered stripe code (STAIR, RS/RAID, SD).
+  registered stripe code (STAIR, RS/RAID, SD, IDR) at any device
+  tolerance ``m``.
 * :mod:`repro.sim.montecarlo` -- a numpy-vectorized batch runner that
-  simulates thousands of independent array/cluster lifetimes at once and
+  simulates thousands of independent array/cluster lifetimes at once --
+  for any ``m >= 1`` (RAID-5, RAID-6, SD, STAIR, IDR geometries) -- and
   reports MTTDL and probability-of-data-loss with confidence intervals.
 * :mod:`repro.sim.cli` -- run scenarios from textual code specs such as
-  ``stair(n=8,r=16,m=1,e=(1,2))``.
+  ``sd(n=8,r=16,m=2,s=2)`` (grammar: ``docs/code-specs.md``).
 
 In the exponential case the Monte Carlo MTTDL statistically matches
-:func:`repro.reliability.mttdl_array` (asserted by the test suite); the
-simulator then generalises to Weibull wear-out, finite scrub intervals
-and repair-bandwidth contention, which the closed forms cannot cover.
+:func:`repro.reliability.mttdl_array` at m = 1 and the general
+birth-death chain of :func:`repro.reliability.mttdl_arr_m_parity` at
+m >= 2 (asserted by the test suite); the simulator then generalises to
+Weibull wear-out, finite scrub intervals and repair-bandwidth
+contention, which the closed forms cannot cover.
 """
 
 from repro.sim.cluster import CoverageModel, SimulatedArray, SimulatedCluster
-from repro.sim.events import Event, EventQueue, EventType
+from repro.sim.events import (
+    ClusterSimulation,
+    Event,
+    EventQueue,
+    EventType,
+    Scenario,
+    TrajectoryResult,
+)
 from repro.sim.lifetimes import (
+    BandwidthRepair,
     DeterministicRepair,
     ExponentialLifetime,
     ExponentialRepair,
@@ -43,24 +58,30 @@ from repro.sim.montecarlo import (
     code_reliability_from_code,
     simulate_array_lifetimes,
     simulate_cluster_lifetimes,
+    simulate_code_mttdl,
 )
 
 __all__ = [
     "CoverageModel",
     "SimulatedArray",
     "SimulatedCluster",
+    "ClusterSimulation",
     "Event",
     "EventQueue",
     "EventType",
+    "Scenario",
+    "TrajectoryResult",
     "LifetimeModel",
     "ExponentialLifetime",
     "WeibullLifetime",
     "RepairModel",
     "ExponentialRepair",
     "DeterministicRepair",
+    "BandwidthRepair",
     "SectorErrorProcess",
     "MonteCarloResult",
     "simulate_array_lifetimes",
     "simulate_cluster_lifetimes",
+    "simulate_code_mttdl",
     "code_reliability_from_code",
 ]

@@ -3,16 +3,17 @@
 Run scenarios straight from the registry's textual code specs::
 
     python -m repro.sim.cli --seed 0 --trials 100
-    python -m repro.sim.cli --code "stair(n=8,r=16,m=1,e=(1,2))" \\
+    python -m repro.sim.cli --code "sd(n=8,r=16,m=2,s=2)" \\
         --trials 2000 --p-bit 1e-10 --arrays 10
     python -m repro.sim.cli --mode events --trials 20 \\
-        --scrub-interval 168 --horizon 87600
+        --scrub-interval 168 --rebuild-streams 2 --horizon 87600
 
-The default mode runs the vectorized Monte Carlo batch and prints the
-estimated MTTDL with a 3σ confidence interval next to the analytical
-MTTDL of :mod:`repro.reliability` for the same parameters.  ``--mode
-events`` plays full discrete-event trajectories instead (scrubbing,
-repair bandwidth, bursty latent sector errors).
+The default mode runs the vectorized Monte Carlo batch (any ``m >= 1``:
+RAID-5, RAID-6, SD, STAIR, IDR geometries) and prints the estimated
+MTTDL with a 3σ confidence interval next to the analytical MTTDL of
+:mod:`repro.reliability` for the same parameters.  ``--mode events``
+plays full discrete-event trajectories instead (scrubbing,
+contention-aware repair bandwidth, bursty latent sector errors).
 """
 
 from __future__ import annotations
@@ -26,8 +27,12 @@ import numpy as np
 
 from repro.array.failures import BurstLengthDistribution
 from repro.bench.reporting import print_table
-from repro.codes.registry import parse_code_spec
-from repro.reliability.mttdl import SystemParameters, mttdl_array, p_array
+from repro.codes.registry import available_codes, parse_code_spec
+from repro.reliability.mttdl import (
+    SystemParameters,
+    mttdl_array_general,
+    p_array,
+)
 from repro.reliability.sector_models import (
     CorrelatedSectorModel,
     IndependentSectorModel,
@@ -35,6 +40,7 @@ from repro.reliability.sector_models import (
 from repro.sim.cluster import CoverageModel
 from repro.sim.events import ClusterSimulation, Scenario
 from repro.sim.lifetimes import (
+    BandwidthRepair,
     ExponentialLifetime,
     ExponentialRepair,
     SectorErrorProcess,
@@ -47,12 +53,23 @@ from repro.sim.montecarlo import (
 
 DEFAULT_CODE_SPEC = "rs(n=8,r=16,m=1)"
 
+_EPILOG = """\
+code specs:
+  --code takes a textual spec: family(key=value, ...) with literal
+  values, e.g. 'rs(n=8,r=16,m=1)', 'sd(n=8,r=16,m=2,s=2)',
+  'stair(n=8,r=16,m=1,e=(1,2))', or a bare zero-argument family name.
+  Families: {families}.
+  Full grammar: docs/code-specs.md in the repository.
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim.cli",
         description="Monte Carlo reliability simulation of erasure-coded "
-                    "storage clusters.")
+                    "storage clusters.",
+        epilog=_EPILOG.format(families=", ".join(available_codes())),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--code", default=DEFAULT_CODE_SPEC,
                         help="code spec, e.g. 'stair(n=8,r=16,m=1,e=(1,2))' "
                              f"(default: {DEFAULT_CODE_SPEC})")
@@ -84,8 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="vectorized batch runner or full event engine")
     parser.add_argument("--scrub-interval", type=float, default=168.0,
                         help="hours between scrubs (events mode)")
-    parser.add_argument("--rebuild-concurrency", type=int, default=4,
-                        help="cluster-wide concurrent rebuild cap "
+    parser.add_argument("--rebuild-concurrency", type=int, default=0,
+                        help="hard cap on concurrent rebuilds, 0 = "
+                             "unlimited (events mode)")
+    parser.add_argument("--rebuild-streams", type=float, default=0.0,
+                        help="shared cluster repair bandwidth in units of "
+                             "one device's rebuild rate; concurrent "
+                             "rebuilds divide it evenly, 0 = no sharing "
+                             "(events mode)")
+    parser.add_argument("--rebuild-rate-mbs", type=float, default=None,
+                        help="per-device rebuild rate in MB/s; derives the "
+                             "nominal rebuild time from the device "
+                             "capacity instead of --repair-hours "
                              "(events mode)")
     parser.add_argument("--write-rate", type=float, default=0.0,
                         help="stripe writes per array per hour (events mode)")
@@ -109,11 +136,6 @@ def _sector_model(args: argparse.Namespace, r: int, sector_bytes: int):
 def _run_montecarlo(args: argparse.Namespace) -> int:
     code = parse_code_spec(args.code)
     m = CoverageModel.from_code(code).m
-    if m != 1:
-        raise ValueError(
-            f"the vectorized Monte Carlo mode models m = 1 arrays only "
-            f"(the code spec has m = {m}); use --mode events for m >= 2"
-        )
     params = SystemParameters(
         mean_time_to_failure_hours=args.mttf,
         mean_time_to_rebuild_hours=args.repair_hours,
@@ -126,10 +148,11 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
         code.n, args.arrays, parr, args.trials, seed=args.seed,
         lifetime=_lifetime_model(args),
         repair=ExponentialRepair(args.repair_hours),
-        horizon_hours=args.horizon)
+        horizon_hours=args.horizon, m=m)
 
     rows = [
         ("code", code.describe()),
+        ("m (device tolerance)", m),
         ("sector model", f"{args.sector_model} (P_bit={args.p_bit:g})"),
         ("P_arr", f"{parr:.3e}"),
         ("arrays", args.arrays),
@@ -142,8 +165,9 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
         lo, hi = result.mttdl_confidence(z=3.0)
         rows.append(("MTTDL (sim)", f"{result.mttdl_hours:.4g} h"))
         rows.append(("3-sigma CI", f"[{lo:.4g}, {hi:.4g}] h"))
-        if exponential and params.m == 1:
-            analytic = mttdl_array(reliability, params, model) / args.arrays
+        if exponential:
+            analytic = (mttdl_array_general(reliability, params, model)
+                        / args.arrays)
             rows.append(("MTTDL (analytic)", f"{analytic:.4g} h"))
             verdict = "yes" if result.agrees_with(analytic, z=3.0) else "NO"
             rows.append(("analytic within 3 sigma", verdict))
@@ -175,17 +199,25 @@ def _run_events(args: argparse.Namespace) -> int:
     # model means single-sector errors (matching the P_sec calibration).
     bursts = (BurstLengthDistribution(max_length=code.r)
               if args.sector_model == "correlated" else None)
+    if args.rebuild_rate_mbs is not None:
+        repair = BandwidthRepair(SystemParameters().device_capacity_bytes,
+                                 args.rebuild_rate_mbs)
+    else:
+        repair = ExponentialRepair(args.repair_hours)
     scenario = Scenario(
         code=code,
         num_arrays=args.arrays,
         stripes_per_array=args.stripes,
         lifetime=_lifetime_model(args),
-        repair=ExponentialRepair(args.repair_hours),
+        repair=repair,
         sector_errors=sector_errors,
         burst_lengths=bursts,
         scrub_interval_hours=scrub,
         write_rate_per_hour=args.write_rate,
-        rebuild_concurrency=args.rebuild_concurrency,
+        rebuild_concurrency=(args.rebuild_concurrency
+                             if args.rebuild_concurrency > 0 else None),
+        repair_streams=(args.rebuild_streams
+                        if args.rebuild_streams > 0 else None),
         horizon_hours=horizon,
     )
     root = np.random.default_rng(args.seed)
@@ -215,8 +247,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.mode == "events":
             return _run_events(args)
         return _run_montecarlo(args)
-    except ValueError as exc:
-        # Bad specs / parameters surface as clean CLI errors, not tracebacks.
+    except (ValueError, RuntimeError) as exc:
+        # Bad specs / parameters -- and non-convergence of ultra-reliable
+        # configurations -- surface as clean CLI errors, not tracebacks.
         raise SystemExit(f"error: {exc}") from exc
 
 

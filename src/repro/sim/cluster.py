@@ -11,6 +11,11 @@ predicate with the same chunk-granularity semantics as the reliability
 analysis of §7 / Appendix B -- and a conservative lower bound on what the
 actual decoders of :mod:`repro.codes` can repair (asserted in the test
 suite against ``StripeCode.tolerates``).
+
+The predicate is general in the device tolerance ``m``: it serves both
+the event engine of :mod:`repro.sim.events` (which tracks real sector
+damage) and, through ``CoverageModel.m``, the m >= 2 lane dynamics of
+the vectorized runner in :mod:`repro.sim.montecarlo`.
 """
 
 from __future__ import annotations

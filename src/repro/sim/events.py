@@ -2,16 +2,32 @@
 
 The engine plays a single, fully detailed cluster lifetime: device
 failures drawn from a :class:`~repro.sim.lifetimes.LifetimeModel`,
-rebuilds with bounded cluster-wide repair bandwidth, latent-sector-error
+rebuilds under a contention-aware repair model, latent-sector-error
 bursts, periodic scrubs and stripe writes from a Poisson workload model.
 It is the ground truth that the vectorized batch runner of
 :mod:`repro.sim.montecarlo` is validated against, and the only engine
 that captures effects outside the Markov model (scrub intervals, repair
 contention, normal-mode double damage).
 
+Repair is modelled physically rather than as a bare concurrency cap:
+each rebuild owes a *nominal* amount of work (the repair model's sampled
+duration -- the time one rebuild takes at the device's full per-device
+rebuild rate), and the cluster's shared repair bandwidth
+(``Scenario.repair_streams``, in units of one device's rebuild rate) is
+divided evenly across all in-flight rebuilds.  With ``c`` concurrent
+rebuilds each proceeds at ``min(1, streams / c)`` of full speed, so
+rebuild times stretch exactly when the cluster is busiest -- the regime
+where the closed forms are most optimistic.  ``rebuild_concurrency``
+remains available as an optional hard admission cap (queued rebuilds
+wait for a free slot); ``repair_streams=None`` disables bandwidth
+sharing entirely.
+
 Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
 increasing counter, so simultaneous events fire in insertion order and
-every run is deterministic for a fixed seed.
+every run is deterministic for a fixed seed.  Rebuild completions are
+rescheduled (lazily cancelling the superseded event) whenever the set of
+in-flight rebuilds -- and therefore the shared per-rebuild speed --
+changes.
 """
 
 from __future__ import annotations
@@ -115,8 +131,16 @@ class Scenario:
     scrub_interval_hours: float | None = None
     #: Poisson rate of full-stripe writes per array per hour.
     write_rate_per_hour: float = 0.0
-    #: Cluster-wide cap on concurrent rebuilds (repair bandwidth).
-    rebuild_concurrency: int = 4
+    #: Optional hard cap on concurrent rebuilds (None = unlimited).
+    #: Rebuilds beyond the cap queue for a free slot.  Bandwidth-limited
+    #: repair is modelled by ``repair_streams``; the cap only models an
+    #: administrative limit on simultaneous rebuild jobs.
+    rebuild_concurrency: int | None = None
+    #: Cluster-wide repair bandwidth in units of one device's full
+    #: rebuild rate: ``c`` concurrent rebuilds each run at
+    #: ``min(1, repair_streams / c)`` of full speed.  None disables
+    #: bandwidth sharing (every rebuild runs at full per-device rate).
+    repair_streams: float | None = None
     #: Stop the run at this time even without data loss.
     horizon_hours: float = 87_600.0  # ten years
 
@@ -125,8 +149,13 @@ class Scenario:
             raise ValueError("num_arrays must be >= 1")
         if self.stripes_per_array < 1:
             raise ValueError("stripes_per_array must be >= 1")
-        if self.rebuild_concurrency < 1:
-            raise ValueError("rebuild_concurrency must be >= 1")
+        if self.rebuild_concurrency is not None \
+                and self.rebuild_concurrency < 1:
+            raise ValueError(
+                "rebuild_concurrency must be >= 1 (None = unlimited)")
+        if self.repair_streams is not None and self.repair_streams <= 0:
+            raise ValueError(
+                "repair_streams must be positive (None disables sharing)")
         if self.horizon_hours <= 0:
             raise ValueError("horizon_hours must be positive")
         if (self.scrub_interval_hours is not None
@@ -135,6 +164,20 @@ class Scenario:
                 "scrub_interval_hours must be positive (None disables)")
         if self.write_rate_per_hour < 0:
             raise ValueError("write_rate_per_hour must be >= 0")
+
+
+@dataclass
+class RebuildProgress:
+    """Book-keeping for one in-flight rebuild under bandwidth sharing.
+
+    ``remaining_hours`` is the work left *at full per-device rate*; it
+    is accrued lazily whenever the shared per-rebuild speed changes.
+    """
+
+    targets: list[int]
+    remaining_hours: float
+    updated_at: float
+    completion: Event | None = None
 
 
 @dataclass
@@ -164,12 +207,17 @@ class ClusterSimulation:
         self.cluster = SimulatedCluster(
             scenario.code, scenario.num_arrays, scenario.stripes_per_array)
         self.queue = EventQueue()
-        self._active_rebuilds = 0
         self._pending_rebuilds: deque[int] = deque()
-        # array -> devices the in-flight rebuild is reconstructing; a
-        # device that fails after the rebuild started is NOT covered by
-        # it and needs its own pass.
-        self._rebuilding: dict[int, list[int]] = {}
+        # array -> in-flight rebuild progress; the targets are the
+        # devices this rebuild is reconstructing -- a device that fails
+        # after the rebuild started is NOT covered by it and needs its
+        # own pass.
+        self._inflight: dict[int, RebuildProgress] = {}
+        self._rebuild_speed = 1.0
+
+    @property
+    def _active_rebuilds(self) -> int:
+        return len(self._inflight)
 
     # ------------------------------------------------------------------ #
     # Scheduling helpers
@@ -198,27 +246,72 @@ class ClusterSimulation:
                             EventType.STRIPE_WRITE, array=array)
 
     def _start_or_queue_rebuild(self, array: int, now: float) -> None:
-        if array in self._rebuilding or array in self._pending_rebuilds:
+        if array in self._inflight or array in self._pending_rebuilds:
             return
-        if self._active_rebuilds < self.scenario.rebuild_concurrency:
+        cap = self.scenario.rebuild_concurrency
+        if cap is None or self._active_rebuilds < cap:
             self._start_rebuild(array, now)
         else:
             self._pending_rebuilds.append(array)
 
+    # -- contention-aware repair ---------------------------------------- #
+    def _shared_speed(self) -> float:
+        """Per-rebuild speed when the repair bandwidth is divided evenly."""
+        streams = self.scenario.repair_streams
+        concurrent = len(self._inflight)
+        if streams is None or concurrent <= streams:
+            return 1.0
+        return streams / concurrent
+
+    def _accrue_rebuild_progress(self, now: float) -> None:
+        """Charge elapsed wall time (at the prevailing shared speed)
+        against every in-flight rebuild's remaining work."""
+        speed = self._rebuild_speed
+        for rebuild in self._inflight.values():
+            elapsed = now - rebuild.updated_at
+            if elapsed > 0.0:
+                rebuild.remaining_hours = max(
+                    0.0, rebuild.remaining_hours - elapsed * speed)
+            rebuild.updated_at = now
+
+    def _retime_rebuilds(self, now: float) -> None:
+        """Reschedule completions after the in-flight set changed.
+
+        Callers must have accrued progress up to ``now`` first.  When the
+        shared speed is unchanged, existing completion events stay valid
+        and are left alone (no churn in the no-contention case).
+        """
+        speed = self._shared_speed()
+        for array, rebuild in self._inflight.items():
+            if rebuild.completion is not None \
+                    and speed == self._rebuild_speed:
+                continue
+            if rebuild.completion is not None:
+                self.queue.cancel(rebuild.completion)
+            rebuild.completion = self.queue.schedule(
+                now + rebuild.remaining_hours / speed,
+                EventType.REBUILD_COMPLETE, array=array)
+        self._rebuild_speed = speed
+
     def _start_rebuild(self, array: int, now: float) -> None:
-        self._active_rebuilds += 1
+        self._accrue_rebuild_progress(now)
         targets = np.flatnonzero(
             self.cluster.arrays[array].device_failed).tolist()
-        self._rebuilding[array] = targets
-        duration = float(self.scenario.repair.sample(self.rng, 1)[0])
-        self.queue.schedule(now + duration, EventType.REBUILD_COMPLETE,
-                            array=array)
+        # The repair model samples the nominal work: rebuild time at the
+        # full per-device rate.  Contention stretches it via the speed.
+        work = float(self.scenario.repair.sample(self.rng, 1)[0])
+        self._inflight[array] = RebuildProgress(
+            targets=targets, remaining_hours=work, updated_at=now)
+        self._retime_rebuilds(now)
 
     def _finish_rebuild_slot(self, array: int, now: float) -> None:
-        self._active_rebuilds -= 1
-        self._rebuilding.pop(array, None)
+        self._accrue_rebuild_progress(now)
+        self._inflight.pop(array, None)
         if self._pending_rebuilds:
+            # _start_rebuild accrues (a no-op now) and retimes survivors.
             self._start_rebuild(self._pending_rebuilds.popleft(), now)
+        else:
+            self._retime_rebuilds(now)
 
     # ------------------------------------------------------------------ #
     def run(self) -> TrajectoryResult:
@@ -283,7 +376,8 @@ class ClusterSimulation:
         # loss path of the Markov model.
         if not array.all_recoverable():
             return "unrecoverable_stripes_during_rebuild"
-        targets = self._rebuilding.get(a, [])
+        rebuild = self._inflight.get(a)
+        targets = rebuild.targets if rebuild is not None else []
         replaced = array.rebuild(targets)
         self._finish_rebuild_slot(a, event.time)
         for d in replaced:

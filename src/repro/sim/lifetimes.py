@@ -7,6 +7,14 @@ simulators) use for aging devices.  All models draw from a
 ``numpy.random.Generator`` so that every simulation is reproducible from
 a single seed.
 
+A :class:`RepairModel` samples the *nominal* time to rebuild one device
+at its full per-device rebuild rate.  :class:`BandwidthRepair` derives
+that time physically (device capacity / per-device rebuild rate); the
+event engine of :mod:`repro.sim.events` can additionally divide a shared
+cluster repair bandwidth across concurrent rebuilds (its
+``repair_streams`` knob), stretching the sampled nominal times under
+contention.
+
 Times are in hours throughout, matching :mod:`repro.reliability`.
 """
 
@@ -156,6 +164,44 @@ class DeterministicRepair(RepairModel):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DeterministicRepair({self.hours:g}h)"
+
+
+class BandwidthRepair(RepairModel):
+    """Rebuild time derived from device capacity and per-device rate.
+
+    ``device_capacity_bytes / rebuild_mb_per_s`` gives the nominal time
+    to reconstruct one device when the rebuild runs at the device's full
+    rebuild rate.  Under the event engine's shared-bandwidth model the
+    *effective* time stretches when concurrent rebuilds divide the
+    cluster's repair bandwidth (``Scenario.repair_streams``).
+    """
+
+    def __init__(self, device_capacity_bytes: float,
+                 rebuild_mb_per_s: float) -> None:
+        if device_capacity_bytes <= 0:
+            raise ValueError("device_capacity_bytes must be positive")
+        if rebuild_mb_per_s <= 0:
+            raise ValueError("rebuild_mb_per_s must be positive")
+        self.device_capacity_bytes = device_capacity_bytes
+        self.rebuild_mb_per_s = rebuild_mb_per_s
+
+    @property
+    def hours(self) -> float:
+        """Nominal single-device rebuild duration at full rate."""
+        return self.device_capacity_bytes / (
+            self.rebuild_mb_per_s * 1e6 * 3600.0)
+
+    @property
+    def mean_hours(self) -> float:
+        return self.hours
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        return np.full(size, self.hours, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BandwidthRepair({self.device_capacity_bytes:g}B @ "
+                f"{self.rebuild_mb_per_s:g}MB/s = {self.hours:g}h)")
 
 
 class SectorErrorProcess:

@@ -1,23 +1,34 @@
 """Numpy-vectorized Monte Carlo batch runner for array/cluster lifetimes.
 
 Instead of replaying one event queue per trial, thousands of independent
-lifetimes advance together as numpy lanes: each lane keeps the absolute
-failure time of every device in its array, rounds alternate between "next
-device fails" and "rebuild race" (second failure vs. rebuild completion
-vs. unrecoverable sector damage discovered at rebuild time), and finished
-lanes drop out of the batch.  Keeping *absolute* failure times makes the
-scheme exact for non-memoryless (Weibull) lifetimes too: a surviving
-device's failure time was fixed when it was installed and simply carries
-over across rounds.
+lifetimes advance together as numpy lanes.  Each lane is one array of
+``n`` devices tolerating up to ``m`` concurrent device failures
+(RAID-5/STAIR at m = 1, RAID-6/SD/STAIR/IDR at m >= 2) and carries a
+small damage-state machine:
 
-The sector-failure leg reuses the analysis layer: the probability that a
-rebuild trips over unrecoverable sector damage is ``P_arr`` from
-:func:`repro.reliability.mttdl.p_array`, i.e. the same ``P_str``
-machinery (and therefore the same code coverage) as Eq. 10-11.  In the
-exponential case the estimated MTTDL must statistically agree with the
-closed form -- the cross-validation asserted in the test suite.  Repair
-bandwidth contention, scrub intervals and workload effects are out of
-scope here; the event engine of :mod:`repro.sim.events` covers those.
+* the absolute failure time of every healthy device,
+* the number of currently failed devices, and
+* the completion time of the in-flight rebuild (devices are rebuilt one
+  at a time at the repair model's rate, matching the Markov chains of
+  :mod:`repro.reliability.markov`).
+
+Every round, each active lane processes its next event -- a device
+failure or a rebuild completion.  A failure with ``m`` devices already
+down loses data; a rebuild that completes in *critical mode* (exactly
+``m`` devices down) trips over unrecoverable sector damage with
+probability ``p_arr``, the same ``P_arr`` from
+:func:`repro.reliability.mttdl.p_array` (Eq. 10-11) that the analysis
+layer uses.  Keeping *absolute* failure times makes the scheme exact for
+non-memoryless (Weibull) lifetimes too: a surviving device's failure
+time was fixed when it was installed and simply carries over across
+rounds.
+
+In the exponential case the estimated MTTDL must statistically agree
+with the closed form (m = 1, Eq. 10) and with the general-m Markov chain
+of :func:`repro.reliability.markov.mttdl_arr_m_parity` -- the
+cross-validation asserted in the test suite.  Repair-bandwidth
+contention, scrub intervals and workload effects are out of scope here;
+the event engine of :mod:`repro.sim.events` covers those.
 """
 
 from __future__ import annotations
@@ -163,22 +174,25 @@ def simulate_array_lifetimes(n: int,
                              lifetime: LifetimeModel | None = None,
                              repair: RepairModel | None = None,
                              horizon_hours: float | None = None,
+                             m: int = 1,
                              ) -> MonteCarloResult:
-    """Simulate ``trials`` independent single-array lifetimes (m = 1).
+    """Simulate ``trials`` independent single-array lifetimes.
 
-    Each array has ``n`` devices and tolerates one device failure; during
-    a rebuild a second device failure loses data immediately, and a
-    completed rebuild trips over unrecoverable sector damage with
-    probability ``p_arr`` (computed upstream from the code's coverage and
-    the sector-failure model).  ``m >= 2`` schemes need the event engine
-    or :func:`repro.reliability.markov.mttdl_arr_two_parity`.
+    Each array has ``n`` devices and tolerates up to ``m`` concurrent
+    device failures.  An ``(m + 1)``-th concurrent failure loses data
+    immediately; a rebuild completing in critical mode (exactly ``m``
+    devices down) trips over unrecoverable sector damage with
+    probability ``p_arr`` (computed upstream from the code's coverage
+    and the sector-failure model, Eq. 11).  Devices are rebuilt one at a
+    time, matching the Markov chains of :mod:`repro.reliability.markov`.
     """
-    times = _vectorized_lifetimes(n, p_arr, trials, 1, _as_rng(seed),
+    times = _vectorized_lifetimes(n, p_arr, trials, 1, m, _as_rng(seed),
                                   lifetime or ExponentialLifetime(),
                                   repair or ExponentialRepair(),
                                   horizon_hours)
     return MonteCarloResult(times, horizon_hours,
-                            {"n": n, "p_arr": p_arr, "num_arrays": 1})
+                            {"n": n, "m": m, "p_arr": p_arr,
+                             "num_arrays": 1})
 
 
 def simulate_cluster_lifetimes(n: int,
@@ -189,31 +203,43 @@ def simulate_cluster_lifetimes(n: int,
                                lifetime: LifetimeModel | None = None,
                                repair: RepairModel | None = None,
                                horizon_hours: float | None = None,
+                               m: int = 1,
                                ) -> MonteCarloResult:
     """Simulate ``trials`` cluster lifetimes: ``num_arrays`` arrays of
-    ``n`` devices each; the cluster loses data when its first array does.
+    ``n`` devices each (``m``-fault-tolerant); the cluster loses data
+    when its first array does.
 
     All arrays advance as independent vector lanes; a lane retires as
     soon as its clock passes its trial's best loss time, so work scales
     with the *cluster* lifetime rather than with full per-array
     absorption.
     """
-    times = _vectorized_lifetimes(n, p_arr, trials, num_arrays,
+    times = _vectorized_lifetimes(n, p_arr, trials, num_arrays, m,
                                   _as_rng(seed),
                                   lifetime or ExponentialLifetime(),
                                   repair or ExponentialRepair(),
                                   horizon_hours)
     return MonteCarloResult(times, horizon_hours,
-                            {"n": n, "p_arr": p_arr,
+                            {"n": n, "m": m, "p_arr": p_arr,
                              "num_arrays": num_arrays})
 
 
 def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
-                          num_arrays: int, rng: np.random.Generator,
+                          num_arrays: int, m: int,
+                          rng: np.random.Generator,
                           lifetime: LifetimeModel, repair: RepairModel,
                           horizon_hours: float | None) -> np.ndarray:
-    if n < 2:
-        raise ValueError("need n >= 2 devices per array")
+    """Advance every lane one event per round until loss or retirement.
+
+    Per-lane state: ``next_fail`` (absolute failure time per device,
+    ``inf`` once a device is down), ``num_failed`` and ``rebuild_done``
+    (``inf`` while no rebuild is in flight).  The invariant is that a
+    rebuild is in flight iff at least one device is down.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n < m + 1:
+        raise ValueError(f"need n >= m + 1 devices per array (n={n}, m={m})")
     if trials < 1:
         raise ValueError("trials must be >= 1")
     if not (0.0 <= p_arr <= 1.0):
@@ -222,6 +248,8 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
     lanes = trials * num_arrays
     trial_of = np.repeat(np.arange(trials), num_arrays)
     next_fail = lifetime.sample(rng, (lanes, n))
+    rebuild_done = np.full(lanes, math.inf)
+    num_failed = np.zeros(lanes, dtype=np.int32)
     # Best (earliest) loss time seen per trial; lanes that can no longer
     # beat it retire.  With a horizon, nothing past it matters either.
     cutoff = np.full(trials, math.inf if horizon_hours is None
@@ -233,35 +261,76 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
         if active.size == 0:
             break
         nf = next_fail[active]
-        two_smallest = np.partition(nf, 1, axis=1)
-        first = two_smallest[:, 0]
-        second = two_smallest[:, 1]
-        failed_dev = nf.argmin(axis=1)
+        dev = nf.argmin(axis=1)
+        t_fail = nf[np.arange(active.size), dev]
+        t_rebuild = rebuild_done[active]
+        fail_first = t_fail <= t_rebuild
+        t = np.where(fail_first, t_fail, t_rebuild)
 
-        rebuild_done = first + repair.sample(rng, active.size)
-        second_wins = second < rebuild_done
-        sector_trip = rng.random(active.size) < p_arr
-        loses = second_wins | sector_trip
-        loss_time = np.where(second_wins, second, rebuild_done)
-
+        # Lane times are monotone, so a lane whose next event cannot beat
+        # its trial's cutoff never will: retire it before processing.
+        alive = t < cutoff[trial_of[active]]
+        if not alive.all():
+            active = active[alive]
+            if active.size == 0:
+                break
+            dev = dev[alive]
+            t = t[alive]
+            fail_first = fail_first[alive]
         lane_trials = trial_of[active]
-        effective = loses & (loss_time < cutoff[lane_trials])
-        if effective.any():
-            np.minimum.at(cutoff, lane_trials[effective],
-                          loss_time[effective])
-            lost[lane_trials[effective]] = True
+        f = num_failed[active]
 
-        survives = ~loses & (rebuild_done < cutoff[lane_trials])
-        surv = active[survives]
-        if surv.size:
-            next_fail[surv, failed_dev[survives]] = (
-                rebuild_done[survives]
-                + lifetime.sample(rng, surv.size))
-        active = surv
+        # A failure with m devices already down is fatal; a rebuild
+        # completing in critical mode trips sector damage w.p. p_arr.
+        critical_rebuild = ~fail_first & (f == m)
+        trip = np.zeros(active.size, dtype=bool)
+        num_critical = int(critical_rebuild.sum())
+        if p_arr > 0.0 and num_critical:
+            trip[critical_rebuild] = rng.random(num_critical) < p_arr
+        loses = (fail_first & (f == m)) | trip
+        if loses.any():
+            np.minimum.at(cutoff, lane_trials[loses], t[loses])
+            lost[lane_trials[loses]] = True
+        keep = ~loses
+
+        # Surviving failures: device goes down; start a rebuild if none
+        # is in flight (devices rebuild one at a time).
+        surv_fail = fail_first & keep
+        fail_lanes = active[surv_fail]
+        if fail_lanes.size:
+            next_fail[fail_lanes, dev[surv_fail]] = math.inf
+            num_failed[fail_lanes] += 1
+            idle = np.isinf(rebuild_done[fail_lanes])
+            started = fail_lanes[idle]
+            if started.size:
+                rebuild_done[started] = (t[surv_fail][idle]
+                                         + repair.sample(rng, started.size))
+
+        # Surviving rebuild completions: restore one failed device with a
+        # fresh lifetime; chain the next rebuild if more are down.
+        surv_rebuild = ~fail_first & keep
+        rebuild_lanes = active[surv_rebuild]
+        if rebuild_lanes.size:
+            restored = np.isinf(next_fail[rebuild_lanes]).argmax(axis=1)
+            next_fail[rebuild_lanes, restored] = (
+                t[surv_rebuild] + lifetime.sample(rng, rebuild_lanes.size))
+            num_failed[rebuild_lanes] -= 1
+            rebuild_done[rebuild_lanes] = math.inf
+            more = num_failed[rebuild_lanes] > 0
+            chained = rebuild_lanes[more]
+            if chained.size:
+                rebuild_done[chained] = (t[surv_rebuild][more]
+                                         + repair.sample(rng, chained.size))
+
+        active = active[keep]
     else:  # pragma: no cover - safety valve
         raise RuntimeError(
             f"simulation did not converge within {MAX_ROUNDS} rounds; "
-            "set horizon_hours to bound the run"
+            "the configuration is too reliable for direct Monte Carlo "
+            "(common for m >= 2 with the paper's 1/lambda = 500,000 h). "
+            "Set horizon_hours to bound the run, or use an "
+            "accelerated-failure regime (shorter lifetimes / longer "
+            "rebuilds) as in docs/simulator.md"
         )
 
     return np.where(lost, cutoff, math.inf)
@@ -285,23 +354,20 @@ def simulate_code_mttdl(code: StripeCode | CodeReliability,
     ``P_arr`` comes from the analysis layer (Eq. 11) applied to the same
     coverage the simulator's damage predicate uses; lifetimes and repairs
     default to the exponential models with the paper's 1/λ and 1/μ.
+    Any ``m >= 1`` is supported: the lane state machine tolerates
+    ``params.m`` concurrent device failures, and for a concrete code the
+    code's own ``m`` must match ``params.m``.
     """
     params = params or SystemParameters()
-    if params.m != 1:
-        raise ValueError(
-            "the vectorized runner models m = 1 arrays only (second "
-            "failure during rebuild = loss); use the event engine of "
-            "repro.sim.events for m >= 2"
-        )
     if isinstance(code, CodeReliability):
         reliability = code
     else:
         coverage = CoverageModel.from_code(code)
-        if coverage.m != 1:
+        if coverage.m != params.m:
             raise ValueError(
-                f"{type(code).__name__} has m = {coverage.m}; the "
-                "vectorized runner models m = 1 arrays only -- use the "
-                "event engine of repro.sim.events"
+                f"{type(code).__name__} tolerates m = {coverage.m} device "
+                f"failures but SystemParameters has m = {params.m}; the "
+                "sector model and cluster simulation would disagree"
             )
         if (code.n, code.r) != (params.n, params.r):
             raise ValueError(
@@ -316,6 +382,7 @@ def simulate_code_mttdl(code: StripeCode | CodeReliability,
     repair = repair or ExponentialRepair(params.mean_time_to_rebuild_hours)
     result = simulate_cluster_lifetimes(
         params.n, num_arrays, parr, trials, seed,
-        lifetime=lifetime, repair=repair, horizon_hours=horizon_hours)
+        lifetime=lifetime, repair=repair, horizon_hours=horizon_hours,
+        m=params.m)
     result.metadata["code"] = reliability.label()
     return result

@@ -10,11 +10,14 @@ from repro.reliability import (
     candidate_coverages,
     coverage_for_burst,
     critical_mode_chain,
+    m_parity_chain,
     mean_time_to_absorption,
     mttdl_arr_closed_form,
+    mttdl_arr_m_parity,
     mttdl_arr_markov,
     mttdl_arr_two_parity,
     mttdl_array,
+    mttdl_array_general,
     mttdl_system,
     number_of_arrays,
     p_array,
@@ -47,6 +50,44 @@ class TestMarkovModel:
         lam, mu = 1 / 500_000, 1 / 17.8
         assert mttdl_arr_two_parity(8, lam, mu, 1e-3) > \
             mttdl_arr_closed_form(8, lam, mu, 1e-3)
+
+    def test_general_chain_degenerates_to_m1_and_m2(self):
+        lam, mu = 1 / 500_000, 1 / 17.8
+        for p_arr in (0.0, 1e-4, 0.3, 1.0):
+            assert mttdl_arr_m_parity(8, lam, mu, p_arr, m=1) == \
+                pytest.approx(mttdl_arr_closed_form(8, lam, mu, p_arr),
+                              rel=1e-9)
+            assert mttdl_arr_m_parity(8, lam, mu, p_arr, m=2) == \
+                pytest.approx(mttdl_arr_two_parity(8, lam, mu, p_arr),
+                              rel=1e-9)
+
+    def test_general_chain_monotone_in_m(self):
+        lam, mu = 1 / 500_000, 1 / 17.8
+        values = [mttdl_arr_m_parity(8, lam, mu, 1e-3, m=m)
+                  for m in (1, 2, 3, 4)]
+        assert values == sorted(values)
+
+    def test_general_chain_rows_sum_to_zero(self):
+        chain = m_parity_chain(8, 1 / 500_000, 1 / 17.8, 1e-3, m=3)
+        assert chain.shape == (5, 5)
+        assert chain.sum(axis=1) == pytest.approx([0.0] * 5)
+
+    def test_general_chain_validation(self):
+        with pytest.raises(ValueError):
+            m_parity_chain(8, 1e-6, 1e-1, 0.1, m=0)
+        with pytest.raises(ValueError):
+            m_parity_chain(4, 1e-6, 1e-1, 0.1, m=4)
+
+    def test_mttdl_array_general_matches_m1_closed_form(self):
+        params = SystemParameters()
+        model = IndependentSectorModel.from_p_bit(1e-12, params.r)
+        code = CodeReliability.stair([1, 2])
+        assert mttdl_array_general(code, params, model) == pytest.approx(
+            mttdl_array(code, params, model), rel=1e-9)
+        # And for m = 2 it exceeds the m = 1 value with the same code.
+        params2 = SystemParameters(m=2)
+        assert mttdl_array_general(code, params2, model) > \
+            mttdl_array_general(code, params, model)
 
 
 class TestSystemModel:

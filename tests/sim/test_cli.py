@@ -44,11 +44,16 @@ def test_rejects_bad_trials():
         main(["--trials", "0"])
 
 
-def test_montecarlo_mode_rejects_m2_codes():
-    """RAID-6 through the vectorized mode would silently use m=1
-    dynamics; the CLI must refuse and point at --mode events."""
-    with pytest.raises(SystemExit, match="--mode events"):
-        main(["--code", "raid6(n=8,r=4)", "--trials", "10"])
+def test_montecarlo_mode_runs_m2_codes_on_vectorized_path(capsys):
+    """RAID-6/SD with m = 2 go through the vectorized lane machine and
+    print the general-m analytic comparison."""
+    assert main(["--code", "sd(n=8,r=16,m=2,s=2)", "--trials", "150",
+                 "--seed", "0", "--mttf", "20000",
+                 "--repair-hours", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "m (device tolerance)" in out
+    assert "MTTDL (analytic)" in out
+    assert "analytic within 3 sigma  yes" in out
 
 
 def test_events_mode_accepts_m2_codes(capsys):
@@ -56,6 +61,33 @@ def test_events_mode_accepts_m2_codes(capsys):
                  "--trials", "2", "--seed", "0", "--stripes", "32",
                  "--mttf", "2000", "--horizon", "30000"]) == 0
     assert "RAID-6" in capsys.readouterr().out
+
+
+def test_events_mode_contention_flags(capsys):
+    assert main(["--mode", "events", "--trials", "2", "--seed", "3",
+                 "--stripes", "32", "--mttf", "2000",
+                 "--rebuild-streams", "1.5", "--rebuild-rate-mbs", "50",
+                 "--rebuild-concurrency", "2", "--arrays", "3",
+                 "--horizon", "20000"]) == 0
+    assert "Event-driven trajectories" in capsys.readouterr().out
+
+
+def test_help_epilog_points_at_code_spec_grammar(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    out = capsys.readouterr().out
+    assert "docs/code-specs.md" in out
+    assert "stair" in out
+
+
+def test_nonconvergence_exits_cleanly(monkeypatch):
+    """An ultra-reliable m >= 2 config at the paper's parameters cannot
+    reach absorption; the CLI must explain, not traceback.  MAX_ROUNDS
+    is shrunk so the safety valve trips immediately."""
+    import repro.sim.montecarlo as mc
+    monkeypatch.setattr(mc, "MAX_ROUNDS", 5)
+    with pytest.raises(SystemExit, match="horizon"):
+        main(["--code", "rs(n=8,r=16,m=3)", "--trials", "5"])
 
 
 def test_bad_spec_exits_cleanly():

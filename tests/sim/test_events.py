@@ -88,6 +88,13 @@ def test_scenario_validation():
         Scenario(code=code, scrub_interval_hours=-1.0)
     with pytest.raises(ValueError):
         Scenario(code=code, write_rate_per_hour=-0.1)
+    with pytest.raises(ValueError):
+        Scenario(code=code, repair_streams=0.0)
+    with pytest.raises(ValueError):
+        Scenario(code=code, repair_streams=-2.0)
+    # None means "unlimited" / "no sharing", not invalid.
+    Scenario(code=code, rebuild_concurrency=None, repair_streams=None)
+    Scenario(code=code, repair_streams=1.5)
 
 
 # --------------------------------------------------------------------------- #
@@ -202,6 +209,85 @@ def test_rebuild_concurrency_queues_rebuilds():
     # With 6 arrays failing every ~50h/4-devices and one rebuild slot,
     # the pending queue must have been exercised.
     assert sim._active_rebuilds <= 1
+
+
+def _completion_times(sim):
+    """Run ``sim`` recording every live rebuild-completion time."""
+    times = []
+    original = sim._on_rebuild_complete
+    sim._on_rebuild_complete = lambda e: (times.append(e.time),
+                                          original(e))[1]
+    result = sim.run()
+    return times, result
+
+
+def test_shared_repair_bandwidth_stretches_concurrent_rebuilds():
+    """Regression for the contention-aware repair model: two rebuilds
+    sharing one repair stream each run at half speed (10h of nominal
+    work finishes at t=21 instead of t=11)."""
+    def run(streams):
+        scenario = _base_scenario(
+            code=RAID5Code(n=4, r=4),
+            num_arrays=2,
+            lifetime=ExponentialLifetime(1e12),  # only injected failures
+            repair=DeterministicRepair(10.0),
+            repair_streams=streams,
+            horizon_hours=100.0)
+        sim = ClusterSimulation(scenario, seed=0)
+        sim.queue.schedule(1.0, EventType.DEVICE_FAILURE, array=0, device=0)
+        sim.queue.schedule(1.0, EventType.DEVICE_FAILURE, array=1, device=0)
+        return _completion_times(sim)[0]
+
+    assert run(None) == [11.0, 11.0]      # full per-device rate
+    assert run(2.0) == [11.0, 11.0]       # enough streams for both
+    assert run(1.0) == [21.0, 21.0]       # halved speed under sharing
+
+
+def test_rebuild_speeds_up_when_contention_clears():
+    """Staggered failures: the survivor reclaims the full stream after
+    the first rebuild completes (piecewise-linear progress, not a fixed
+    stretched duration)."""
+    scenario = _base_scenario(
+        code=RAID5Code(n=4, r=4),
+        num_arrays=2,
+        lifetime=ExponentialLifetime(1e12),
+        repair=DeterministicRepair(10.0),
+        repair_streams=1.0,
+        horizon_hours=100.0)
+    sim = ClusterSimulation(scenario, seed=0)
+    sim.queue.schedule(1.0, EventType.DEVICE_FAILURE, array=0, device=0)
+    sim.queue.schedule(6.0, EventType.DEVICE_FAILURE, array=1, device=0)
+    times, result = _completion_times(sim)
+    # Array 0: 5h solo + 10h at half speed = done at 16; array 1 then
+    # finishes its remaining 5h of work solo at 21.
+    assert times == [16.0, 21.0]
+    assert not result.lost_data
+
+
+def test_contention_turns_near_miss_into_data_loss():
+    """The satellite regression: rebuild times lengthen under
+    concurrent failures.  A second failure at t=16 is harmless when the
+    rebuild finished at t=11 (full rate) but fatal when contention
+    stretched the same rebuild to t=21."""
+    def run(streams):
+        scenario = _base_scenario(
+            code=RAID5Code(n=4, r=4),
+            num_arrays=2,
+            lifetime=ExponentialLifetime(1e12),
+            repair=DeterministicRepair(10.0),
+            repair_streams=streams,
+            horizon_hours=100.0)
+        sim = ClusterSimulation(scenario, seed=0)
+        sim.queue.schedule(1.0, EventType.DEVICE_FAILURE, array=0, device=0)
+        sim.queue.schedule(1.0, EventType.DEVICE_FAILURE, array=1, device=0)
+        sim.queue.schedule(16.0, EventType.DEVICE_FAILURE, array=0, device=1)
+        return sim.run()
+
+    assert not run(None).lost_data
+    lost = run(1.0)
+    assert lost.lost_data
+    assert lost.cause == "device_failures_exceed_m"
+    assert lost.time_to_data_loss == 16.0
 
 
 def test_second_failure_during_rebuild_needs_its_own_rebuild():

@@ -1,10 +1,15 @@
 """Vectorized Monte Carlo runner: statistics, determinism and the
 cross-validation against the analytical MTTDL models (§7).
 
-The acceptance property: for an RS/RAID-5 baseline with exponential
-lifetimes the Monte Carlo MTTDL agrees with ``repro.reliability.mttdl``
-within 3σ confidence bounds.
+The acceptance properties: for exponential lifetimes the Monte Carlo
+MTTDL agrees with ``repro.reliability.mttdl`` within 3σ confidence
+bounds -- for the RS/RAID-5 baseline (Eq. 10) *and* for m >= 2
+geometries against the general Markov chain -- and the vectorized
+m >= 2 path statistically matches the event engine on an identical
+scenario.
 """
+
+import math
 
 import numpy as np
 import pytest
@@ -13,14 +18,20 @@ from repro.codes.raid import RAID5Code
 from repro.codes.reed_solomon import ReedSolomonStripeCode
 from repro.codes.sd import SDCode
 from repro.codes.stair_adapter import StairStripeCode
-from repro.reliability.markov import mttdl_arr_closed_form
+from repro.reliability.markov import (
+    mttdl_arr_closed_form,
+    mttdl_arr_m_parity,
+    mttdl_arr_two_parity,
+)
 from repro.reliability.mttdl import (
     CodeReliability,
     SystemParameters,
     mttdl_array,
+    mttdl_array_general,
     p_array,
 )
 from repro.reliability.sector_models import IndependentSectorModel
+from repro.sim.events import ClusterSimulation, Scenario
 from repro.sim.lifetimes import (
     ExponentialLifetime,
     ExponentialRepair,
@@ -85,6 +96,108 @@ def test_certain_sector_loss_means_first_cycle_loss():
     assert result.agrees_with(analytic, z=3.0)
 
 
+def test_m2_pure_race_matches_general_markov_chain():
+    """m = 2, p_arr = 0: the triple-overlap race against one-at-a-time
+    rebuilds must match the general birth-death chain (which equals the
+    dedicated two-parity chain)."""
+    lam, mu = 1.0 / 50_000.0, 1.0 / 100.0
+    analytic = mttdl_arr_m_parity(8, lam, mu, 0.0, m=2)
+    assert analytic == pytest.approx(
+        mttdl_arr_two_parity(8, lam, mu, 0.0), rel=1e-12)
+    result = simulate_array_lifetimes(
+        8, p_arr=0.0, trials=800, seed=20, m=2,
+        lifetime=ExponentialLifetime(50_000.0),
+        repair=ExponentialRepair(100.0))
+    assert result.agrees_with(analytic, z=3.0), (
+        f"simulated {result.mttdl_hours:.4g}h, CI "
+        f"{result.mttdl_confidence(3.0)}, analytic {analytic:.4g}h")
+
+
+def test_m2_critical_mode_sector_trip_matches_markov():
+    """m = 2 with p_arr > 0: sector damage only trips in critical mode
+    (two devices down), mirroring the Markov model's loss arc."""
+    lam, mu = 1.0 / 50_000.0, 1.0 / 100.0
+    analytic = mttdl_arr_two_parity(8, lam, mu, 0.05)
+    result = simulate_array_lifetimes(
+        8, p_arr=0.05, trials=800, seed=21, m=2,
+        lifetime=ExponentialLifetime(50_000.0),
+        repair=ExponentialRepair(100.0))
+    assert result.agrees_with(analytic, z=3.0)
+
+
+def test_m3_lane_machine_matches_general_markov_chain():
+    """The lane machine is general in m, not special-cased to 2."""
+    lam, mu = 1.0 / 5_000.0, 1.0 / 200.0
+    analytic = mttdl_arr_m_parity(8, lam, mu, 0.1, m=3)
+    result = simulate_array_lifetimes(
+        8, p_arr=0.1, trials=600, seed=22, m=3,
+        lifetime=ExponentialLifetime(5_000.0),
+        repair=ExponentialRepair(200.0))
+    assert result.agrees_with(analytic, z=3.0)
+
+
+def test_sd_m2_code_mttdl_agrees_with_general_analytic():
+    """SD(n=8, r=16, m=2, s=2) through the full simulate_code_mttdl
+    bridge: P_arr from the SD coverage (Eq. 11 with m = 2), dynamics
+    from the m = 2 lane machine, reference from the general chain.  Uses
+    an accelerated-failure regime -- with the paper's 1/λ = 500,000 h a
+    double-fault MTTDL is ~1e12 h, intractable for direct Monte Carlo.
+    """
+    params = SystemParameters(m=2, mean_time_to_failure_hours=20_000.0,
+                              mean_time_to_rebuild_hours=200.0)
+    model = IndependentSectorModel.from_p_bit(1e-10, params.r,
+                                              params.sector_bytes)
+    code = SDCode(n=8, r=16, m=2, s=2)
+    analytic = mttdl_array_general(CodeReliability.sd(2), params, model)
+    result = simulate_code_mttdl(code, model, params, trials=800, seed=23)
+    assert result.losses == 800
+    assert result.metadata["m"] == 2
+    assert result.agrees_with(analytic, z=3.0)
+
+
+def test_m2_vectorized_agrees_with_event_engine_on_same_scenario():
+    """Cross-validation of the two engines on one identical m = 2
+    scenario (SD geometry, pure device-failure race, identical λ and μ,
+    both runs seeded from the same root).  The engines draw their random
+    variates in different orders, so the assertion is statistical --
+    the two MTTDL estimates must agree within 3σ of their combined
+    standard error -- and both must bracket the Markov value.
+    """
+    mttf, repair_mean, trials = 2_000.0, 200.0, 250
+    code = SDCode(n=8, r=4, m=2, s=2)
+    vectorized = simulate_cluster_lifetimes(
+        8, 1, p_arr=0.0, trials=trials, seed=24, m=2,
+        lifetime=ExponentialLifetime(mttf),
+        repair=ExponentialRepair(repair_mean))
+    scenario = Scenario(
+        code=code, num_arrays=1, stripes_per_array=4,
+        lifetime=ExponentialLifetime(mttf),
+        repair=ExponentialRepair(repair_mean),
+        sector_errors=None, scrub_interval_hours=None,
+        horizon_hours=1e9)
+    root = np.random.default_rng(24)
+    event_times = []
+    for _ in range(trials):
+        run = ClusterSimulation(
+            scenario, np.random.default_rng(root.integers(2 ** 63))).run()
+        assert run.lost_data, "horizon must not censor this regime"
+        event_times.append(run.time_to_data_loss)
+    event_times = np.asarray(event_times)
+
+    sim_mean = vectorized.mttdl_hours
+    ev_mean = float(event_times.mean())
+    combined_se = math.hypot(
+        vectorized.mttdl_std_error,
+        float(event_times.std(ddof=1)) / math.sqrt(trials))
+    assert abs(sim_mean - ev_mean) <= 3.0 * combined_se, (
+        f"vectorized {sim_mean:.4g}h vs event engine {ev_mean:.4g}h "
+        f"(3 sigma = {3 * combined_se:.4g}h)")
+    analytic = mttdl_arr_m_parity(8, 1.0 / mttf, 1.0 / repair_mean, 0.0, m=2)
+    assert vectorized.agrees_with(analytic, z=3.0)
+    assert abs(ev_mean - analytic) <= 3.0 * float(
+        event_times.std(ddof=1)) / math.sqrt(trials)
+
+
 def test_cluster_mttdl_scales_inversely_with_array_count():
     """min over N i.i.d. ~exponential array lifetimes → MTTDL / N."""
     single = simulate_array_lifetimes(8, p_arr=1e-3, trials=1200, seed=4)
@@ -147,6 +260,11 @@ def test_input_validation():
         simulate_array_lifetimes(8, p_arr=1.5, trials=10)
     with pytest.raises(ValueError):
         simulate_array_lifetimes(8, p_arr=0.1, trials=0)
+    with pytest.raises(ValueError):
+        simulate_array_lifetimes(8, p_arr=0.1, trials=10, m=0)
+    with pytest.raises(ValueError):
+        # n must exceed m: an 8-device array cannot tolerate 8 failures.
+        simulate_array_lifetimes(8, p_arr=0.1, trials=10, m=8)
     empty = MonteCarloResult(np.array([np.inf, np.inf]))
     with pytest.raises(ValueError):
         _ = empty.mttdl_hours
@@ -177,18 +295,18 @@ def test_simulate_code_mttdl_accepts_concrete_codes():
     assert result.losses == 200
 
 
-def test_simulate_code_mttdl_rejects_m_greater_than_one():
-    """The vectorized runner models m = 1 only; m >= 2 must be loud,
-    not silently simulated with RAID-5 dynamics."""
-    model = IndependentSectorModel.from_p_bit(1e-12, 4, 512)
-    params = SystemParameters(n=8, r=4, m=2)
-    code = ReedSolomonStripeCode(n=8, r=4, m=2)
-    with pytest.raises(ValueError, match="m = 1"):
-        simulate_code_mttdl(code, model, params, trials=10, seed=0)
-    # Also caught when only the *code* is m = 2 (default params have m=1).
-    with pytest.raises(ValueError, match="m = 1"):
-        simulate_code_mttdl(ReedSolomonStripeCode(n=8, r=16, m=2), model,
-                            SystemParameters(), trials=10, seed=0)
+def test_simulate_code_mttdl_rejects_m_mismatch():
+    """A concrete m = 2 code with m = 1 SystemParameters (or vice
+    versa) would silently mix two different fault-tolerance levels
+    between the sector model and the lane dynamics."""
+    model = IndependentSectorModel.from_p_bit(1e-12, 16, 512)
+    code = ReedSolomonStripeCode(n=8, r=16, m=2)
+    with pytest.raises(ValueError, match="m = 2.*m = 1"):
+        simulate_code_mttdl(code, model, SystemParameters(), trials=10,
+                            seed=0)
+    with pytest.raises(ValueError, match="m = 1.*m = 2"):
+        simulate_code_mttdl(ReedSolomonStripeCode(n=8, r=16, m=1), model,
+                            SystemParameters(m=2), trials=10, seed=0)
 
 
 def test_simulate_code_mttdl_rejects_geometry_mismatch():
