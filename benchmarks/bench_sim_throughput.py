@@ -7,7 +7,10 @@ Asserted floors (also acceptance criteria of the subsystem):
 * 1,000 independent m = 1 cluster lifetimes for a ~100-device cluster
   in under 60 s, bit-for-bit reproducible from a seed;
 * >= 1,000 lifetimes/s for an m = 2 SD cluster on the vectorized path
-  (no event-engine fallback).
+  (no event-engine fallback);
+* >= 20,000 regeneration cycles/s for the rare-event estimator at the
+  paper's 1/λ = 500,000 h m = 2 operating point (where direct
+  simulation cannot converge at all).
 
 pytest-benchmark provides the statistical timing; the hard assertions
 use wall-clock directly so they hold even without the plugin's
@@ -26,11 +29,30 @@ from repro.sim.montecarlo import (
     simulate_array_lifetimes,
     simulate_cluster_lifetimes,
 )
+from repro.sim.rare import estimate_rare_mttdl
 
 #: 13 arrays x 8 devices = 104 devices, the "100-device cluster" floor.
 CLUSTER_ARRAYS = 13
 CLUSTER_N = 8
 CLUSTER_TRIALS = 1000
+
+#: Rare-event floor: regeneration cycles at the paper's m = 2 operating
+#: point (P_arr from the SD s=2 row of the validation table).
+RARE_CYCLES = 100_000
+RARE_P_ARR = 4.366e-09
+
+
+def _run_rare_paper_m2(seed: int = 0):
+    """The paper's §7 m = 2 operating point (1/λ = 500,000 h,
+    1/μ = 17.8 h, MTTDL ~ 1e12 h): unreachable for direct Monte Carlo,
+    a fixed budget of biased regeneration cycles for the rare-event
+    estimator."""
+    return estimate_rare_mttdl(
+        CLUSTER_N, RARE_P_ARR, m=2, seed=seed,
+        lifetime=ExponentialLifetime(500_000.0),
+        repair=ExponentialRepair(17.8),
+        target_rel_se=1e-9,  # never met: always runs the full budget
+        max_cycles=RARE_CYCLES, batch_cycles=50_000)
 
 
 def _run_cluster(seed: int = 0):
@@ -91,6 +113,36 @@ def test_m2_sd_cluster_reproducible():
     assert np.array_equal(first.times, second.times)
 
 
+def test_rare_event_sustains_20000_cycles_per_second():
+    """Acceptance criterion: the rare-event estimator simulates biased
+    regeneration cycles at >= 20,000/s at the paper's true m = 2
+    parameters, where direct Monte Carlo cannot converge at all."""
+    _run_rare_paper_m2()  # warm numpy caches outside the timed window
+    start = time.perf_counter()
+    result = _run_rare_paper_m2(seed=1)
+    elapsed = time.perf_counter() - start
+    assert result.cycles == RARE_CYCLES
+    assert result.loss_cycles > 0
+    rate = result.cycles / elapsed
+    assert rate >= 20_000.0, (
+        f"rare-event estimator ran at {rate:,.0f} cycles/s "
+        f"(floor: 20,000/s)")
+
+
+def test_rare_event_reproducible():
+    first = _run_rare_paper_m2(seed=42)
+    second = _run_rare_paper_m2(seed=42)
+    assert first.mttdl_hours == second.mttdl_hours
+    assert first.loss_cycles == second.loss_cycles
+    third = _run_rare_paper_m2(seed=43)
+    assert first.mttdl_hours != third.mttdl_hours
+
+
+def test_bench_rare_event_paper_m2(benchmark):
+    result = benchmark(_run_rare_paper_m2)
+    assert result.loss_cycles > 0
+
+
 def test_bench_vectorized_cluster(benchmark):
     result = benchmark(_run_cluster)
     assert result.losses == CLUSTER_TRIALS
@@ -136,10 +188,17 @@ def test_throughput_summary(capsys):
     _run_m2_sd_cluster()
     elapsed_m2 = time.perf_counter() - start
     rate_m2 = CLUSTER_TRIALS / elapsed_m2
+    start = time.perf_counter()
+    _run_rare_paper_m2()
+    elapsed_rare = time.perf_counter() - start
+    rate_rare = RARE_CYCLES / elapsed_rare
     with capsys.disabled():
         print(f"\n[bench_sim_throughput] {CLUSTER_TRIALS} lifetimes of a "
               f"{CLUSTER_ARRAYS * CLUSTER_N}-device cluster in "
               f"{elapsed:.2f}s ({rate:,.0f} lifetimes/s); m=2 SD in "
-              f"{elapsed_m2:.2f}s ({rate_m2:,.0f} lifetimes/s)")
+              f"{elapsed_m2:.2f}s ({rate_m2:,.0f} lifetimes/s); "
+              f"rare-event paper m=2: {RARE_CYCLES} cycles in "
+              f"{elapsed_rare:.2f}s ({rate_rare:,.0f} cycles/s)")
     assert rate > CLUSTER_TRIALS / 60.0
     assert rate_m2 > CLUSTER_TRIALS / 60.0
+    assert rate_rare > 20_000.0

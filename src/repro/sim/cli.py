@@ -3,17 +3,20 @@
 Run scenarios straight from the registry's textual code specs::
 
     python -m repro.sim.cli --seed 0 --trials 100
-    python -m repro.sim.cli --code "sd(n=8,r=16,m=2,s=2)" \\
-        --trials 2000 --p-bit 1e-10 --arrays 10
+    python -m repro.sim.cli --code "sd(n=8,r=16,m=2,s=2)" --rare-event
     python -m repro.sim.cli --mode events --trials 20 \\
         --scrub-interval 168 --rebuild-streams 2 --horizon 87600
 
 The default mode runs the vectorized Monte Carlo batch (any ``m >= 1``:
 RAID-5, RAID-6, SD, STAIR, IDR geometries) and prints the estimated
 MTTDL with a 3σ confidence interval next to the analytical MTTDL of
-:mod:`repro.reliability` for the same parameters.  ``--mode events``
-plays full discrete-event trajectories instead (scrubbing,
-contention-aware repair bandwidth, bursty latent sector errors).
+:mod:`repro.reliability` for the same parameters.  Ultra-reliable
+configurations direct simulation cannot absorb (m >= 2 at the paper's
+1/λ = 500,000 h) are detected up front and routed to the rare-event
+estimator of :mod:`repro.sim.rare` -- importance-sampled regenerative
+cycles, forced with ``--rare-event``.  ``--mode events`` plays full
+discrete-event trajectories instead (scrubbing, contention-aware repair
+bandwidth, bursty latent sector errors).
 """
 
 from __future__ import annotations
@@ -47,8 +50,14 @@ from repro.sim.lifetimes import (
     WeibullLifetime,
 )
 from repro.sim.montecarlo import (
+    MAX_ROUNDS,
     code_reliability_from_code,
     simulate_cluster_lifetimes,
+)
+from repro.sim.rare import (
+    direct_mc_is_tractable,
+    projected_direct_rounds,
+    rare_event_code_mttdl,
 )
 
 DEFAULT_CODE_SPEC = "rs(n=8,r=16,m=1)"
@@ -99,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mode", choices=("montecarlo", "events"),
                         default="montecarlo",
                         help="vectorized batch runner or full event engine")
+    parser.add_argument("--rare-event", action="store_true",
+                        help="force the importance-sampled regenerative "
+                             "estimator (montecarlo mode; selected "
+                             "automatically when direct simulation would "
+                             "not converge)")
+    parser.add_argument("--rare-target-rel-se", type=float, default=0.02,
+                        help="stop the rare-event estimator at this "
+                             "relative standard error")
+    parser.add_argument("--rare-max-cycles", type=int, default=4_000_000,
+                        help="cycle budget for the rare-event estimator")
     parser.add_argument("--scrub-interval", type=float, default=168.0,
                         help="hours between scrubs (events mode)")
     parser.add_argument("--rebuild-concurrency", type=int, default=0,
@@ -133,6 +152,18 @@ def _sector_model(args: argparse.Namespace, r: int, sector_bytes: int):
     return cls.from_p_bit(args.p_bit, r, sector_bytes)
 
 
+def _config_rows(args: argparse.Namespace, code, m: int,
+                 parr: float) -> list[tuple]:
+    return [
+        ("code", code.describe()),
+        ("m (device tolerance)", m),
+        ("sector model", f"{args.sector_model} (P_bit={args.p_bit:g})"),
+        ("P_arr", f"{parr:.3e}"),
+        ("arrays", args.arrays),
+        ("devices", code.n * args.arrays),
+    ]
+
+
 def _run_montecarlo(args: argparse.Namespace) -> int:
     code = parse_code_spec(args.code)
     m = CoverageModel.from_code(code).m
@@ -143,6 +174,32 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
     model = _sector_model(args, code.r, params.sector_bytes)
     reliability = code_reliability_from_code(code)
     parr = p_array(reliability, params, model)
+    exponential = args.weibull_shape is None
+    analytic = (mttdl_array_general(reliability, params, model) / args.arrays
+                if exponential else None)
+
+    # Ultra-reliable configurations would grind into the direct runner's
+    # MAX_ROUNDS valve; route them to the rare-event estimator instead
+    # of aborting (a horizon bounds the direct run, so it stays direct).
+    use_rare, auto_selected = args.rare_event, False
+    if (not use_rare and exponential and args.horizon is None
+            and not direct_mc_is_tractable(analytic, code.n, args.mttf,
+                                           args.trials)):
+        use_rare, auto_selected = True, True
+    if use_rare:
+        if not exponential:
+            raise ValueError(
+                "the rare-event estimator requires exponential lifetimes; "
+                "drop --weibull-shape or use --horizon with direct "
+                "Monte Carlo"
+            )
+        if args.horizon is not None:
+            raise ValueError(
+                "the rare-event estimator computes the MTTDL directly; "
+                "--horizon only applies to direct Monte Carlo"
+            )
+        return _run_rare(args, code, m, params, model, parr, analytic,
+                         auto_selected)
 
     result = simulate_cluster_lifetimes(
         code.n, args.arrays, parr, args.trials, seed=args.seed,
@@ -150,24 +207,14 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
         repair=ExponentialRepair(args.repair_hours),
         horizon_hours=args.horizon, m=m)
 
-    rows = [
-        ("code", code.describe()),
-        ("m (device tolerance)", m),
-        ("sector model", f"{args.sector_model} (P_bit={args.p_bit:g})"),
-        ("P_arr", f"{parr:.3e}"),
-        ("arrays", args.arrays),
-        ("devices", code.n * args.arrays),
-        ("trials", result.trials),
-        ("data losses", result.losses),
-    ]
-    exponential = args.weibull_shape is None
+    rows = _config_rows(args, code, m, parr)
+    rows.append(("trials", result.trials))
+    rows.append(("data losses", result.losses))
     if result.losses == result.trials and result.losses >= 2:
         lo, hi = result.mttdl_confidence(z=3.0)
         rows.append(("MTTDL (sim)", f"{result.mttdl_hours:.4g} h"))
         rows.append(("3-sigma CI", f"[{lo:.4g}, {hi:.4g}] h"))
         if exponential:
-            analytic = (mttdl_array_general(reliability, params, model)
-                        / args.arrays)
             rows.append(("MTTDL (analytic)", f"{analytic:.4g} h"))
             verdict = "yes" if result.agrees_with(analytic, z=3.0) else "NO"
             rows.append(("analytic within 3 sigma", verdict))
@@ -175,8 +222,53 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
         p, lo, hi = result.probability_of_loss_by(args.horizon)
         rows.append(("P(loss by horizon)",
                      f"{p:.4g}  [{lo:.4g}, {hi:.4g}]"))
+    elif result.losses >= 1:
+        # Too few losses for a confidence interval (e.g. --trials 1):
+        # still report the sample estimate instead of nothing.
+        rows.append(("MTTDL (sim)",
+                     f"{float(result.loss_times.mean()):.4g} h"))
+        rows.append(("note", "insufficient losses for a CI; "
+                             "increase --trials"))
     print_table(["quantity", "value"], rows,
                 title="Monte Carlo cluster reliability")
+    return 0
+
+
+def _run_rare(args: argparse.Namespace, code, m: int,
+              params: SystemParameters, model, parr: float,
+              analytic: float | None, auto_selected: bool) -> int:
+    result = rare_event_code_mttdl(
+        code, model, params, seed=args.seed, num_arrays=args.arrays,
+        target_rel_se=args.rare_target_rel_se,
+        max_cycles=args.rare_max_cycles)
+
+    rows = _config_rows(args, code, m, parr)
+    if auto_selected:
+        projected = projected_direct_rounds(analytic, code.n, args.mttf,
+                                            args.trials)
+        rows.append(("estimator", "rare-event (auto: direct MC needs "
+                                  f"~{projected:.2g} rounds, valve "
+                                  f"{MAX_ROUNDS:.2g})"))
+    else:
+        rows.append(("estimator", "rare-event (--rare-event)"))
+    rows.append(("regeneration cycles", result.cycles))
+    rows.append(("loss cycles (biased)", result.loss_cycles))
+    rows.append(("P(loss per cycle)", f"{result.loss_probability:.3e}"))
+    rows.append(("effective sample size",
+                 f"{result.effective_sample_size:.0f} "
+                 f"({result.effective_sample_size / result.cycles:.1%} "
+                 "of cycles)"))
+    rows.append(("failure acceleration", f"{result.acceleration:.3g}x"))
+    rows.append(("sector-trip bias", f"{result.trip_bias:.3g}"))
+    lo, hi = result.mttdl_confidence(z=3.0)
+    rows.append(("MTTDL (rare-event)", f"{result.mttdl_hours:.4g} h"))
+    rows.append(("3-sigma CI", f"[{lo:.4g}, {hi:.4g}] h"))
+    rows.append(("MTTDL (analytic)", f"{analytic:.4g} h"))
+    verdict = "yes" if result.agrees_with(analytic, z=3.0) else "NO"
+    rows.append(("analytic within 3 sigma", verdict))
+    print_table(["quantity", "value"], rows,
+                title="Rare-event cluster reliability "
+                      "(importance-sampled regenerative cycles)")
     return 0
 
 
@@ -243,6 +335,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.trials < 1:
         raise SystemExit("--trials must be >= 1")
+    if args.arrays < 1:
+        raise SystemExit("--arrays must be >= 1")
+    if args.rare_event and args.mode == "events":
+        raise SystemExit("--rare-event applies to montecarlo mode only")
     try:
         if args.mode == "events":
             return _run_events(args)

@@ -32,12 +32,28 @@ from repro.reliability.sector_models import (
 
 
 class LifetimeModel(abc.ABC):
-    """Distribution of a fresh device's time to failure."""
+    """Distribution of a fresh device's time to failure.
+
+    Besides sampling, every model exposes its log-density
+    (:meth:`log_pdf`) and log-survival function (:meth:`log_survival`).
+    These power importance sampling: :class:`BiasedLifetime` draws from
+    an accelerated *proposal* distribution and scores each draw against
+    the *target* distribution, so rare-event estimators
+    (:mod:`repro.sim.rare`) stay unbiased for the true failure law.
+    """
 
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator,
                size: int | tuple[int, ...]) -> np.ndarray:
         """Draw lifetimes (hours) for newly installed devices."""
+
+    @abc.abstractmethod
+    def log_pdf(self, hours: np.ndarray | float) -> np.ndarray:
+        """Log-density of the lifetime distribution at ``hours``."""
+
+    @abc.abstractmethod
+    def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
+        """Log of P(lifetime > ``hours``) (the log complementary CDF)."""
 
     @property
     @abc.abstractmethod
@@ -65,6 +81,16 @@ class ExponentialLifetime(LifetimeModel):
     def sample(self, rng: np.random.Generator,
                size: int | tuple[int, ...]) -> np.ndarray:
         return rng.exponential(self.mttf_hours, size=size)
+
+    def log_pdf(self, hours: np.ndarray | float) -> np.ndarray:
+        x = np.asarray(hours, dtype=float)
+        return np.where(x >= 0.0,
+                        -math.log(self.mttf_hours) - x / self.mttf_hours,
+                        -math.inf)
+
+    def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
+        x = np.asarray(hours, dtype=float)
+        return np.where(x >= 0.0, -x / self.mttf_hours, 0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExponentialLifetime(mttf={self.mttf_hours:g}h)"
@@ -102,9 +128,112 @@ class WeibullLifetime(LifetimeModel):
         return (self.location_hours
                 + self.scale_hours * rng.weibull(self.shape, size=size))
 
+    def log_pdf(self, hours: np.ndarray | float) -> np.ndarray:
+        x = np.asarray(hours, dtype=float)
+        z = (x - self.location_hours) / self.scale_hours
+        k = self.shape
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inside = (math.log(k / self.scale_hours)
+                      + (k - 1.0) * np.log(z) - z ** k)
+        return np.where(z > 0.0, inside, -math.inf)
+
+    def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
+        x = np.asarray(hours, dtype=float)
+        z = (x - self.location_hours) / self.scale_hours
+        return np.where(z > 0.0, -np.maximum(z, 0.0) ** self.shape, 0.0)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"WeibullLifetime(scale={self.scale_hours:g}h, "
                 f"shape={self.shape:g}, loc={self.location_hours:g}h)")
+
+
+class BiasedLifetime(LifetimeModel):
+    """Importance-sampling wrapper: sample a *proposal*, score a *target*.
+
+    Draws come from ``proposal`` (typically an accelerated-failure
+    version of ``target``); the per-draw log-likelihood ratios keep any
+    downstream estimator unbiased for the target distribution:
+
+    * :meth:`log_weight` -- density ratio ``log f_target(x) -
+      log f_proposal(x)`` for a lifetime *observed to end* at ``x``;
+    * :meth:`log_weight_survival` -- survival ratio ``log S_target(t) -
+      log S_proposal(t)`` for a device *observed to still be alive* at
+      age ``t`` (the drawn value beyond ``t`` carries no information and
+      must not be scored -- weighting full unused draws under strong
+      acceleration has unbounded variance).
+
+    The rare-event estimator of :mod:`repro.sim.rare` uses exactly this
+    adapted scoring; the plain lane machine of
+    :mod:`repro.sim.montecarlo` scores full draws and is therefore only
+    suitable for *mild* biasing (acceleration below ~2x).
+    """
+
+    def __init__(self, target: LifetimeModel,
+                 proposal: LifetimeModel) -> None:
+        self.target = target
+        self.proposal = proposal
+
+    @classmethod
+    def accelerated(cls, target: LifetimeModel,
+                    factor: float) -> "BiasedLifetime":
+        """Bias ``target`` toward earlier failures by ``factor``.
+
+        Exponential targets get an exponential proposal with MTTF
+        divided by ``factor``; Weibull targets keep their shape and
+        failure-free period but shrink the characteristic life.
+        """
+        if factor <= 0:
+            raise ValueError("acceleration factor must be positive")
+        if isinstance(target, ExponentialLifetime):
+            proposal: LifetimeModel = ExponentialLifetime(
+                target.mttf_hours / factor)
+        elif isinstance(target, WeibullLifetime):
+            proposal = WeibullLifetime(target.scale_hours / factor,
+                                       target.shape,
+                                       target.location_hours)
+        else:
+            raise TypeError(
+                f"no accelerated proposal rule for {type(target).__name__}; "
+                "construct BiasedLifetime(target, proposal) explicitly"
+            )
+        return cls(target, proposal)
+
+    @property
+    def acceleration(self) -> float:
+        """How much earlier proposal draws fail on average."""
+        return self.target.mean_hours / self.proposal.mean_hours
+
+    @property
+    def mean_hours(self) -> float:
+        """Mean of the *sampling* (proposal) distribution."""
+        return self.proposal.mean_hours
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        return self.proposal.sample(rng, size)
+
+    def log_pdf(self, hours: np.ndarray | float) -> np.ndarray:
+        """Log-density of the sampling (proposal) distribution."""
+        return self.proposal.log_pdf(hours)
+
+    def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
+        """Log-survival of the sampling (proposal) distribution."""
+        return self.proposal.log_survival(hours)
+
+    def log_weight(self, hours: np.ndarray | float) -> np.ndarray:
+        """Log-likelihood ratio for a lifetime that ended at ``hours``."""
+        return (np.asarray(self.target.log_pdf(hours))
+                - np.asarray(self.proposal.log_pdf(hours)))
+
+    def log_weight_survival(self,
+                            hours: np.ndarray | float) -> np.ndarray:
+        """Log-likelihood ratio for surviving past age ``hours``."""
+        return (np.asarray(self.target.log_survival(hours))
+                - np.asarray(self.proposal.log_survival(hours)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BiasedLifetime(target={self.target!r}, "
+                f"proposal={self.proposal!r})")
 
 
 class RepairModel(abc.ABC):

@@ -47,6 +47,7 @@ from repro.reliability.mttdl import (
 from repro.reliability.sector_models import SectorFailureModel
 from repro.sim.cluster import CoverageModel
 from repro.sim.lifetimes import (
+    BiasedLifetime,
     ExponentialLifetime,
     ExponentialRepair,
     LifetimeModel,
@@ -77,12 +78,17 @@ class MonteCarloResult:
     """Batch of simulated times to data loss, with summary statistics.
 
     ``times`` holds one entry per trial; ``inf`` marks a trial censored
-    at the horizon without data loss.
+    at the horizon without data loss.  ``log_weights`` (one log
+    importance weight per trial) is set when the lifetimes were drawn
+    from a :class:`~repro.sim.lifetimes.BiasedLifetime` proposal; all
+    statistics then self-normalize so the estimates stay unbiased for
+    the target distribution.
     """
 
     times: np.ndarray
     horizon_hours: float | None = None
     metadata: dict = field(default_factory=dict)
+    log_weights: np.ndarray | None = None
 
     @property
     def trials(self) -> int:
@@ -98,8 +104,36 @@ class MonteCarloResult:
 
     # ------------------------------------------------------------------ #
     @property
+    def weights(self) -> np.ndarray:
+        """Per-trial importance weights, scaled to a maximum of 1.
+
+        Uniform (all ones) for unweighted runs.  Only weight *ratios*
+        matter -- every statistic self-normalizes -- so the overflow-safe
+        max-shifted scale is as good as the raw likelihood ratios.
+        """
+        if self.log_weights is None:
+            return np.ones(self.trials)
+        return np.exp(self.log_weights - self.log_weights.max())
+
+    @property
+    def effective_sample_size(self) -> float:
+        """Kish effective sample size ``(sum w)^2 / sum w^2``.
+
+        Equals ``trials`` for unweighted runs; a small value relative to
+        ``trials`` warns that a few heavy weights dominate the estimate
+        and the confidence interval is optimistic.
+        """
+        w = self.weights
+        return float(w.sum() ** 2 / (w ** 2).sum())
+
+    # ------------------------------------------------------------------ #
+    @property
     def mttdl_hours(self) -> float:
-        """Sample-mean time to data loss (requires uncensored trials)."""
+        """Mean time to data loss (requires uncensored trials).
+
+        The plain sample mean, or the self-normalized weighted mean when
+        importance weights are present.
+        """
         if self.losses == 0:
             raise ValueError("no data-loss events observed; MTTDL undefined")
         if self.losses < self.trials:
@@ -108,21 +142,39 @@ class MonteCarloResult:
                 "horizon; the sample mean would be biased -- rerun without "
                 "a horizon or use probability_of_loss_by()"
             )
-        return float(self.loss_times.mean())
+        if self.log_weights is None:
+            return float(self.loss_times.mean())
+        w = self.weights
+        return float((w * self.times).sum() / w.sum())
 
     @property
     def mttdl_std_error(self) -> float:
-        """Standard error of the MTTDL estimate."""
+        """Standard error of the MTTDL estimate.
+
+        For weighted runs this is the standard self-normalized
+        importance-sampling variance estimate
+        ``sqrt(sum w_i^2 (t_i - mean)^2) / sum w_i``.
+        """
         observed = self.loss_times
         if observed.size < 2:
             raise ValueError("need >= 2 data-loss events for a std error")
-        return float(observed.std(ddof=1) / math.sqrt(observed.size))
+        if self.log_weights is None:
+            return float(observed.std(ddof=1) / math.sqrt(observed.size))
+        w = self.weights
+        mean = self.mttdl_hours
+        return float(math.sqrt((w ** 2 * (self.times - mean) ** 2).sum())
+                     / w.sum())
 
     def mttdl_confidence(self, z: float = 3.0) -> tuple[float, float]:
-        """``z``-sigma confidence interval around the MTTDL estimate."""
+        """``z``-sigma confidence interval around the MTTDL estimate.
+
+        Time to data loss is nonnegative, so the lower bound is clamped
+        at 0 (small samples can otherwise push ``mean - z * se``
+        negative).
+        """
         mean = self.mttdl_hours
         half = z * self.mttdl_std_error
-        return (mean - half, mean + half)
+        return (max(0.0, mean - half), mean + half)
 
     def agrees_with(self, analytic_hours: float, z: float = 3.0) -> bool:
         """Does the analytic value fall inside the z-sigma interval?"""
@@ -135,13 +187,17 @@ class MonteCarloResult:
         """P(data loss by ``hours``) with a Wilson score interval.
 
         Returns ``(estimate, low, high)``.  Valid also for censored runs
-        as long as ``hours`` does not exceed the horizon.
+        as long as ``hours`` does not exceed the horizon.  On weighted
+        runs the estimate self-normalizes (so it stays unbiased for the
+        target distribution, not the biased proposal) and the interval
+        uses the effective sample size in place of the trial count --
+        the standard Wilson-on-ESS approximation.
         """
         if self.horizon_hours is not None and hours > self.horizon_hours:
             raise ValueError("hours exceeds the simulated horizon")
-        k = int((self.times <= hours).sum())
-        n = self.trials
-        p = k / n
+        w = self.weights
+        p = float((w * (self.times <= hours)).sum() / w.sum())
+        n = self.effective_sample_size
         denom = 1.0 + z * z / n
         centre = (p + z * z / (2 * n)) / denom
         half = (z / denom) * math.sqrt(p * (1 - p) / n
@@ -154,6 +210,8 @@ class MonteCarloResult:
         if self.losses == self.trials and self.losses >= 2:
             out["mttdl_hours"] = self.mttdl_hours
             out["mttdl_std_error"] = self.mttdl_std_error
+        if self.log_weights is not None:
+            out["effective_sample_size"] = self.effective_sample_size
         out.update(self.metadata)
         return out
 
@@ -186,13 +244,14 @@ def simulate_array_lifetimes(n: int,
     and the sector-failure model, Eq. 11).  Devices are rebuilt one at a
     time, matching the Markov chains of :mod:`repro.reliability.markov`.
     """
-    times = _vectorized_lifetimes(n, p_arr, trials, 1, m, _as_rng(seed),
-                                  lifetime or ExponentialLifetime(),
-                                  repair or ExponentialRepair(),
-                                  horizon_hours)
+    times, log_w = _vectorized_lifetimes(n, p_arr, trials, 1, m,
+                                         _as_rng(seed),
+                                         lifetime or ExponentialLifetime(),
+                                         repair or ExponentialRepair(),
+                                         horizon_hours)
     return MonteCarloResult(times, horizon_hours,
                             {"n": n, "m": m, "p_arr": p_arr,
-                             "num_arrays": 1})
+                             "num_arrays": 1}, log_weights=log_w)
 
 
 def simulate_cluster_lifetimes(n: int,
@@ -214,27 +273,36 @@ def simulate_cluster_lifetimes(n: int,
     with the *cluster* lifetime rather than with full per-array
     absorption.
     """
-    times = _vectorized_lifetimes(n, p_arr, trials, num_arrays, m,
-                                  _as_rng(seed),
-                                  lifetime or ExponentialLifetime(),
-                                  repair or ExponentialRepair(),
-                                  horizon_hours)
+    times, log_w = _vectorized_lifetimes(n, p_arr, trials, num_arrays, m,
+                                         _as_rng(seed),
+                                         lifetime or ExponentialLifetime(),
+                                         repair or ExponentialRepair(),
+                                         horizon_hours)
     return MonteCarloResult(times, horizon_hours,
                             {"n": n, "m": m, "p_arr": p_arr,
-                             "num_arrays": num_arrays})
+                             "num_arrays": num_arrays}, log_weights=log_w)
 
 
 def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
                           num_arrays: int, m: int,
                           rng: np.random.Generator,
                           lifetime: LifetimeModel, repair: RepairModel,
-                          horizon_hours: float | None) -> np.ndarray:
+                          horizon_hours: float | None,
+                          ) -> tuple[np.ndarray, np.ndarray | None]:
     """Advance every lane one event per round until loss or retirement.
 
     Per-lane state: ``next_fail`` (absolute failure time per device,
     ``inf`` once a device is down), ``num_failed`` and ``rebuild_done``
     (``inf`` while no rebuild is in flight).  The invariant is that a
     rebuild is in flight iff at least one device is down.
+
+    Returns ``(times, log_weights)``.  When ``lifetime`` is a
+    :class:`BiasedLifetime` every draw is scored with its full density
+    ratio and the per-trial log-likelihood ratios come back in
+    ``log_weights`` (otherwise ``None``).  Full-draw scoring keeps the
+    estimator unbiased for the target distribution but its variance
+    grows quickly with acceleration -- suitable for *mild* biasing only;
+    ultra-reliable configurations belong to :mod:`repro.sim.rare`.
     """
     if m < 1:
         raise ValueError("m must be >= 1")
@@ -242,12 +310,18 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
         raise ValueError(f"need n >= m + 1 devices per array (n={n}, m={m})")
     if trials < 1:
         raise ValueError("trials must be >= 1")
+    if num_arrays < 1:
+        raise ValueError("num_arrays must be >= 1")
     if not (0.0 <= p_arr <= 1.0):
         raise ValueError("p_arr must lie in [0, 1]")
 
     lanes = trials * num_arrays
     trial_of = np.repeat(np.arange(trials), num_arrays)
+    biased = isinstance(lifetime, BiasedLifetime)
+    lane_log_w = np.zeros(lanes) if biased else None
     next_fail = lifetime.sample(rng, (lanes, n))
+    if biased:
+        lane_log_w += lifetime.log_weight(next_fail).sum(axis=1)
     rebuild_done = np.full(lanes, math.inf)
     num_failed = np.zeros(lanes, dtype=np.int32)
     # Best (earliest) loss time seen per trial; lanes that can no longer
@@ -312,8 +386,10 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
         rebuild_lanes = active[surv_rebuild]
         if rebuild_lanes.size:
             restored = np.isinf(next_fail[rebuild_lanes]).argmax(axis=1)
-            next_fail[rebuild_lanes, restored] = (
-                t[surv_rebuild] + lifetime.sample(rng, rebuild_lanes.size))
+            fresh = lifetime.sample(rng, rebuild_lanes.size)
+            if biased:
+                lane_log_w[rebuild_lanes] += lifetime.log_weight(fresh)
+            next_fail[rebuild_lanes, restored] = t[surv_rebuild] + fresh
             num_failed[rebuild_lanes] -= 1
             rebuild_done[rebuild_lanes] = math.inf
             more = num_failed[rebuild_lanes] > 0
@@ -323,17 +399,21 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
                                          + repair.sample(rng, chained.size))
 
         active = active[keep]
-    else:  # pragma: no cover - safety valve
+    else:
         raise RuntimeError(
             f"simulation did not converge within {MAX_ROUNDS} rounds; "
             "the configuration is too reliable for direct Monte Carlo "
             "(common for m >= 2 with the paper's 1/lambda = 500,000 h). "
-            "Set horizon_hours to bound the run, or use an "
-            "accelerated-failure regime (shorter lifetimes / longer "
-            "rebuilds) as in docs/simulator.md"
+            "Set horizon_hours to bound the run, or use the rare-event "
+            "estimator (repro.sim.rare / the CLI's --rare-event mode) "
+            "as in docs/simulator.md"
         )
 
-    return np.where(lost, cutoff, math.inf)
+    times = np.where(lost, cutoff, math.inf)
+    if not biased:
+        return times, None
+    return times, np.bincount(trial_of, weights=lane_log_w,
+                              minlength=trials)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,525 @@
+"""Rare-event MTTDL estimation: regenerative cycles + failure biasing.
+
+Direct Monte Carlo cannot reach the paper's actual §7 operating point:
+with 1/λ = 500,000 h an m >= 2 array has MTTDL ~ 1e12 h, i.e. ~1e7
+failure/repair cycles per simulated lifetime, and the batch runner of
+:mod:`repro.sim.montecarlo` blows through ``MAX_ROUNDS``.  This module
+estimates the same MTTDL in milliseconds, unbiased for the true λ, by
+exploiting the regenerative structure of the array process:
+
+**Cycle decomposition.**  With exponential lifetimes the process
+regenerates every time the array returns to the all-healthy state.  A
+regeneration cycle is an *up phase* (all devices healthy, length
+``Exp(n·λ)``, mean known exactly: ``1/(n·λ)``) followed by a *busy
+period* (at least one device down) that ends either back in the healthy
+state or in data loss.  For i.i.d. cycles the renewal-reward identity
+
+    ``MTTDL = E[cycle length] / P(loss per cycle)``
+
+is exact, so only the short busy periods need simulating -- never the
+~1/p cycles a direct run must crawl through.
+
+**Balanced failure biasing.**  ``P(loss per cycle)`` is itself tiny
+(~5e-8 at the paper's parameters), so busy periods are simulated under
+an importance-sampling proposal: device lifetimes come from a
+:class:`~repro.sim.lifetimes.BiasedLifetime` accelerated so the
+failure-vs-rebuild race is roughly balanced (``θ ≈ μ / ((n-1)·λ)``),
+and the critical-mode sector trip (probability ``P_arr``, often ~1e-9)
+is oversampled to a floor of :data:`TRIP_BIAS_FLOOR`.  Every lane
+accumulates the log-likelihood ratio of its realized busy-period path:
+a density ratio for each observed failure, a survival ratio for each
+device still alive when the cycle ends, and a Bernoulli ratio for each
+biased sector trip.  Scoring only *observed* information (not full
+unused draws) is what keeps the weight variance bounded under strong
+acceleration.
+
+The estimator is validated against the general birth-death chain of
+:func:`repro.reliability.markov.mttdl_arr_m_parity` at the paper's true
+parameters -- the cross-check the validation bench
+(:mod:`repro.bench.sim_validation`) previously sidestepped with an
+accelerated-failure surrogate.  Unlike the chain, the busy-period
+simulation accepts any :class:`~repro.sim.lifetimes.RepairModel`
+(deterministic and bandwidth-derived rebuilds included); exponential
+*lifetimes* are required by the regeneration argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codes.base import StripeCode
+from repro.reliability.mttdl import (
+    CodeReliability,
+    SystemParameters,
+    p_array,
+)
+from repro.reliability.sector_models import SectorFailureModel
+from repro.sim.lifetimes import (
+    BiasedLifetime,
+    ExponentialLifetime,
+    ExponentialRepair,
+    LifetimeModel,
+    RepairModel,
+)
+from repro.sim.montecarlo import (
+    MAX_ROUNDS,
+    _as_rng,
+    code_reliability_from_code,
+)
+from repro.sim.cluster import CoverageModel
+
+#: Under balanced biasing a busy period is a near-symmetric random walk
+#: on m + 1 states -- a few dozen events at most; this valve only trips
+#: on pathological proposals.
+MAX_CYCLE_ROUNDS = 100_000
+
+#: Minimum proposal probability for the critical-mode sector trip.  Low
+#: enough that the ``(1 - P_arr) / (1 - q)`` no-trip weights stay near 1
+#: (repeated critical episodes would otherwise compound them), high
+#: enough that trip-driven loss paths are sampled even when
+#: ``P_arr ~ 1e-9``.
+TRIP_BIAS_FLOOR = 0.05
+
+
+@dataclass
+class RareEventResult:
+    """Importance-sampled MTTDL estimate with its weight diagnostics.
+
+    ``mttdl_hours`` is per *cluster* (``num_arrays`` arrays); the
+    per-array estimate is ``mttdl_hours * num_arrays``.  Cycle-level
+    quantities (``loss_probability``, ``mean_up_hours``,
+    ``mean_busy_hours``) describe one array's regeneration cycle.
+    """
+
+    mttdl_hours: float
+    mttdl_std_error: float
+    cycles: int
+    loss_cycles: int
+    loss_probability: float
+    mean_up_hours: float
+    mean_busy_hours: float
+    effective_sample_size: float
+    acceleration: float
+    trip_bias: float
+    num_arrays: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def relative_std_error(self) -> float:
+        return self.mttdl_std_error / self.mttdl_hours
+
+    def mttdl_confidence(self, z: float = 3.0) -> tuple[float, float]:
+        """``z``-sigma confidence interval, lower bound clamped at 0."""
+        half = z * self.mttdl_std_error
+        return (max(0.0, self.mttdl_hours - half), self.mttdl_hours + half)
+
+    def agrees_with(self, analytic_hours: float, z: float = 3.0) -> bool:
+        """Does the analytic value fall inside the z-sigma interval?"""
+        lo, hi = self.mttdl_confidence(z)
+        return lo <= analytic_hours <= hi
+
+    def summary(self) -> dict:
+        out = {
+            "mttdl_hours": self.mttdl_hours,
+            "mttdl_std_error": self.mttdl_std_error,
+            "cycles": self.cycles,
+            "loss_cycles": self.loss_cycles,
+            "loss_probability": self.loss_probability,
+            "mean_up_hours": self.mean_up_hours,
+            "mean_busy_hours": self.mean_busy_hours,
+            "effective_sample_size": self.effective_sample_size,
+            "acceleration": self.acceleration,
+            "trip_bias": self.trip_bias,
+            "num_arrays": self.num_arrays,
+        }
+        out.update(self.metadata)
+        return out
+
+
+def balanced_acceleration(n: int, lifetime_mean_hours: float,
+                          repair_mean_hours: float) -> float:
+    """Acceleration θ that balances the busy-period race.
+
+    With ``n - 1`` healthy devices each failing at the biased rate
+    ``θ·λ``, choosing ``θ = μ / ((n - 1)·λ)`` makes the next-failure and
+    rebuild-completion rates equal, so reaching the loss state costs
+    ~``2^-m`` per cycle instead of ``(λ/μ)^m``.  Never decelerates:
+    already-fast configurations get ``θ = 1`` (plain sampling).
+    """
+    theta = lifetime_mean_hours / ((n - 1) * repair_mean_hours)
+    return max(1.0, theta)
+
+
+def _biased_busy_cycles(n: int, m: int, p_arr: float, batch: int,
+                        rng: np.random.Generator,
+                        biased: BiasedLifetime, repair: RepairModel,
+                        trip_bias: float,
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Simulate ``batch`` busy periods under the biased proposal.
+
+    Each lane starts the instant its first device fails (one device
+    down, ``n - 1`` healthy with fresh biased lifetimes, one rebuild in
+    flight) and ends at regeneration (all devices healthy again) or data
+    loss.  Returns ``(loss, duration, log_weight)`` per lane, where the
+    log weight is the adapted log-likelihood ratio of the observed path:
+    density ratios for failures, survival ratios at cycle end for
+    devices still alive, Bernoulli ratios for biased sector trips.
+    """
+    q = trip_bias
+    # Bernoulli log-likelihood ratios, guarded for the boundary
+    # schedules the caller may legitimately pick: p_arr = 0 makes the
+    # trip impossible under the target (weight 0, i.e. log weight -inf);
+    # q = 1 makes *no*-trip impossible under the proposal (the branch is
+    # then never selected, but np.where still needs a finite-safe value).
+    if q != p_arr:
+        log_w_trip = math.log(p_arr / q) if p_arr > 0.0 else -math.inf
+        log_w_no_trip = (math.log((1.0 - p_arr) / (1.0 - q))
+                         if q < 1.0 else -math.inf)
+    next_fail = np.full((batch, n), math.inf)
+    install = np.zeros((batch, n))
+    next_fail[:, 1:] = biased.sample(rng, (batch, n - 1))
+    num_failed = np.ones(batch, dtype=np.int32)
+    rebuild_done = np.asarray(repair.sample(rng, batch), dtype=float)
+    log_w = np.zeros(batch)
+    loss = np.zeros(batch, dtype=bool)
+    duration = np.zeros(batch)
+    active = np.arange(batch)
+
+    for _ in range(MAX_CYCLE_ROUNDS):
+        if active.size == 0:
+            break
+        nf = next_fail[active]
+        dev = nf.argmin(axis=1)
+        t_fail = nf[np.arange(active.size), dev]
+        t_rebuild = rebuild_done[active]
+        fail_first = t_fail <= t_rebuild
+        t = np.where(fail_first, t_fail, t_rebuild)
+        f = num_failed[active]
+        done = np.zeros(active.size, dtype=bool)
+
+        # Device failures: score the observed lifetime, mark the device
+        # down (before the survival factors below -- a fatally failing
+        # device must not also be scored as a survivor), lose data if m
+        # devices were already down.
+        if fail_first.any():
+            lanes = active[fail_first]
+            d = dev[fail_first]
+            ages = t[fail_first] - install[lanes, d]
+            log_w[lanes] += biased.log_weight(ages)
+            next_fail[lanes, d] = math.inf
+            fatal = f[fail_first] == m
+            if fatal.any():
+                fatal_lanes = lanes[fatal]
+                loss[fatal_lanes] = True
+                duration[fatal_lanes] = t[fail_first][fatal]
+                done[np.flatnonzero(fail_first)[fatal]] = True
+            grew = lanes[~fatal]
+            if grew.size:
+                num_failed[grew] += 1
+
+        # Rebuild completions: in critical mode the biased sector trip
+        # fires with probability q instead of p_arr and the Bernoulli
+        # likelihood ratio joins the weight.  Surviving completions
+        # restore one device with a fresh biased lifetime; the cycle
+        # regenerates when no device is left down.
+        rebuilt = ~fail_first
+        if rebuilt.any():
+            lanes = active[rebuilt]
+            critical = f[rebuilt] == m
+            trip = np.zeros(lanes.size, dtype=bool)
+            num_critical = int(critical.sum())
+            if num_critical and q > 0.0:
+                fired = rng.random(num_critical) < q
+                trip[critical] = fired
+                if q != p_arr:
+                    log_w[lanes[critical]] += np.where(
+                        fired, log_w_trip, log_w_no_trip)
+            if trip.any():
+                trip_lanes = lanes[trip]
+                loss[trip_lanes] = True
+                duration[trip_lanes] = t[rebuilt][trip]
+                done[np.flatnonzero(rebuilt)[trip]] = True
+            ok = ~trip
+            ok_lanes = lanes[ok]
+            if ok_lanes.size:
+                restored = np.isinf(next_fail[ok_lanes]).argmax(axis=1)
+                fresh = biased.sample(rng, ok_lanes.size)
+                next_fail[ok_lanes, restored] = t[rebuilt][ok] + fresh
+                install[ok_lanes, restored] = t[rebuilt][ok]
+                num_failed[ok_lanes] -= 1
+                rebuild_done[ok_lanes] = math.inf
+                more = num_failed[ok_lanes] > 0
+                chained = ok_lanes[more]
+                if chained.size:
+                    rebuild_done[chained] = (
+                        t[rebuilt][ok][more]
+                        + repair.sample(rng, chained.size))
+                regen = ok_lanes[~more]
+                if regen.size:
+                    duration[regen] = t[rebuilt][ok][~more]
+                    done[np.flatnonzero(rebuilt)[ok][~more]] = True
+
+        # Cycle over: devices still alive are only *observed* to have
+        # survived to the cycle end; score that survival, not the full
+        # unused draw.
+        if done.any():
+            ended = active[done]
+            alive = np.isfinite(next_fail[ended])
+            ages = (duration[ended][:, None] - install[ended]) * alive
+            log_w[ended] += (biased.log_weight_survival(ages)
+                             * alive).sum(axis=1)
+            active = active[~done]
+    else:  # pragma: no cover - safety valve
+        raise RuntimeError(
+            f"busy period did not finish within {MAX_CYCLE_ROUNDS} events; "
+            "the biasing proposal is pathological (acceleration too strong "
+            "or repair model degenerate)"
+        )
+    return loss, duration, log_w
+
+
+@dataclass
+class _Moments:
+    """Streaming sums for the ratio estimator and its delta-method SE.
+
+    ``x = w·1{loss}`` drives the loss probability, ``y = w·busy`` the
+    busy-length correction; ``w`` totals power the Kish ESS.
+    """
+
+    n: int = 0
+    x_sum: float = 0.0
+    x2_sum: float = 0.0
+    y_sum: float = 0.0
+    y2_sum: float = 0.0
+    xy_sum: float = 0.0
+    w_sum: float = 0.0
+    w2_sum: float = 0.0
+    losses: int = 0
+
+    def add(self, loss: np.ndarray, duration: np.ndarray,
+            log_w: np.ndarray) -> None:
+        w = np.exp(log_w)
+        x = w * loss
+        y = w * duration
+        self.n += int(loss.size)
+        self.x_sum += float(x.sum())
+        self.x2_sum += float((x * x).sum())
+        self.y_sum += float(y.sum())
+        self.y2_sum += float((y * y).sum())
+        self.xy_sum += float((x * y).sum())
+        self.w_sum += float(w.sum())
+        self.w2_sum += float((w * w).sum())
+        self.losses += int(loss.sum())
+
+    def estimate(self, mean_up_hours: float) -> tuple[float, float]:
+        """``(mttdl, std_error)`` for one array via the delta method.
+
+        ``MTTDL = (E[U] + E[w·B]) / E[w·L]`` with ``E[U]`` exact; the
+        variance combines ``Var(x̄)``, ``Var(ȳ)`` and their covariance.
+        """
+        n = self.n
+        p_hat = self.x_sum / n
+        busy = self.y_sum / n
+        mttdl = (mean_up_hours + busy) / p_hat
+        if n < 2:
+            return mttdl, math.inf
+        var_x = (self.x2_sum - n * p_hat * p_hat) / (n - 1)
+        var_y = (self.y2_sum - n * busy * busy) / (n - 1)
+        cov_xy = (self.xy_sum - n * p_hat * busy) / (n - 1)
+        var = (mttdl * mttdl * var_x - 2.0 * mttdl * cov_xy + var_y) \
+            / (p_hat * p_hat * n)
+        return mttdl, math.sqrt(max(var, 0.0))
+
+    @property
+    def effective_sample_size(self) -> float:
+        if self.w2_sum == 0.0:
+            return 0.0
+        return self.w_sum ** 2 / self.w2_sum
+
+
+def estimate_rare_mttdl(n: int,
+                        p_arr: float,
+                        m: int = 1,
+                        seed: int | np.random.Generator | None = None,
+                        lifetime: LifetimeModel | None = None,
+                        repair: RepairModel | None = None,
+                        num_arrays: int = 1,
+                        acceleration: float | None = None,
+                        trip_bias: float | None = None,
+                        target_rel_se: float = 0.02,
+                        max_cycles: int = 4_000_000,
+                        batch_cycles: int = 50_000,
+                        ) -> RareEventResult:
+    """Importance-sampled MTTDL of an ``m``-fault-tolerant array/cluster.
+
+    Simulates regeneration-cycle busy periods in vectorized batches
+    under balanced failure biasing until the relative standard error of
+    the MTTDL estimate drops below ``target_rel_se`` (or ``max_cycles``
+    is exhausted).  ``lifetime`` must be (default)
+    :class:`ExponentialLifetime` -- the regeneration argument needs
+    memoryless lifetimes -- while ``repair`` may be any
+    :class:`RepairModel`.  ``acceleration`` and ``trip_bias`` override
+    the automatic biasing schedule (``θ`` from
+    :func:`balanced_acceleration`, trip proposal floored at
+    :data:`TRIP_BIAS_FLOOR`); estimates are unbiased for any choice,
+    only the variance changes.
+
+    For ``num_arrays > 1`` the cluster MTTDL is the per-array value
+    divided by the array count -- exact in the regenerative limit where
+    busy periods (hours) are negligible against up phases (years), the
+    same superposition argument the analytic layer uses (Eq. 9).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n < m + 1:
+        raise ValueError(f"need n >= m + 1 devices per array (n={n}, m={m})")
+    if not (0.0 <= p_arr <= 1.0):
+        raise ValueError("p_arr must lie in [0, 1]")
+    if num_arrays < 1:
+        raise ValueError("num_arrays must be >= 1")
+    if target_rel_se <= 0:
+        raise ValueError("target_rel_se must be positive")
+    if max_cycles < 1 or batch_cycles < 1:
+        raise ValueError("max_cycles and batch_cycles must be >= 1")
+
+    lifetime = lifetime or ExponentialLifetime()
+    if isinstance(lifetime, BiasedLifetime):
+        raise TypeError("pass the target lifetime; the biased proposal is "
+                        "constructed internally")
+    if not isinstance(lifetime, ExponentialLifetime):
+        raise TypeError(
+            "the regenerative-cycle estimator requires exponential "
+            "lifetimes (the all-healthy state is only a regeneration "
+            f"point for memoryless devices); got {type(lifetime).__name__}"
+        )
+    repair = repair or ExponentialRepair()
+
+    if acceleration is None:
+        acceleration = balanced_acceleration(n, lifetime.mean_hours,
+                                             repair.mean_hours)
+    elif acceleration <= 0:
+        raise ValueError("acceleration must be positive")
+    if trip_bias is None:
+        trip_bias = 0.0 if p_arr == 0.0 else max(p_arr, TRIP_BIAS_FLOOR)
+    elif not (0.0 <= trip_bias <= 1.0):
+        raise ValueError("trip_bias must lie in [0, 1]")
+    elif p_arr > 0.0 and trip_bias == 0.0:
+        raise ValueError("trip_bias must be positive when p_arr > 0 "
+                         "(the trip route would never be sampled)")
+    elif trip_bias == 1.0 and p_arr < 1.0:
+        raise ValueError(
+            "trip_bias = 1 makes surviving a critical rebuild impossible "
+            "under the proposal while the target allows it, so those loss "
+            "paths would be silently missed; use trip_bias < 1"
+        )
+    biased = BiasedLifetime.accelerated(lifetime, acceleration)
+
+    rng = _as_rng(seed)
+    mean_up = lifetime.mean_hours / n
+    moments = _Moments()
+    while moments.n < max_cycles:
+        batch = min(batch_cycles, max_cycles - moments.n)
+        loss, duration, log_w = _biased_busy_cycles(
+            n, m, p_arr, batch, rng, biased, repair, trip_bias)
+        moments.add(loss, duration, log_w)
+        if moments.x_sum > 0.0 and moments.losses >= 2:
+            mttdl, se = moments.estimate(mean_up)
+            if se / mttdl <= target_rel_se:
+                break
+    if moments.x_sum == 0.0:
+        raise RuntimeError(
+            f"no data-loss cycle sampled in {moments.n} busy periods; "
+            "increase max_cycles or strengthen the biasing "
+            "(acceleration/trip_bias)"
+        )
+    mttdl, se = moments.estimate(mean_up)
+    return RareEventResult(
+        mttdl_hours=mttdl / num_arrays,
+        mttdl_std_error=se / num_arrays,
+        cycles=moments.n,
+        loss_cycles=moments.losses,
+        loss_probability=moments.x_sum / moments.n,
+        mean_up_hours=mean_up,
+        mean_busy_hours=moments.y_sum / moments.n,
+        effective_sample_size=moments.effective_sample_size,
+        acceleration=acceleration,
+        trip_bias=trip_bias,
+        num_arrays=num_arrays,
+        metadata={"n": n, "m": m, "p_arr": p_arr},
+    )
+
+
+def rare_event_code_mttdl(code: StripeCode | CodeReliability,
+                          model: SectorFailureModel,
+                          params: SystemParameters | None = None,
+                          seed: int | np.random.Generator | None = None,
+                          num_arrays: int = 1,
+                          repair: RepairModel | None = None,
+                          target_rel_se: float = 0.02,
+                          max_cycles: int = 4_000_000,
+                          ) -> RareEventResult:
+    """Rare-event MTTDL of a code under the paper's system parameters.
+
+    The importance-sampled counterpart of
+    :func:`repro.sim.montecarlo.simulate_code_mttdl`: ``P_arr`` comes
+    from the analysis layer (Eq. 11) applied to the code's coverage, the
+    lifetimes are the paper's exponential model with 1/λ from
+    ``params`` -- no accelerated-failure surrogate needed even at the
+    true 1/λ = 500,000 h.
+    """
+    params = params or SystemParameters()
+    if isinstance(code, CodeReliability):
+        reliability = code
+    else:
+        coverage = CoverageModel.from_code(code)
+        if coverage.m != params.m:
+            raise ValueError(
+                f"{type(code).__name__} tolerates m = {coverage.m} device "
+                f"failures but SystemParameters has m = {params.m}; the "
+                "sector model and cycle simulation would disagree"
+            )
+        if (code.n, code.r) != (params.n, params.r):
+            raise ValueError(
+                f"code geometry (n={code.n}, r={code.r}) does not match "
+                f"SystemParameters (n={params.n}, r={params.r}); the "
+                "sector model and cycle simulation would disagree"
+            )
+        reliability = code_reliability_from_code(code)
+    parr = p_array(reliability, params, model)
+    result = estimate_rare_mttdl(
+        params.n, parr, m=params.m, seed=seed,
+        lifetime=ExponentialLifetime(params.mean_time_to_failure_hours),
+        repair=repair or ExponentialRepair(params.mean_time_to_rebuild_hours),
+        num_arrays=num_arrays, target_rel_se=target_rel_se,
+        max_cycles=max_cycles)
+    result.metadata["code"] = reliability.label()
+    return result
+
+
+def projected_direct_rounds(analytic_mttdl_hours: float, n: int,
+                            lifetime_mean_hours: float,
+                            trials: int) -> float:
+    """Rounds a direct batch run would need for this configuration.
+
+    One round advances every lane one event; the loop runs until the
+    *slowest* trial absorbs, i.e. for about ``2·n·λ·max_i T_i`` events
+    (a failure and a rebuild per up cycle).  For exponential-ish
+    lifetimes the maximum of ``trials`` draws is ~``ln(trials)`` times
+    the mean, giving the estimate used by the CLI to decide when direct
+    Monte Carlo is hopeless and the rare-event estimator should take
+    over.
+    """
+    expected_events = 2.0 * n * analytic_mttdl_hours / lifetime_mean_hours
+    return expected_events * (math.log(max(trials, 1)) + 1.0)
+
+
+def direct_mc_is_tractable(analytic_mttdl_hours: float, n: int,
+                           lifetime_mean_hours: float,
+                           trials: int) -> bool:
+    """Would the direct runner finish inside its ``MAX_ROUNDS`` valve?"""
+    return projected_direct_rounds(analytic_mttdl_hours, n,
+                                   lifetime_mean_hours,
+                                   trials) <= MAX_ROUNDS

@@ -44,6 +44,23 @@ def test_rejects_bad_trials():
         main(["--trials", "0"])
 
 
+def test_rejects_bad_arrays():
+    """--arrays 0 used to simulate an 'immortal' zero-lane cluster."""
+    with pytest.raises(SystemExit, match="arrays"):
+        main(["--arrays", "0"])
+    with pytest.raises(SystemExit, match="arrays"):
+        main(["--arrays", "-2"])
+
+
+def test_single_trial_reports_estimate_with_ci_note(capsys):
+    """--trials 1 (one observed loss, no CI possible) must still print
+    the sample estimate instead of silently omitting every result row."""
+    assert main(["--trials", "1", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "MTTDL (sim)" in out
+    assert "insufficient losses for a CI" in out
+
+
 def test_montecarlo_mode_runs_m2_codes_on_vectorized_path(capsys):
     """RAID-6/SD with m = 2 go through the vectorized lane machine and
     print the general-m analytic comparison."""
@@ -80,14 +97,59 @@ def test_help_epilog_points_at_code_spec_grammar(capsys):
     assert "stair" in out
 
 
+def test_rare_event_mode_reaches_the_paper_operating_point(capsys):
+    """The acceptance criterion: SD(m=2) at the default 1/λ = 500,000 h
+    -- the configuration that previously died in the MAX_ROUNDS
+    RuntimeError -- completes with --rare-event and its 3σ interval
+    contains the general Markov chain's MTTDL."""
+    assert main(["--code", "sd(n=8,r=16,m=2,s=2)", "--rare-event",
+                 "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "Rare-event cluster reliability" in out
+    assert "effective sample size" in out
+    assert "analytic within 3 sigma  yes" in out
+
+
+def test_ultra_reliable_config_auto_selects_rare_event(capsys):
+    """Without --rare-event the CLI projects the direct runner's round
+    count and switches to the rare-event estimator instead of letting
+    the run abort in the MAX_ROUNDS RuntimeError."""
+    assert main(["--code", "rs(n=8,r=16,m=3)", "--trials", "5",
+                 "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "rare-event (auto" in out
+    assert "analytic within 3 sigma  yes" in out
+
+
+def test_horizon_keeps_ultra_reliable_config_on_direct_path(capsys):
+    """A horizon bounds the direct run, so no auto-switch happens and
+    the P(loss) estimate prints as before."""
+    assert main(["--code", "rs(n=8,r=16,m=3)", "--trials", "20",
+                 "--seed", "2", "--horizon", "1e5"]) == 0
+    out = capsys.readouterr().out
+    assert "rare-event" not in out
+    assert "P(loss by horizon)" in out
+
+
+def test_rare_event_rejects_incompatible_flags():
+    with pytest.raises(SystemExit, match="exponential"):
+        main(["--rare-event", "--weibull-shape", "2.0"])
+    with pytest.raises(SystemExit, match="horizon"):
+        main(["--rare-event", "--horizon", "1e6"])
+    with pytest.raises(SystemExit, match="montecarlo"):
+        main(["--rare-event", "--mode", "events"])
+
+
 def test_nonconvergence_exits_cleanly(monkeypatch):
-    """An ultra-reliable m >= 2 config at the paper's parameters cannot
-    reach absorption; the CLI must explain, not traceback.  MAX_ROUNDS
-    is shrunk so the safety valve trips immediately."""
+    """Weibull lifetimes have no analytic projection (and no rare-event
+    fallback), so a non-converging run must still surface as a clean
+    CLI error pointing at the remedies.  MAX_ROUNDS is shrunk so the
+    safety valve trips immediately."""
     import repro.sim.montecarlo as mc
     monkeypatch.setattr(mc, "MAX_ROUNDS", 5)
-    with pytest.raises(SystemExit, match="horizon"):
-        main(["--code", "rs(n=8,r=16,m=3)", "--trials", "5"])
+    with pytest.raises(SystemExit, match="rare-event"):
+        main(["--code", "rs(n=8,r=16,m=3)", "--trials", "5",
+              "--weibull-shape", "1.0"])
 
 
 def test_bad_spec_exits_cleanly():
