@@ -23,6 +23,7 @@ import numpy as np
 import pytest
 
 from repro.codes.registry import parse_code_spec
+from repro.sim.domains import FailureDomains
 from repro.sim.events import ClusterSimulation, Scenario
 from repro.sim.lifetimes import ExponentialLifetime, ExponentialRepair
 from repro.sim.montecarlo import (
@@ -73,6 +74,18 @@ def _run_m2_sd_cluster(seed: int = 0):
         repair=ExponentialRepair(100.0), m=2)
 
 
+def _run_correlated_cluster(seed: int = 0):
+    """The correlated-failure scenario of the validation bench: rack
+    shocks under domain-spread placement (single-device groups), which
+    adds a per-lane compound-Poisson term to every round."""
+    return simulate_cluster_lifetimes(
+        CLUSTER_N, CLUSTER_ARRAYS, p_arr=0.0, trials=CLUSTER_TRIALS,
+        seed=seed, lifetime=ExponentialLifetime(500_000.0),
+        repair=ExponentialRepair(17.8),
+        domains=FailureDomains(racks=CLUSTER_N,
+                               rack_shock_rate_per_hour=1e-4))
+
+
 def test_cluster_lifetimes_under_60s():
     start = time.perf_counter()
     result = _run_cluster()
@@ -110,6 +123,28 @@ def test_m2_sd_cluster_sustains_1000_lifetimes_per_second():
 def test_m2_sd_cluster_reproducible():
     first = _run_m2_sd_cluster(seed=42)
     second = _run_m2_sd_cluster(seed=42)
+    assert np.array_equal(first.times, second.times)
+
+
+def test_correlated_cluster_sustains_500_lifetimes_per_second():
+    """The failure-domain shock term must not demote the vectorized
+    runner to event-engine speeds: >= 500 lifetimes/s with rack shocks
+    active on every lane."""
+    _run_correlated_cluster()  # warm numpy caches outside the timed window
+    start = time.perf_counter()
+    result = _run_correlated_cluster(seed=1)
+    elapsed = time.perf_counter() - start
+    assert result.trials == CLUSTER_TRIALS
+    assert result.losses == CLUSTER_TRIALS
+    rate = CLUSTER_TRIALS / elapsed
+    assert rate >= 500.0, (
+        f"correlated vectorized path ran at {rate:,.0f} lifetimes/s "
+        f"(floor: 500/s)")
+
+
+def test_correlated_cluster_reproducible():
+    first = _run_correlated_cluster(seed=42)
+    second = _run_correlated_cluster(seed=42)
     assert np.array_equal(first.times, second.times)
 
 

@@ -10,11 +10,17 @@ complements them with simulation:
   derives the nominal rebuild time from device capacity and per-device
   rebuild rate) and a latent-sector-error arrival process parameterised
   from the same ``P_bit`` as the analysis.
+* :mod:`repro.sim.domains` -- correlated failure domains: a
+  :class:`FailureDomains` spec describing racks, enclosures and drive
+  batches (per-domain Poisson shock processes that fail every member
+  device at once, and batch-lifetime acceleration), consumed by all
+  three engines.
 * :mod:`repro.sim.events` -- a binary-heap discrete-event engine driving
-  one cluster trajectory in full detail (device failures, rebuilds under
-  a contention-aware repair model that divides shared cluster repair
-  bandwidth across concurrent rebuilds, latent-sector-error bursts,
-  periodic scrubs, stripe writes from a workload model).
+  one cluster trajectory in full detail (device failures, domain
+  shocks, rebuilds under a contention-aware repair model that divides
+  shared cluster repair bandwidth across concurrent rebuilds,
+  latent-sector-error bursts, periodic scrubs, stripe writes from a
+  workload model).
 * :mod:`repro.sim.cluster` -- the simulated fleet: per-stripe damage
   state vectors and a vectorized recoverability predicate for any
   registered stripe code (STAIR, RS/RAID, SD, IDR) at any device
@@ -36,11 +42,13 @@ In the exponential case the Monte Carlo MTTDL statistically matches
 :func:`repro.reliability.mttdl_array` at m = 1 and the general
 birth-death chain of :func:`repro.reliability.mttdl_arr_m_parity` at
 m >= 2 (asserted by the test suite); the simulator then generalises to
-Weibull wear-out, finite scrub intervals and repair-bandwidth
-contention, which the closed forms cannot cover.
+Weibull wear-out, finite scrub intervals, repair-bandwidth contention
+and correlated rack/enclosure/batch failures, which the closed forms
+cannot cover.
 """
 
 from repro.sim.cluster import CoverageModel, SimulatedArray, SimulatedCluster
+from repro.sim.domains import FailureDomains, ShockGroup
 from repro.sim.events import (
     ClusterSimulation,
     Event,
@@ -79,6 +87,8 @@ __all__ = [
     "CoverageModel",
     "SimulatedArray",
     "SimulatedCluster",
+    "FailureDomains",
+    "ShockGroup",
     "ClusterSimulation",
     "Event",
     "EventQueue",

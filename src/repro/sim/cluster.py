@@ -15,7 +15,10 @@ suite against ``StripeCode.tolerates``).
 The predicate is general in the device tolerance ``m``: it serves both
 the event engine of :mod:`repro.sim.events` (which tracks real sector
 damage) and, through ``CoverageModel.m``, the m >= 2 lane dynamics of
-the vectorized runner in :mod:`repro.sim.montecarlo`.
+the vectorized runner in :mod:`repro.sim.montecarlo`.  The damage state
+is agnostic to *why* devices fail -- independent lifetimes, correlated
+domain shocks (:mod:`repro.sim.domains`) and batch wear all funnel
+through the same ``fail_device`` / ``rebuild`` transitions.
 """
 
 from __future__ import annotations

@@ -1,0 +1,300 @@
+"""Correlated failure domains: racks, enclosures and drive batches.
+
+The §7 analysis -- and the simulator engines as originally built --
+assume device failures are independent.  Real clusters are not so kind:
+a rack loses power and every device in it goes dark, an enclosure
+backplane dies and takes its shelf with it, and drives from one
+manufacturing batch share a defect that makes all of them age faster.
+This module describes that structure once, as a :class:`FailureDomains`
+spec, and every engine consumes it:
+
+* the event engine (:mod:`repro.sim.events`) schedules *domain shocks*
+  -- Poisson events per rack/enclosure that fail every healthy member
+  device at once (each independently with the domain's kill
+  probability), creating the rebuild storms that stress
+  processor-sharing repair;
+* the vectorized runner (:mod:`repro.sim.montecarlo`) gives each lane a
+  compound-Poisson shock term over the array's per-rack/-enclosure
+  device groups;
+* the rare-event estimator (:mod:`repro.sim.rare`) folds the shock
+  processes into its regeneration-cycle decomposition (shocks are
+  memoryless, so the all-healthy state stays a regeneration point) with
+  likelihood weights adapted so biased estimates stay unbiased.
+
+Membership is deterministic so that all three engines -- and a reader
+re-running a doc example -- agree exactly on who lives where:
+
+* ``placement="spread"`` stripes device ``d`` of array ``a`` into rack
+  ``(a + d) % racks`` (the classic domain-spread layout: a rack shock
+  touches at most ``ceil(n / racks)`` devices of any one array);
+* ``placement="contiguous"`` puts all of array ``a`` into rack
+  ``a % racks`` (the naive layout: one rack shock can erase a whole
+  array);
+* the *bad batch* is always devices ``0 .. b-1`` of every array with
+  ``b = round(batch_fraction * n)`` -- the adversarial assignment where
+  one manufacturing batch is concentrated instead of spread.
+
+Usage::
+
+    from repro.sim import FailureDomains
+
+    domains = FailureDomains(racks=8, rack_shock_rate_per_hour=1e-4,
+                             batch_fraction=0.25, batch_accel=3.0)
+    domains.is_independent      # False: shocks and batch wear are active
+    FailureDomains(racks=8).is_independent   # True: topology only
+
+With every rate at zero and ``batch_accel == 1`` a spec is *inert*: the
+engines reproduce their independent-failure behaviour exactly (the
+vectorized runner bit-for-bit -- asserted in the test suite), which is
+the independent-limit cross-validation anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_PLACEMENTS = ("spread", "contiguous")
+
+
+def shock_group_arrays(groups, n: int,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unpack per-array :class:`ShockGroup` tuples into numpy form.
+
+    Returns ``(member_mask, rates, kill_probs)`` with ``member_mask``
+    of shape ``(len(groups), n)`` -- the single definition both the
+    vectorized runner and the rare-event estimator build their shock
+    state from, so group semantics cannot drift between engines.
+    """
+    member = np.zeros((len(groups), n), dtype=bool)
+    for i, group in enumerate(groups):
+        member[i, list(group.devices)] = True
+    rates = np.array([group.rate_per_hour for group in groups])
+    kill_probs = np.array([group.kill_probability for group in groups])
+    return member, rates, kill_probs
+
+
+@dataclass(frozen=True)
+class ShockGroup:
+    """One correlated-failure blast radius: a set of devices sharing a
+    Poisson shock process.
+
+    ``level`` names the hierarchy level (``"rack"`` or ``"enclosure"``),
+    ``index`` the domain id at that level.  ``devices`` are the member
+    devices -- device indices within one array for the per-array view,
+    ``(array, device)`` pairs for the cluster view (see
+    :meth:`FailureDomains.array_shock_groups` /
+    :meth:`FailureDomains.cluster_shock_groups`).  When the shock fires,
+    each healthy member fails independently with ``kill_probability``.
+    """
+
+    level: str
+    index: int
+    devices: tuple
+    rate_per_hour: float
+    kill_probability: float
+
+    @property
+    def size(self) -> int:
+        return len(self.devices)
+
+    @property
+    def kill_rate_per_hour(self) -> float:
+        """Rate of shocks that kill at least one (healthy) member.
+
+        ``rate * (1 - (1 - p)^size)`` -- the thinned process the
+        rare-event estimator's up-phase decomposition needs.
+        """
+        return self.rate_per_hour * (
+            1.0 - (1.0 - self.kill_probability) ** self.size)
+
+
+@dataclass(frozen=True)
+class FailureDomains:
+    """Rack / enclosure / batch structure of a simulated cluster.
+
+    Racks and enclosures are *shock* domains: each carries an
+    independent Poisson process at the given rate, and a shock fails
+    every healthy member device simultaneously and independently with
+    the level's kill probability.  Enclosures subdivide racks
+    (``enclosures_per_rack`` shelves per rack, members assigned
+    round-robin).  The *batch* is a wear domain: a ``batch_fraction`` of
+    every array's devices share a manufacturing defect that accelerates
+    their lifetimes by ``batch_accel`` (an accelerated-failure-time
+    scaling: sampled lifetimes are divided by the factor, so exponential
+    devices simply fail at ``batch_accel * lambda``).
+    """
+
+    racks: int = 1
+    rack_shock_rate_per_hour: float = 0.0
+    rack_kill_probability: float = 1.0
+    enclosures_per_rack: int = 1
+    enclosure_shock_rate_per_hour: float = 0.0
+    enclosure_kill_probability: float = 1.0
+    batch_fraction: float = 0.0
+    batch_accel: float = 1.0
+    placement: str = "spread"
+
+    def __post_init__(self) -> None:
+        if self.racks < 1:
+            raise ValueError("racks must be >= 1")
+        if self.enclosures_per_rack < 1:
+            raise ValueError("enclosures_per_rack must be >= 1")
+        for name in ("rack_shock_rate_per_hour",
+                     "enclosure_shock_rate_per_hour"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("rack_kill_probability", "enclosure_kill_probability"):
+            if not (0.0 < getattr(self, name) <= 1.0):
+                raise ValueError(f"{name} must lie in (0, 1]")
+        if not (0.0 <= self.batch_fraction <= 1.0):
+            raise ValueError("batch_fraction must lie in [0, 1]")
+        if self.batch_accel <= 0:
+            raise ValueError("batch_accel must be positive")
+        if self.placement not in _PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {_PLACEMENTS}, "
+                f"got {self.placement!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived structure
+    # ------------------------------------------------------------------ #
+    @property
+    def has_shocks(self) -> bool:
+        """Is any shock process active?"""
+        return (self.rack_shock_rate_per_hour > 0.0
+                or self.enclosure_shock_rate_per_hour > 0.0)
+
+    @property
+    def has_batch_wear(self) -> bool:
+        """Does a bad batch actually age faster?"""
+        return self.batch_fraction > 0.0 and self.batch_accel != 1.0
+
+    @property
+    def is_independent(self) -> bool:
+        """True when the spec is inert (pure topology, no correlation):
+        the engines then reproduce independent-failure behaviour and the
+        §7 analytic references still apply."""
+        return not (self.has_shocks or self.has_batch_wear)
+
+    def describe(self) -> str:
+        """One-line human summary for CLI/benchmark tables."""
+        parts = [f"{self.racks} racks ({self.placement})"]
+        if self.rack_shock_rate_per_hour > 0:
+            parts.append(
+                f"rack shocks {self.rack_shock_rate_per_hour:g}/h "
+                f"(kill p={self.rack_kill_probability:g})")
+        if self.enclosures_per_rack > 1 \
+                or self.enclosure_shock_rate_per_hour > 0:
+            parts.append(
+                f"{self.enclosures_per_rack} enclosures/rack"
+                + (f" @ {self.enclosure_shock_rate_per_hour:g}/h "
+                   f"(kill p={self.enclosure_kill_probability:g})"
+                   if self.enclosure_shock_rate_per_hour > 0 else ""))
+        if self.batch_fraction > 0:
+            parts.append(f"batch {self.batch_fraction:.0%} "
+                         f"x{self.batch_accel:g} accel")
+        return ", ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def rack_assignment(self, num_arrays: int, n: int) -> np.ndarray:
+        """Rack index of every device: an ``(num_arrays, n)`` int array.
+
+        ``spread`` stripes device ``d`` of array ``a`` into rack
+        ``(a + d) % racks``; ``contiguous`` confines array ``a`` to rack
+        ``a % racks``.
+        """
+        if num_arrays < 1 or n < 1:
+            raise ValueError("num_arrays and n must be >= 1")
+        arrays = np.arange(num_arrays)[:, None]
+        devices = np.arange(n)[None, :]
+        if self.placement == "spread":
+            return (arrays + devices) % self.racks
+        return np.broadcast_to(arrays % self.racks,
+                               (num_arrays, n)).copy()
+
+    def enclosure_assignment(self, num_arrays: int, n: int) -> np.ndarray:
+        """Global enclosure index of every device (``(num_arrays, n)``).
+
+        Within each rack, member devices (ordered by array then device)
+        are dealt round-robin across the rack's
+        ``enclosures_per_rack`` shelves; enclosure ids are globally
+        unique (``rack * enclosures_per_rack + shelf``).
+        """
+        racks = self.rack_assignment(num_arrays, n)
+        enclosure = np.zeros_like(racks)
+        epr = self.enclosures_per_rack
+        for rack in range(self.racks):
+            members = np.flatnonzero(racks.ravel() == rack)
+            enclosure.ravel()[members] = (rack * epr
+                                          + np.arange(members.size) % epr)
+        return enclosure
+
+    def batch_devices(self, n: int) -> tuple[int, ...]:
+        """Device indices of the bad batch (same in every array)."""
+        return tuple(range(int(round(self.batch_fraction * n))))
+
+    def rate_multipliers(self, n: int) -> np.ndarray:
+        """Per-device hazard multipliers: ``batch_accel`` for bad-batch
+        devices, 1 elsewhere.  Dividing sampled lifetimes by these
+        multipliers implements the accelerated-failure-time scaling."""
+        mult = np.ones(n)
+        mult[list(self.batch_devices(n))] = self.batch_accel
+        return mult
+
+    # ------------------------------------------------------------------ #
+    # Shock groups
+    # ------------------------------------------------------------------ #
+    def cluster_shock_groups(self, num_arrays: int,
+                             n: int) -> tuple[ShockGroup, ...]:
+        """All active shock groups over the whole cluster.
+
+        Each group's ``devices`` are ``(array, device)`` pairs.  Racks
+        are shared across arrays (under ``spread`` placement a rack
+        shock hits devices of several arrays at once -- the rebuild
+        storm the event engine's processor-sharing repair has to
+        absorb).  Groups with zero rate or no members are omitted.
+        """
+        groups: list[ShockGroup] = []
+        if self.rack_shock_rate_per_hour > 0.0:
+            racks = self.rack_assignment(num_arrays, n)
+            for rack in range(self.racks):
+                members = tuple(zip(*np.nonzero(racks == rack)))
+                if members:
+                    groups.append(ShockGroup(
+                        "rack", rack,
+                        tuple((int(a), int(d)) for a, d in members),
+                        self.rack_shock_rate_per_hour,
+                        self.rack_kill_probability))
+        if self.enclosure_shock_rate_per_hour > 0.0:
+            enclosures = self.enclosure_assignment(num_arrays, n)
+            for enc in range(self.racks * self.enclosures_per_rack):
+                members = tuple(zip(*np.nonzero(enclosures == enc)))
+                if members:
+                    groups.append(ShockGroup(
+                        "enclosure", enc,
+                        tuple((int(a), int(d)) for a, d in members),
+                        self.enclosure_shock_rate_per_hour,
+                        self.enclosure_kill_probability))
+        return tuple(groups)
+
+    def array_shock_groups(self, n: int) -> tuple[ShockGroup, ...]:
+        """Shock groups of a single array (the per-lane marginal view).
+
+        ``devices`` are plain device indices.  This is what the
+        vectorized runner and the rare-event estimator consume: each
+        lane is one array, and the shocks touching *its* devices form a
+        compound-Poisson process over these groups.  For a one-array
+        cluster this is exact; with several arrays sharing racks
+        (``spread`` placement) it keeps each array's marginal failure
+        law exact but drops the cross-array shock coupling -- the event
+        engine is the ground truth for that.
+        """
+        return tuple(
+            ShockGroup(g.level, g.index,
+                       tuple(d for _, d in g.devices),
+                       g.rate_per_hour, g.kill_probability)
+            for g in self.cluster_shock_groups(1, n))

@@ -2,12 +2,26 @@
 
 The engine plays a single, fully detailed cluster lifetime: device
 failures drawn from a :class:`~repro.sim.lifetimes.LifetimeModel`,
-rebuilds under a contention-aware repair model, latent-sector-error
-bursts, periodic scrubs and stripe writes from a Poisson workload model.
-It is the ground truth that the vectorized batch runner of
+correlated domain shocks (rack / enclosure outages from a
+:class:`~repro.sim.domains.FailureDomains` spec), rebuilds under a
+contention-aware repair model, latent-sector-error bursts, periodic
+scrubs and stripe writes from a Poisson workload model.  It is the
+ground truth that the vectorized batch runner of
 :mod:`repro.sim.montecarlo` is validated against, and the only engine
 that captures effects outside the Markov model (scrub intervals, repair
-contention, normal-mode double damage).
+contention, normal-mode double damage, cross-array shock coupling).
+
+Failure domains turn the engine's per-device failure process into a
+correlated one: each rack (and optionally each enclosure within it)
+carries a Poisson shock process, and a shock fails every healthy member
+device simultaneously -- each independently with the domain's kill
+probability.  A shock that leaves more than ``m`` devices of one array
+down loses data outright; one that does not triggers simultaneous
+rebuilds across every struck array, exactly the rebuild-storm regime in
+which processor-sharing repair stretches rebuild windows the most.
+Bad-batch devices (``FailureDomains.batch_fraction`` /
+``batch_accel``) draw their lifetimes from an accelerated-failure-time
+scaling of the scenario's lifetime model.
 
 Repair is modelled physically rather than as a bare concurrency cap:
 each rebuild owes a *nominal* amount of work (the repair model's sampled
@@ -44,6 +58,7 @@ import numpy as np
 from repro.array.failures import BurstLengthDistribution
 from repro.codes.base import StripeCode
 from repro.sim.cluster import SimulatedCluster
+from repro.sim.domains import FailureDomains, ShockGroup
 from repro.sim.lifetimes import (
     ExponentialLifetime,
     ExponentialRepair,
@@ -54,18 +69,33 @@ from repro.sim.lifetimes import (
 
 
 class EventType(enum.Enum):
-    """Kinds of events the engine processes."""
+    """Kinds of events the engine processes.
+
+    Usage -- inject a failure by hand instead of waiting for a sampled
+    one (the tutorial pattern of ``docs/simulator.md``)::
+
+        sim.queue.schedule(1.0, EventType.DEVICE_FAILURE,
+                           array=0, device=3)
+    """
 
     DEVICE_FAILURE = "device_failure"
     REBUILD_COMPLETE = "rebuild_complete"
     SECTOR_ERROR = "sector_error"
     SCRUB = "scrub"
     STRIPE_WRITE = "stripe_write"
+    DOMAIN_SHOCK = "domain_shock"
 
 
 @dataclass(order=True)
 class Event:
-    """One scheduled event; heap-ordered by ``(time, seq)``."""
+    """One scheduled event; heap-ordered by ``(time, seq)``.
+
+    Usage::
+
+        event = queue.schedule(17.8, EventType.SCRUB, array=0)
+        event.payload["array"]      # 0
+        queue.cancel(event)         # lazily skipped when popped
+    """
 
     time: float
     seq: int
@@ -74,7 +104,15 @@ class Event:
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects."""
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Usage::
+
+        queue = EventQueue()
+        queue.schedule(2.0, EventType.DEVICE_FAILURE, array=0, device=1)
+        queue.peek_time()                   # 2.0
+        [e.type for e in queue.drain()]     # pops in time order
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -115,7 +153,25 @@ class EventQueue:
 
 @dataclass
 class Scenario:
-    """Everything that defines one simulated cluster deployment."""
+    """Everything that defines one simulated cluster deployment.
+
+    Usage::
+
+        from repro.codes import parse_code_spec
+        from repro.sim import FailureDomains, Scenario
+
+        scenario = Scenario(
+            code=parse_code_spec("sd(n=8,r=16,m=2,s=2)"),
+            num_arrays=4, scrub_interval_hours=168.0,
+            repair_streams=2.0,
+            domains=FailureDomains(racks=8,
+                                   rack_shock_rate_per_hour=1e-5))
+
+    The default scenario has no failure domains (devices fail
+    independently); attach a
+    :class:`~repro.sim.domains.FailureDomains` spec to add rack /
+    enclosure shocks and correlated-batch wear.
+    """
 
     code: StripeCode
     num_arrays: int = 1
@@ -141,6 +197,9 @@ class Scenario:
     #: ``min(1, repair_streams / c)`` of full speed.  None disables
     #: bandwidth sharing (every rebuild runs at full per-device rate).
     repair_streams: float | None = None
+    #: Correlated failure domains (racks / enclosures / batches); None
+    #: means devices fail independently.
+    domains: FailureDomains | None = None
     #: Stop the run at this time even without data loss.
     horizon_hours: float = 87_600.0  # ten years
 
@@ -172,6 +231,12 @@ class RebuildProgress:
 
     ``remaining_hours`` is the work left *at full per-device rate*; it
     is accrued lazily whenever the shared per-rebuild speed changes.
+
+    Usage -- inspecting the in-flight set mid-run (the rebuild-storm
+    tests do this)::
+
+        sim._inflight[array].targets          # devices being rebuilt
+        sim._inflight[array].remaining_hours  # work left at full rate
     """
 
     targets: list[int]
@@ -182,7 +247,19 @@ class RebuildProgress:
 
 @dataclass
 class TrajectoryResult:
-    """Outcome of one simulated cluster lifetime."""
+    """Outcome of one simulated cluster lifetime.
+
+    Usage::
+
+        result = ClusterSimulation(scenario, seed=0).run()
+        if result.lost_data:
+            print(result.time_to_data_loss, result.cause)
+        result.event_counts["domain_shock"]   # shocks processed
+
+    ``cause`` names the loss path (``"device_failures_exceed_m"``,
+    ``"rack_shock_exceeds_m"``, ``"unrecoverable_stripes_during_rebuild"``,
+    ...) or is None for a trajectory censored at the horizon.
+    """
 
     time_to_data_loss: float | None
     horizon_hours: float
@@ -197,7 +274,18 @@ class TrajectoryResult:
 
 
 class ClusterSimulation:
-    """Discrete-event simulation of one cluster until data loss or horizon."""
+    """Discrete-event simulation of one cluster until data loss or horizon.
+
+    Usage::
+
+        sim = ClusterSimulation(scenario, seed=0)
+        result = sim.run()
+        result.lost_data, result.cause, result.final_time
+
+    Runs are deterministic for a fixed seed.  To play many independent
+    trajectories, derive one child generator per trial from a root
+    ``numpy.random.Generator`` (the pattern ``repro.sim.cli`` uses).
+    """
 
     def __init__(self, scenario: Scenario,
                  seed: int | np.random.Generator | None = None) -> None:
@@ -214,6 +302,22 @@ class ClusterSimulation:
         # own pass.
         self._inflight: dict[int, RebuildProgress] = {}
         self._rebuild_speed = 1.0
+        # (array, device) -> the scheduled DEVICE_FAILURE event, so a
+        # domain shock that kills the device can cancel it (a rebuilt
+        # device would otherwise inherit the stale failure).
+        self._pending_failure: dict[tuple[int, int], Event] = {}
+        self._shock_groups: tuple[ShockGroup, ...] = ()
+        self._batch_lifetime: Any = None
+        self._batch_devices: frozenset[int] = frozenset()
+        domains = scenario.domains
+        if domains is not None:
+            self._shock_groups = domains.cluster_shock_groups(
+                scenario.num_arrays, scenario.code.n)
+            if domains.has_batch_wear:
+                self._batch_devices = frozenset(
+                    domains.batch_devices(scenario.code.n))
+                self._batch_lifetime = scenario.lifetime.time_scaled(
+                    domains.batch_accel)
 
     @property
     def _active_rebuilds(self) -> int:
@@ -224,9 +328,12 @@ class ClusterSimulation:
     # ------------------------------------------------------------------ #
     def _schedule_device_failure(self, array: int, device: int,
                                  now: float) -> None:
-        lifetime = float(self.scenario.lifetime.sample(self.rng, 1)[0])
-        self.queue.schedule(now + lifetime, EventType.DEVICE_FAILURE,
-                            array=array, device=device)
+        model = (self._batch_lifetime
+                 if device in self._batch_devices else self.scenario.lifetime)
+        lifetime = float(model.sample(self.rng, 1)[0])
+        self._pending_failure[(array, device)] = self.queue.schedule(
+            now + lifetime, EventType.DEVICE_FAILURE,
+            array=array, device=device)
 
     def _schedule_sector_error(self, array: int, device: int,
                                now: float) -> None:
@@ -244,6 +351,11 @@ class ClusterSimulation:
             return
         self.queue.schedule(now + float(self.rng.exponential(1.0 / rate)),
                             EventType.STRIPE_WRITE, array=array)
+
+    def _schedule_shock(self, group: int, now: float) -> None:
+        rate = self._shock_groups[group].rate_per_hour
+        self.queue.schedule(now + float(self.rng.exponential(1.0 / rate)),
+                            EventType.DOMAIN_SHOCK, group=group)
 
     def _start_or_queue_rebuild(self, array: int, now: float) -> None:
         if array in self._inflight or array in self._pending_rebuilds:
@@ -328,6 +440,8 @@ class ClusterSimulation:
                     scenario.num_arrays
                 self.queue.schedule(offset, EventType.SCRUB, array=a)
             self._schedule_write(a, 0.0)
+        for group in range(len(self._shock_groups)):
+            self._schedule_shock(group, 0.0)
 
         processed = 0
         for event in self.queue.drain():
@@ -354,12 +468,14 @@ class ClusterSimulation:
             EventType.SECTOR_ERROR: self._on_sector_error,
             EventType.SCRUB: self._on_scrub,
             EventType.STRIPE_WRITE: self._on_stripe_write,
+            EventType.DOMAIN_SHOCK: self._on_domain_shock,
         }[event.type]
         return handler(event)
 
     def _on_device_failure(self, event: Event) -> str | None:
         a, d = event.payload["array"], event.payload["device"]
         array = self.cluster.arrays[a]
+        self._pending_failure.pop((a, d), None)
         if array.device_failed[d]:
             return None  # stale event for a device already down
         array.fail_device(d)
@@ -415,6 +531,39 @@ class ClusterSimulation:
         if not array.all_recoverable():
             return "unrecoverable_stripes_found_by_scrub"
         array.scrub()
+        return None
+
+    def _on_domain_shock(self, event: Event) -> str | None:
+        """A rack/enclosure shock: fail every healthy member at once.
+
+        Each healthy member device fails independently with the group's
+        kill probability.  An array left with more than ``m`` devices
+        down loses data outright; every other struck array starts (or
+        queues) a rebuild immediately -- the simultaneous rebuild storm
+        that contention-aware repair stretches.
+        """
+        group = self._shock_groups[event.payload["group"]]
+        self._schedule_shock(event.payload["group"], event.time)
+        struck: list[int] = []
+        for a, d in group.devices:
+            array = self.cluster.arrays[a]
+            if array.device_failed[d]:
+                continue
+            if group.kill_probability < 1.0 \
+                    and self.rng.random() >= group.kill_probability:
+                continue
+            pending = self._pending_failure.pop((a, d), None)
+            if pending is not None:
+                self.queue.cancel(pending)
+            array.fail_device(d)
+            if a not in struck:
+                struck.append(a)
+        for a in struck:
+            array = self.cluster.arrays[a]
+            if array.num_failed > array.coverage.m:
+                return f"{group.level}_shock_exceeds_m"
+        for a in struck:
+            self._start_or_queue_rebuild(a, event.time)
         return None
 
     def _on_stripe_write(self, event: Event) -> str | None:

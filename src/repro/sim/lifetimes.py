@@ -60,6 +60,20 @@ class LifetimeModel(abc.ABC):
     def mean_hours(self) -> float:
         """Expected lifetime (MTTF) in hours."""
 
+    def time_scaled(self, factor: float) -> "LifetimeModel":
+        """Accelerated-failure-time scaling: every lifetime divided by
+        ``factor``.
+
+        This is how correlated-batch wear
+        (:class:`repro.sim.domains.FailureDomains.batch_accel`) is
+        applied: a bad-batch device's lifetime is the base model's draw
+        divided by the acceleration, so an exponential device simply
+        fails at ``factor * lambda`` while a Weibull device keeps its
+        shape and shrinks its characteristic life.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support time scaling")
+
 
 class ExponentialLifetime(LifetimeModel):
     """Memoryless lifetimes with MTTF ``1/λ`` (the paper's assumption)."""
@@ -91,6 +105,11 @@ class ExponentialLifetime(LifetimeModel):
     def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
         x = np.asarray(hours, dtype=float)
         return np.where(x >= 0.0, -x / self.mttf_hours, 0.0)
+
+    def time_scaled(self, factor: float) -> "ExponentialLifetime":
+        if factor <= 0:
+            raise ValueError("time-scaling factor must be positive")
+        return ExponentialLifetime(self.mttf_hours / factor)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExponentialLifetime(mttf={self.mttf_hours:g}h)"
@@ -141,6 +160,12 @@ class WeibullLifetime(LifetimeModel):
         x = np.asarray(hours, dtype=float)
         z = (x - self.location_hours) / self.scale_hours
         return np.where(z > 0.0, -np.maximum(z, 0.0) ** self.shape, 0.0)
+
+    def time_scaled(self, factor: float) -> "WeibullLifetime":
+        if factor <= 0:
+            raise ValueError("time-scaling factor must be positive")
+        return WeibullLifetime(self.scale_hours / factor, self.shape,
+                               self.location_hours / factor)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"WeibullLifetime(scale={self.scale_hours:g}h, "
@@ -230,6 +255,10 @@ class BiasedLifetime(LifetimeModel):
         """Log-likelihood ratio for surviving past age ``hours``."""
         return (np.asarray(self.target.log_survival(hours))
                 - np.asarray(self.proposal.log_survival(hours)))
+
+    def time_scaled(self, factor: float) -> "BiasedLifetime":
+        return BiasedLifetime(self.target.time_scaled(factor),
+                              self.proposal.time_scaled(factor))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"BiasedLifetime(target={self.target!r}, "

@@ -7,28 +7,38 @@ lifetimes advance together as numpy lanes.  Each lane is one array of
 small damage-state machine:
 
 * the absolute failure time of every healthy device,
-* the number of currently failed devices, and
+* the number of currently failed devices,
 * the completion time of the in-flight rebuild (devices are rebuilt one
   at a time at the repair model's rate, matching the Markov chains of
-  :mod:`repro.reliability.markov`).
+  :mod:`repro.reliability.markov`), and
+* -- when a :class:`~repro.sim.domains.FailureDomains` spec is attached
+  -- the next arrival time of each domain-shock process touching the
+  array (a compound-Poisson term: a rack/enclosure shock fails every
+  healthy member device at once, each independently with the domain's
+  kill probability), with bad-batch devices drawing accelerated
+  lifetimes.
 
 Every round, each active lane processes its next event -- a device
-failure or a rebuild completion.  A failure with ``m`` devices already
-down loses data; a rebuild that completes in *critical mode* (exactly
-``m`` devices down) trips over unrecoverable sector damage with
-probability ``p_arr``, the same ``P_arr`` from
-:func:`repro.reliability.mttdl.p_array` (Eq. 10-11) that the analysis
-layer uses.  Keeping *absolute* failure times makes the scheme exact for
-non-memoryless (Weibull) lifetimes too: a surviving device's failure
-time was fixed when it was installed and simply carries over across
-rounds.
+failure, a rebuild completion or a domain shock.  A failure (or a shock)
+that leaves more than ``m`` devices down loses data; a rebuild that
+completes in *critical mode* (exactly ``m`` devices down) trips over
+unrecoverable sector damage with probability ``p_arr``, the same
+``P_arr`` from :func:`repro.reliability.mttdl.p_array` (Eq. 10-11) that
+the analysis layer uses.  Keeping *absolute* failure times makes the
+scheme exact for non-memoryless (Weibull) lifetimes too: a surviving
+device's failure time was fixed when it was installed and simply
+carries over across rounds.
 
 In the exponential case the estimated MTTDL must statistically agree
 with the closed form (m = 1, Eq. 10) and with the general-m Markov chain
 of :func:`repro.reliability.markov.mttdl_arr_m_parity` -- the
-cross-validation asserted in the test suite.  Repair-bandwidth
-contention, scrub intervals and workload effects are out of scope here;
-the event engine of :mod:`repro.sim.events` covers those.
+cross-validation asserted in the test suite; with an inert domain spec
+(every shock rate zero, no batch wear) the runner is bit-for-bit
+identical to the independent-failure path.  Each lane models its own
+array's shock processes (the marginal law), which is exact for
+single-array clusters; cross-array shock coupling (several arrays
+sharing a struck rack) is the event engine's territory, as are
+repair-bandwidth contention, scrub intervals and workload effects.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.reliability.mttdl import (
 )
 from repro.reliability.sector_models import SectorFailureModel
 from repro.sim.cluster import CoverageModel
+from repro.sim.domains import FailureDomains, shock_group_arrays
 from repro.sim.lifetimes import (
     BiasedLifetime,
     ExponentialLifetime,
@@ -233,6 +244,7 @@ def simulate_array_lifetimes(n: int,
                              repair: RepairModel | None = None,
                              horizon_hours: float | None = None,
                              m: int = 1,
+                             domains: FailureDomains | None = None,
                              ) -> MonteCarloResult:
     """Simulate ``trials`` independent single-array lifetimes.
 
@@ -243,12 +255,14 @@ def simulate_array_lifetimes(n: int,
     probability ``p_arr`` (computed upstream from the code's coverage
     and the sector-failure model, Eq. 11).  Devices are rebuilt one at a
     time, matching the Markov chains of :mod:`repro.reliability.markov`.
+    ``domains`` adds correlated rack/enclosure shocks and batch wear
+    (see :class:`~repro.sim.domains.FailureDomains`).
     """
     times, log_w = _vectorized_lifetimes(n, p_arr, trials, 1, m,
                                          _as_rng(seed),
                                          lifetime or ExponentialLifetime(),
                                          repair or ExponentialRepair(),
-                                         horizon_hours)
+                                         horizon_hours, domains)
     return MonteCarloResult(times, horizon_hours,
                             {"n": n, "m": m, "p_arr": p_arr,
                              "num_arrays": 1}, log_weights=log_w)
@@ -263,6 +277,7 @@ def simulate_cluster_lifetimes(n: int,
                                repair: RepairModel | None = None,
                                horizon_hours: float | None = None,
                                m: int = 1,
+                               domains: FailureDomains | None = None,
                                ) -> MonteCarloResult:
     """Simulate ``trials`` cluster lifetimes: ``num_arrays`` arrays of
     ``n`` devices each (``m``-fault-tolerant); the cluster loses data
@@ -271,13 +286,16 @@ def simulate_cluster_lifetimes(n: int,
     All arrays advance as independent vector lanes; a lane retires as
     soon as its clock passes its trial's best loss time, so work scales
     with the *cluster* lifetime rather than with full per-array
-    absorption.
+    absorption.  With ``domains``, every lane carries its own array's
+    shock processes (the per-array marginal law -- exact for
+    ``num_arrays == 1``; for shared racks across arrays the event
+    engine is the ground truth).
     """
     times, log_w = _vectorized_lifetimes(n, p_arr, trials, num_arrays, m,
                                          _as_rng(seed),
                                          lifetime or ExponentialLifetime(),
                                          repair or ExponentialRepair(),
-                                         horizon_hours)
+                                         horizon_hours, domains)
     return MonteCarloResult(times, horizon_hours,
                             {"n": n, "m": m, "p_arr": p_arr,
                              "num_arrays": num_arrays}, log_weights=log_w)
@@ -288,13 +306,16 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
                           rng: np.random.Generator,
                           lifetime: LifetimeModel, repair: RepairModel,
                           horizon_hours: float | None,
+                          domains: FailureDomains | None = None,
                           ) -> tuple[np.ndarray, np.ndarray | None]:
     """Advance every lane one event per round until loss or retirement.
 
     Per-lane state: ``next_fail`` (absolute failure time per device,
-    ``inf`` once a device is down), ``num_failed`` and ``rebuild_done``
-    (``inf`` while no rebuild is in flight).  The invariant is that a
-    rebuild is in flight iff at least one device is down.
+    ``inf`` once a device is down), ``num_failed``, ``rebuild_done``
+    (``inf`` while no rebuild is in flight) and -- with active shock
+    domains -- ``next_shock`` (absolute next-arrival time of each shock
+    group touching the array).  The invariant is that a rebuild is in
+    flight iff at least one device is down.
 
     Returns ``(times, log_weights)``.  When ``lifetime`` is a
     :class:`BiasedLifetime` every draw is scored with its full density
@@ -303,6 +324,11 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
     estimator unbiased for the target distribution but its variance
     grows quickly with acceleration -- suitable for *mild* biasing only;
     ultra-reliable configurations belong to :mod:`repro.sim.rare`.
+    Shock arrivals and kills are always drawn at their *true* rates, so
+    they contribute no weight.  When the domain spec is inert (no
+    shocks, no batch wear) this function consumes the identical random
+    stream as with ``domains=None`` -- the independent limit is
+    bit-for-bit exact.
     """
     if m < 1:
         raise ValueError("m must be >= 1")
@@ -318,10 +344,36 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
     lanes = trials * num_arrays
     trial_of = np.repeat(np.arange(trials), num_arrays)
     biased = isinstance(lifetime, BiasedLifetime)
+
+    # Failure-domain structure: per-device lifetime accelerations (the
+    # bad batch) and the array's shock groups.  ``mult`` stays None when
+    # inert so the independent path is untouched.
+    mult: np.ndarray | None = None
+    groups = ()
+    if domains is not None:
+        if domains.has_batch_wear:
+            if biased:
+                raise ValueError(
+                    "batch-accelerated lifetimes cannot be combined with "
+                    "a BiasedLifetime proposal in the lane machine (the "
+                    "full-draw weights would score the wrong density); "
+                    "use repro.sim.rare, which supports both"
+                )
+            mult = domains.rate_multipliers(n)
+        if domains.has_shocks:
+            # array_shock_groups already omits zero-rate/empty groups.
+            groups = domains.array_shock_groups(n)
+    if groups:
+        member_mask, rates, kill_prob = shock_group_arrays(groups, n)
+        shock_scale = 1.0 / rates
+        next_shock = rng.exponential(shock_scale, size=(lanes, len(groups)))
+
     lane_log_w = np.zeros(lanes) if biased else None
     next_fail = lifetime.sample(rng, (lanes, n))
     if biased:
         lane_log_w += lifetime.log_weight(next_fail).sum(axis=1)
+    if mult is not None:
+        next_fail /= mult
     rebuild_done = np.full(lanes, math.inf)
     num_failed = np.zeros(lanes, dtype=np.int32)
     # Best (earliest) loss time seen per trial; lanes that can no longer
@@ -338,8 +390,17 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
         dev = nf.argmin(axis=1)
         t_fail = nf[np.arange(active.size), dev]
         t_rebuild = rebuild_done[active]
-        fail_first = t_fail <= t_rebuild
-        t = np.where(fail_first, t_fail, t_rebuild)
+        if groups:
+            ns = next_shock[active]
+            grp = ns.argmin(axis=1)
+            t_shock = ns[np.arange(active.size), grp]
+            fail_first = (t_fail <= t_rebuild) & (t_fail <= t_shock)
+            shock_first = ~fail_first & (t_shock < t_rebuild)
+            t = np.minimum(np.minimum(t_fail, t_rebuild), t_shock)
+        else:
+            fail_first = t_fail <= t_rebuild
+            shock_first = np.zeros(active.size, dtype=bool)
+            t = np.where(fail_first, t_fail, t_rebuild)
 
         # Lane times are monotone, so a lane whose next event cannot beat
         # its trial's cutoff never will: retire it before processing.
@@ -351,21 +412,54 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
             dev = dev[alive]
             t = t[alive]
             fail_first = fail_first[alive]
+            shock_first = shock_first[alive]
+            if groups:
+                grp = grp[alive]
         lane_trials = trial_of[active]
         f = num_failed[active]
 
+        # Domain shocks: every healthy member of the struck group fails
+        # at once (each independently with the kill probability); losing
+        # more than m devices is fatal.  The shock clock always advances.
+        shock_lose = np.zeros(active.size, dtype=bool)
+        if shock_first.any():
+            rows = active[shock_first]
+            g = grp[shock_first]
+            next_shock[rows, g] = (t[shock_first]
+                                   + rng.exponential(shock_scale[g]))
+            candidates = member_mask[g] & np.isfinite(next_fail[rows])
+            killed = candidates & (rng.random(candidates.shape)
+                                   < kill_prob[g][:, None])
+            kcount = killed.sum(axis=1).astype(np.int32)
+            next_fail[rows] = np.where(killed, math.inf, next_fail[rows])
+            num_failed[rows] += kcount
+            shock_lose[shock_first] = num_failed[rows] > m
+
         # A failure with m devices already down is fatal; a rebuild
         # completing in critical mode trips sector damage w.p. p_arr.
-        critical_rebuild = ~fail_first & (f == m)
+        rebuild_now = ~fail_first & ~shock_first
+        critical_rebuild = rebuild_now & (f == m)
         trip = np.zeros(active.size, dtype=bool)
         num_critical = int(critical_rebuild.sum())
         if p_arr > 0.0 and num_critical:
             trip[critical_rebuild] = rng.random(num_critical) < p_arr
-        loses = (fail_first & (f == m)) | trip
+        loses = (fail_first & (f == m)) | trip | shock_lose
         if loses.any():
             np.minimum.at(cutoff, lane_trials[loses], t[loses])
             lost[lane_trials[loses]] = True
         keep = ~loses
+
+        # Shock survivors with new casualties: start a rebuild if none
+        # is in flight (devices rebuild one at a time).
+        surv_shock = shock_first & keep
+        shock_lanes = active[surv_shock]
+        if shock_lanes.size:
+            idle = (np.isinf(rebuild_done[shock_lanes])
+                    & (num_failed[shock_lanes] > 0))
+            started = shock_lanes[idle]
+            if started.size:
+                rebuild_done[started] = (t[surv_shock][idle]
+                                         + repair.sample(rng, started.size))
 
         # Surviving failures: device goes down; start a rebuild if none
         # is in flight (devices rebuild one at a time).
@@ -382,13 +476,15 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
 
         # Surviving rebuild completions: restore one failed device with a
         # fresh lifetime; chain the next rebuild if more are down.
-        surv_rebuild = ~fail_first & keep
+        surv_rebuild = rebuild_now & keep
         rebuild_lanes = active[surv_rebuild]
         if rebuild_lanes.size:
             restored = np.isinf(next_fail[rebuild_lanes]).argmax(axis=1)
             fresh = lifetime.sample(rng, rebuild_lanes.size)
             if biased:
                 lane_log_w[rebuild_lanes] += lifetime.log_weight(fresh)
+            if mult is not None:
+                fresh = fresh / mult[restored]
             next_fail[rebuild_lanes, restored] = t[surv_rebuild] + fresh
             num_failed[rebuild_lanes] -= 1
             rebuild_done[rebuild_lanes] = math.inf
@@ -428,6 +524,7 @@ def simulate_code_mttdl(code: StripeCode | CodeReliability,
                         lifetime: LifetimeModel | None = None,
                         repair: RepairModel | None = None,
                         horizon_hours: float | None = None,
+                        domains: FailureDomains | None = None,
                         ) -> MonteCarloResult:
     """Monte Carlo MTTDL of a code under the paper's system parameters.
 
@@ -436,7 +533,10 @@ def simulate_code_mttdl(code: StripeCode | CodeReliability,
     default to the exponential models with the paper's 1/λ and 1/μ.
     Any ``m >= 1`` is supported: the lane state machine tolerates
     ``params.m`` concurrent device failures, and for a concrete code the
-    code's own ``m`` must match ``params.m``.
+    code's own ``m`` must match ``params.m``.  ``domains`` adds
+    correlated rack/enclosure shocks and batch wear; note that the §7
+    analytic MTTDL is then only an independent-failure reference, not an
+    expected match.
     """
     params = params or SystemParameters()
     if isinstance(code, CodeReliability):
@@ -463,6 +563,6 @@ def simulate_code_mttdl(code: StripeCode | CodeReliability,
     result = simulate_cluster_lifetimes(
         params.n, num_arrays, parr, trials, seed,
         lifetime=lifetime, repair=repair, horizon_hours=horizon_hours,
-        m=params.m)
+        m=params.m, domains=domains)
     result.metadata["code"] = reliability.label()
     return result

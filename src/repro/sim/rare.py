@@ -33,11 +33,31 @@ biased sector trip.  Scoring only *observed* information (not full
 unused draws) is what keeps the weight variance bounded under strong
 acceleration.
 
+**Correlated failure domains.**  A
+:class:`~repro.sim.domains.FailureDomains` spec folds rack/enclosure
+shocks and batch wear into the same decomposition.  Shock processes are
+Poisson and batch-accelerated lifetimes stay exponential (per-device
+rates ``λ_i``), so the all-healthy state remains a regeneration point;
+the up phase now ends at rate ``Λ + S`` where ``Λ = Σ λ_i`` and ``S``
+is the total rate of shocks that kill at least one device, and a busy
+period can *start* with several devices down (a multi-kill shock).  The
+initial event's type is oversampled toward shocks (a Bernoulli
+proposal, reweighted exactly); within the busy period shock *arrivals*
+are accelerated by the same θ as the lifetimes and scored with their
+interarrival density/survival ratios (otherwise shock-supplied
+critical-mode failures would be sampled ~θ-times too rarely and the
+finite-sample estimate would lean optimistic), while kill draws use
+their true probabilities and carry no weight.  A device killed by a
+shock is scored with its *survival* ratio at its age (it was only
+observed to have survived that long), never its density.
+
 The estimator is validated against the general birth-death chain of
 :func:`repro.reliability.markov.mttdl_arr_m_parity` at the paper's true
 parameters -- the cross-check the validation bench
 (:mod:`repro.bench.sim_validation`) previously sidestepped with an
-accelerated-failure surrogate.  Unlike the chain, the busy-period
+accelerated-failure surrogate -- and, for single-device shock groups
+(domain-spread placement with ``racks >= n``), against the same chain
+at the effective rate ``λ + s``.  Unlike the chain, the busy-period
 simulation accepts any :class:`~repro.sim.lifetimes.RepairModel`
 (deterministic and bandwidth-derived rebuilds included); exponential
 *lifetimes* are required by the regeneration argument.
@@ -70,6 +90,7 @@ from repro.sim.montecarlo import (
     code_reliability_from_code,
 )
 from repro.sim.cluster import CoverageModel
+from repro.sim.domains import FailureDomains, shock_group_arrays
 
 #: Under balanced biasing a busy period is a near-symmetric random walk
 #: on m + 1 states -- a few dozen events at most; this valve only trips
@@ -83,6 +104,15 @@ MAX_CYCLE_ROUNDS = 100_000
 #: ``P_arr ~ 1e-9``.
 TRIP_BIAS_FLOOR = 0.05
 
+#: Minimum proposal probability that a regeneration cycle *starts* with
+#: a domain shock rather than a single device failure.  Real shock
+#: rates are often orders of magnitude below the aggregate failure rate
+#: while multi-kill shocks dominate the loss probability; oversampling
+#: the initial event type (and reweighting the Bernoulli choice
+#: exactly) keeps those paths represented without waiting ~1/P(shock)
+#: cycles.
+SHOCK_INIT_BIAS_FLOOR = 0.2
+
 
 @dataclass
 class RareEventResult:
@@ -92,6 +122,14 @@ class RareEventResult:
     per-array estimate is ``mttdl_hours * num_arrays``.  Cycle-level
     quantities (``loss_probability``, ``mean_up_hours``,
     ``mean_busy_hours``) describe one array's regeneration cycle.
+
+    Usage -- always read the estimate together with its diagnostics::
+
+        result = estimate_rare_mttdl(8, 4.4e-9, m=2, seed=0)
+        low, high = result.mttdl_confidence(z=3.0)
+        result.relative_std_error     # met the stopping target?
+        result.effective_sample_size  # healthy: double-digit % of cycles
+        result.summary()              # everything as one dict
     """
 
     mttdl_hours: float
@@ -148,6 +186,11 @@ def balanced_acceleration(n: int, lifetime_mean_hours: float,
     rebuild-completion rates equal, so reaching the loss state costs
     ~``2^-m`` per cycle instead of ``(λ/μ)^m``.  Never decelerates:
     already-fast configurations get ``θ = 1`` (plain sampling).
+
+    Usage::
+
+        theta = balanced_acceleration(8, 500_000.0, 17.8)   # ~4000x
+        estimate_rare_mttdl(8, 1e-8, m=2, acceleration=theta)
     """
     theta = lifetime_mean_hours / ((n - 1) * repair_mean_hours)
     return max(1.0, theta)
@@ -281,6 +324,255 @@ def _biased_busy_cycles(n: int, m: int, p_arr: float, batch: int,
     return loss, duration, log_w
 
 
+def _conditional_kill_patterns(member: np.ndarray, p: np.ndarray,
+                               rng: np.random.Generator) -> np.ndarray:
+    """Bernoulli kill patterns over group members, conditioned on >= 1.
+
+    ``member`` is a ``(rows, n)`` bool mask of each row's group
+    membership and ``p`` the per-row kill probability.  Sampling is by
+    vectorized rejection (redrawing only the all-zero rows), exact for
+    the conditional distribution; the expected number of rounds is
+    ``1 / (1 - (1 - p)^size)`` -- one round for the default kill
+    probability of 1.
+    """
+    pattern = np.zeros_like(member)
+    todo = np.arange(member.shape[0])
+    for _ in range(100_000):
+        if todo.size == 0:
+            return pattern
+        draws = member[todo] & (
+            rng.random((todo.size, member.shape[1])) < p[todo, None])
+        ok = draws.any(axis=1)
+        pattern[todo[ok]] = draws[ok]
+        todo = todo[~ok]
+    raise RuntimeError(  # pragma: no cover - needs p ~ 1e-5 on tiny groups
+        "conditional kill-pattern sampling did not converge; the domain "
+        "kill probability is too small for rejection sampling")
+
+
+def _domain_busy_cycles(n: int, m: int, p_arr: float, batch: int,
+                        rng: np.random.Generator,
+                        lam: np.ndarray, theta: float,
+                        repair: RepairModel, trip_bias: float,
+                        groups: tuple,
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Simulate ``batch`` busy periods with failure domains active.
+
+    The generalisation of :func:`_biased_busy_cycles` to per-device
+    exponential rates ``lam`` (batch-accelerated devices simply carry a
+    larger rate) and compound-Poisson domain shocks ``groups``
+    (:class:`~repro.sim.domains.ShockGroup` instances over device
+    indices of one array).  Lifetimes are drawn from the accelerated
+    proposal ``Exp(theta * lam_i)`` and scored with exact
+    density/survival ratios against ``Exp(lam_i)``.  Busy-period shock
+    *arrivals* are accelerated by the same ``theta`` and scored with
+    the matching interarrival density/survival ratios -- without this,
+    loss paths in which a shock supplies one of the critical-mode
+    failures would be sampled ~``theta``-times too rarely, and the
+    finite-sample estimate would be biased optimistic whenever shocks
+    carry a real share of the hazard.  Kill draws stay at their true
+    probabilities (weight 1), as does the busy period's *initial* event
+    mixture (reweighted exactly when the shock/failure Bernoulli is
+    biased toward shocks).
+
+    A cycle's initial event is a single device failure (device chosen
+    ``∝ lam_i``) or a shock killing ``K >= 1`` members of one group
+    (group chosen ``∝`` its kill rate, pattern from the conditional
+    Bernoulli law); ``K > m`` is an immediate loss at duration 0.
+    Returns ``(loss, duration, log_weight)`` per lane.
+    """
+    q = trip_bias
+    if q != p_arr:
+        log_w_trip = math.log(p_arr / q) if p_arr > 0.0 else -math.inf
+        log_w_no_trip = (math.log((1.0 - p_arr) / (1.0 - q))
+                         if q < 1.0 else -math.inf)
+    total_rate = float(lam.sum())
+    prop_rate = theta * lam
+    log_theta = math.log(theta)
+    G = len(groups)
+    if G:
+        member, shock_rate, kill_prob = shock_group_arrays(groups, n)
+        prop_shock_scale = 1.0 / (theta * shock_rate)
+        kill_rate = np.array([g.kill_rate_per_hour for g in groups])
+        total_kill_rate = float(kill_rate.sum())
+    else:
+        total_kill_rate = 0.0
+    true_shock = total_kill_rate / (total_rate + total_kill_rate)
+    q_shock = (max(true_shock, SHOCK_INIT_BIAS_FLOOR)
+               if total_kill_rate > 0.0 else 0.0)
+
+    log_w = np.zeros(batch)
+    install = np.zeros((batch, n))
+    next_fail = rng.standard_exponential((batch, n)) / prop_rate
+    num_failed = np.zeros(batch, dtype=np.int32)
+
+    # --- the event that ends the up phase and opens the busy period ---
+    shock_init = np.zeros(batch, dtype=bool)
+    if q_shock > 0.0:
+        shock_init = rng.random(batch) < q_shock
+        if q_shock != true_shock:
+            log_w += np.where(
+                shock_init, math.log(true_shock / q_shock),
+                math.log((1.0 - true_shock) / (1.0 - q_shock)))
+    fail_lanes = np.flatnonzero(~shock_init)
+    if fail_lanes.size:
+        first = rng.choice(n, fail_lanes.size, p=lam / total_rate)
+        next_fail[fail_lanes, first] = math.inf
+        num_failed[fail_lanes] = 1
+    shock_lanes = np.flatnonzero(shock_init)
+    if shock_lanes.size:
+        g0 = rng.choice(G, shock_lanes.size, p=kill_rate / total_kill_rate)
+        pattern = _conditional_kill_patterns(member[g0], kill_prob[g0], rng)
+        next_fail[shock_lanes] = np.where(pattern, math.inf,
+                                          next_fail[shock_lanes])
+        num_failed[shock_lanes] = pattern.sum(axis=1)
+
+    rebuild_done = np.asarray(repair.sample(rng, batch), dtype=float)
+    if G:
+        # Accelerated shock clocks; ``last_shock`` tracks each group's
+        # previous (biased) arrival so interarrival ratios can be
+        # scored, with the busy start as the memoryless epoch.
+        next_shock = rng.exponential(prop_shock_scale, size=(batch, G))
+        last_shock = np.zeros((batch, G))
+    loss = num_failed > m   # a multi-kill shock can lose data outright
+    duration = np.zeros(batch)
+    active = np.flatnonzero(~loss)
+
+    for _ in range(MAX_CYCLE_ROUNDS):
+        if active.size == 0:
+            break
+        nf = next_fail[active]
+        dev = nf.argmin(axis=1)
+        t_fail = nf[np.arange(active.size), dev]
+        t_rebuild = rebuild_done[active]
+        if G:
+            ns = next_shock[active]
+            grp = ns.argmin(axis=1)
+            t_shock = ns[np.arange(active.size), grp]
+            fail_first = (t_fail <= t_rebuild) & (t_fail <= t_shock)
+            shock_first = ~fail_first & (t_shock < t_rebuild)
+            t = np.minimum(np.minimum(t_fail, t_rebuild), t_shock)
+        else:
+            fail_first = t_fail <= t_rebuild
+            shock_first = np.zeros(active.size, dtype=bool)
+            t = np.where(fail_first, t_fail, t_rebuild)
+        f = num_failed[active]
+        done = np.zeros(active.size, dtype=bool)
+
+        # Domain shocks: score the accelerated arrival (interarrival
+        # density ratio), advance the group's clock, kill each healthy
+        # member w.p. its true kill probability (no weight), score the
+        # killed devices' *survival* to the shock time, lose data if
+        # more than m devices end up down.
+        if shock_first.any():
+            rows = active[shock_first]
+            g = grp[shock_first]
+            gap = t[shock_first] - last_shock[rows, g]
+            log_w[rows] += -log_theta + gap * shock_rate[g] * (theta - 1.0)
+            last_shock[rows, g] = t[shock_first]
+            next_shock[rows, g] = (t[shock_first]
+                                   + rng.exponential(prop_shock_scale[g]))
+            candidates = member[g] & np.isfinite(next_fail[rows])
+            killed = candidates & (rng.random(candidates.shape)
+                                   < kill_prob[g][:, None])
+            kcount = killed.sum(axis=1).astype(np.int32)
+            ages = (t[shock_first][:, None] - install[rows]) * killed
+            log_w[rows] += (ages * lam * (theta - 1.0)).sum(axis=1)
+            next_fail[rows] = np.where(killed, math.inf, next_fail[rows])
+            num_failed[rows] += kcount
+            fatal = num_failed[rows] > m
+            if fatal.any():
+                fatal_lanes = rows[fatal]
+                loss[fatal_lanes] = True
+                duration[fatal_lanes] = t[shock_first][fatal]
+                done[np.flatnonzero(shock_first)[fatal]] = True
+            # Surviving struck lanes need no rebuild bookkeeping: a
+            # rebuild is always in flight during a busy period (armed
+            # at busy start, re-armed on chaining, and a lane with
+            # nothing left to rebuild regenerates the same round).
+
+        # Device failures: score the observed lifetime against its own
+        # per-device rate, mark the device down, lose data if m devices
+        # were already down.
+        if fail_first.any():
+            lanes = active[fail_first]
+            d = dev[fail_first]
+            ages = t[fail_first] - install[lanes, d]
+            log_w[lanes] += -log_theta + ages * lam[d] * (theta - 1.0)
+            next_fail[lanes, d] = math.inf
+            fatal = f[fail_first] == m
+            if fatal.any():
+                fatal_lanes = lanes[fatal]
+                loss[fatal_lanes] = True
+                duration[fatal_lanes] = t[fail_first][fatal]
+                done[np.flatnonzero(fail_first)[fatal]] = True
+            grew = lanes[~fatal]
+            if grew.size:
+                num_failed[grew] += 1
+
+        # Rebuild completions: biased critical-mode sector trip, then
+        # restore one device with a fresh (accelerated) lifetime; the
+        # cycle regenerates when no device is left down.
+        rebuilt = ~fail_first & ~shock_first
+        if rebuilt.any():
+            lanes = active[rebuilt]
+            critical = f[rebuilt] == m
+            trip = np.zeros(lanes.size, dtype=bool)
+            num_critical = int(critical.sum())
+            if num_critical and q > 0.0:
+                fired = rng.random(num_critical) < q
+                trip[critical] = fired
+                if q != p_arr:
+                    log_w[lanes[critical]] += np.where(
+                        fired, log_w_trip, log_w_no_trip)
+            if trip.any():
+                trip_lanes = lanes[trip]
+                loss[trip_lanes] = True
+                duration[trip_lanes] = t[rebuilt][trip]
+                done[np.flatnonzero(rebuilt)[trip]] = True
+            ok = ~trip
+            ok_lanes = lanes[ok]
+            if ok_lanes.size:
+                restored = np.isinf(next_fail[ok_lanes]).argmax(axis=1)
+                fresh = (rng.standard_exponential(ok_lanes.size)
+                         / prop_rate[restored])
+                next_fail[ok_lanes, restored] = t[rebuilt][ok] + fresh
+                install[ok_lanes, restored] = t[rebuilt][ok]
+                num_failed[ok_lanes] -= 1
+                rebuild_done[ok_lanes] = math.inf
+                more = num_failed[ok_lanes] > 0
+                chained = ok_lanes[more]
+                if chained.size:
+                    rebuild_done[chained] = (
+                        t[rebuilt][ok][more]
+                        + repair.sample(rng, chained.size))
+                regen = ok_lanes[~more]
+                if regen.size:
+                    duration[regen] = t[rebuilt][ok][~more]
+                    done[np.flatnonzero(rebuilt)[ok][~more]] = True
+
+        # Cycle over: score the survival of devices still alive, and of
+        # every (accelerated) shock clock since its last arrival.
+        if done.any():
+            ended = active[done]
+            alive = np.isfinite(next_fail[ended])
+            ages = (duration[ended][:, None] - install[ended]) * alive
+            log_w[ended] += ((ages * lam * (theta - 1.0))
+                             * alive).sum(axis=1)
+            if G:
+                quiet = duration[ended][:, None] - last_shock[ended]
+                log_w[ended] += (quiet * shock_rate
+                                 * (theta - 1.0)).sum(axis=1)
+            active = active[~done]
+    else:  # pragma: no cover - safety valve
+        raise RuntimeError(
+            f"busy period did not finish within {MAX_CYCLE_ROUNDS} events; "
+            "the biasing proposal is pathological (acceleration too strong, "
+            "repair model degenerate, or shock rate overwhelming repair)"
+        )
+    return loss, duration, log_w
+
+
 @dataclass
 class _Moments:
     """Streaming sums for the ratio estimator and its delta-method SE.
@@ -352,6 +644,7 @@ def estimate_rare_mttdl(n: int,
                         target_rel_se: float = 0.02,
                         max_cycles: int = 4_000_000,
                         batch_cycles: int = 50_000,
+                        domains: FailureDomains | None = None,
                         ) -> RareEventResult:
     """Importance-sampled MTTDL of an ``m``-fault-tolerant array/cluster.
 
@@ -367,10 +660,32 @@ def estimate_rare_mttdl(n: int,
     :data:`TRIP_BIAS_FLOOR`); estimates are unbiased for any choice,
     only the variance changes.
 
+    Usage -- the paper's m = 2 operating point, then a correlated
+    variant of it::
+
+        from repro.sim import FailureDomains, estimate_rare_mttdl
+
+        result = estimate_rare_mttdl(n=8, p_arr=4.4e-9, m=2, seed=0)
+        result.mttdl_hours            # ~1e12 h, in milliseconds
+        shocked = estimate_rare_mttdl(
+            n=8, p_arr=4.4e-9, m=2, seed=0,
+            domains=FailureDomains(racks=4,
+                                   rack_shock_rate_per_hour=1e-7))
+        shocked.mttdl_hours < result.mttdl_hours   # correlation hurts
+
+    ``domains`` folds rack/enclosure shocks and batch wear into the
+    regeneration cycle (see the module docstring for the adapted
+    decomposition and weights); shocks stay memoryless, so the
+    estimator is still exact-in-expectation.
+
     For ``num_arrays > 1`` the cluster MTTDL is the per-array value
     divided by the array count -- exact in the regenerative limit where
     busy periods (hours) are negligible against up phases (years), the
-    same superposition argument the analytic layer uses (Eq. 9).
+    same superposition argument the analytic layer uses (Eq. 9).  With
+    shock domains this additionally treats each array's shock process
+    as independent (exact for contiguous placement with
+    ``racks >= num_arrays``; a marginally-exact approximation when
+    arrays share racks -- the event engine captures the coupling).
     """
     if m < 1:
         raise ValueError("m must be >= 1")
@@ -397,9 +712,29 @@ def estimate_rare_mttdl(n: int,
         )
     repair = repair or ExponentialRepair()
 
+    # With failure domains active the per-device rates may differ (the
+    # bad batch) and killing shocks shorten the up phase; the balanced
+    # acceleration generalises via the aggregate failure rate.
+    lam: np.ndarray | None = None
+    groups: tuple = ()
+    total_kill_rate = 0.0
+    if domains is not None:
+        lam = domains.rate_multipliers(n) / lifetime.mean_hours
+        # array_shock_groups already omits zero-rate/empty groups.
+        groups = domains.array_shock_groups(n)
+        total_kill_rate = sum(g.kill_rate_per_hour for g in groups)
+
     if acceleration is None:
-        acceleration = balanced_acceleration(n, lifetime.mean_hours,
-                                             repair.mean_hours)
+        if lam is None:
+            acceleration = balanced_acceleration(n, lifetime.mean_hours,
+                                                 repair.mean_hours)
+        else:
+            # Balance the combined (intrinsic + killing-shock) race:
+            # shocks are accelerated by the same theta as lifetimes.
+            acceleration = max(
+                1.0, n / ((n - 1)
+                          * (float(lam.sum()) + total_kill_rate)
+                          * repair.mean_hours))
     elif acceleration <= 0:
         raise ValueError("acceleration must be positive")
     if trip_bias is None:
@@ -415,15 +750,26 @@ def estimate_rare_mttdl(n: int,
             "under the proposal while the target allows it, so those loss "
             "paths would be silently missed; use trip_bias < 1"
         )
-    biased = BiasedLifetime.accelerated(lifetime, acceleration)
 
     rng = _as_rng(seed)
-    mean_up = lifetime.mean_hours / n
+    if lam is None:
+        biased = BiasedLifetime.accelerated(lifetime, acceleration)
+        mean_up = lifetime.mean_hours / n
+
+        def run_batch(batch: int):
+            return _biased_busy_cycles(n, m, p_arr, batch, rng, biased,
+                                       repair, trip_bias)
+    else:
+        mean_up = 1.0 / (float(lam.sum()) + total_kill_rate)
+
+        def run_batch(batch: int):
+            return _domain_busy_cycles(n, m, p_arr, batch, rng, lam,
+                                       acceleration, repair, trip_bias,
+                                       groups)
     moments = _Moments()
     while moments.n < max_cycles:
         batch = min(batch_cycles, max_cycles - moments.n)
-        loss, duration, log_w = _biased_busy_cycles(
-            n, m, p_arr, batch, rng, biased, repair, trip_bias)
+        loss, duration, log_w = run_batch(batch)
         moments.add(loss, duration, log_w)
         if moments.x_sum > 0.0 and moments.losses >= 2:
             mttdl, se = moments.estimate(mean_up)
@@ -448,7 +794,10 @@ def estimate_rare_mttdl(n: int,
         acceleration=acceleration,
         trip_bias=trip_bias,
         num_arrays=num_arrays,
-        metadata={"n": n, "m": m, "p_arr": p_arr},
+        metadata=({"n": n, "m": m, "p_arr": p_arr}
+                  if domains is None else
+                  {"n": n, "m": m, "p_arr": p_arr,
+                   "domains": domains.describe()}),
     )
 
 
@@ -460,6 +809,7 @@ def rare_event_code_mttdl(code: StripeCode | CodeReliability,
                           repair: RepairModel | None = None,
                           target_rel_se: float = 0.02,
                           max_cycles: int = 4_000_000,
+                          domains: FailureDomains | None = None,
                           ) -> RareEventResult:
     """Rare-event MTTDL of a code under the paper's system parameters.
 
@@ -469,6 +819,23 @@ def rare_event_code_mttdl(code: StripeCode | CodeReliability,
     lifetimes are the paper's exponential model with 1/λ from
     ``params`` -- no accelerated-failure surrogate needed even at the
     true 1/λ = 500,000 h.
+
+    Usage::
+
+        from repro.codes import parse_code_spec
+        from repro.reliability import IndependentSectorModel, \\
+            SystemParameters
+        from repro.sim import rare_event_code_mttdl
+
+        params = SystemParameters(m=2)
+        model = IndependentSectorModel.from_p_bit(1e-10, params.r,
+                                                  params.sector_bytes)
+        code = parse_code_spec("sd(n=8,r=16,m=2,s=2)")
+        result = rare_event_code_mttdl(code, model, params, seed=0)
+
+    ``domains`` threads a correlated failure-domain spec through to
+    :func:`estimate_rare_mttdl`; the §7 analytic chain is then only an
+    independent-failure reference.
     """
     params = params or SystemParameters()
     if isinstance(code, CodeReliability):
@@ -494,7 +861,7 @@ def rare_event_code_mttdl(code: StripeCode | CodeReliability,
         lifetime=ExponentialLifetime(params.mean_time_to_failure_hours),
         repair=repair or ExponentialRepair(params.mean_time_to_rebuild_hours),
         num_arrays=num_arrays, target_rel_se=target_rel_se,
-        max_cycles=max_cycles)
+        max_cycles=max_cycles, domains=domains)
     result.metadata["code"] = reliability.label()
     return result
 
@@ -511,6 +878,11 @@ def projected_direct_rounds(analytic_mttdl_hours: float, n: int,
     the mean, giving the estimate used by the CLI to decide when direct
     Monte Carlo is hopeless and the rare-event estimator should take
     over.
+
+    Usage::
+
+        projected_direct_rounds(1e12, n=8, lifetime_mean_hours=5e5,
+                                trials=1000)   # ~2e8: hopeless
     """
     expected_events = 2.0 * n * analytic_mttdl_hours / lifetime_mean_hours
     return expected_events * (math.log(max(trials, 1)) + 1.0)
@@ -519,7 +891,13 @@ def projected_direct_rounds(analytic_mttdl_hours: float, n: int,
 def direct_mc_is_tractable(analytic_mttdl_hours: float, n: int,
                            lifetime_mean_hours: float,
                            trials: int) -> bool:
-    """Would the direct runner finish inside its ``MAX_ROUNDS`` valve?"""
+    """Would the direct runner finish inside its ``MAX_ROUNDS`` valve?
+
+    Usage -- the CLI's auto-switchover predicate::
+
+        if not direct_mc_is_tractable(analytic, n, mttf, trials):
+            ...  # route to estimate_rare_mttdl instead
+    """
     return projected_direct_rounds(analytic_mttdl_hours, n,
                                    lifetime_mean_hours,
                                    trials) <= MAX_ROUNDS

@@ -170,3 +170,141 @@ def test_parser_defaults():
     assert args.mode == "montecarlo"
     assert args.trials == 1000
     assert args.seed == 0
+
+
+# --------------------------------------------------------------------------- #
+# Rare-event auto-switchover boundary
+# --------------------------------------------------------------------------- #
+def _projection_for(argv_mttf: float, trials: int) -> float:
+    """The projected direct-MC round count the CLI computes for the
+    default RS m=1 code at the given MTTF."""
+    from repro.codes.registry import parse_code_spec
+    from repro.reliability.mttdl import (SystemParameters,
+                                         mttdl_array_general)
+    from repro.reliability.sector_models import IndependentSectorModel
+    from repro.sim.montecarlo import code_reliability_from_code
+    from repro.sim.rare import projected_direct_rounds
+
+    code = parse_code_spec("rs(n=8,r=16,m=1)")
+    params = SystemParameters(mean_time_to_failure_hours=argv_mttf,
+                              n=code.n, r=code.r, m=1)
+    model = IndependentSectorModel.from_p_bit(1e-12, code.r,
+                                              params.sector_bytes)
+    analytic = mttdl_array_general(
+        code_reliability_from_code(code), params, model)
+    return projected_direct_rounds(analytic, code.n, argv_mttf, trials)
+
+
+def test_auto_switchover_boundary_just_below_the_valve(monkeypatch,
+                                                       capsys):
+    """Projected rounds a hair below the valve: the run must stay on
+    the direct path (no rare-event table), exercising the boundary the
+    endpoint tests never touch."""
+    import repro.sim.rare as rare
+    projected = _projection_for(20_000.0, trials=60)
+    monkeypatch.setattr(rare, "MAX_ROUNDS", projected * 1.01)
+    assert main(["--trials", "60", "--seed", "0", "--mttf", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "rare-event" not in out
+    assert "MTTDL (sim)" in out
+
+
+def test_auto_switchover_boundary_just_above_the_valve(monkeypatch,
+                                                       capsys):
+    """The same configuration with the valve a hair below the
+    projection must switch to the rare-event estimator."""
+    import repro.sim.rare as rare
+    projected = _projection_for(20_000.0, trials=60)
+    monkeypatch.setattr(rare, "MAX_ROUNDS", projected * 0.99)
+    assert main(["--trials", "60", "--seed", "0", "--mttf", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "rare-event (auto" in out
+    assert "MTTDL (rare-event)" in out
+
+
+# --------------------------------------------------------------------------- #
+# Failure-domain flags
+# --------------------------------------------------------------------------- #
+def test_domain_flags_default_to_no_domains(capsys):
+    assert main(["--trials", "50", "--seed", "0", "--mttf", "20000"]) == 0
+    assert "failure domains" not in capsys.readouterr().out
+
+
+def test_montecarlo_mode_with_rack_shocks_prints_independent_ref(capsys):
+    assert main(["--trials", "200", "--seed", "0", "--mttf", "20000",
+                 "--racks", "8", "--rack-shock-rate", "1e-4"]) == 0
+    out = capsys.readouterr().out
+    assert "failure domains" in out
+    assert "8 racks (spread)" in out
+    # The correlated run never claims 3-sigma agreement with the
+    # independent chain -- it prints it as a reference instead.
+    assert "analytic, independent ref" in out
+    assert "analytic within 3 sigma" not in out
+
+
+def test_inert_domain_flags_keep_the_analytic_verdict(capsys):
+    """Topology without correlation (racks > 1 but no shocks): the §7
+    chain still applies and the verdict row must stay."""
+    assert main(["--trials", "100", "--seed", "0", "--racks", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "failure domains" in out
+    assert "analytic within 3 sigma  yes" in out
+
+
+def test_events_mode_with_contiguous_rack_shocks(capsys):
+    assert main(["--mode", "events", "--trials", "3", "--seed", "0",
+                 "--stripes", "32", "--mttf", "50000",
+                 "--racks", "4", "--rack-shock-rate", "1e-4",
+                 "--placement", "contiguous", "--horizon", "50000"]) == 0
+    out = capsys.readouterr().out
+    assert "rack_shock_exceeds_m" in out
+
+
+def test_rare_event_with_domains_prints_independent_ref(capsys):
+    assert main(["--code", "sd(n=8,r=16,m=2,s=2)", "--rare-event",
+                 "--seed", "0", "--racks", "8",
+                 "--rack-shock-rate", "2e-6",
+                 "--rare-target-rel-se", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Rare-event cluster reliability" in out
+    assert "failure domains" in out
+    assert "analytic, independent ref" in out
+
+
+def test_batch_flags_thread_through(capsys):
+    assert main(["--trials", "200", "--seed", "0", "--mttf", "20000",
+                 "--batch-fraction", "0.5", "--batch-accel", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "batch 50% x4 accel" in out
+    assert "analytic, independent ref" in out
+
+
+def test_bad_domain_flags_exit_cleanly():
+    with pytest.raises(SystemExit, match="racks"):
+        main(["--racks", "0", "--trials", "10"])
+    with pytest.raises(SystemExit, match="kill_probability"):
+        main(["--racks", "2", "--rack-kill-prob", "0", "--trials", "10"])
+    with pytest.raises(SystemExit, match="placement|batch"):
+        main(["--batch-accel", "-1", "--trials", "10"])
+
+
+def test_help_epilog_points_at_failure_domain_docs(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    out = capsys.readouterr().out
+    assert "docs/failure-domains.md" in out
+    assert "--rack-shock-rate" in out
+
+
+def test_multi_array_shock_run_notes_the_marginal_law(capsys):
+    """The vectorized path drops cross-array shock coupling; with
+    several arrays and active shocks the table must say so."""
+    assert main(["--trials", "100", "--seed", "0", "--mttf", "20000",
+                 "--arrays", "3", "--racks", "8",
+                 "--rack-shock-rate", "1e-4"]) == 0
+    out = capsys.readouterr().out
+    assert "per-array marginal shock law" in out
+    # A single-array run is exact and must not carry the note.
+    assert main(["--trials", "100", "--seed", "0", "--mttf", "20000",
+                 "--racks", "8", "--rack-shock-rate", "1e-4"]) == 0
+    assert "marginal shock law" not in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""The failure-domain spec: validation, membership, shock groups."""
+
+import numpy as np
+import pytest
+
+from repro.sim.domains import FailureDomains, ShockGroup
+
+
+def test_default_spec_is_inert():
+    domains = FailureDomains()
+    assert domains.is_independent
+    assert not domains.has_shocks
+    assert not domains.has_batch_wear
+    assert domains.cluster_shock_groups(2, 8) == ()
+    assert domains.array_shock_groups(8) == ()
+
+
+def test_validation_rejects_bad_parameters():
+    with pytest.raises(ValueError, match="racks"):
+        FailureDomains(racks=0)
+    with pytest.raises(ValueError, match="rack_shock_rate"):
+        FailureDomains(rack_shock_rate_per_hour=-1.0)
+    with pytest.raises(ValueError, match="kill_probability"):
+        FailureDomains(rack_kill_probability=0.0)
+    with pytest.raises(ValueError, match="kill_probability"):
+        FailureDomains(enclosure_kill_probability=1.5)
+    with pytest.raises(ValueError, match="batch_fraction"):
+        FailureDomains(batch_fraction=1.2)
+    with pytest.raises(ValueError, match="batch_accel"):
+        FailureDomains(batch_accel=0.0)
+    with pytest.raises(ValueError, match="placement"):
+        FailureDomains(placement="diagonal")
+    with pytest.raises(ValueError, match="enclosures_per_rack"):
+        FailureDomains(enclosures_per_rack=0)
+
+
+def test_spread_placement_stripes_arrays_across_racks():
+    domains = FailureDomains(racks=4)
+    racks = domains.rack_assignment(num_arrays=2, n=8)
+    assert racks.shape == (2, 8)
+    # Device d of array a lands in rack (a + d) % racks.
+    assert racks[0].tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert racks[1].tolist() == [1, 2, 3, 0, 1, 2, 3, 0]
+    # Each array touches every rack equally: a rack shock costs it at
+    # most ceil(n / racks) devices.
+    for a in range(2):
+        counts = np.bincount(racks[a], minlength=4)
+        assert counts.tolist() == [2, 2, 2, 2]
+
+
+def test_contiguous_placement_confines_each_array_to_one_rack():
+    domains = FailureDomains(racks=3, placement="contiguous")
+    racks = domains.rack_assignment(num_arrays=4, n=5)
+    for a in range(4):
+        assert set(racks[a].tolist()) == {a % 3}
+
+
+def test_cluster_shock_groups_share_racks_across_arrays():
+    domains = FailureDomains(racks=4, rack_shock_rate_per_hour=1e-4)
+    groups = domains.cluster_shock_groups(num_arrays=2, n=8)
+    assert len(groups) == 4
+    assert all(isinstance(g, ShockGroup) and g.level == "rack"
+               for g in groups)
+    # Under spread placement every rack holds devices of BOTH arrays --
+    # the cross-array coupling only the event engine models.
+    for g in groups:
+        assert {a for a, _ in g.devices} == {0, 1}
+        assert g.size == 4  # 2 devices per array per rack
+    # All devices covered exactly once.
+    all_members = [d for g in groups for d in g.devices]
+    assert len(all_members) == len(set(all_members)) == 16
+
+
+def test_array_shock_groups_are_the_single_array_marginal():
+    domains = FailureDomains(racks=8, rack_shock_rate_per_hour=2e-5,
+                             rack_kill_probability=0.5)
+    groups = domains.array_shock_groups(8)
+    assert len(groups) == 8
+    assert all(g.devices == (d,) for d, g in enumerate(groups))
+    assert all(g.rate_per_hour == 2e-5 for g in groups)
+    # Kill rate thins the Poisson process by 1 - (1-p)^size.
+    assert groups[0].kill_rate_per_hour == pytest.approx(2e-5 * 0.5)
+
+
+def test_enclosures_subdivide_racks_round_robin():
+    domains = FailureDomains(racks=2, enclosures_per_rack=2,
+                             enclosure_shock_rate_per_hour=1e-5)
+    enc = domains.enclosure_assignment(num_arrays=1, n=8)
+    racks = domains.rack_assignment(num_arrays=1, n=8)
+    # Enclosure ids are globally unique and nest inside the rack.
+    assert (enc // 2 == racks).all()
+    groups = domains.cluster_shock_groups(1, 8)
+    assert {g.level for g in groups} == {"enclosure"}
+    assert len(groups) == 4
+    assert all(g.size == 2 for g in groups)
+
+
+def test_rack_and_enclosure_groups_coexist():
+    domains = FailureDomains(racks=2, rack_shock_rate_per_hour=1e-6,
+                             enclosures_per_rack=2,
+                             enclosure_shock_rate_per_hour=1e-5)
+    levels = [g.level for g in domains.array_shock_groups(8)]
+    assert levels.count("rack") == 2
+    assert levels.count("enclosure") == 4
+
+
+def test_batch_membership_is_deterministic_and_rounds():
+    domains = FailureDomains(batch_fraction=0.25, batch_accel=3.0)
+    assert domains.batch_devices(8) == (0, 1)
+    assert domains.batch_devices(10) == (0, 1)  # round(2.5) = 2 (banker's)
+    mult = domains.rate_multipliers(8)
+    assert mult.tolist() == [3.0, 3.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+    assert domains.has_batch_wear
+    assert not FailureDomains(batch_fraction=0.5).has_batch_wear
+
+
+def test_describe_mentions_active_layers():
+    text = FailureDomains(racks=8, rack_shock_rate_per_hour=1e-4,
+                          batch_fraction=0.25,
+                          batch_accel=3.0).describe()
+    assert "8 racks" in text
+    assert "0.0001/h" in text
+    assert "25%" in text
+    assert "x3" in text

@@ -407,3 +407,146 @@ def test_wilson_interval_is_sane():
     p, lo, hi = result.probability_of_loss_by(50.0)
     assert p == 0.5
     assert 0.0 <= lo < 0.5 < hi <= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Correlated failure domains in the lane machine
+# --------------------------------------------------------------------------- #
+from repro.sim.domains import FailureDomains  # noqa: E402
+
+
+def test_inert_domains_are_bitwise_identical_to_independent_path():
+    """The independent limit is exact, not just statistical: an inert
+    spec (zero shock rates, no batch wear) must consume the identical
+    random stream and produce identical lifetimes."""
+    kwargs = dict(lifetime=ExponentialLifetime(20_000.0),
+                  repair=ExponentialRepair(200.0))
+    plain = simulate_cluster_lifetimes(8, 3, 0.05, 200, seed=11, m=2,
+                                       **kwargs)
+    inert = simulate_cluster_lifetimes(
+        8, 3, 0.05, 200, seed=11, m=2,
+        domains=FailureDomains(racks=4, batch_fraction=0.25), **kwargs)
+    assert np.array_equal(plain.times, inert.times)
+
+
+def test_single_device_shock_groups_match_chain_at_effective_rate():
+    """Spread placement with racks = n makes every shock group one
+    device: rigorously equivalent to raising the per-device failure
+    rate from λ to λ + s, so the m-parity chain at λ + s is an exact
+    anchor."""
+    mttf, repair_hours, s = 20_000.0, 17.8, 1e-4
+    result = simulate_array_lifetimes(
+        8, 0.0, 3000, seed=0, m=1,
+        lifetime=ExponentialLifetime(mttf),
+        repair=ExponentialRepair(repair_hours),
+        domains=FailureDomains(racks=8, rack_shock_rate_per_hour=s))
+    anchor = mttdl_arr_m_parity(8, 1.0 / mttf + s, 1.0 / repair_hours,
+                                0.0, 1)
+    assert result.agrees_with(anchor, z=3.0), (
+        result.mttdl_confidence(3.0), anchor)
+    # And the drop against the independent baseline is statistically
+    # unmistakable -- the independent MTTDL sits far above the CI.
+    independent = mttdl_arr_m_parity(8, 1.0 / mttf, 1.0 / repair_hours,
+                                     0.0, 1)
+    assert result.mttdl_confidence(z=3.0)[1] < independent
+
+
+def test_contiguous_kill_all_rack_is_bounded_by_shock_interarrival():
+    """One rack holding the whole array, kill probability 1: the first
+    shock is fatal, so the MTTDL must sit at (just below) 1/s."""
+    s = 1e-3
+    result = simulate_array_lifetimes(
+        8, 0.0, 2000, seed=1, m=1,
+        lifetime=ExponentialLifetime(1e9),   # intrinsic failures: never
+        repair=ExponentialRepair(17.8),
+        domains=FailureDomains(racks=1, rack_shock_rate_per_hour=s,
+                               placement="contiguous"))
+    assert result.agrees_with(1.0 / s, z=3.0), result.mttdl_confidence(3.0)
+
+
+def test_partial_kill_probability_shocks_agree_with_event_engine():
+    """Shocks that kill each member only with probability p exercise
+    the binomial-kill path; the event engine plays the same process
+    device by device, so the two engines must agree statistically
+    (m = 1 keeps the rebuild semantics identical)."""
+    domains = FailureDomains(racks=2, rack_shock_rate_per_hour=2e-4,
+                             rack_kill_probability=0.6)
+    mttf, repair_hours = 50_000.0, 17.8
+    vec = simulate_array_lifetimes(
+        4, 0.0, 2500, seed=2, m=1,
+        lifetime=ExponentialLifetime(mttf),
+        repair=ExponentialRepair(repair_hours), domains=domains)
+    scenario = Scenario(
+        code=RAID5Code(n=4, r=16), num_arrays=1, stripes_per_array=8,
+        lifetime=ExponentialLifetime(mttf),
+        repair=ExponentialRepair(repair_hours),
+        domains=domains, horizon_hours=1e9)
+    root = np.random.default_rng(3)
+    losses = []
+    for _ in range(60):
+        run = ClusterSimulation(
+            scenario, np.random.default_rng(root.integers(2 ** 63))).run()
+        assert run.lost_data
+        losses.append(run.time_to_data_loss)
+    event_mean = float(np.mean(losses))
+    event_se = float(np.std(losses, ddof=1) / math.sqrt(len(losses)))
+    gap = abs(vec.mttdl_hours - event_mean)
+    assert gap <= 3.0 * math.hypot(vec.mttdl_std_error, event_se), (
+        vec.mttdl_hours, event_mean)
+
+
+def test_batch_wear_drags_mttdl_down():
+    """Half the fleet aging 4x faster: the confidence intervals of the
+    worn and pristine fleets must not even overlap."""
+    kwargs = dict(lifetime=ExponentialLifetime(20_000.0),
+                  repair=ExponentialRepair(17.8))
+    base = simulate_array_lifetimes(8, 0.0, 1500, seed=4, m=1, **kwargs)
+    worn = simulate_array_lifetimes(
+        8, 0.0, 1500, seed=4, m=1,
+        domains=FailureDomains(batch_fraction=0.5, batch_accel=4.0),
+        **kwargs)
+    assert worn.mttdl_confidence(z=3.0)[1] < base.mttdl_confidence(z=3.0)[0]
+
+
+def test_batch_wear_rejects_biased_lifetime_proposals():
+    """Full-draw biased scoring would weight the wrong density for
+    batch-accelerated devices; the lane machine must refuse."""
+    biased = BiasedLifetime.accelerated(ExponentialLifetime(20_000.0), 1.5)
+    with pytest.raises(ValueError, match="batch-accelerated"):
+        simulate_array_lifetimes(
+            8, 0.0, 10, seed=0, m=1, lifetime=biased,
+            domains=FailureDomains(batch_fraction=0.5, batch_accel=2.0))
+
+
+def test_shocks_compose_with_biased_lifetimes():
+    """Shock draws are never biased (weight 1), so mild lifetime
+    biasing plus shocks must still match the λ + s anchor.  As in the
+    mild-bias test above, p_arr = 1 keeps trials to a couple of events
+    each -- the only regime where full-draw scoring is meaningful."""
+    mttf, repair_hours, s = 500_000.0, 17.8, 2e-6
+    biased = BiasedLifetime.accelerated(ExponentialLifetime(mttf), 1.3)
+    result = simulate_array_lifetimes(
+        8, 1.0, 3000, seed=0, m=1, lifetime=biased,
+        repair=ExponentialRepair(repair_hours),
+        domains=FailureDomains(racks=8, rack_shock_rate_per_hour=s))
+    assert result.log_weights is not None
+    assert result.effective_sample_size > 0.1 * result.trials
+    anchor = mttdl_arr_closed_form(8, 1.0 / mttf + s, 1.0 / repair_hours,
+                                   1.0)
+    assert result.agrees_with(anchor, z=3.0), (
+        result.mttdl_confidence(3.0), anchor)
+
+
+def test_multi_device_shock_can_exceed_m_outright():
+    """A rack shock killing a whole group beyond m loses data at the
+    shock instant -- with intrinsic failures disabled, every loss time
+    is a shock arrival."""
+    result = simulate_array_lifetimes(
+        8, 0.0, 500, seed=6, m=2,
+        lifetime=ExponentialLifetime(1e9),
+        repair=ExponentialRepair(17.8),
+        domains=FailureDomains(racks=2, rack_shock_rate_per_hour=1e-3))
+    # Groups of 4 devices >= m + 1 = 3: first shock is always fatal,
+    # with two racks racing at rate s each.
+    assert result.agrees_with(1.0 / 2e-3, z=3.0), (
+        result.mttdl_confidence(3.0))

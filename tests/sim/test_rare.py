@@ -279,3 +279,172 @@ def test_code_bridge_rejects_mismatches():
     with pytest.raises(ValueError, match="geometry"):
         rare_event_code_mttdl(SDCode(n=8, r=8, m=2, s=2), model,
                               SystemParameters(m=2))
+
+
+# --------------------------------------------------------------------------- #
+# Correlated failure domains in the regeneration-cycle estimator
+# --------------------------------------------------------------------------- #
+from repro.sim.domains import FailureDomains  # noqa: E402
+
+PAPER_LIFE_H = 500_000.0
+PAPER_REPAIR_H = 17.8
+
+
+def test_inert_domains_agree_with_independent_estimator():
+    """A spec with zero shock rates and no batch wear routes through
+    the generalised per-device-rate machine, which must reproduce the
+    independent analytic MTTDL at the paper's parameters."""
+    result = estimate_rare_mttdl(
+        8, 4.366e-9, m=2, seed=0,
+        lifetime=ExponentialLifetime(PAPER_LIFE_H),
+        repair=ExponentialRepair(PAPER_REPAIR_H),
+        domains=FailureDomains(racks=4))
+    anchor = mttdl_arr_m_parity(8, 1.0 / PAPER_LIFE_H,
+                                1.0 / PAPER_REPAIR_H, 4.366e-9, 2)
+    assert result.agrees_with(anchor, z=3.0), (
+        result.mttdl_confidence(3.0), anchor)
+    assert result.metadata["domains"].startswith("4 racks")
+
+
+def test_single_device_shock_groups_match_chain_at_effective_rate():
+    """Spread placement with racks = n at the paper's true 1/λ: each
+    shock kills one device, so the chain at λ + s stays an exact anchor
+    -- in a regime direct simulation cannot reach at all."""
+    s = 2e-6
+    result = estimate_rare_mttdl(
+        8, 4.366e-9, m=2, seed=1,
+        lifetime=ExponentialLifetime(PAPER_LIFE_H),
+        repair=ExponentialRepair(PAPER_REPAIR_H),
+        domains=FailureDomains(racks=8, rack_shock_rate_per_hour=s),
+        target_rel_se=0.05, max_cycles=1_500_000)
+    anchor = mttdl_arr_m_parity(8, 1.0 / PAPER_LIFE_H + s,
+                                1.0 / PAPER_REPAIR_H, 4.366e-9, 2)
+    assert result.agrees_with(anchor, z=3.0), (
+        result.mttdl_confidence(3.0), anchor)
+    assert result.mttdl_hours > 1e10    # still a rare-event regime
+    # And the shocks cost a measurable amount of reliability.
+    independent = mttdl_arr_m_parity(8, 1.0 / PAPER_LIFE_H,
+                                     1.0 / PAPER_REPAIR_H, 4.366e-9, 2)
+    assert result.mttdl_confidence(z=3.0)[1] < independent
+
+
+def test_shock_dominant_kill_all_rack_matches_interarrival():
+    """All devices in one rack, shocks far more frequent than intrinsic
+    failures: the MTTDL is the shock interarrival time 1/s."""
+    s = 1e-5
+    result = estimate_rare_mttdl(
+        8, 0.0, m=2, seed=2,
+        lifetime=ExponentialLifetime(PAPER_LIFE_H),
+        repair=ExponentialRepair(PAPER_REPAIR_H),
+        domains=FailureDomains(racks=1, rack_shock_rate_per_hour=s,
+                               placement="contiguous"))
+    assert result.agrees_with(1.0 / s, z=3.0), (
+        result.mttdl_confidence(3.0), 1.0 / s)
+    assert result.loss_cycles > 0
+
+
+def test_multi_kill_shocks_agree_with_direct_mc():
+    """Shocks killing pairs (racks = 4, kill probability 0.7) at m = 2:
+    no closed form exists, so the anchor is direct Monte Carlo on the
+    identical spec in a tractable regime."""
+    domains = FailureDomains(racks=4, rack_shock_rate_per_hour=5e-5,
+                             rack_kill_probability=0.7)
+    life = ExponentialLifetime(20_000.0)
+    rep = ExponentialRepair(200.0)
+    rare = estimate_rare_mttdl(8, 0.0, m=2, seed=5, lifetime=life,
+                               repair=rep, domains=domains)
+    direct = simulate_array_lifetimes(8, 0.0, 4000, seed=6, m=2,
+                                      lifetime=life, repair=rep,
+                                      domains=domains)
+    gap = abs(rare.mttdl_hours - direct.mttdl_hours)
+    assert gap <= 3.0 * math.hypot(rare.mttdl_std_error,
+                                   direct.mttdl_std_error), (
+        rare.mttdl_hours, direct.mttdl_hours)
+
+
+def test_batch_wear_agrees_with_direct_mc():
+    """Per-device rates (half the fleet at 3x λ) against direct Monte
+    Carlo on the identical spec."""
+    domains = FailureDomains(batch_fraction=0.5, batch_accel=3.0)
+    life = ExponentialLifetime(20_000.0)
+    rep = ExponentialRepair(17.8)
+    rare = estimate_rare_mttdl(8, 0.0, m=1, seed=3, lifetime=life,
+                               repair=rep, domains=domains)
+    direct = simulate_array_lifetimes(8, 0.0, 4000, seed=4, m=1,
+                                      lifetime=life, repair=rep,
+                                      domains=domains)
+    gap = abs(rare.mttdl_hours - direct.mttdl_hours)
+    assert gap <= 3.0 * math.hypot(rare.mttdl_std_error,
+                                   direct.mttdl_std_error), (
+        rare.mttdl_hours, direct.mttdl_hours)
+    # The worn fleet must be measurably worse than a pristine one.
+    pristine = estimate_rare_mttdl(8, 0.0, m=1, seed=3, lifetime=life,
+                                   repair=rep)
+    assert rare.mttdl_hours < pristine.mttdl_hours
+
+
+def test_shock_initiated_cycles_are_oversampled_but_reweighted():
+    """With shocks orders of magnitude rarer than device failures, the
+    initial-event biasing must still sample shock-initiated cycles (the
+    catastrophic route) while keeping the estimate anchored."""
+    s = 1e-8   # one rack shock per ~11,000 years -- yet it dominates loss
+    result = estimate_rare_mttdl(
+        8, 0.0, m=2, seed=7,
+        lifetime=ExponentialLifetime(PAPER_LIFE_H),
+        repair=ExponentialRepair(PAPER_REPAIR_H),
+        domains=FailureDomains(racks=1, rack_shock_rate_per_hour=s,
+                               placement="contiguous"),
+        target_rel_se=0.05)
+    # Kill-all shocks dominate: the true MTTDL is essentially 1/s,
+    # about 100x below the shock-free m = 2 value.
+    assert result.agrees_with(1.0 / s, z=3.0), (
+        result.mttdl_confidence(3.0), 1.0 / s)
+
+
+def test_domains_ess_stays_healthy():
+    result = estimate_rare_mttdl(
+        8, 4.366e-9, m=2, seed=8,
+        lifetime=ExponentialLifetime(PAPER_LIFE_H),
+        repair=ExponentialRepair(PAPER_REPAIR_H),
+        domains=FailureDomains(racks=8, rack_shock_rate_per_hour=1e-6),
+        target_rel_se=0.05, max_cycles=1_000_000)
+    assert 0 < result.effective_sample_size <= result.cycles
+    assert result.effective_sample_size > 0.01 * result.cycles
+
+
+def test_domains_seeded_runs_are_deterministic():
+    kwargs = dict(
+        lifetime=ExponentialLifetime(PAPER_LIFE_H),
+        repair=ExponentialRepair(PAPER_REPAIR_H),
+        domains=FailureDomains(racks=4, rack_shock_rate_per_hour=1e-6),
+        target_rel_se=0.05, max_cycles=200_000)
+    first = estimate_rare_mttdl(8, 1e-8, m=2, seed=11, **kwargs)
+    second = estimate_rare_mttdl(8, 1e-8, m=2, seed=11, **kwargs)
+    assert first.mttdl_hours == second.mttdl_hours
+    assert first.loss_cycles == second.loss_cycles
+
+
+def test_domains_still_require_exponential_lifetimes():
+    with pytest.raises(TypeError, match="exponential"):
+        estimate_rare_mttdl(
+            8, 0.0, m=1, lifetime=WeibullLifetime(1000.0, 2.0),
+            domains=FailureDomains(racks=2,
+                                   rack_shock_rate_per_hour=1e-5))
+
+
+def test_rare_event_code_mttdl_threads_domains():
+    params = SystemParameters(m=2)
+    model = IndependentSectorModel.from_p_bit(1e-10, params.r,
+                                              params.sector_bytes)
+    code = SDCode(n=8, r=16, m=2, s=2)
+    s = 2e-6
+    shocked = rare_event_code_mttdl(
+        code, model, params, seed=0,
+        domains=FailureDomains(racks=8, rack_shock_rate_per_hour=s),
+        target_rel_se=0.05, max_cycles=1_500_000)
+    parr = p_array(CodeReliability.sd(2), params, model)
+    anchor = mttdl_arr_m_parity(8, 1.0 / PAPER_LIFE_H + s,
+                                1.0 / PAPER_REPAIR_H, parr, 2)
+    assert shocked.agrees_with(anchor, z=3.0), (
+        shocked.mttdl_confidence(3.0), anchor)
+    assert "domains" in shocked.metadata

@@ -5,14 +5,24 @@ concatenated (with blank-line padding so tracebacks point at the real
 markdown line) and executed in a single shared namespace, mirroring a
 reader stepping through the page top to bottom.  Shell blocks and other
 languages are ignored.
+
+Beyond execution, this module enforces docs hygiene (shared with the
+standalone CI gate ``tools/check_docs.py``): every docs page must carry
+at least one executable python block, relative links must resolve, and
+no ``[[...]]`` wiki-link placeholders may survive outside code fences.
 """
 
 import pathlib
 import re
+import sys
 
 import pytest
 
 DOCS_DIR = pathlib.Path(__file__).resolve().parent.parent / "docs"
+REPO_ROOT = DOCS_DIR.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_docs  # noqa: E402  (tools/ is not a package)
 
 _FENCE_RE = re.compile(
     r"^```python[ \t]*\n(?P<body>.*?)^```[ \t]*$",
@@ -39,8 +49,10 @@ def _doc_pages() -> list[pathlib.Path]:
 @pytest.mark.parametrize("page", _doc_pages(), ids=lambda p: p.name)
 def test_docs_code_blocks_execute(page):
     blocks = _python_blocks(page.read_text())
-    if not blocks:
-        pytest.skip(f"{page.name} has no python blocks")
+    # A docs page without executable examples is a tutorial that can
+    # silently rot -- hard failure, not a skip (also enforced by
+    # tools/check_docs.py in CI).
+    assert blocks, f"{page.name} has no executable ```python block"
     namespace: dict = {"__name__": f"docs_{page.stem}"}
     for line, body in blocks:
         # Pad so SyntaxError/assert tracebacks carry the markdown line.
@@ -52,4 +64,40 @@ def test_docs_code_blocks_execute(page):
 def test_docs_pages_are_cross_linked():
     """The pages the README and CLI promise actually exist."""
     names = {page.name for page in _doc_pages()}
-    assert {"architecture.md", "simulator.md", "code-specs.md"} <= names
+    assert {"architecture.md", "simulator.md", "code-specs.md",
+            "failure-domains.md", "reliability-models.md"} <= names
+
+
+def test_every_docs_page_has_a_python_block():
+    """>= 1 executable block per page, via the shared checker."""
+    for page in _doc_pages():
+        assert check_docs._PYTHON_FENCE_RE.search(page.read_text()), (
+            f"{page.name} has no executable ```python block")
+
+
+def test_docs_hygiene_checker_passes():
+    """Relative links resolve and no [[...]] placeholders remain, on
+    the README and every docs page (same gate CI runs standalone)."""
+    problems = []
+    for page in check_docs.markdown_pages(REPO_ROOT):
+        problems.extend(check_docs.check_page(page, REPO_ROOT))
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_hygiene_checker_catches_rot(tmp_path):
+    """The checker itself must flag dead links, wiki placeholders and
+    example-free docs pages -- otherwise the CI gate is decorative."""
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    page = docs / "broken.md"
+    page.write_text("A [dead link](missing.md), a [[placeholder]],\n"
+                    "and not a single python block.\n")
+    problems = check_docs.check_page(page, tmp_path)
+    assert len(problems) == 3
+    assert any("dead relative link" in p for p in problems)
+    assert any("placeholder" in p for p in problems)
+    assert any("python block" in p for p in problems)
+    # Fenced code is exempt from the link/placeholder rules.
+    good = docs / "good.md"
+    good.write_text("See [arch](good.md).\n\n```python\nx = [[1]]\n```\n")
+    assert check_docs.check_page(good, tmp_path) == []

@@ -1,0 +1,95 @@
+"""Docs hygiene checker (run by CI and by tests/test_docs_examples.py).
+
+Three classes of rot this catches, across ``README.md`` and every page
+under ``docs/``:
+
+* **dead relative links** -- ``[text](path)`` targets that do not exist
+  on disk (http/mailto/anchor-only links are skipped; anchors on
+  relative links are stripped before resolving);
+* **wiki-link placeholders** -- ``[[...]]`` outside fenced code blocks,
+  which render as literal brackets on GitHub;
+* **pages without executable examples** -- every ``docs/*.md`` page
+  must carry at least one fenced ``python`` block, because
+  ``tests/test_docs_examples.py`` executes those blocks in CI and a
+  page without any is a tutorial that can silently rot.
+
+Exit status is non-zero when any problem is found::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```.*?^```[ \t]*$", re.DOTALL | re.MULTILINE)
+_PYTHON_FENCE_RE = re.compile(r"^```python[ \t]*\n.*?^```[ \t]*$",
+                              re.DOTALL | re.MULTILINE)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_pages(root: pathlib.Path = REPO_ROOT) -> list[pathlib.Path]:
+    """The pages the checker covers: the README plus the docs tree."""
+    pages = [root / "README.md"]
+    pages += sorted((root / "docs").glob("*.md"))
+    return [page for page in pages if page.is_file()]
+
+
+def _strip_fences(text: str) -> str:
+    """Remove fenced code blocks (their contents are not rendered
+    markdown, so links and ``[[...]]`` inside them are fine)."""
+    return _FENCE_RE.sub("", text)
+
+
+def check_page(page: pathlib.Path,
+               root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """All problems found on one page, as human-readable strings."""
+    text = page.read_text()
+    prose = _strip_fences(text)
+    problems = []
+    for match in _LINK_RE.finditer(prose):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (page.parent / path).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{page.relative_to(root)}: dead relative link "
+                f"({target!r})")
+    if "[[" in prose:
+        problems.append(
+            f"{page.relative_to(root)}: '[[...]]' wiki-link placeholder "
+            "outside a code block")
+    if page.parent.name == "docs" and \
+            not _PYTHON_FENCE_RE.search(text):
+        problems.append(
+            f"{page.relative_to(root)}: no executable ```python block "
+            "(every docs page must carry at least one; "
+            "tests/test_docs_examples.py runs them in CI)")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    pages = markdown_pages()
+    for page in pages:
+        problems.extend(check_page(page))
+    if problems:
+        print("docs hygiene check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"docs hygiene check passed ({len(pages)} pages)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
