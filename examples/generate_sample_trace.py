@@ -1,0 +1,63 @@
+"""Regenerate the committed sample failure trace (`sample_trace.csv`).
+
+The sample is a seeded synthetic fleet in the Backblaze drive-stats
+daily-snapshot format, small enough to commit yet statistically rich
+enough for the docs and tests to fit survival curves from: a majority
+population with memoryless (exponential) lifetimes plus an
+infant-mortality cohort (Weibull shape < 1), observed for 120 days so a
+realistic fraction of devices is right-censored.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/generate_sample_trace.py
+
+The output is deterministic (seed 2024): re-running it must reproduce
+`examples/sample_trace.csv` byte for byte, which is what lets CI and
+`docs/traces.md` treat the committed file as ground truth.
+"""
+
+import pathlib
+
+from repro.sim.lifetimes import ExponentialLifetime, WeibullLifetime
+from repro.sim.traces import (
+    concatenate_traces,
+    generate_trace,
+    load_drive_stats_csv,
+    write_drive_stats_csv,
+)
+
+#: Generator parameters (change them and re-run to refresh the sample).
+SEED = 2024
+HEALTHY_DEVICES = 130
+HEALTHY_MTTF_HOURS = 1200.0
+INFANT_DEVICES = 30
+INFANT_SCALE_HOURS = 400.0
+INFANT_SHAPE = 0.7
+OBSERVATION_DAYS = 120
+
+OUTPUT = pathlib.Path(__file__).resolve().parent / "sample_trace.csv"
+
+
+def build_trace():
+    observation_hours = OBSERVATION_DAYS * 24.0
+    healthy = generate_trace(ExponentialLifetime(HEALTHY_MTTF_HOURS),
+                             HEALTHY_DEVICES, observation_hours,
+                             seed=SEED)
+    infant = generate_trace(WeibullLifetime(INFANT_SCALE_HOURS,
+                                            INFANT_SHAPE),
+                            INFANT_DEVICES, observation_hours,
+                            seed=SEED + 1)
+    return concatenate_traces(healthy, infant, source="sample_trace")
+
+
+def main() -> int:
+    trace = build_trace()
+    rows = write_drive_stats_csv(trace, OUTPUT)
+    written = load_drive_stats_csv(OUTPUT)
+    print(f"wrote {OUTPUT.name}: {rows} snapshot rows, "
+          f"{written.describe()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,13 @@ complements them with simulation:
   derives the nominal rebuild time from device capacity and per-device
   rebuild rate) and a latent-sector-error arrival process parameterised
   from the same ``P_bit`` as the analysis.
+* :mod:`repro.sim.traces` -- empirical lifetimes from failure traces: a
+  drive-stats-style CSV loader (daily snapshots -> right-censored
+  per-device lifespans), Kaplan-Meier / Nelson-Aalen estimators, the
+  piecewise-exponential :class:`EmpiricalLifetime` (full
+  ``LifetimeModel`` protocol, so it runs in every engine including the
+  rare-event estimator), Kaplan-Meier resampling, verbatim trace
+  replay for the event engine, and a seeded synthetic-trace generator.
 * :mod:`repro.sim.domains` -- correlated failure domains: a
   :class:`FailureDomains` spec describing racks, enclosures and drive
   batches (per-domain Poisson shock processes that fail every member
@@ -82,6 +89,19 @@ from repro.sim.rare import (
     estimate_rare_mttdl,
     rare_event_code_mttdl,
 )
+from repro.sim.traces import (
+    EmpiricalLifetime,
+    FailureTrace,
+    KaplanMeierLifetime,
+    SurvivalEstimate,
+    TraceReplayLifetime,
+    concatenate_traces,
+    generate_trace,
+    kaplan_meier,
+    load_drive_stats_csv,
+    nelson_aalen,
+    write_drive_stats_csv,
+)
 
 __all__ = [
     "CoverageModel",
@@ -114,4 +134,15 @@ __all__ = [
     "direct_mc_is_tractable",
     "estimate_rare_mttdl",
     "rare_event_code_mttdl",
+    "FailureTrace",
+    "SurvivalEstimate",
+    "EmpiricalLifetime",
+    "KaplanMeierLifetime",
+    "TraceReplayLifetime",
+    "concatenate_traces",
+    "generate_trace",
+    "kaplan_meier",
+    "load_drive_stats_csv",
+    "nelson_aalen",
+    "write_drive_stats_csv",
 ]

@@ -25,6 +25,14 @@ devices age faster (tutorial: ``docs/failure-domains.md``).  With an
 active correlation the §7 analytic MTTDL is printed as the
 *independent-failure reference* -- the gap between it and the simulated
 value is the cost of the correlation.
+
+``--trace CSV`` swaps the parametric lifetime model for one grounded in
+a drive-stats-style failure trace (:mod:`repro.sim.traces`):
+``--trace-model piecewise`` (default) fits a piecewise-exponential
+hazard that works in every mode including the rare-event estimator,
+``--trace-model km`` resamples the Kaplan-Meier failure distribution,
+and ``--trace-replay`` (events mode) schedules the observed failure
+timestamps verbatim (tutorial: ``docs/traces.md``).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -39,6 +48,7 @@ import numpy as np
 from repro.array.failures import BurstLengthDistribution
 from repro.bench.reporting import print_table
 from repro.codes.registry import available_codes, parse_code_spec
+from repro.reliability.markov import mttdl_arr_m_parity
 from repro.reliability.mttdl import (
     SystemParameters,
     mttdl_array_general,
@@ -68,6 +78,13 @@ from repro.sim.rare import (
     projected_direct_rounds,
     rare_event_code_mttdl,
 )
+from repro.sim.traces import (
+    EmpiricalLifetime,
+    FailureTrace,
+    KaplanMeierLifetime,
+    TraceReplayLifetime,
+    load_drive_stats_csv,
+)
 
 DEFAULT_CODE_SPEC = "rs(n=8,r=16,m=1)"
 
@@ -85,6 +102,17 @@ failure domains:
   and enclosure shocks plus a shared-defect drive batch, in every mode.
   Tutorial: docs/failure-domains.md; engine guide:
   docs/reliability-models.md.
+
+failure traces:
+  --trace loads a drive-stats-style daily-snapshot CSV (date,
+  serial_number, failure columns; right-censoring inferred) and
+  replaces the parametric lifetime model: --trace-model piecewise
+  (default) fits a piecewise-exponential hazard usable in every mode
+  (including --rare-event), --trace-model km resamples the
+  Kaplan-Meier failure distribution, and --trace-replay (events mode)
+  schedules the observed failure timestamps verbatim.  A sample trace
+  lives at examples/sample_trace.csv.  Tutorial: docs/traces.md;
+  chapter index: docs/index.md.
 """
 
 
@@ -119,6 +147,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--weibull-shape", type=float, default=None,
                         help="use Weibull lifetimes with this shape "
                              "(mean stays at --mttf)")
+    traces = parser.add_argument_group(
+        "failure traces",
+        "drive empirical lifetimes from a drive-stats-style CSV "
+        "(docs/traces.md); default is the parametric --mttf model")
+    traces.add_argument("--trace", default=None, metavar="CSV",
+                        help="daily-snapshot failure trace; fits an "
+                             "empirical lifetime model (replaces --mttf "
+                             "/ --weibull-shape)")
+    traces.add_argument("--trace-model", choices=("piecewise", "km"),
+                        default=None,
+                        help="empirical model fitted from --trace: "
+                             "piecewise-exponential hazard (works in "
+                             "every mode; the default) or Kaplan-Meier "
+                             "resampling (direct simulation only)")
+    traces.add_argument("--trace-bins", type=int, default=None,
+                        help="hazard intervals for the piecewise fit "
+                             "(default: 8)")
+    traces.add_argument("--trace-replay", action="store_true",
+                        help="events mode: replay the observed failure "
+                             "timestamps verbatim instead of fitting "
+                             "a model")
     parser.add_argument("--horizon", type=float, default=None,
                         help="censor trials at this many hours")
     parser.add_argument("--mode", choices=("montecarlo", "events"),
@@ -207,7 +256,37 @@ def _domains_from_args(args: argparse.Namespace) -> FailureDomains | None:
     )
 
 
-def _lifetime_model(args: argparse.Namespace):
+def _load_trace(args: argparse.Namespace) -> FailureTrace | None:
+    """Load --trace (clear ValueError for missing/empty/malformed
+    files) or None when no trace was requested."""
+    if args.trace is None:
+        return None
+    if args.weibull_shape is not None:
+        raise ValueError(
+            "--trace and --weibull-shape both specify the lifetime "
+            "model; pick one")
+    return load_drive_stats_csv(args.trace)
+
+
+def _lifetime_model(args: argparse.Namespace,
+                    trace: FailureTrace | None = None):
+    if trace is not None:
+        if args.trace_replay:
+            if args.trace_model is not None or args.trace_bins is not None:
+                raise ValueError(
+                    "--trace-replay plays the observed timestamps "
+                    "verbatim and fits no model; drop --trace-model / "
+                    "--trace-bins")
+            return TraceReplayLifetime(trace)
+        if args.trace_model == "km":
+            if args.trace_bins is not None:
+                raise ValueError(
+                    "--trace-bins sizes the piecewise-exponential fit; "
+                    "Kaplan-Meier resampling has no bins")
+            return KaplanMeierLifetime.fit(trace)
+        return EmpiricalLifetime.fit(
+            trace, bins=args.trace_bins if args.trace_bins is not None
+            else 8)
     if args.weibull_shape is None:
         return ExponentialLifetime(args.mttf)
     # Pick the scale so the Weibull mean equals the requested MTTF.
@@ -222,7 +301,9 @@ def _sector_model(args: argparse.Namespace, r: int, sector_bytes: int):
 
 
 def _config_rows(args: argparse.Namespace, code, m: int, parr: float,
-                 domains: FailureDomains | None = None) -> list[tuple]:
+                 domains: FailureDomains | None = None,
+                 trace: FailureTrace | None = None,
+                 lifetime=None) -> list[tuple]:
     rows = [
         ("code", code.describe()),
         ("m (device tolerance)", m),
@@ -231,6 +312,9 @@ def _config_rows(args: argparse.Namespace, code, m: int, parr: float,
         ("arrays", args.arrays),
         ("devices", code.n * args.arrays),
     ]
+    if trace is not None:
+        rows.append(("failure trace", f"{args.trace}: {trace.describe()}"))
+        rows.append(("lifetime model", repr(lifetime)))
     if domains is not None:
         rows.append(("failure domains", domains.describe()))
         # _config_rows only serves the montecarlo/rare paths, which
@@ -254,7 +338,9 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
     model = _sector_model(args, code.r, params.sector_bytes)
     reliability = code_reliability_from_code(code)
     parr = p_array(reliability, params, model)
-    exponential = args.weibull_shape is None
+    trace = _load_trace(args)
+    lifetime = _lifetime_model(args, trace)
+    exponential = args.weibull_shape is None and trace is None
     domains = _domains_from_args(args)
     correlated = domains is not None and not domains.is_independent
     # With an active correlation the §7 chain is only the
@@ -268,14 +354,36 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
     # of aborting (a horizon bounds the direct run, so it stays direct).
     # The projection uses the independent-failure MTTDL, an upper bound
     # under correlation -- correlated configs may switch early, which is
-    # safe: the rare estimator handles domains natively.
+    # safe: the rare estimator handles domains natively.  A piecewise
+    # trace fit projects through the chain at its fitted mean -- an
+    # order-of-magnitude stand-in good enough to know direct MC is
+    # hopeless (Kaplan-Meier resampling has no rare-event fallback, so
+    # it never auto-switches).
+    if exponential:
+        projection_ref, projection_mean = analytic, args.mttf
+    elif isinstance(lifetime, EmpiricalLifetime):
+        projection_mean = lifetime.mean_hours
+        projection_ref = mttdl_arr_m_parity(
+            code.n, 1.0 / projection_mean, 1.0 / args.repair_hours,
+            parr, m) / args.arrays
+    else:
+        projection_ref = projection_mean = None
     use_rare, auto_selected = args.rare_event, False
-    if (not use_rare and exponential and args.horizon is None
-            and not direct_mc_is_tractable(analytic, code.n, args.mttf,
-                                           args.trials)):
+    if (not use_rare and projection_ref is not None
+            and args.horizon is None
+            and not direct_mc_is_tractable(projection_ref, code.n,
+                                           projection_mean, args.trials)):
         use_rare, auto_selected = True, True
     if use_rare:
-        if not exponential:
+        if trace is not None and not isinstance(lifetime,
+                                                EmpiricalLifetime):
+            raise ValueError(
+                "the rare-event estimator needs a lifetime density; the "
+                "Kaplan-Meier resampler has none -- use the "
+                "piecewise-exponential trace fit (--trace-model "
+                "piecewise)"
+            )
+        if not exponential and trace is None:
             raise ValueError(
                 "the rare-event estimator requires exponential lifetimes; "
                 "drop --weibull-shape or use --horizon with direct "
@@ -287,15 +395,18 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
                 "--horizon only applies to direct Monte Carlo"
             )
         return _run_rare(args, code, m, params, model, parr, analytic,
-                         auto_selected, domains)
+                         auto_selected, domains,
+                         lifetime=lifetime if trace is not None else None,
+                         trace=trace,
+                         projection=(projection_ref, projection_mean))
 
     result = simulate_cluster_lifetimes(
         code.n, args.arrays, parr, args.trials, seed=args.seed,
-        lifetime=_lifetime_model(args),
+        lifetime=lifetime,
         repair=ExponentialRepair(args.repair_hours),
         horizon_hours=args.horizon, m=m, domains=domains)
 
-    rows = _config_rows(args, code, m, parr, domains)
+    rows = _config_rows(args, code, m, parr, domains, trace, lifetime)
     rows.append(("trials", result.trials))
     rows.append(("data losses", result.losses))
     if result.losses == result.trials and result.losses >= 2:
@@ -328,16 +439,34 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
 def _run_rare(args: argparse.Namespace, code, m: int,
               params: SystemParameters, model, parr: float,
               analytic: float | None, auto_selected: bool,
-              domains: FailureDomains | None = None) -> int:
+              domains: FailureDomains | None = None,
+              lifetime=None, trace: FailureTrace | None = None,
+              projection: tuple | None = None) -> int:
     correlated = domains is not None and not domains.is_independent
-    result = rare_event_code_mttdl(
-        code, model, params, seed=args.seed, num_arrays=args.arrays,
-        target_rel_se=args.rare_target_rel_se,
-        max_cycles=args.rare_max_cycles, domains=domains)
+    # Estimator caveats (e.g. the quasi-renewal warning for bent
+    # empirical hazards) belong in the table, not as raw Python
+    # warnings on stderr.
+    with warnings.catch_warnings(record=True) as caveats:
+        warnings.simplefilter("always")
+        result = rare_event_code_mttdl(
+            code, model, params, seed=args.seed, num_arrays=args.arrays,
+            lifetime=lifetime, target_rel_se=args.rare_target_rel_se,
+            max_cycles=args.rare_max_cycles, domains=domains)
 
-    rows = _config_rows(args, code, m, parr, domains)
+    rows = _config_rows(args, code, m, parr, domains, trace, lifetime)
+    for caveat in caveats:
+        if (issubclass(caveat.category, RuntimeWarning)
+                and "quasi-renewal" in str(caveat.message)):
+            rows.append(("warning", str(caveat.message)))
+        else:
+            # Not ours to swallow: unrelated warnings keep their
+            # normal route to stderr.
+            warnings.warn_explicit(caveat.message, caveat.category,
+                                   caveat.filename, caveat.lineno)
     if auto_selected:
-        projected = projected_direct_rounds(analytic, code.n, args.mttf,
+        ref, mean_hours = (projection if projection is not None
+                           else (analytic, args.mttf))
+        projected = projected_direct_rounds(ref, code.n, mean_hours,
                                             args.trials)
         rows.append(("estimator", "rare-event (auto: direct MC needs "
                                   f"~{projected:.2g} rounds, valve "
@@ -356,7 +485,10 @@ def _run_rare(args: argparse.Namespace, code, m: int,
     lo, hi = result.mttdl_confidence(z=3.0)
     rows.append(("MTTDL (rare-event)", f"{result.mttdl_hours:.4g} h"))
     rows.append(("3-sigma CI", f"[{lo:.4g}, {hi:.4g}] h"))
-    if correlated:
+    if analytic is None:
+        # Empirical (trace-fitted) lifetimes have no §7 closed form.
+        rows.append(("MTTDL (analytic)", "- (empirical lifetimes)"))
+    elif correlated:
         rows.append(("MTTDL (analytic, independent ref)",
                      f"{analytic:.4g} h"))
     else:
@@ -393,11 +525,13 @@ def _run_events(args: argparse.Namespace) -> int:
                                  args.rebuild_rate_mbs)
     else:
         repair = ExponentialRepair(args.repair_hours)
+    trace = _load_trace(args)
+    lifetime = _lifetime_model(args, trace)
     scenario = Scenario(
         code=code,
         num_arrays=args.arrays,
         stripes_per_array=args.stripes,
-        lifetime=_lifetime_model(args),
+        lifetime=lifetime,
         repair=repair,
         sector_errors=sector_errors,
         burst_lengths=bursts,
@@ -425,6 +559,9 @@ def _run_events(args: argparse.Namespace) -> int:
     print_table(["trial", "t_loss (h)", "outcome", "events"], rows,
                 title=f"Event-driven trajectories ({code.describe()}, "
                       f"{args.arrays} arrays, horizon {horizon:g} h)")
+    if trace is not None:
+        print(f"\nfailure trace {args.trace}: {trace.describe()}")
+        print(f"lifetime model: {lifetime!r}")
     print(f"\ndata loss in {losses}/{args.trials} trials")
     return 0
 
@@ -437,6 +574,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         raise SystemExit("--arrays must be >= 1")
     if args.rare_event and args.mode == "events":
         raise SystemExit("--rare-event applies to montecarlo mode only")
+    if args.trace_bins is not None and args.trace_bins < 1:
+        raise SystemExit("--trace-bins must be >= 1")
+    if args.trace is None and (args.trace_model is not None
+                               or args.trace_bins is not None):
+        raise SystemExit("--trace-model/--trace-bins configure the model "
+                         "fitted from a failure trace; add --trace CSV")
+    if args.trace_replay and args.trace is None:
+        raise SystemExit("--trace-replay needs --trace (the CSV whose "
+                         "failure timestamps should be replayed)")
+    if args.trace_replay and args.mode != "events":
+        raise SystemExit("--trace-replay plays verbatim trajectories and "
+                         "applies to --mode events only; fit a model "
+                         "with --trace-model for montecarlo mode")
     try:
         if args.mode == "events":
             return _run_events(args)

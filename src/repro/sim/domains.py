@@ -87,6 +87,12 @@ class ShockGroup:
     :meth:`FailureDomains.array_shock_groups` /
     :meth:`FailureDomains.cluster_shock_groups`).  When the shock fires,
     each healthy member fails independently with ``kill_probability``.
+
+    Usage -- groups come from a spec, not by hand::
+
+        domains = FailureDomains(racks=4, rack_shock_rate_per_hour=1e-5)
+        group = domains.array_shock_groups(8)[0]
+        group.size, group.kill_rate_per_hour   # blast radius, kill rate
     """
 
     level: str
@@ -179,7 +185,14 @@ class FailureDomains:
         return not (self.has_shocks or self.has_batch_wear)
 
     def describe(self) -> str:
-        """One-line human summary for CLI/benchmark tables."""
+        """One-line human summary for CLI/benchmark tables.
+
+        Usage::
+
+            FailureDomains(racks=8,
+                           rack_shock_rate_per_hour=1e-4).describe()
+            # '8 racks (spread), rack shocks 0.0001/h (kill p=1)'
+        """
         parts = [f"{self.racks} racks ({self.placement})"]
         if self.rack_shock_rate_per_hour > 0:
             parts.append(
@@ -206,6 +219,11 @@ class FailureDomains:
         ``spread`` stripes device ``d`` of array ``a`` into rack
         ``(a + d) % racks``; ``contiguous`` confines array ``a`` to rack
         ``a % racks``.
+
+        Usage::
+
+            FailureDomains(racks=4).rack_assignment(2, 8)
+            # array 0 -> racks [0 1 2 3 0 1 2 3], array 1 shifted by 1
         """
         if num_arrays < 1 or n < 1:
             raise ValueError("num_arrays and n must be >= 1")
@@ -240,7 +258,17 @@ class FailureDomains:
     def rate_multipliers(self, n: int) -> np.ndarray:
         """Per-device hazard multipliers: ``batch_accel`` for bad-batch
         devices, 1 elsewhere.  Dividing sampled lifetimes by these
-        multipliers implements the accelerated-failure-time scaling."""
+        multipliers implements the accelerated-failure-time scaling --
+        the same :meth:`~repro.sim.lifetimes.LifetimeModel.time_scaled`
+        semantics every lifetime model (parametric or trace-fitted)
+        supports.
+
+        Usage::
+
+            FailureDomains(racks=1, batch_fraction=0.25,
+                           batch_accel=3.0).rate_multipliers(8)
+            # array([3., 3., 1., 1., 1., 1., 1., 1.])
+        """
         mult = np.ones(n)
         mult[list(self.batch_devices(n))] = self.batch_accel
         return mult

@@ -1,7 +1,10 @@
 """Binary-heap discrete-event engine for one cluster trajectory.
 
 The engine plays a single, fully detailed cluster lifetime: device
-failures drawn from a :class:`~repro.sim.lifetimes.LifetimeModel`,
+failures drawn from a :class:`~repro.sim.lifetimes.LifetimeModel`
+(parametric, fitted from a failure trace, or -- with
+:class:`~repro.sim.traces.TraceReplayLifetime` -- the observed
+lifespans replayed verbatim, censored records never failing),
 correlated domain shocks (rack / enclosure outages from a
 :class:`~repro.sim.domains.FailureDomains` spec), rebuilds under a
 contention-aware repair model, latent-sector-error bursts, periodic
@@ -331,6 +334,10 @@ class ClusterSimulation:
         model = (self._batch_lifetime
                  if device in self._batch_devices else self.scenario.lifetime)
         lifetime = float(model.sample(self.rng, 1)[0])
+        # Trace replay deals censored records as inf ("no failure was
+        # observed for this device"): nothing to schedule.
+        if not math.isfinite(lifetime):
+            return
         self._pending_failure[(array, device)] = self.queue.schedule(
             now + lifetime, EventType.DEVICE_FAILURE,
             array=array, device=device)

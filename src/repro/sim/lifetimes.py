@@ -1,9 +1,13 @@
 """Device lifetime, repair-time and sector-error models for the simulator.
 
 The analytical models of §7 assume exponential device lifetimes (rate λ)
-and exponential rebuilds (rate μ).  The simulator accepts those plus the
+and exponential rebuilds (rate μ).  The simulator accepts those, the
 Weibull wear-out model that field studies (and the SMRSU-style storage
-simulators) use for aging devices.  All models draw from a
+simulators) use for aging devices, and -- via :mod:`repro.sim.traces` --
+*empirical* models fitted from failure traces
+(:class:`~repro.sim.traces.EmpiricalLifetime`'s piecewise-exponential
+hazard, Kaplan-Meier resampling, or verbatim trace replay), so lifetimes
+no longer have to be parametric at all.  All models draw from a
 ``numpy.random.Generator`` so that every simulation is reproducible from
 a single seed.
 
@@ -40,6 +44,19 @@ class LifetimeModel(abc.ABC):
     an accelerated *proposal* distribution and scores each draw against
     the *target* distribution, so rare-event estimators
     (:mod:`repro.sim.rare`) stay unbiased for the true failure law.
+
+    Implementations need not be parametric: the trace-driven models of
+    :mod:`repro.sim.traces` fit the protocol from observed failure
+    data (piecewise-exponential hazards, Kaplan-Meier resampling,
+    verbatim replay).
+
+    Usage -- any model slots into any engine through the same four
+    methods::
+
+        model = ExponentialLifetime(500_000.0)
+        draws = model.sample(np.random.default_rng(0), 1000)
+        model.log_survival(draws)      # log P(lifetime > draws)
+        model.time_scaled(3.0)         # a 3x-accelerated variant
     """
 
     @abc.abstractmethod
@@ -76,7 +93,15 @@ class LifetimeModel(abc.ABC):
 
 
 class ExponentialLifetime(LifetimeModel):
-    """Memoryless lifetimes with MTTF ``1/λ`` (the paper's assumption)."""
+    """Memoryless lifetimes with MTTF ``1/λ`` (the paper's assumption).
+
+    Usage -- the §7 default, and the only lifetime family whose MTTDL
+    the analytic chain can check exactly::
+
+        model = ExponentialLifetime(500_000.0)   # the paper's 1/λ
+        model.rate                               # λ = 2e-6 per hour
+        model.sample(np.random.default_rng(0), 8)
+    """
 
     def __init__(self, mttf_hours: float = 500_000.0) -> None:
         if mttf_hours <= 0:
@@ -123,6 +148,15 @@ class WeibullLifetime(LifetimeModel):
     distribution right (a guaranteed failure-free period γ).  With
     ``shape = 1`` this degenerates to :class:`ExponentialLifetime` with
     MTTF = ``location + scale``.
+
+    Usage -- wear-out with the mean pinned at a target MTTF (the CLI's
+    ``--weibull-shape`` recipe)::
+
+        import math
+        shape = 2.0
+        scale = 500_000.0 / math.gamma(1.0 + 1.0 / shape)
+        model = WeibullLifetime(scale, shape)
+        round(model.mean_hours)    # 500000
     """
 
     def __init__(self, scale_hours: float, shape: float,
@@ -205,10 +239,22 @@ class BiasedLifetime(LifetimeModel):
 
         Exponential targets get an exponential proposal with MTTF
         divided by ``factor``; Weibull targets keep their shape and
-        failure-free period but shrink the characteristic life.
+        failure-free period but shrink the characteristic life.  Any
+        other model with a log-density gets an accelerated self as the
+        proposal -- via ``hazard_scaled`` when available (the
+        piecewise-exponential
+        :class:`~repro.sim.traces.EmpiricalLifetime`, whose
+        proportional-hazards scaling keeps zero-density regions
+        aligned so the weights stay unbiased), otherwise via
+        :meth:`LifetimeModel.time_scaled`.
         """
         if factor <= 0:
             raise ValueError("acceleration factor must be positive")
+        if isinstance(target, BiasedLifetime):
+            raise TypeError(
+                "cannot accelerate a BiasedLifetime wrapper (nesting "
+                "proposals would score the wrong density); accelerate "
+                "the underlying target instead")
         if isinstance(target, ExponentialLifetime):
             proposal: LifetimeModel = ExponentialLifetime(
                 target.mttf_hours / factor)
@@ -217,10 +263,26 @@ class BiasedLifetime(LifetimeModel):
                                        target.shape,
                                        target.location_hours)
         else:
-            raise TypeError(
-                f"no accelerated proposal rule for {type(target).__name__}; "
-                "construct BiasedLifetime(target, proposal) explicitly"
-            )
+            try:
+                # Fail fast at construction: biasing scores density
+                # ratios, so density-less models (KM resampling, trace
+                # replay) must be rejected here, not on the first
+                # log_weight call deep inside a batch loop.
+                target.log_pdf(0.0)
+                # Prefer proportional-hazards scaling: an AFT shift of
+                # a piecewise model can move a zero-density interval
+                # off the target's, silently losing weight mass.
+                scaled = getattr(target, "hazard_scaled", None)
+                proposal = (scaled(factor) if callable(scaled)
+                            else target.time_scaled(factor))
+            except (NotImplementedError, TypeError):
+                raise TypeError(
+                    f"no accelerated proposal rule for "
+                    f"{type(target).__name__} (importance sampling "
+                    "needs a log-density and time_scaled support); "
+                    "construct BiasedLifetime(target, proposal) "
+                    "explicitly"
+                ) from None
         return cls(target, proposal)
 
     @property
@@ -266,7 +328,15 @@ class BiasedLifetime(LifetimeModel):
 
 
 class RepairModel(abc.ABC):
-    """Distribution of the time to rebuild one failed device."""
+    """Distribution of the time to rebuild one failed device.
+
+    Usage -- the three shipped models cover the Markov shape, a fixed
+    duration, and a physically derived one::
+
+        ExponentialRepair(17.8)              # the paper's 1/μ
+        DeterministicRepair(10.0)            # exactly 10 h per rebuild
+        BandwidthRepair(4e12, 100.0)         # 4 TB at 100 MB/s
+    """
 
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator,
@@ -374,6 +444,13 @@ class SectorErrorProcess:
     probability under a scrub interval ``T``: an error arriving uniformly
     within a scrub period survives on average ``T/2`` hours, so
     ``P_sec ≈ rate_per_sector * T / 2``.
+
+    Usage -- calibrate from the paper's ``P_bit`` and a weekly scrub::
+
+        process = SectorErrorProcess.from_p_bit(
+            1e-12, sectors_per_device=1024 * 16,
+            scrub_interval_hours=168.0)
+        process.next_arrival(np.random.default_rng(0), now=0.0)
     """
 
     def __init__(self, rate_per_device_hour: float) -> None:

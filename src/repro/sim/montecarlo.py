@@ -25,9 +25,12 @@ completes in *critical mode* (exactly ``m`` devices down) trips over
 unrecoverable sector damage with probability ``p_arr``, the same
 ``P_arr`` from :func:`repro.reliability.mttdl.p_array` (Eq. 10-11) that
 the analysis layer uses.  Keeping *absolute* failure times makes the
-scheme exact for non-memoryless (Weibull) lifetimes too: a surviving
+scheme exact for non-memoryless lifetimes too -- Weibull wear-out or a
+trace-fitted :class:`~repro.sim.traces.EmpiricalLifetime`: a surviving
 device's failure time was fixed when it was installed and simply
-carries over across rounds.
+carries over across rounds.  (Verbatim trace *replay* is the event
+engine's mode; the lanes need a proper distribution and reject
+:class:`~repro.sim.traces.TraceReplayLifetime` up front.)
 
 In the exponential case the estimated MTTDL must statistically agree
 with the closed form (m = 1, Eq. 10) and with the general-m Markov chain
@@ -64,6 +67,7 @@ from repro.sim.lifetimes import (
     LifetimeModel,
     RepairModel,
 )
+from repro.sim.traces import TraceReplayLifetime
 
 #: Safety valve for the vectorized loops (a round is one failure/rebuild
 #: cycle across the whole active batch; realistic runs need thousands).
@@ -340,6 +344,13 @@ def _vectorized_lifetimes(n: int, p_arr: float, trials: int,
         raise ValueError("num_arrays must be >= 1")
     if not (0.0 <= p_arr <= 1.0):
         raise ValueError("p_arr must lie in [0, 1]")
+    if isinstance(lifetime, TraceReplayLifetime):
+        raise TypeError(
+            "verbatim trace replay only runs on the event engine "
+            "(repro.sim.events / --mode events); the vectorized lanes "
+            "need a proper lifetime distribution -- fit the trace with "
+            "EmpiricalLifetime.fit (the CLI's --trace-model piecewise)"
+        )
 
     lanes = trials * num_arrays
     trial_of = np.repeat(np.arange(trials), num_arrays)

@@ -51,6 +51,22 @@ their true probabilities and carry no weight.  A device killed by a
 shock is scored with its *survival* ratio at its age (it was only
 observed to have survived that long), never its density.
 
+**Empirical hazards.**  A trace-fitted
+:class:`~repro.sim.traces.EmpiricalLifetime` (piecewise-exponential
+hazard) is accepted under a *quasi-renewal* reading of the same
+decomposition: the all-healthy state is treated as a renewal point with
+every device fresh, the up-phase mean is the exact closed-form
+``E[min of n]`` of the fitted model
+(:meth:`~repro.sim.traces.EmpiricalLifetime.mean_minimum_hours`), and
+the biased proposal is the model's own AFT-scaled self (every hazard
+multiplied by θ).  The likelihood weights stay exact for the fitted
+model; the renewal step itself is exact when the fitted hazard is
+constant -- the fitted-on-exponential validation case -- and an
+approximation whose error grows with the hazard's variation over one
+busy period (hours) relative to the device timescale, i.e. vanishingly
+small for realistic traces.  Strongly age-varying hazards belong to the
+direct engines.
+
 The estimator is validated against the general birth-death chain of
 :func:`repro.reliability.markov.mttdl_arr_m_parity` at the paper's true
 parameters -- the cross-check the validation bench
@@ -59,13 +75,15 @@ accelerated-failure surrogate -- and, for single-device shock groups
 (domain-spread placement with ``racks >= n``), against the same chain
 at the effective rate ``λ + s``.  Unlike the chain, the busy-period
 simulation accepts any :class:`~repro.sim.lifetimes.RepairModel`
-(deterministic and bandwidth-derived rebuilds included); exponential
-*lifetimes* are required by the regeneration argument.
+(deterministic and bandwidth-derived rebuilds included); memoryless or
+piecewise-exponential *lifetimes* are required by the (quasi-)renewal
+argument.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -91,6 +109,7 @@ from repro.sim.montecarlo import (
 )
 from repro.sim.cluster import CoverageModel
 from repro.sim.domains import FailureDomains, shock_group_arrays
+from repro.sim.traces import EmpiricalLifetime
 
 #: Under balanced biasing a busy period is a near-symmetric random walk
 #: on m + 1 states -- a few dozen events at most; this valve only trips
@@ -103,6 +122,13 @@ MAX_CYCLE_ROUNDS = 100_000
 #: enough that trip-driven loss paths are sampled even when
 #: ``P_arr ~ 1e-9``.
 TRIP_BIAS_FLOOR = 0.05
+
+#: Hazard-variation ratio (max over min positive fitted hazard) above
+#: which an :class:`~repro.sim.traces.EmpiricalLifetime` triggers a
+#: quasi-renewal warning: the "all-healthy state = fresh devices"
+#: reading is exact for constant hazards and increasingly biased as the
+#: hazard bends (bathtub fits belong to the direct engines).
+EMPIRICAL_HAZARD_RATIO_WARN = 2.0
 
 #: Minimum proposal probability that a regeneration cycle *starts* with
 #: a domain shock rather than a single device failure.  Real shock
@@ -653,7 +679,10 @@ def estimate_rare_mttdl(n: int,
     the MTTDL estimate drops below ``target_rel_se`` (or ``max_cycles``
     is exhausted).  ``lifetime`` must be (default)
     :class:`ExponentialLifetime` -- the regeneration argument needs
-    memoryless lifetimes -- while ``repair`` may be any
+    memoryless lifetimes -- or a trace-fitted
+    :class:`~repro.sim.traces.EmpiricalLifetime`, accepted under the
+    quasi-renewal reading described in the module docstring (exact for
+    constant fitted hazards); ``repair`` may be any
     :class:`RepairModel`.  ``acceleration`` and ``trip_bias`` override
     the automatic biasing schedule (``θ`` from
     :func:`balanced_acceleration`, trip proposal floored at
@@ -704,12 +733,40 @@ def estimate_rare_mttdl(n: int,
     if isinstance(lifetime, BiasedLifetime):
         raise TypeError("pass the target lifetime; the biased proposal is "
                         "constructed internally")
-    if not isinstance(lifetime, ExponentialLifetime):
+    if not isinstance(lifetime, (ExponentialLifetime, EmpiricalLifetime)):
         raise TypeError(
-            "the regenerative-cycle estimator requires exponential "
-            "lifetimes (the all-healthy state is only a regeneration "
-            f"point for memoryless devices); got {type(lifetime).__name__}"
+            "the regenerative-cycle estimator requires exponential or "
+            "piecewise-exponential lifetimes (the all-healthy state is "
+            "only a (quasi-)regeneration point for those); got "
+            f"{type(lifetime).__name__}"
         )
+    if isinstance(lifetime, EmpiricalLifetime) and domains is not None:
+        if not domains.is_independent:
+            raise ValueError(
+                "correlated failure domains combined with an empirical "
+                "lifetime are not supported by the rare-event estimator "
+                "(the per-device-rate busy-cycle machine is exponential-"
+                "only); drop the shocks/batch wear or use the event "
+                "engine"
+            )
+        # An inert spec (pure topology) is a statistical no-op: take
+        # the plain busy-cycle path, as the other engines do.
+        domains = None
+    if isinstance(lifetime, EmpiricalLifetime):
+        positive = lifetime.hazards[lifetime.hazards > 0.0]
+        # A zero interior hazard is an infinite variation, not a
+        # benign one -- it must not slip past the ratio filter.
+        ratio = (math.inf if positive.size < lifetime.hazards.size
+                 else float(positive.max() / positive.min()))
+        if ratio > EMPIRICAL_HAZARD_RATIO_WARN:
+            warnings.warn(
+                f"the fitted hazard varies {ratio:.1f}x across its "
+                "intervals; the rare-event estimator's quasi-renewal "
+                "decomposition (all-healthy state = fresh devices) is "
+                "only exact for near-constant hazards, so this "
+                "estimate may be materially biased -- use the "
+                "vectorized runner or the event engine for "
+                "bathtub-shaped fits", RuntimeWarning, stacklevel=2)
     repair = repair or ExponentialRepair()
 
     # With failure domains active the per-device rates may differ (the
@@ -754,7 +811,11 @@ def estimate_rare_mttdl(n: int,
     rng = _as_rng(seed)
     if lam is None:
         biased = BiasedLifetime.accelerated(lifetime, acceleration)
-        mean_up = lifetime.mean_hours / n
+        # E[up phase] = E[min of n fresh lifetimes]: 1/(n lambda) in the
+        # exponential case, the piecewise closed form for a trace fit.
+        mean_up = (lifetime.mean_minimum_hours(n)
+                   if isinstance(lifetime, EmpiricalLifetime)
+                   else lifetime.mean_hours / n)
 
         def run_batch(batch: int):
             return _biased_busy_cycles(n, m, p_arr, batch, rng, biased,
@@ -806,6 +867,7 @@ def rare_event_code_mttdl(code: StripeCode | CodeReliability,
                           params: SystemParameters | None = None,
                           seed: int | np.random.Generator | None = None,
                           num_arrays: int = 1,
+                          lifetime: LifetimeModel | None = None,
                           repair: RepairModel | None = None,
                           target_rel_se: float = 0.02,
                           max_cycles: int = 4_000_000,
@@ -816,9 +878,11 @@ def rare_event_code_mttdl(code: StripeCode | CodeReliability,
     The importance-sampled counterpart of
     :func:`repro.sim.montecarlo.simulate_code_mttdl`: ``P_arr`` comes
     from the analysis layer (Eq. 11) applied to the code's coverage, the
-    lifetimes are the paper's exponential model with 1/λ from
+    lifetimes default to the paper's exponential model with 1/λ from
     ``params`` -- no accelerated-failure surrogate needed even at the
-    true 1/λ = 500,000 h.
+    true 1/λ = 500,000 h.  Pass ``lifetime`` to override, e.g. with a
+    trace-fitted :class:`~repro.sim.traces.EmpiricalLifetime` (the
+    CLI's ``--trace --rare-event`` route).
 
     Usage::
 
@@ -858,7 +922,8 @@ def rare_event_code_mttdl(code: StripeCode | CodeReliability,
     parr = p_array(reliability, params, model)
     result = estimate_rare_mttdl(
         params.n, parr, m=params.m, seed=seed,
-        lifetime=ExponentialLifetime(params.mean_time_to_failure_hours),
+        lifetime=lifetime or ExponentialLifetime(
+            params.mean_time_to_failure_hours),
         repair=repair or ExponentialRepair(params.mean_time_to_rebuild_hours),
         num_arrays=num_arrays, target_rel_se=target_rel_se,
         max_cycles=max_cycles, domains=domains)

@@ -1,0 +1,793 @@
+"""Empirical device lifetimes from failure traces (drive-stats style).
+
+Every other lifetime model in :mod:`repro.sim.lifetimes` is parametric:
+the analyst picks an exponential rate or a Weibull shape and the
+simulator trusts it.  This module closes the loop with *data*: load a
+failure trace in the daily-snapshot format popularised by the Backblaze
+drive-stats releases (one CSV row per device per day, ``failure = 1``
+on the day a device dies), reduce it to per-device lifespans with
+right-censoring (a device still alive when the trace ends contributes
+its age, not a failure), and drive the simulator from what the fleet
+actually did:
+
+* :func:`kaplan_meier` / :func:`nelson_aalen` -- the standard
+  nonparametric survival and cumulative-hazard estimators, both
+  censoring-aware;
+* :class:`EmpiricalLifetime` -- a piecewise-constant-hazard (i.e.
+  piecewise-exponential) lifetime model fitted from a trace, with the
+  full :class:`~repro.sim.lifetimes.LifetimeModel` protocol (``sample``,
+  ``log_pdf``, ``log_survival``, ``time_scaled``) so it plugs into the
+  event engine, the vectorized lanes *and* the rare-event estimator's
+  biased proposals;
+* :class:`KaplanMeierLifetime` -- resampling of the observed failure
+  times with Kaplan-Meier weights (a discrete model: good for direct
+  simulation, no density for importance sampling);
+* :class:`TraceReplayLifetime` -- verbatim replay of the observed
+  lifespans for the event engine (no model at all between the data and
+  the trajectory);
+* :func:`generate_trace` / :func:`write_drive_stats_csv` -- a seeded
+  synthetic-trace generator and snapshot writer, so tests, docs and the
+  committed ``examples/sample_trace.csv`` run offline.
+
+Times are in hours throughout, matching the rest of :mod:`repro.sim`;
+the snapshot loader converts days to hours (one snapshot interval per
+day).  Tutorial: ``docs/traces.md``.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import math
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.lifetimes import LifetimeModel
+
+#: Hours represented by one daily snapshot row.
+HOURS_PER_DAY = 24.0
+
+#: Columns a drive-stats-style CSV must carry (extra columns are fine).
+REQUIRED_COLUMNS = ("date", "serial_number", "failure")
+
+
+# --------------------------------------------------------------------------- #
+# The trace itself
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FailureTrace:
+    """Per-device lifespans reduced from a failure trace.
+
+    ``durations[i]`` is device ``i``'s observed time in service (hours)
+    and ``observed[i]`` says how that observation ended: ``True`` for a
+    failure at ``durations[i]``, ``False`` for right-censoring (the
+    device was still alive when the trace stopped watching it).
+
+    Usage::
+
+        trace = FailureTrace(durations=np.array([100.0, 250.0, 400.0]),
+                             observed=np.array([True, False, True]))
+        trace.num_devices, trace.num_failures, trace.num_censored
+        trace.failure_times          # sorted observed failure ages
+        trace.total_exposure_hours   # sum of all observed time
+    """
+
+    durations: np.ndarray
+    observed: np.ndarray
+    source: str = "<memory>"
+
+    def __post_init__(self) -> None:
+        durations = np.asarray(self.durations, dtype=float)
+        observed = np.asarray(self.observed, dtype=bool)
+        if durations.ndim != 1 or observed.ndim != 1:
+            raise ValueError("durations and observed must be 1-D arrays")
+        if durations.size != observed.size:
+            raise ValueError(
+                f"durations ({durations.size}) and observed "
+                f"({observed.size}) must have one entry per device")
+        if durations.size == 0:
+            raise ValueError(
+                f"failure trace {self.source} contains no devices")
+        if not np.all(np.isfinite(durations)) or np.any(durations <= 0.0):
+            raise ValueError(
+                f"failure trace {self.source} has non-positive or "
+                "non-finite durations; every device needs an observed "
+                "time in service > 0")
+        object.__setattr__(self, "durations", durations)
+        object.__setattr__(self, "observed", observed)
+
+    @property
+    def num_devices(self) -> int:
+        return int(self.durations.size)
+
+    @property
+    def num_failures(self) -> int:
+        return int(self.observed.sum())
+
+    @property
+    def num_censored(self) -> int:
+        return self.num_devices - self.num_failures
+
+    @property
+    def failure_times(self) -> np.ndarray:
+        """Sorted ages at which failures were observed (hours)."""
+        return np.sort(self.durations[self.observed])
+
+    @property
+    def total_exposure_hours(self) -> float:
+        """Total device-hours under observation (failures + censored)."""
+        return float(self.durations.sum())
+
+    def require_failures(self, purpose: str) -> None:
+        """Fail fast -- with a message naming the trace -- when every
+        device was censored, so downstream fits cannot divide by an
+        empty failure set."""
+        if self.num_failures == 0:
+            raise ValueError(
+                f"cannot {purpose}: every device in trace {self.source} "
+                f"is right-censored ({self.num_devices} devices, 0 "
+                "observed failures); the trace carries exposure but no "
+                "failure-time information")
+
+    def describe(self) -> str:
+        """One-line human summary for CLI/benchmark tables."""
+        return (f"{self.num_devices} devices, {self.num_failures} "
+                f"failures, {self.num_censored} censored "
+                f"({self.total_exposure_hours:.4g} device-hours)")
+
+
+def load_drive_stats_csv(path_or_file,
+                         hours_per_day: float = HOURS_PER_DAY,
+                         ) -> FailureTrace:
+    """Reduce a drive-stats-style daily-snapshot CSV to a trace.
+
+    The expected schema is the Backblaze drive-stats one: one row per
+    device per day with at least the columns ``date`` (ISO
+    ``YYYY-MM-DD``), ``serial_number`` and ``failure`` (``1`` on the
+    day the device died, ``0`` otherwise); extra columns (``model``,
+    ``capacity_bytes``, SMART attributes, ...) are ignored.  A device's
+    lifespan is the span from its first snapshot to its failure day
+    (observed) or its last snapshot (right-censored), inclusive --
+    ``k + 1`` snapshot days become ``(k + 1) * hours_per_day`` hours,
+    so lifespans are quantised to the snapshot interval.  Rows after a
+    device's failure day are ignored.
+
+    Usage::
+
+        trace = load_drive_stats_csv("examples/sample_trace.csv")
+        trace.num_failures, trace.num_censored
+
+    Raises :class:`ValueError` -- never a bare traceback-worthy
+    ``OSError``/``KeyError`` -- for a missing file, an empty file,
+    missing columns or malformed rows, so CLI callers can surface the
+    message directly.
+    """
+    if hours_per_day <= 0:
+        raise ValueError("hours_per_day must be positive")
+    if isinstance(path_or_file, (str, os.PathLike)):
+        source = os.fspath(path_or_file)
+        if not os.path.isfile(source):
+            raise ValueError(f"trace file {source!r} does not exist")
+        with open(source, newline="") as handle:
+            return _parse_snapshots(handle, source, hours_per_day)
+    source = getattr(path_or_file, "name", "<file>")
+    return _parse_snapshots(path_or_file, source, hours_per_day)
+
+
+def _parse_snapshots(handle, source: str,
+                     hours_per_day: float) -> FailureTrace:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError(f"trace file {source!r} is empty") from None
+    header = [column.strip().lower() for column in header]
+    missing = [c for c in REQUIRED_COLUMNS if c not in header]
+    if missing:
+        raise ValueError(
+            f"trace file {source!r} is missing required column(s) "
+            f"{missing}; need the drive-stats schema "
+            f"{list(REQUIRED_COLUMNS)} (extra columns are ignored)")
+    date_col = header.index("date")
+    serial_col = header.index("serial_number")
+    failure_col = header.index("failure")
+    width = max(date_col, serial_col, failure_col) + 1
+
+    first: dict[str, int] = {}
+    last: dict[str, int] = {}
+    failed_on: dict[str, int] = {}
+    date_cache: dict[str, int] = {}
+    for line, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) < width:
+            raise ValueError(
+                f"trace file {source!r} line {line}: expected at least "
+                f"{width} columns, got {len(row)}")
+        raw_date = row[date_col].strip()
+        day = date_cache.get(raw_date)
+        if day is None:
+            try:
+                day = datetime.date.fromisoformat(raw_date).toordinal()
+            except ValueError:
+                raise ValueError(
+                    f"trace file {source!r} line {line}: unparsable "
+                    f"date {raw_date!r} (expected YYYY-MM-DD)") from None
+            date_cache[raw_date] = day
+        serial = row[serial_col].strip()
+        if not serial:
+            raise ValueError(
+                f"trace file {source!r} line {line}: empty serial_number")
+        raw_failure = row[failure_col].strip()
+        if raw_failure not in ("0", "1"):
+            raise ValueError(
+                f"trace file {source!r} line {line}: failure must be 0 "
+                f"or 1, got {raw_failure!r}")
+        if serial in failed_on and day >= failed_on[serial]:
+            continue  # snapshots after the recorded failure are moot
+        if serial not in first:
+            first[serial] = day
+            last[serial] = day
+        else:
+            first[serial] = min(first[serial], day)
+            last[serial] = max(last[serial], day)
+        if raw_failure == "1":
+            failed_on[serial] = (day if serial not in failed_on
+                                 else min(failed_on[serial], day))
+    if not first:
+        raise ValueError(f"trace file {source!r} has a header but no "
+                         "data rows")
+    durations = np.empty(len(first))
+    observed = np.zeros(len(first), dtype=bool)
+    for i, serial in enumerate(sorted(first)):
+        end = failed_on.get(serial, last[serial])
+        durations[i] = (end - first[serial] + 1) * hours_per_day
+        observed[i] = serial in failed_on
+    return FailureTrace(durations, observed, source=source)
+
+
+# --------------------------------------------------------------------------- #
+# Nonparametric survival estimators
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SurvivalEstimate:
+    """A right-continuous step function estimated from a trace.
+
+    ``times`` are the distinct observed failure ages (sorted);
+    ``values[j]`` is the estimate just *after* ``times[j]`` --
+    Kaplan-Meier survival for :func:`kaplan_meier`, Nelson-Aalen
+    cumulative hazard for :func:`nelson_aalen`.  ``at_risk[j]`` and
+    ``events[j]`` are the risk-set size and failure count at
+    ``times[j]``.
+
+    Usage::
+
+        km = kaplan_meier(trace)
+        km.at(np.array([0.0, 500.0, 1e9]))   # step evaluation
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    at_risk: np.ndarray
+    events: np.ndarray
+    #: Value before the first event (1 for survival, 0 for cumulative
+    #: hazard).
+    initial: float = 1.0
+
+    def at(self, hours) -> np.ndarray:
+        """Evaluate the step function at ``hours`` (vectorized)."""
+        idx = np.searchsorted(self.times, np.asarray(hours, dtype=float),
+                              side="right")
+        padded = np.concatenate(([self.initial], self.values))
+        return padded[idx]
+
+
+def _event_table(trace: FailureTrace,
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(times, events, at_risk)`` over the distinct failure ages.
+
+    The risk set at age ``t`` counts every device with duration >= t
+    (a device censored exactly at ``t`` is, by the usual convention,
+    still at risk there); tied failures share one table row.
+    """
+    trace.require_failures("estimate a survival curve")
+    times, events = np.unique(trace.failure_times, return_counts=True)
+    sorted_durations = np.sort(trace.durations)
+    at_risk = trace.num_devices - np.searchsorted(sorted_durations, times,
+                                                  side="left")
+    return times, events, at_risk
+
+
+def kaplan_meier(trace: FailureTrace) -> SurvivalEstimate:
+    """Kaplan-Meier (product-limit) survival estimate of a trace.
+
+    ``S(t) = prod_{t_j <= t} (1 - d_j / n_j)`` over the distinct
+    failure ages ``t_j`` with ``d_j`` failures and ``n_j`` devices at
+    risk.  Censored devices leave the risk set without contributing a
+    factor -- that is the whole point of the estimator.
+
+    Usage::
+
+        km = kaplan_meier(trace)
+        km.at(trace.failure_times)   # survival just after each failure
+    """
+    times, events, at_risk = _event_table(trace)
+    survival = np.cumprod(1.0 - events / at_risk)
+    return SurvivalEstimate(times, survival, at_risk, events, initial=1.0)
+
+
+def nelson_aalen(trace: FailureTrace) -> SurvivalEstimate:
+    """Nelson-Aalen cumulative-hazard estimate of a trace.
+
+    ``H(t) = sum_{t_j <= t} d_j / n_j`` -- the additive counterpart of
+    :func:`kaplan_meier` (``exp(-H)`` approximates ``S`` and the two
+    agree closely whenever the per-step ``d_j / n_j`` are small).  The
+    piecewise-exponential fit of :meth:`EmpiricalLifetime.fit` is the
+    smoothed, exposure-weighted version of this estimator.
+
+    Usage::
+
+        na = nelson_aalen(trace)
+        na.at(1000.0)    # cumulative hazard by 1000 h
+    """
+    times, events, at_risk = _event_table(trace)
+    cumhaz = np.cumsum(events / at_risk)
+    return SurvivalEstimate(times, cumhaz, at_risk, events, initial=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Piecewise-exponential empirical lifetime model
+# --------------------------------------------------------------------------- #
+class EmpiricalLifetime(LifetimeModel):
+    """Piecewise-constant-hazard lifetime model fitted from a trace.
+
+    The hazard is constant within each of ``K`` intervals --
+    ``breakpoints`` holds the ``K - 1`` interior boundaries, and the
+    last interval extends to infinity -- which makes every quantity the
+    :class:`~repro.sim.lifetimes.LifetimeModel` protocol needs available
+    in closed form: exact inverse-transform sampling, ``log_pdf`` /
+    ``log_survival`` for importance sampling (the rare-event
+    estimator's biased proposals), a finite ``mean_hours`` (the final
+    hazard must be positive), and :meth:`time_scaled`
+    accelerated-failure scaling (batch wear).  With a single interval
+    this *is* :class:`~repro.sim.lifetimes.ExponentialLifetime`.
+
+    Usage::
+
+        fitted = EmpiricalLifetime.fit(trace, bins=8)
+        fitted.hazards, fitted.breakpoints
+        fitted.sample(np.random.default_rng(0), 1000)
+        fitted.mean_hours                 # closed-form MTTF
+        fitted.mean_minimum_hours(8)      # E[min of 8 fresh lifetimes]
+    """
+
+    def __init__(self, breakpoints, hazards) -> None:
+        breakpoints = np.asarray(breakpoints, dtype=float)
+        hazards = np.asarray(hazards, dtype=float)
+        if hazards.ndim != 1 or hazards.size < 1:
+            raise ValueError("need at least one hazard interval")
+        if breakpoints.ndim != 1 \
+                or breakpoints.size != hazards.size - 1:
+            raise ValueError(
+                f"{hazards.size} hazard intervals need "
+                f"{hazards.size - 1} interior breakpoints, got "
+                f"{breakpoints.size}")
+        if breakpoints.size and (
+                breakpoints[0] <= 0.0
+                or np.any(np.diff(breakpoints) <= 0.0)
+                or not np.all(np.isfinite(breakpoints))):
+            raise ValueError(
+                "breakpoints must be finite, positive and strictly "
+                "increasing")
+        if np.any(hazards < 0.0) or not np.all(np.isfinite(hazards)):
+            raise ValueError("hazards must be finite and >= 0")
+        if hazards[-1] <= 0.0:
+            raise ValueError(
+                "the final hazard must be positive (it extends to "
+                "infinity; a zero tail hazard would make the lifetime "
+                "improper)")
+        self.breakpoints = breakpoints
+        self.hazards = hazards
+        # Cumulative hazard at the end of every *bounded* interval.
+        widths = np.diff(np.concatenate(([0.0], breakpoints)))
+        self._cumhaz_at_breaks = np.cumsum(hazards[:-1] * widths) \
+            if breakpoints.size else np.empty(0)
+
+    # -- fitting ------------------------------------------------------- #
+    @classmethod
+    def fit(cls, trace: FailureTrace, bins: int = 8) -> "EmpiricalLifetime":
+        """Piecewise-exponential maximum likelihood fit of a trace.
+
+        Interval boundaries are quantiles of the observed failure ages
+        (so every interval sees failures -- up to ``bins`` of them,
+        fewer when failure times tie), and each interval's hazard is
+        the censoring-aware MLE ``events / exposure``: the number of
+        failures in the interval over the total device-hours spent
+        alive inside it.  Censored devices contribute exposure all the
+        way to their censoring age -- including beyond the last
+        failure, which is what pulls the tail hazard *down* when most
+        of the fleet outlives the observed failures.
+
+        Raises a clear :class:`ValueError` when the trace has no
+        observed failures at all (exposure without failure times fits
+        nothing).
+        """
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        trace.require_failures("fit a piecewise-exponential model")
+        failures = trace.failure_times
+        k = min(bins, np.unique(failures).size)
+        if k > 1:
+            quantiles = np.quantile(failures, np.arange(1, k) / k)
+            # Interior breakpoints must leave room for the final
+            # interval to contain the last failure (tail hazard > 0).
+            quantiles = np.unique(quantiles)
+            breakpoints = quantiles[(quantiles > 0.0)
+                                    & (quantiles < failures[-1])]
+        else:
+            breakpoints = np.empty(0)
+        edges = np.concatenate(([0.0], breakpoints, [math.inf]))
+        exposure = np.clip(trace.durations[:, None], edges[:-1],
+                           edges[1:]) - edges[:-1][None, :]
+        exposure = np.maximum(exposure, 0.0).sum(axis=0)
+        # A failure exactly on a breakpoint belongs to the interval it
+        # closes (the hazard that produced it acted up to that age).
+        events = np.bincount(
+            np.searchsorted(breakpoints, failures, side="left"),
+            minlength=breakpoints.size + 1)
+        return cls(breakpoints, events / exposure)
+
+    # -- protocol ------------------------------------------------------ #
+    def cumulative_hazard(self, hours) -> np.ndarray:
+        """``H(t)``, vectorized (0 for ``t <= 0``)."""
+        t = np.asarray(hours, dtype=float)
+        idx = np.searchsorted(self.breakpoints, t, side="right")
+        start = np.concatenate(([0.0], self.breakpoints))[idx]
+        base = np.concatenate(([0.0], self._cumhaz_at_breaks))[idx]
+        return np.where(t > 0.0,
+                        base + self.hazards[idx] * np.maximum(t - start,
+                                                              0.0),
+                        0.0)
+
+    def hazard(self, hours) -> np.ndarray:
+        """The fitted hazard rate ``h(t)`` (per hour), vectorized."""
+        t = np.asarray(hours, dtype=float)
+        return self.hazards[np.searchsorted(self.breakpoints, t,
+                                            side="right")]
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        # Exact inverse transform: draw E ~ Exp(1) and invert the
+        # piecewise-linear cumulative hazard.  searchsorted side="left"
+        # skips zero-hazard intervals (their H is flat, so no E lands
+        # strictly inside them).
+        e = rng.standard_exponential(size)
+        idx = np.searchsorted(self._cumhaz_at_breaks, e, side="left")
+        start = np.concatenate(([0.0], self.breakpoints))[idx]
+        base = np.concatenate(([0.0], self._cumhaz_at_breaks))[idx]
+        return start + (e - base) / self.hazards[idx]
+
+    def log_pdf(self, hours: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(hours, dtype=float)
+        with np.errstate(divide="ignore"):
+            log_h = np.log(self.hazard(t))
+        return np.where(t >= 0.0, log_h - self.cumulative_hazard(t),
+                        -math.inf)
+
+    def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(hours, dtype=float)
+        return np.where(t >= 0.0, -self.cumulative_hazard(t), 0.0)
+
+    @property
+    def mean_hours(self) -> float:
+        """Closed-form MTTF: ``integral of exp(-H(t)) dt``."""
+        edges = np.concatenate(([0.0], self.breakpoints))
+        base = np.concatenate(([0.0], self._cumhaz_at_breaks))
+        total = 0.0
+        for k, h in enumerate(self.hazards):
+            surv = math.exp(-base[k])
+            if k == len(self.hazards) - 1:
+                total += surv / h     # infinite tail, h > 0 guaranteed
+            elif h > 0.0:
+                width = (self.breakpoints[k] - edges[k])
+                total += surv * (1.0 - math.exp(-h * width)) / h
+            else:
+                total += surv * (self.breakpoints[k] - edges[k])
+        return total
+
+    def hazard_scaled(self, factor: float) -> "EmpiricalLifetime":
+        """Proportional-hazards acceleration: same breakpoints, every
+        hazard multiplied by ``factor``.
+
+        Unlike :meth:`time_scaled` (which shifts the interval
+        boundaries), this keeps zero-hazard regions exactly aligned
+        with the original model's, so a proposal built this way stays
+        absolutely continuous with respect to the target -- the
+        property importance sampling needs.
+        :meth:`~repro.sim.lifetimes.BiasedLifetime.accelerated` uses it
+        for exactly that reason.
+        """
+        if factor <= 0:
+            raise ValueError("hazard-scaling factor must be positive")
+        return EmpiricalLifetime(self.breakpoints, self.hazards * factor)
+
+    def mean_minimum_hours(self, n: int) -> float:
+        """``E[min of n]`` fresh lifetimes, in closed form.
+
+        The minimum of ``n`` i.i.d. piecewise-exponential lifetimes is
+        piecewise exponential with every hazard multiplied by ``n`` --
+        this is the exact mean up-phase length the rare-event
+        estimator's quasi-renewal decomposition uses.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return self.hazard_scaled(n).mean_hours
+
+    def time_scaled(self, factor: float) -> "EmpiricalLifetime":
+        """Accelerated-failure scaling: ages shrink by ``factor``, so
+        breakpoints divide and hazards multiply."""
+        if factor <= 0:
+            raise ValueError("time-scaling factor must be positive")
+        return EmpiricalLifetime(self.breakpoints / factor,
+                                 self.hazards * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EmpiricalLifetime({self.hazards.size} hazard "
+                f"intervals, mean={self.mean_hours:g}h)")
+
+
+class KaplanMeierLifetime(LifetimeModel):
+    """Discrete resampling of the Kaplan-Meier failure distribution.
+
+    Samples are drawn from the observed failure ages with the
+    Kaplan-Meier probability masses; the mass the estimator leaves
+    beyond the last failure (when the longest observations are
+    censored) is assigned to the last failure age -- Efron's tail
+    convention, which makes the distribution proper at the cost of a
+    slightly pessimistic tail.  Being discrete, the model has no
+    density: it drives direct simulation (event engine, vectorized
+    lanes) but cannot serve as an importance-sampling target --
+    :meth:`log_pdf` raises, pointing at :class:`EmpiricalLifetime`.
+
+    Usage::
+
+        km_model = KaplanMeierLifetime.fit(trace)
+        km_model.sample(np.random.default_rng(0), 100)
+        km_model.mean_hours          # KM (Efron-corrected) mean
+    """
+
+    def __init__(self, times, probabilities) -> None:
+        times = np.asarray(times, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=float)
+        if times.ndim != 1 or times.size == 0 \
+                or times.size != probabilities.size:
+            raise ValueError("need matching 1-D times and probabilities")
+        if np.any(times <= 0.0) or np.any(np.diff(times) <= 0.0):
+            raise ValueError("times must be positive and increasing")
+        if np.any(probabilities < 0.0) \
+                or not math.isclose(float(probabilities.sum()), 1.0,
+                                    rel_tol=1e-9):
+            raise ValueError("probabilities must be >= 0 and sum to 1")
+        self.times = times
+        self.probabilities = probabilities / probabilities.sum()
+
+    @classmethod
+    def fit(cls, trace: FailureTrace) -> "KaplanMeierLifetime":
+        """Build the resampling model from a trace's KM curve."""
+        km = kaplan_meier(trace)
+        masses = -np.diff(np.concatenate(([km.initial], km.values)))
+        # Efron tail: the unassigned survival mass S(t_max) goes to the
+        # last observed failure age.
+        masses[-1] += km.values[-1]
+        return cls(km.times, masses)
+
+    @property
+    def mean_hours(self) -> float:
+        return float((self.times * self.probabilities).sum())
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        return rng.choice(self.times, size=size, p=self.probabilities)
+
+    def log_pdf(self, hours: np.ndarray | float) -> np.ndarray:
+        raise TypeError(
+            "KaplanMeierLifetime is a discrete distribution and has no "
+            "density; use EmpiricalLifetime (the piecewise-exponential "
+            "fit) for importance sampling / rare-event estimation")
+
+    def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(hours, dtype=float)
+        tail = np.concatenate(
+            (np.cumsum(self.probabilities[::-1])[::-1], [0.0]))
+        idx = np.searchsorted(self.times, t, side="right")
+        with np.errstate(divide="ignore"):
+            return np.where(t >= 0.0, np.log(tail[idx]), 0.0)
+
+    def time_scaled(self, factor: float) -> "KaplanMeierLifetime":
+        if factor <= 0:
+            raise ValueError("time-scaling factor must be positive")
+        return KaplanMeierLifetime(self.times / factor,
+                                   self.probabilities)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"KaplanMeierLifetime({self.times.size} support points, "
+                f"mean={self.mean_hours:g}h)")
+
+
+class TraceReplayLifetime(LifetimeModel):
+    """Verbatim replay of a trace's observed lifespans.
+
+    Instead of fitting any model, each installed device is dealt one of
+    the trace's records: an observed failure schedules the device to
+    fail exactly that many hours after installation, a censored record
+    means the device is never scheduled to fail (``inf`` -- the trace
+    only vouches for it surviving its observation window).  Records are
+    dealt without replacement from a deck shuffled with the caller's
+    generator; when the deck runs out (a long simulation re-installs
+    devices), it is reshuffled and dealt again.
+
+    This is an *event-engine* lifetime source: the discrete-event
+    engine skips scheduling non-finite lifetimes, while the vectorized
+    runner and the rare-event estimator reject the model (they need a
+    proper distribution -- fit an :class:`EmpiricalLifetime` instead).
+
+    Usage::
+
+        scenario = Scenario(code=code,
+                            lifetime=TraceReplayLifetime(trace),
+                            horizon_hours=trace.durations.max())
+    """
+
+    def __init__(self, trace: FailureTrace) -> None:
+        self.trace = trace
+        self._deck = np.where(trace.observed, trace.durations, math.inf)
+        self._order: np.ndarray | None = None
+        self._cursor = 0
+
+    @property
+    def mean_hours(self) -> float:
+        """Mean of the *observed* failure ages (censored records carry
+        no failure time; for a censoring-corrected mean fit a model)."""
+        self.trace.require_failures("compute a mean lifetime")
+        return float(self.trace.failure_times.mean())
+
+    def sample(self, rng: np.random.Generator,
+               size: int | tuple[int, ...]) -> np.ndarray:
+        count = int(np.prod(size))
+        out = np.empty(count)
+        filled = 0
+        while filled < count:
+            if self._order is None or self._cursor >= self._order.size:
+                self._order = rng.permutation(self._deck.size)
+                self._cursor = 0
+            take = min(count - filled, self._order.size - self._cursor)
+            out[filled:filled + take] = self._deck[
+                self._order[self._cursor:self._cursor + take]]
+            self._cursor += take
+            filled += take
+        return out.reshape(size)
+
+    def log_pdf(self, hours: np.ndarray | float) -> np.ndarray:
+        raise TypeError(
+            "TraceReplayLifetime replays observed lifespans verbatim "
+            "and has no density; fit an EmpiricalLifetime for anything "
+            "that needs a distribution")
+
+    def log_survival(self, hours: np.ndarray | float) -> np.ndarray:
+        raise TypeError(
+            "TraceReplayLifetime replays observed lifespans verbatim "
+            "and has no survival function; fit an EmpiricalLifetime "
+            "for anything that needs a distribution")
+
+    def time_scaled(self, factor: float) -> "TraceReplayLifetime":
+        """AFT scaling of the replayed lifespans themselves (batch
+        wear: a bad-batch device replays its record ``factor`` times
+        faster)."""
+        if factor <= 0:
+            raise ValueError("time-scaling factor must be positive")
+        scaled = FailureTrace(self.trace.durations / factor,
+                              self.trace.observed,
+                              source=f"{self.trace.source} (x{factor:g})")
+        return TraceReplayLifetime(scaled)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceReplayLifetime({self.trace.describe()})"
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic traces (tests, docs and the committed sample run offline)
+# --------------------------------------------------------------------------- #
+def generate_trace(lifetime: LifetimeModel,
+                   num_devices: int,
+                   observation_hours: float,
+                   seed: int | np.random.Generator | None = None,
+                   source: str = "<synthetic>") -> FailureTrace:
+    """Draw a seeded synthetic trace from any lifetime model.
+
+    Every device is installed at time 0 and watched for
+    ``observation_hours``: devices whose sampled lifetime ends inside
+    the window are observed failures, the rest are right-censored at
+    the window edge -- exactly the censoring structure a real
+    fixed-length trace has.
+
+    Usage::
+
+        trace = generate_trace(ExponentialLifetime(1000.0), 500,
+                               observation_hours=3000.0, seed=0)
+        trace.num_censored      # ~ 500 * exp(-3)
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    if observation_hours <= 0:
+        raise ValueError("observation_hours must be positive")
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+    sampled = lifetime.sample(rng, num_devices)
+    observed = sampled <= observation_hours
+    durations = np.where(observed, sampled, observation_hours)
+    # Daily-snapshot semantics: a device seen at all is alive > 0 hours.
+    durations = np.maximum(durations, 1e-9)
+    return FailureTrace(durations, observed, source=source)
+
+
+def concatenate_traces(*traces: FailureTrace,
+                       source: str = "<mixture>") -> FailureTrace:
+    """Pool several traces into one (e.g. an infant-mortality cohort
+    plus a wear-out cohort makes a bathtub-shaped fleet).
+
+    Usage::
+
+        bathtub = concatenate_traces(infant, wearout)
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    return FailureTrace(
+        np.concatenate([t.durations for t in traces]),
+        np.concatenate([t.observed for t in traces]),
+        source=source)
+
+
+def write_drive_stats_csv(trace: FailureTrace, path_or_file,
+                          start_date: str = "2024-01-01",
+                          hours_per_day: float = HOURS_PER_DAY) -> int:
+    """Expand a trace into drive-stats daily snapshots; returns the row
+    count.
+
+    Inverse of :func:`load_drive_stats_csv` up to snapshot
+    quantisation: a device alive ``d`` hours yields
+    ``ceil(d / hours_per_day)`` daily rows, the last one carrying
+    ``failure = 1`` when the failure was observed.  Round-tripping a
+    trace therefore reproduces durations to within one snapshot
+    interval.
+
+    Usage::
+
+        rows = write_drive_stats_csv(trace, "examples/sample_trace.csv")
+    """
+    if hours_per_day <= 0:
+        raise ValueError("hours_per_day must be positive")
+    first_day = datetime.date.fromisoformat(start_date).toordinal()
+
+    def _write(handle) -> int:
+        writer = csv.writer(handle)
+        writer.writerow(["date", "serial_number", "model",
+                         "capacity_bytes", "failure"])
+        rows = 0
+        width = len(str(trace.num_devices))
+        for i in range(trace.num_devices):
+            serial = f"SYN{i:0{width}d}"
+            days = max(1, math.ceil(trace.durations[i] / hours_per_day))
+            for day in range(days):
+                date = datetime.date.fromordinal(first_day + day)
+                failing = bool(trace.observed[i]) and day == days - 1
+                writer.writerow([date.isoformat(), serial, "synthetic",
+                                 4_000_000_000_000, int(failing)])
+                rows += 1
+        return rows
+
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "w", newline="") as handle:
+            return _write(handle)
+    return _write(path_or_file)

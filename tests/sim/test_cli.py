@@ -296,6 +296,161 @@ def test_help_epilog_points_at_failure_domain_docs(capsys):
     assert "--rack-shock-rate" in out
 
 
+# --------------------------------------------------------------------------- #
+# Failure-trace flags
+# --------------------------------------------------------------------------- #
+import pathlib  # noqa: E402
+
+SAMPLE_TRACE = str(pathlib.Path(__file__).resolve().parents[2]
+                   / "examples" / "sample_trace.csv")
+
+
+def _write_tiny_trace(tmp_path, failures=True):
+    """A 3-device snapshot trace (2 observed failures, 1 censored)."""
+    rows = ["date,serial_number,failure"]
+    for serial, days, failed in (("A", 4, failures), ("B", 6, failures),
+                                 ("C", 8, False)):
+        for day in range(days):
+            flag = int(failed and day == days - 1)
+            rows.append(f"2024-01-{day + 1:02d},{serial},{flag}")
+    path = tmp_path / "trace.csv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+def test_trace_flag_fits_empirical_model_and_prints_trace_row(capsys):
+    assert main(["--trace", SAMPLE_TRACE, "--trials", "100",
+                 "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "failure trace" in out
+    assert "EmpiricalLifetime" in out
+    assert "MTTDL (sim)" in out
+    # An empirical lifetime has no exponential closed form to check.
+    assert "analytic within 3 sigma" not in out
+
+
+def test_trace_km_model_runs_direct_simulation(capsys):
+    assert main(["--trace", SAMPLE_TRACE, "--trace-model", "km",
+                 "--trials", "100", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "KaplanMeierLifetime" in out
+    assert "MTTDL (sim)" in out
+
+
+def test_trace_rare_event_runs_on_piecewise_fit(capsys):
+    assert main(["--trace", SAMPLE_TRACE, "--rare-event", "--seed", "0",
+                 "--rare-target-rel-se", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Rare-event cluster reliability" in out
+    assert "EmpiricalLifetime" in out
+    assert "- (empirical lifetimes)" in out
+    # The sample fleet has an infant cohort, so the quasi-renewal
+    # caveat must arrive as a table row, not a raw Python warning.
+    assert "warning" in out
+    assert "quasi-renewal" in out
+
+
+def test_trace_replay_runs_on_event_engine(tmp_path, capsys):
+    path = _write_tiny_trace(tmp_path)
+    assert main(["--mode", "events", "--trace", str(path),
+                 "--trace-replay", "--trials", "2", "--seed", "0",
+                 "--stripes", "16", "--horizon", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "TraceReplayLifetime" in out
+    assert "Event-driven trajectories" in out
+
+
+def test_trace_missing_or_empty_file_exits_readably(tmp_path):
+    """The CLI-ergonomics satellite: a bad --trace is a one-line error,
+    never a traceback."""
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["--trace", str(tmp_path / "nope.csv"), "--trials", "10"])
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(SystemExit, match="is empty"):
+        main(["--trace", str(empty), "--trials", "10"])
+    header_only = tmp_path / "header.csv"
+    header_only.write_text("date,serial_number,failure\n")
+    with pytest.raises(SystemExit, match="no data rows"):
+        main(["--trace", str(header_only), "--trials", "10"])
+
+
+def test_trace_flag_conflicts_exit_readably(tmp_path):
+    with pytest.raises(SystemExit, match="pick one"):
+        main(["--trace", SAMPLE_TRACE, "--weibull-shape", "2.0",
+              "--trials", "10"])
+    with pytest.raises(SystemExit, match="piecewise"):
+        main(["--trace", SAMPLE_TRACE, "--trace-model", "km",
+              "--rare-event"])
+    with pytest.raises(SystemExit, match="needs --trace"):
+        main(["--trace-replay", "--mode", "events", "--trials", "2"])
+    with pytest.raises(SystemExit, match="events only"):
+        main(["--trace", SAMPLE_TRACE, "--trace-replay", "--trials", "2"])
+    with pytest.raises(SystemExit, match="trace-bins"):
+        main(["--trace", SAMPLE_TRACE, "--trace-bins", "0",
+              "--trials", "10"])
+    # An explicitly requested model alongside verbatim replay is a
+    # contradiction, not something to silently ignore.
+    with pytest.raises(SystemExit, match="fits no model"):
+        main(["--mode", "events", "--trace", SAMPLE_TRACE,
+              "--trace-replay", "--trace-model", "km", "--trials", "2",
+              "--stripes", "16", "--horizon", "500"])
+    # Orphaned trace flags (no --trace) must not silently fall back to
+    # the parametric model the user thinks they replaced.
+    with pytest.raises(SystemExit, match="add --trace"):
+        main(["--trace-model", "km", "--trials", "10"])
+    with pytest.raises(SystemExit, match="add --trace"):
+        main(["--trace-bins", "4", "--trials", "10"])
+    # Bins size the piecewise fit only.
+    with pytest.raises(SystemExit, match="no bins"):
+        main(["--trace", SAMPLE_TRACE, "--trace-model", "km",
+              "--trace-bins", "4", "--trials", "10"])
+
+
+def test_ultra_reliable_trace_fit_auto_selects_rare_event(monkeypatch,
+                                                          capsys):
+    """A fitted trace whose projected direct-MC round count blows the
+    valve must route to the rare-event estimator (which accepts the
+    piecewise fit) instead of grinding into the MAX_ROUNDS error."""
+    import repro.sim.rare as rare
+    monkeypatch.setattr(rare, "MAX_ROUNDS", 10.0)
+    assert main(["--trace", SAMPLE_TRACE, "--trials", "50",
+                 "--seed", "0", "--rare-target-rel-se", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "rare-event (auto" in out
+    assert "EmpiricalLifetime" in out
+    assert "MTTDL (rare-event)" in out
+
+
+def test_trace_rare_event_accepts_inert_domain_topology(capsys):
+    """Pure topology (racks without shocks) is a statistical no-op and
+    must not block the empirical rare-event path."""
+    assert main(["--trace", SAMPLE_TRACE, "--rare-event", "--seed", "0",
+                 "--racks", "8", "--rare-target-rel-se", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Rare-event cluster reliability" in out
+    assert "EmpiricalLifetime" in out
+    # An *active* correlation with an empirical lifetime is rejected.
+    with pytest.raises(SystemExit, match="correlated failure domains"):
+        main(["--trace", SAMPLE_TRACE, "--rare-event", "--seed", "0",
+              "--racks", "8", "--rack-shock-rate", "1e-5"])
+
+
+def test_all_censored_trace_exits_readably(tmp_path):
+    path = _write_tiny_trace(tmp_path, failures=False)
+    with pytest.raises(SystemExit, match="right-censored"):
+        main(["--trace", str(path), "--trials", "10"])
+
+
+def test_help_epilog_points_at_trace_docs(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    out = capsys.readouterr().out
+    assert "docs/traces.md" in out
+    assert "--trace-replay" in out
+    assert "docs/index.md" in out
+
+
 def test_multi_array_shock_run_notes_the_marginal_law(capsys):
     """The vectorized path drops cross-array shock coupling; with
     several arrays and active shocks the table must say so."""

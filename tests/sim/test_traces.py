@@ -1,0 +1,444 @@
+"""Failure traces: loading, censoring, survival fits, engine plumbing.
+
+The headline acceptance criterion of the trace tentpole lives here:
+an :class:`EmpiricalLifetime` fitted on a seeded exponential-generated
+trace reproduces the analytic ``mttdl_arr_m_parity`` within 3 sigma in
+*both* the vectorized runner and the rare-event estimator.
+"""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.reliability.markov import mttdl_arr_m_parity
+from repro.sim.domains import FailureDomains
+from repro.sim.events import ClusterSimulation, Scenario
+from repro.sim.lifetimes import (
+    BiasedLifetime,
+    DeterministicRepair,
+    ExponentialLifetime,
+    ExponentialRepair,
+    WeibullLifetime,
+)
+from repro.sim.montecarlo import simulate_array_lifetimes
+from repro.sim.rare import estimate_rare_mttdl
+from repro.sim.traces import (
+    EmpiricalLifetime,
+    FailureTrace,
+    KaplanMeierLifetime,
+    TraceReplayLifetime,
+    concatenate_traces,
+    generate_trace,
+    kaplan_meier,
+    load_drive_stats_csv,
+    nelson_aalen,
+    write_drive_stats_csv,
+)
+from repro.codes.registry import parse_code_spec
+
+
+def _trace(durations, observed):
+    return FailureTrace(np.asarray(durations, dtype=float),
+                        np.asarray(observed, dtype=bool))
+
+
+# --------------------------------------------------------------------------- #
+# Loader
+# --------------------------------------------------------------------------- #
+def _csv(text: str) -> FailureTrace:
+    return load_drive_stats_csv(io.StringIO(text))
+
+
+def test_loader_reduces_snapshots_with_censoring():
+    trace = _csv(
+        "date,serial_number,model,capacity_bytes,failure\n"
+        "2024-01-01,A,x,1,0\n"
+        "2024-01-02,A,x,1,0\n"
+        "2024-01-03,A,x,1,1\n"       # A fails on day 3 -> 72 h observed
+        "2024-01-01,B,x,1,0\n"
+        "2024-01-02,B,x,1,0\n")      # B censored after 2 days -> 48 h
+    assert trace.num_devices == 2
+    assert trace.num_failures == 1
+    assert trace.num_censored == 1
+    by_duration = dict(zip(trace.durations, trace.observed))
+    assert by_duration[72.0] and not by_duration[48.0]
+
+
+def test_loader_ignores_rows_after_failure_and_extra_columns():
+    trace = _csv(
+        "date,serial_number,failure,smart_9_raw\n"
+        "2024-01-01,A,1,123\n"
+        "2024-01-02,A,0,456\n")      # stale post-failure row: ignored
+    assert trace.num_devices == 1
+    assert trace.durations[0] == 24.0
+    assert trace.observed[0]
+
+
+def test_loader_clear_errors():
+    with pytest.raises(ValueError, match="does not exist"):
+        load_drive_stats_csv("/no/such/trace.csv")
+    with pytest.raises(ValueError, match="is empty"):
+        _csv("")
+    with pytest.raises(ValueError, match="no data rows"):
+        _csv("date,serial_number,failure\n")
+    with pytest.raises(ValueError, match="missing required column"):
+        _csv("date,serial,died\n2024-01-01,A,0\n")
+    with pytest.raises(ValueError, match="unparsable date"):
+        _csv("date,serial_number,failure\nJan 1,A,0\n")
+    with pytest.raises(ValueError, match="failure must be 0 or 1"):
+        _csv("date,serial_number,failure\n2024-01-01,A,yes\n")
+
+
+def test_csv_round_trip_quantises_to_snapshot_days():
+    original = generate_trace(ExponentialLifetime(700.0), 40,
+                              observation_hours=2000.0, seed=5)
+    buffer = io.StringIO()
+    write_drive_stats_csv(original, buffer)
+    buffer.seek(0)
+    back = load_drive_stats_csv(buffer)
+    assert back.num_devices == original.num_devices
+    assert back.num_failures == original.num_failures
+    np.testing.assert_allclose(
+        np.sort(back.durations),
+        np.sort(np.ceil(original.durations / 24.0) * 24.0))
+
+
+# --------------------------------------------------------------------------- #
+# Censoring edge cases
+# --------------------------------------------------------------------------- #
+def test_all_censored_trace_rejected_with_clear_error():
+    trace = _trace([100.0, 200.0, 300.0], [False, False, False])
+    with pytest.raises(ValueError, match="right-censored"):
+        EmpiricalLifetime.fit(trace)
+    with pytest.raises(ValueError, match="right-censored"):
+        kaplan_meier(trace)
+    with pytest.raises(ValueError, match="right-censored"):
+        KaplanMeierLifetime.fit(trace)
+    # Replay of an all-censored trace is legal (pure exposure)...
+    replay = TraceReplayLifetime(trace)
+    assert np.all(np.isinf(replay.sample(np.random.default_rng(0), 3)))
+    # ...but its observed-failure mean is as undefined as the fits.
+    with pytest.raises(ValueError, match="right-censored"):
+        replay.mean_hours
+
+
+def test_single_failure_trace_fits_a_one_bin_model():
+    trace = _trace([500.0, 800.0, 900.0], [True, False, False])
+    fitted = EmpiricalLifetime.fit(trace, bins=8)
+    # One observed failure -> one hazard interval, MLE = 1 / exposure.
+    assert fitted.hazards.shape == (1,)
+    assert fitted.hazards[0] == pytest.approx(1.0 / 2200.0)
+    assert fitted.mean_hours == pytest.approx(2200.0)
+    km = kaplan_meier(trace)
+    assert km.values[-1] == pytest.approx(2.0 / 3.0)
+
+
+def test_tied_failure_times_share_one_km_step_and_fit_cleanly():
+    trace = _trace([100.0, 100.0, 100.0, 100.0, 250.0, 400.0],
+                   [True, True, True, True, True, False])
+    km = kaplan_meier(trace)
+    assert km.times.tolist() == [100.0, 250.0]
+    # Four tied failures leave one step: S(100) = 1 - 4/6.
+    assert km.at(100.0) == pytest.approx(2.0 / 6.0)
+    na = nelson_aalen(trace)
+    assert na.at(100.0) == pytest.approx(4.0 / 6.0)
+    # The piecewise fit must not divide by a zero-width interval even
+    # when quantile edges collapse onto the tied value.
+    fitted = EmpiricalLifetime.fit(trace, bins=6)
+    assert np.all(np.isfinite(fitted.hazards))
+    assert fitted.hazards[-1] > 0.0
+    assert fitted.mean_hours > 0.0
+
+
+def test_km_and_piecewise_agree_on_uncensored_exponential_sample():
+    """On a fully observed exponential sample the product-limit curve,
+    exp(-Nelson-Aalen) and the piecewise-exponential fit are three
+    views of one distribution."""
+    trace = generate_trace(ExponentialLifetime(1000.0), 3000,
+                           observation_hours=1e9, seed=1)
+    assert trace.num_censored == 0
+    km = kaplan_meier(trace)
+    na = nelson_aalen(trace)
+    fitted = EmpiricalLifetime.fit(trace, bins=10)
+    grid = np.array([100.0, 500.0, 1000.0, 2000.0])
+    np.testing.assert_allclose(km.at(grid), np.exp(-na.at(grid)),
+                               atol=0.01)
+    np.testing.assert_allclose(np.exp(fitted.log_survival(grid)),
+                               km.at(grid), atol=0.02)
+    km_model = KaplanMeierLifetime.fit(trace)
+    assert km_model.mean_hours == pytest.approx(fitted.mean_hours,
+                                                rel=0.05)
+
+
+# --------------------------------------------------------------------------- #
+# EmpiricalLifetime protocol
+# --------------------------------------------------------------------------- #
+def test_single_bin_empirical_is_exponential():
+    model = EmpiricalLifetime(np.empty(0), np.array([1e-3]))
+    reference = ExponentialLifetime(1000.0)
+    x = np.array([0.0, 100.0, 2500.0])
+    np.testing.assert_allclose(model.log_pdf(x), reference.log_pdf(x))
+    np.testing.assert_allclose(model.log_survival(x),
+                               reference.log_survival(x))
+    assert model.mean_hours == pytest.approx(1000.0)
+    assert model.mean_minimum_hours(8) == pytest.approx(125.0)
+
+
+def test_empirical_sampling_matches_its_own_distribution():
+    model = EmpiricalLifetime(np.array([200.0, 800.0]),
+                              np.array([2e-3, 5e-4, 1.5e-3]))
+    draws = model.sample(np.random.default_rng(0), 300_000)
+    assert draws.mean() == pytest.approx(model.mean_hours, rel=0.01)
+    for t in (100.0, 400.0, 1200.0):
+        empirical = (draws > t).mean()
+        assert empirical == pytest.approx(
+            math.exp(model.log_survival(t)), abs=0.005)
+    # log_pdf integrates to 1.
+    grid = np.linspace(0.0, 30_000.0, 300_001)
+    density = np.exp(model.log_pdf(grid))
+    integral = float(((density[1:] + density[:-1]) / 2.0
+                      * np.diff(grid)).sum())
+    assert integral == pytest.approx(1.0, abs=1e-4)
+
+
+def test_empirical_time_scaled_and_validation():
+    model = EmpiricalLifetime(np.array([300.0]), np.array([1e-3, 2e-3]))
+    fast = model.time_scaled(3.0)
+    assert fast.mean_hours == pytest.approx(model.mean_hours / 3.0)
+    np.testing.assert_allclose(fast.breakpoints, [100.0])
+    np.testing.assert_allclose(fast.hazards, [3e-3, 6e-3])
+    with pytest.raises(ValueError, match="final hazard"):
+        EmpiricalLifetime(np.array([100.0]), np.array([1e-3, 0.0]))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        EmpiricalLifetime(np.array([200.0, 100.0]),
+                          np.array([1e-3, 1e-3, 1e-3]))
+    with pytest.raises(ValueError, match="interior breakpoints"):
+        EmpiricalLifetime(np.array([100.0]), np.array([1e-3]))
+
+
+def test_biased_lifetime_accelerates_empirical_via_hazard_scaling():
+    model = EmpiricalLifetime(np.array([500.0]), np.array([1e-3, 2e-3]))
+    biased = BiasedLifetime.accelerated(model, 10.0)
+    assert isinstance(biased.proposal, EmpiricalLifetime)
+    # Proportional-hazards proposal: breakpoints unchanged, hazards
+    # multiplied (for a constant hazard this equals the exponential
+    # AFT rule exactly; in general the mean ratio is close to, not
+    # exactly, the factor).
+    np.testing.assert_allclose(biased.proposal.breakpoints,
+                               model.breakpoints)
+    np.testing.assert_allclose(biased.proposal.hazards,
+                               model.hazards * 10.0)
+    assert biased.acceleration > 5.0
+    # Importance weights average to 1 under a *mild* proposal (strong
+    # acceleration hides weight mass in tail draws no finite sample
+    # holds -- the very reason the rare estimator scores adaptively).
+    mild = BiasedLifetime.accelerated(model, 1.5)
+    draws = mild.sample(np.random.default_rng(2), 200_000)
+    w = np.exp(mild.log_weight(draws))
+    assert w.mean() == pytest.approx(1.0, rel=0.05)
+
+
+def test_accelerated_empirical_keeps_zero_hazard_regions_aligned():
+    """An AFT-scaled proposal would shift a zero-hazard interval off
+    the target's and silently lose weight mass; the proportional-
+    hazards proposal keeps supports aligned, so E[w] = 1 holds."""
+    target = EmpiricalLifetime(np.array([100.0, 200.0]),
+                               np.array([0.01, 0.0, 0.005]))
+    biased = BiasedLifetime.accelerated(target, 1.5)
+    assert isinstance(biased.proposal, EmpiricalLifetime)
+    np.testing.assert_allclose(biased.proposal.breakpoints,
+                               target.breakpoints)
+    np.testing.assert_allclose(biased.proposal.hazards,
+                               target.hazards * 1.5)
+    draws = biased.sample(np.random.default_rng(0), 200_000)
+    # No draw lands where the target has no mass...
+    assert not np.any((draws > 100.0) & (draws <= 200.0))
+    # ...and the full-draw weights are unbiased.
+    w = np.exp(biased.log_weight(draws))
+    assert w.mean() == pytest.approx(1.0, rel=0.05)
+    # The quasi-renewal diagnostic treats a zero interior hazard as an
+    # infinite variation, not a benign one.
+    with pytest.warns(RuntimeWarning, match="inf"):
+        estimate_rare_mttdl(8, 0.0, m=1, seed=0, lifetime=target,
+                            repair=ExponentialRepair(17.8),
+                            target_rel_se=0.2)
+
+
+def test_biased_lifetime_rejects_density_less_models_at_construction():
+    """Density-less models must fail fast in accelerated(), not on the
+    first log_weight call mid-simulation."""
+    trace = _trace([100.0, 200.0, 300.0], [True, True, True])
+    with pytest.raises(TypeError, match="log-density"):
+        BiasedLifetime.accelerated(KaplanMeierLifetime.fit(trace), 4.0)
+    with pytest.raises(TypeError, match="log-density"):
+        BiasedLifetime.accelerated(TraceReplayLifetime(trace), 4.0)
+
+
+# --------------------------------------------------------------------------- #
+# KaplanMeierLifetime / TraceReplayLifetime
+# --------------------------------------------------------------------------- #
+def test_km_lifetime_resamples_support_and_refuses_density():
+    trace = _trace([100.0, 200.0, 200.0, 500.0, 900.0],
+                   [True, True, True, True, False])
+    model = KaplanMeierLifetime.fit(trace)
+    draws = model.sample(np.random.default_rng(0), 5000)
+    assert set(np.unique(draws)) <= {100.0, 200.0, 500.0}
+    # Efron tail: the censored device's survival mass lands on the
+    # last observed failure age, so probabilities sum to 1.
+    assert model.probabilities.sum() == pytest.approx(1.0)
+    with pytest.raises(TypeError, match="no density"):
+        model.log_pdf(100.0)
+    scaled = model.time_scaled(2.0)
+    assert scaled.mean_hours == pytest.approx(model.mean_hours / 2.0)
+
+
+def test_trace_replay_deals_every_record_once_per_deck():
+    trace = _trace([10.0, 20.0, 30.0, 40.0], [True, True, False, True])
+    replay = TraceReplayLifetime(trace)
+    first_deck = replay.sample(np.random.default_rng(0), 4)
+    finite = sorted(x for x in first_deck if math.isfinite(x))
+    assert finite == [10.0, 20.0, 40.0]
+    assert np.isinf(first_deck).sum() == 1
+    # The deck reshuffles and deals the same multiset again.
+    second_deck = replay.sample(np.random.default_rng(1), 4)
+    assert sorted(x for x in second_deck
+                  if math.isfinite(x)) == [10.0, 20.0, 40.0]
+    with pytest.raises(TypeError, match="verbatim"):
+        replay.log_pdf(10.0)
+    faster = replay.time_scaled(2.0)
+    assert faster.trace.durations.tolist() == [5.0, 10.0, 15.0, 20.0]
+
+
+def test_vectorized_runner_rejects_trace_replay():
+    trace = _trace([10.0, 20.0], [True, True])
+    with pytest.raises(TypeError, match="event engine"):
+        simulate_array_lifetimes(8, 0.0, 10, seed=0,
+                                 lifetime=TraceReplayLifetime(trace))
+
+
+def test_event_engine_replays_observed_timestamps_verbatim():
+    """n observed records, deterministic repair: the engine must fail
+    devices at exactly the traced ages (whoever gets which record),
+    and an all-censored trace must never fail anything."""
+    durations = [3000.0, 100.0, 150.0, 4000.0]
+    trace = _trace(durations, [True] * 4)
+    scenario = Scenario(code=parse_code_spec("rs(n=4,r=4,m=1)"),
+                        num_arrays=1, stripes_per_array=4,
+                        lifetime=TraceReplayLifetime(trace),
+                        repair=DeterministicRepair(1000.0),
+                        horizon_hours=10_000.0)
+    result = ClusterSimulation(scenario, seed=0).run()
+    # 100 h and 150 h land within one (slow, fixed) rebuild window:
+    # data loss at the second-earliest traced age, whatever the
+    # shuffle dealt which record to which device.
+    assert result.lost_data
+    assert result.time_to_data_loss == pytest.approx(150.0)
+
+    censored = _trace(durations, [False] * 4)
+    scenario2 = Scenario(code=parse_code_spec("rs(n=4,r=4,m=1)"),
+                        num_arrays=1, stripes_per_array=4,
+                        lifetime=TraceReplayLifetime(censored),
+                        repair=DeterministicRepair(1000.0),
+                        horizon_hours=10_000.0)
+    result2 = ClusterSimulation(scenario2, seed=0).run()
+    assert not result2.lost_data
+    assert result2.event_counts["device_failure"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance criterion: fitted-on-exponential recovers the chain
+# --------------------------------------------------------------------------- #
+def test_fitted_exponential_trace_recovers_chain_in_vectorized_runner():
+    mttf = 1000.0
+    trace = generate_trace(ExponentialLifetime(mttf), 30_000,
+                           observation_hours=5.0 * mttf, seed=0)
+    fitted = EmpiricalLifetime.fit(trace, bins=6)
+    result = simulate_array_lifetimes(
+        8, 0.0, 400, seed=1, m=1, lifetime=fitted,
+        repair=ExponentialRepair(17.8))
+    low, high = result.mttdl_confidence(z=3.0)
+    anchor = mttdl_arr_m_parity(8, 1.0 / mttf, 1.0 / 17.8, 0.0, 1)
+    assert low <= anchor <= high, (low, anchor, high)
+
+
+def test_fitted_exponential_trace_recovers_chain_in_rare_estimator():
+    """The paper's true 1/lambda = 500,000 h at m = 2 (~1e12 h MTTDL),
+    reached from a fitted trace via the quasi-renewal decomposition."""
+    mttf = 500_000.0
+    trace = generate_trace(ExponentialLifetime(mttf), 30_000,
+                           observation_hours=5.0 * mttf, seed=2)
+    fitted = EmpiricalLifetime.fit(trace, bins=6)
+    result = estimate_rare_mttdl(
+        8, 4.366e-9, m=2, seed=3, lifetime=fitted,
+        repair=ExponentialRepair(17.8), target_rel_se=0.05,
+        batch_cycles=20_000)
+    low, high = result.mttdl_confidence(z=3.0)
+    anchor = mttdl_arr_m_parity(8, 1.0 / mttf, 1.0 / 17.8, 4.366e-9, 2)
+    assert low <= anchor <= high, (low, anchor, high)
+    assert result.mttdl_hours > 1e11
+    assert result.effective_sample_size > 0.05 * result.cycles
+
+
+def test_rare_estimator_rejects_km_and_domains_with_empirical():
+    trace = generate_trace(ExponentialLifetime(1000.0), 500,
+                           observation_hours=5000.0, seed=4)
+    with pytest.raises(TypeError, match="piecewise-exponential"):
+        estimate_rare_mttdl(8, 0.0, m=1, seed=0,
+                            lifetime=KaplanMeierLifetime.fit(trace))
+    with pytest.raises(ValueError, match="correlated failure domains"):
+        estimate_rare_mttdl(
+            8, 0.0, m=1, seed=0,
+            lifetime=EmpiricalLifetime.fit(trace),
+            domains=FailureDomains(racks=4,
+                                   rack_shock_rate_per_hour=1e-5))
+    # An inert spec (pure topology) is a statistical no-op and runs on
+    # the plain quasi-renewal path.
+    inert = estimate_rare_mttdl(
+        8, 0.0, m=1, seed=0,
+        lifetime=EmpiricalLifetime.fit(trace),
+        repair=ExponentialRepair(17.8),
+        domains=FailureDomains(racks=4), target_rel_se=0.1)
+    assert inert.mttdl_hours > 0
+
+
+def test_rare_estimator_warns_on_strongly_bent_empirical_hazard():
+    """The quasi-renewal decomposition is only exact for near-constant
+    hazards; a bathtub-grade fit must say so out loud."""
+    import warnings
+
+    bent = EmpiricalLifetime(np.array([100.0]), np.array([5e-3, 1e-3]))
+    with pytest.warns(RuntimeWarning, match="quasi-renewal"):
+        estimate_rare_mttdl(8, 0.0, m=1, seed=0, lifetime=bent,
+                            repair=ExponentialRepair(17.8),
+                            target_rel_se=0.1)
+    flat = EmpiricalLifetime(np.array([100.0]),
+                             np.array([1.1e-3, 1e-3]))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        estimate_rare_mttdl(8, 0.0, m=1, seed=0, lifetime=flat,
+                            repair=ExponentialRepair(17.8),
+                            target_rel_se=0.1)
+
+
+# --------------------------------------------------------------------------- #
+# Generators
+# --------------------------------------------------------------------------- #
+def test_generate_trace_censors_at_the_observation_window():
+    trace = generate_trace(WeibullLifetime(800.0, 2.0), 2000,
+                           observation_hours=600.0, seed=6)
+    assert trace.durations.max() <= 600.0
+    censored = trace.durations[~trace.observed]
+    assert np.all(censored == 600.0)
+    assert 0 < trace.num_failures < trace.num_devices
+
+
+def test_concatenate_traces_pools_cohorts():
+    a = generate_trace(ExponentialLifetime(500.0), 100, 1000.0, seed=7)
+    b = generate_trace(ExponentialLifetime(2000.0), 50, 1000.0, seed=8)
+    pooled = concatenate_traces(a, b)
+    assert pooled.num_devices == 150
+    assert pooled.num_failures == a.num_failures + b.num_failures
+    with pytest.raises(ValueError):
+        concatenate_traces()

@@ -65,7 +65,8 @@ def test_docs_pages_are_cross_linked():
     """The pages the README and CLI promise actually exist."""
     names = {page.name for page in _doc_pages()}
     assert {"architecture.md", "simulator.md", "code-specs.md",
-            "failure-domains.md", "reliability-models.md"} <= names
+            "failure-domains.md", "reliability-models.md",
+            "traces.md", "index.md"} <= names
 
 
 def test_every_docs_page_has_a_python_block():
@@ -76,12 +77,32 @@ def test_every_docs_page_has_a_python_block():
 
 
 def test_docs_hygiene_checker_passes():
-    """Relative links resolve and no [[...]] placeholders remain, on
-    the README and every docs page (same gate CI runs standalone)."""
+    """Relative links resolve, no [[...]] placeholders remain, and
+    every chapter is reachable from docs/index.md, on the README and
+    every docs page (same gate CI runs standalone)."""
     problems = []
     for page in check_docs.markdown_pages(REPO_ROOT):
         problems.extend(check_docs.check_page(page, REPO_ROOT))
+    problems.extend(check_docs.check_index(REPO_ROOT))
     assert not problems, "\n".join(problems)
+
+
+def test_index_reachability_checker_catches_orphans(tmp_path):
+    """A docs page the index does not link -- or a missing index --
+    must be flagged; a fully linked tree must pass."""
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "chapter.md").write_text("```python\nx = 1\n```\n")
+    problems = check_docs.check_index(tmp_path)
+    assert any("index.md is missing" in p for p in problems)
+    (docs / "index.md").write_text("An index with no links.\n"
+                                   "```python\nx = 1\n```\n")
+    problems = check_docs.check_index(tmp_path)
+    assert any("chapter.md" in p and "not linked" in p
+               for p in problems)
+    (docs / "index.md").write_text("[chapter](chapter.md)\n"
+                                   "```python\nx = 1\n```\n")
+    assert check_docs.check_index(tmp_path) == []
 
 
 def test_docs_hygiene_checker_catches_rot(tmp_path):

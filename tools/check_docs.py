@@ -11,7 +11,11 @@ under ``docs/``:
 * **pages without executable examples** -- every ``docs/*.md`` page
   must carry at least one fenced ``python`` block, because
   ``tests/test_docs_examples.py`` executes those blocks in CI and a
-  page without any is a tutorial that can silently rot.
+  page without any is a tutorial that can silently rot;
+* **pages unreachable from the index** -- ``docs/index.md`` is the
+  guided reading order; every other ``docs/*.md`` page must be linked
+  from it (a chapter nobody can navigate to is a chapter nobody
+  reads).
 
 Exit status is non-zero when any problem is found::
 
@@ -46,12 +50,16 @@ def _strip_fences(text: str) -> str:
     return _FENCE_RE.sub("", text)
 
 
-def check_page(page: pathlib.Path,
-               root: pathlib.Path = REPO_ROOT) -> list[str]:
-    """All problems found on one page, as human-readable strings."""
-    text = page.read_text()
-    prose = _strip_fences(text)
-    problems = []
+def _relative_link_targets(page: pathlib.Path, prose: str | None = None,
+                           ) -> list[tuple[str, pathlib.Path]]:
+    """``(raw_target, resolved_path)`` for every relative link on a
+    page (fenced code stripped; external/anchor-only links skipped) --
+    the single definition both the dead-link check and the
+    index-reachability check resolve links with.  Pass ``prose`` (the
+    already fence-stripped text) to avoid re-reading the page."""
+    if prose is None:
+        prose = _strip_fences(page.read_text())
+    targets = []
     for match in _LINK_RE.finditer(prose):
         target = match.group(1)
         if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
@@ -59,7 +67,17 @@ def check_page(page: pathlib.Path,
         path = target.split("#", 1)[0]
         if not path:
             continue
-        resolved = (page.parent / path).resolve()
+        targets.append((target, (page.parent / path).resolve()))
+    return targets
+
+
+def check_page(page: pathlib.Path,
+               root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """All problems found on one page, as human-readable strings."""
+    text = page.read_text()
+    prose = _strip_fences(text)
+    problems = []
+    for target, resolved in _relative_link_targets(page, prose):
         if not resolved.exists():
             problems.append(
                 f"{page.relative_to(root)}: dead relative link "
@@ -77,11 +95,32 @@ def check_page(page: pathlib.Path,
     return problems
 
 
+def check_index(root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """Every docs page must be reachable from ``docs/index.md``."""
+    docs = root / "docs"
+    index = docs / "index.md"
+    if not index.is_file():
+        return ["docs/index.md is missing (the docs tree needs a "
+                "reading-order index linking every chapter)"]
+    linked = {resolved for _, resolved in _relative_link_targets(index)}
+    problems = []
+    for page in sorted(docs.glob("*.md")):
+        if page == index:
+            continue
+        if page.resolve() not in linked:
+            problems.append(
+                f"{page.relative_to(root)}: not linked from "
+                "docs/index.md (every chapter must be reachable from "
+                "the reading-order index)")
+    return problems
+
+
 def main() -> int:
     problems = []
     pages = markdown_pages()
     for page in pages:
         problems.extend(check_page(page))
+    problems.extend(check_index())
     if problems:
         print("docs hygiene check FAILED:")
         for problem in problems:
