@@ -40,6 +40,9 @@ class IDRScheme(StripeCode):
         self.row_code = CauchyRSCode(n, n - m, self.field)
         self.chunk_code = CauchyRSCode(r, r - epsilon, self.field)
         self.counter = OperationCounter()
+        #: Region-operation backend; swap in ReferenceRegionOps to drive
+        #: the scalar reference path (differential tests do this).
+        self.ops_class: type[RegionOps] = RegionOps
 
     # ------------------------------------------------------------------ #
     @property
@@ -64,7 +67,7 @@ class IDRScheme(StripeCode):
             raise EncodingInputError(
                 f"expected {self.num_data_symbols} data symbols, got {len(data)}"
             )
-        ops = RegionOps(self.field, self.counter)
+        ops = self.ops_class(self.field, self.counter)
         k_cols = self._n - self.m
         k_rows = self._r - self.epsilon
         grid: Grid = [[None] * self._n for _ in range(self._r)]
@@ -88,7 +91,7 @@ class IDRScheme(StripeCode):
 
     def decode(self, stripe: Grid) -> Grid:
         """Iterative row-wise / chunk-wise repair (product-code peeling)."""
-        ops = RegionOps(self.field, self.counter)
+        ops = self.ops_class(self.field, self.counter)
         grid: Grid = [[None if cell is None else np.asarray(cell) for cell in row]
                       for row in stripe]
         k_cols = self._n - self.m

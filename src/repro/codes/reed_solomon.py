@@ -36,6 +36,9 @@ class ReedSolomonStripeCode(StripeCode):
         self.field = field or get_field(8 if n <= 256 else 16)
         self.code = CauchyRSCode(n, n - m, self.field)
         self.counter = OperationCounter()
+        #: Region-operation backend; swap in ReferenceRegionOps to drive
+        #: the scalar reference path (differential tests do this).
+        self.ops_class: type[RegionOps] = RegionOps
 
     # ------------------------------------------------------------------ #
     @property
@@ -59,7 +62,7 @@ class ReedSolomonStripeCode(StripeCode):
             raise EncodingInputError(
                 f"expected {self.num_data_symbols} data symbols, got {len(data)}"
             )
-        ops = RegionOps(self.field, self.counter)
+        ops = self.ops_class(self.field, self.counter)
         k = self._n - self.m
         grid: Grid = []
         for i in range(self._r):
@@ -69,11 +72,14 @@ class ReedSolomonStripeCode(StripeCode):
         return grid
 
     def decode(self, stripe: Grid) -> Grid:
-        ops = RegionOps(self.field, self.counter)
-        out: Grid = []
-        for i in range(self._r):
-            row = list(stripe[i])
-            missing = [j for j in range(self._n) if row[j] is None]
+        ops = self.ops_class(self.field, self.counter)
+        rows = [list(row) for row in stripe]
+        # Group damaged rows by erasure pattern: rows sharing a pattern
+        # (the common case -- whole-device failures) are repaired with one
+        # batched bulk-kernel call instead of one recovery per row.
+        by_pattern: dict[tuple[int, ...], list[int]] = {}
+        for i, row in enumerate(rows):
+            missing = tuple(j for j in range(self._n) if row[j] is None)
             if len(missing) > self.m:
                 raise DecodingFailureError(
                     f"row {i} has {len(missing)} lost symbols; "
@@ -81,11 +87,14 @@ class ReedSolomonStripeCode(StripeCode):
                     unrecovered=[(i, j) for j in missing],
                 )
             if missing:
-                recovered = self.code.recover(row, ops, wanted=missing)
-                for j, symbol in recovered.items():
-                    row[j] = symbol
-            out.append([np.asarray(cell) for cell in row])
-        return out
+                by_pattern.setdefault(missing, []).append(i)
+        for missing, row_indices in by_pattern.items():
+            recovered = self.code.recover_many(
+                [rows[i] for i in row_indices], ops, wanted=list(missing))
+            for i, row_recovered in zip(row_indices, recovered):
+                for j, symbol in row_recovered.items():
+                    rows[i][j] = symbol
+        return [[np.asarray(cell) for cell in row] for row in rows]
 
     def tolerates(self, lost_positions: Sequence[tuple[int, int]]) -> bool:
         per_row: dict[int, int] = {}

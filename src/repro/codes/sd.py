@@ -83,6 +83,9 @@ class SDCode(StripeCode):
         self.global_rows = global_rows
         self.row_code = CauchyRSCode(n, n - m, self.field) if m else None
         self.counter = OperationCounter()
+        #: Region-operation backend; swap in ReferenceRegionOps to drive
+        #: the scalar reference path (differential tests do this).
+        self.ops_class: type[RegionOps] = RegionOps
 
         self._parity_positions = self._build_parity_positions()
         self._parity_lookup = {pos: k for k, pos in enumerate(self._parity_positions)}
@@ -190,21 +193,24 @@ class SDCode(StripeCode):
             raise EncodingInputError(
                 f"expected {self.num_data_symbols} data symbols, got {len(data)}"
             )
-        ops = RegionOps(self.field, self.counter)
+        ops = self.ops_class(self.field, self.counter)
         matrix = self.encoding_matrix()
         grid: Grid = [[None] * self._n for _ in range(self._r)]
         data_list = [np.asarray(d) for d in data]
         for pos, symbol in zip(self._data_positions, data_list):
             grid[pos[0]][pos[1]] = symbol
-        for k, (row, col) in enumerate(self._parity_positions):
-            grid[row][col] = ops.linear_combination(matrix[k], data_list)
+        # All parities (row parities and global sectors) in one bulk
+        # matrix-times-plane kernel over the stacked data symbols.
+        parities = ops.matrix_vector(matrix, data_list)
+        for (row, col), symbol in zip(self._parity_positions, parities):
+            grid[row][col] = symbol
         return grid
 
     # ------------------------------------------------------------------ #
     # Decoding (syndrome based)
     # ------------------------------------------------------------------ #
     def decode(self, stripe: Grid) -> Grid:
-        ops = RegionOps(self.field, self.counter)
+        ops = self.ops_class(self.field, self.counter)
         lost = [(i, j) for i in range(self._r) for j in range(self._n)
                 if stripe[i][j] is None]
         if not lost:
@@ -221,29 +227,22 @@ class SDCode(StripeCode):
             raise DecodingFailureError(
                 "failure pattern is not covered by this SD code", unrecovered=lost)
 
-        # Syndromes of the selected equations over the surviving symbols.
-        symbol_size = self._symbol_size(stripe)
-        syndromes = []
-        for eq in equation_rows:
-            acc = ops.zeros(symbol_size)
-            coeffs = self._check_matrix[eq]
-            for i in range(self._r):
-                base = i * self._n
-                row = stripe[i]
-                for j in range(self._n):
-                    symbol = row[j]
-                    if symbol is None:
-                        continue
-                    c = int(coeffs[base + j])
-                    if c:
-                        ops.mult_xor(np.asarray(symbol), acc, c)
-            syndromes.append(acc)
+        # Syndromes of the selected equations over the surviving symbols:
+        # stack the survivors into one plane and apply the corresponding
+        # columns of the parity-check matrix with the bulk kernel.
+        surviving = [(i, j) for i in range(self._r) for j in range(self._n)
+                     if stripe[i][j] is not None]
+        surviving_idx = [self._symbol_index(i, j) for i, j in surviving]
+        survivors = [np.asarray(stripe[i][j]) for i, j in surviving]
+        check_sub = self._check_matrix[np.ix_(equation_rows, surviving_idx)]
+        syndromes = ops.matrix_vector(check_sub, survivors)
 
         solver = GFMatrix(h_lost[equation_rows, :], self.field).inverse()
         repaired = [[None if cell is None else np.asarray(cell) for cell in row]
                     for row in stripe]
-        for out_index, (i, j) in enumerate(lost):
-            repaired[i][j] = ops.linear_combination(solver.data[out_index], syndromes)
+        recovered = ops.matrix_vector(solver.data, syndromes)
+        for (i, j), symbol in zip(lost, recovered):
+            repaired[i][j] = symbol
         return repaired  # type: ignore[return-value]
 
     def _independent_rows(self, matrix: np.ndarray,

@@ -168,6 +168,41 @@ class CanonicalStripe:
             self.steps.append(ScheduleStep("row", row, tuple(sorted(filled))))
         return filled
 
+    def recover_rows(self, row_targets: dict[int, Sequence[int]],
+                     ) -> list[tuple[int, int]]:
+        """Batched :meth:`recover_row` over many grid rows at once.
+
+        Rows sharing an erasure pattern and target set are recovered with
+        one bulk-kernel batch through ``C_row.recover_many``.  Recovered
+        values, recorded schedule steps (ascending row order) and counter
+        totals are identical to calling :meth:`recover_row` row by row;
+        the rows must be independent (no row's targets feed another's
+        sources), which holds for the decoder's deferred-chunk rebuild.
+        """
+        groups: dict[tuple[tuple[int, ...], tuple[int, ...]], list[int]] = {}
+        for row in sorted(row_targets):
+            missing = tuple(c for c in range(self.cols)
+                            if self.cells[row][c] is None)
+            wanted = tuple(sorted(row_targets[row]))
+            groups.setdefault((missing, wanted), []).append(row)
+        recovered_per_row: dict[int, dict[int, np.ndarray]] = {}
+        for (missing, wanted), rows in groups.items():
+            batches = self.crow.recover_many(
+                [list(self.cells[row]) for row in rows], self.ops,
+                wanted=list(wanted))
+            for row, recovered in zip(rows, batches):
+                recovered_per_row[row] = recovered
+        filled_all = []
+        for row in sorted(row_targets):
+            filled = []
+            for col, symbol in recovered_per_row.get(row, {}).items():
+                self.set(row, col, symbol)
+                filled.append((row, col))
+            if filled:
+                self.steps.append(ScheduleStep("row", row, tuple(sorted(filled))))
+            filled_all.extend(filled)
+        return filled_all
+
     def recover_col(self, col: int,
                     targets: Sequence[int] | None = None) -> list[tuple[int, int]]:
         """Recover unknown cells of grid column ``col`` using ``C_col``.

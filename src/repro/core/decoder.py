@@ -132,22 +132,33 @@ class StairDecoder:
     # ------------------------------------------------------------------ #
     def _row_local_repair(self, working: list[list[Optional[np.ndarray]]],
                           ops: RegionOps) -> None:
-        """Repair every row with at most m lost symbols using C_row alone."""
+        """Repair every row with at most m lost symbols using C_row alone.
+
+        Rows sharing the same erasure pattern (the common case when whole
+        devices fail) are stacked and repaired with one batched bulk-kernel
+        call, bit- and counter-identical to repairing them one by one.
+        """
         n, m = self.config.n, self.config.m
+        by_pattern: dict[tuple[int, ...], list[int]] = {}
         for i in range(self.config.r):
-            row = working[i]
-            missing = [j for j in range(n) if row[j] is None]
-            if not missing or len(missing) > m:
-                continue
-            # Build the C_row codeword: the m' intermediate parity positions
+            missing = tuple(j for j in range(n) if working[i][j] is None)
+            if missing and len(missing) <= m:
+                by_pattern.setdefault(missing, []).append(i)
+        for missing, row_indices in by_pattern.items():
+            # Build the C_row codewords: the m' intermediate parity positions
             # are never stored, so they are always unknown here.
-            codeword: list[Optional[np.ndarray]] = list(row) + [None] * self.config.m_prime
+            codewords: list[list[Optional[np.ndarray]]] = [
+                list(working[i]) + [None] * self.config.m_prime
+                for i in row_indices
+            ]
             try:
-                recovered = self.crow.recover(codeword, ops, wanted=missing)
+                recovered = self.crow.recover_many(codewords, ops,
+                                                   wanted=list(missing))
             except UnrecoverableErasureError:  # pragma: no cover - guarded above
                 continue
-            for j, symbol in recovered.items():
-                row[j] = symbol
+            for i, row_recovered in zip(row_indices, recovered):
+                for j, symbol in row_recovered.items():
+                    working[i][j] = symbol
 
     # ------------------------------------------------------------------ #
     # Phase 2: global upstairs repair
@@ -192,7 +203,10 @@ class StairDecoder:
 
         self._upstairs_schedule(grid, deferred)
 
-        # Finally rebuild the deferred chunks row by row via C_row.
+        # Finally rebuild the deferred chunks row by row via C_row.  Rows
+        # sharing an erasure pattern (whole failed devices) go through one
+        # batched bulk-kernel recovery.
+        row_targets: dict[int, Sequence[int]] = {}
         for i in range(self.config.r):
             targets = [j for j in deferred if not grid.is_known(i, j)]
             if not targets:
@@ -202,7 +216,9 @@ class StairDecoder:
                     f"row {i} cannot be rebuilt: insufficient known symbols",
                     unrecovered=[(i, j) for j in targets],
                 )
-            grid.recover_row(i, targets=targets)
+            row_targets[i] = targets
+        if row_targets:
+            grid.recover_rows(row_targets)
 
         stripe = grid.extract_stripe()
         self._last_steps = grid.steps

@@ -43,9 +43,11 @@ class StandardEncoder:
         ops = ops or RegionOps(self.config.field())
         grid = build_data_grid(self.config, self.layout, data)
         data_list = [np.asarray(d) for d in data]
-        for p, (row, col) in enumerate(self.layout.parity_positions()):
-            coeffs = self.parity_coefficients[p]
-            grid[row][col] = ops.linear_combination(coeffs, data_list)
+        # One bulk kernel call: every parity row of the generator matrix is
+        # applied to the stacked data plane in a single pass.
+        parities = ops.matrix_vector(self.parity_coefficients, data_list)
+        for parity, (row, col) in zip(parities, self.layout.parity_positions()):
+            grid[row][col] = parity
         return grid  # type: ignore[return-value]
 
     def mult_xor_count(self) -> int:

@@ -71,6 +71,12 @@ class StairCode:
         #: Mult_XOR counter shared by every encode/decode done through this
         #: object (reset it via ``code.counter.reset()``).
         self.counter = OperationCounter()
+        #: Region-operation backend used by every encode/decode.  The
+        #: default routes through the bulk stripe-planar kernels; the
+        #: differential tests swap in
+        #: :class:`~repro.gf.regions.ReferenceRegionOps` to drive the
+        #: scalar reference path with identical counter semantics.
+        self.ops_class: type[RegionOps] = RegionOps
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -101,7 +107,7 @@ class StairCode:
         return crow, ccol
 
     def _ops(self) -> RegionOps:
-        return RegionOps(self.field, self.counter)
+        return self.ops_class(self.field, self.counter)
 
     # ------------------------------------------------------------------ #
     # Encoding

@@ -129,6 +129,59 @@ class GField:
         out[nz] = self._exp[logs].astype(vec.dtype)
         return out
 
+    # ------------------------------------------------------------------ #
+    # Bulk (plane) helpers: whole-array multiplies in one or two gathers
+    # ------------------------------------------------------------------ #
+    def mul_rows(self, constants: np.ndarray, plane: np.ndarray) -> np.ndarray:
+        """Multiply row ``i`` of a 2-D ``plane`` by ``constants[i]``.
+
+        ``constants`` has shape ``(S,)`` and ``plane`` shape ``(S, L)``;
+        the result has the plane's shape and the field's element dtype.
+        For ``w <= 8`` this is a single fancy-index gather into the full
+        multiplication table; for w = 16 it goes through the log/antilog
+        tables with explicit zero masking.
+        """
+        constants = np.asarray(constants, dtype=np.int64)
+        if self._mul_table is not None:
+            return self._mul_table[constants[:, None], plane]
+        logs = (self._log[plane].astype(np.int64)
+                + self._log[constants].astype(np.int64)[:, None])
+        out = self._exp[logs].astype(self.element_dtype)
+        out[plane == 0] = 0
+        out[constants == 0, :] = 0
+        return out
+
+    def mul_gather(self, constants: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Outer product gather: ``out[i, ...] = constants[i] * data[...]``.
+
+        ``constants`` has shape ``(T,)``; the result has shape
+        ``(T, *data.shape)``.  With 1-D ``data`` this is the classical
+        GF outer product used by the vectorised Gaussian elimination.
+        """
+        constants = np.asarray(constants, dtype=np.int64)
+        if self._mul_table is not None:
+            # mul_table[c] is the per-constant lookup row; indexing it by
+            # the data array broadcasts to (T, *data.shape) in one gather.
+            return self._mul_table[constants][:, data]
+        logs = (self._log[data].astype(np.int64)[None, ...]
+                + self._log[constants].astype(np.int64).reshape(
+                    (-1,) + (1,) * data.ndim))
+        out = self._exp[logs].astype(self.element_dtype)
+        out[:, data == 0] = 0
+        out[constants == 0] = 0
+        return out
+
+    def mul_elementwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product of two broadcastable arrays of elements."""
+        a, b = np.broadcast_arrays(np.asarray(a, dtype=np.int64),
+                                   np.asarray(b, dtype=np.int64))
+        if self._mul_table is not None:
+            return self._mul_table[a, b]
+        logs = self._log[a].astype(np.int64) + self._log[b].astype(np.int64)
+        out = self._exp[logs].astype(self.element_dtype)
+        out[(a == 0) | (b == 0)] = 0
+        return out
+
     def dot(self, coeffs: Iterable[int], vectors: Iterable[np.ndarray]) -> np.ndarray:
         """Return ``sum_i coeffs[i] * vectors[i]`` over the field.
 

@@ -138,24 +138,22 @@ class GFMatrix:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def matmul(self, other: "GFMatrix") -> "GFMatrix":
-        """Matrix multiplication over the field."""
+        """Matrix multiplication over the field.
+
+        Vectorised as one outer-product gather per inner dimension:
+        ``C ^= A[:, k] (x) B[k, :]`` for each k with a non-zero column.
+        """
         if self.cols != other.rows:
             raise ValueError(
                 f"shape mismatch for matmul: {self.shape} @ {other.shape}"
             )
         f = self.field
         result = np.zeros((self.rows, other.cols), dtype=np.int64)
-        for i in range(self.rows):
-            row = self.data[i]
-            for k in range(self.cols):
-                a = int(row[k])
-                if a == 0:
-                    continue
-                other_row = other.data[k]
-                for j in range(other.cols):
-                    b = int(other_row[j])
-                    if b:
-                        result[i, j] ^= f.mul(a, b)
+        for k in range(self.cols):
+            col = self.data[:, k]
+            if not col.any():
+                continue
+            result ^= f.mul_gather(col, other.data[k]).astype(np.int64)
         return GFMatrix(result, f)
 
     def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
@@ -172,26 +170,52 @@ class GFMatrix:
         vec = np.asarray(vector, dtype=np.int64)
         if vec.shape[0] != self.cols:
             raise ValueError("vector length mismatch")
-        f = self.field
-        out = np.zeros(self.rows, dtype=np.int64)
-        for i in range(self.rows):
-            acc = 0
-            row = self.data[i]
-            for j in range(self.cols):
-                a, b = int(row[j]), int(vec[j])
-                if a and b:
-                    acc ^= f.mul(a, b)
-            out[i] = acc
-        return out
+        if self.rows == 0 or self.cols == 0:
+            return np.zeros(self.rows, dtype=np.int64)
+        products = self.field.mul_elementwise(self.data, vec[None, :])
+        return np.bitwise_xor.reduce(products.astype(np.int64), axis=1)
 
     # ------------------------------------------------------------------ #
     # Gaussian elimination: inverse, rank, solve
     # ------------------------------------------------------------------ #
+    def _eliminate(self, mat: np.ndarray) -> list[int]:
+        """In-place Gauss-Jordan elimination to reduced row-echelon form.
+
+        Works on any augmented copy of the data.  Each pivot step
+        normalises the pivot row and clears the pivot column of *every*
+        other row with a single vectorised outer-product update
+        (``mat ^= factors (x) pivot_row``) instead of a per-row Python
+        loop.  Returns the pivot column indices in elimination order.
+        """
+        f = self.field
+        rows = mat.shape[0]
+        pivot_cols: list[int] = []
+        rank = 0
+        for col in range(self.cols):
+            if rank == rows:
+                break
+            candidates = np.nonzero(mat[rank:, col])[0]
+            if candidates.size == 0:
+                continue
+            pivot = rank + int(candidates[0])
+            if pivot != rank:
+                mat[[rank, pivot]] = mat[[pivot, rank]]
+            pivot_inv = f.inv(int(mat[rank, col]))
+            mat[rank] = f.mul_vector(pivot_inv, mat[rank]).astype(np.int64)
+            factors = mat[:, col].copy()
+            factors[rank] = 0
+            if factors.any():
+                mat ^= f.mul_gather(factors, mat[rank]).astype(np.int64)
+            pivot_cols.append(col)
+            rank += 1
+        return pivot_cols
+
     def inverse(self) -> "GFMatrix":
         """Return the inverse matrix (Gauss-Jordan elimination).
 
-        Row updates are vectorised through the field's constant-times-vector
-        primitive so that the sub-matrix inversions performed during erasure
+        The elimination is vectorised row-at-a-time: every pivot step
+        updates the whole augmented matrix with one GF outer-product
+        gather, so the sub-matrix inversions performed during erasure
         decoding stay cheap even for ~100x100 systems.
 
         Raises
@@ -201,58 +225,27 @@ class GFMatrix:
         """
         if self.rows != self.cols:
             raise SingularMatrixError("only square matrices can be inverted")
-        f = self.field
         n = self.rows
-        aug = np.hstack([self.data.copy(),
-                         np.eye(n, dtype=np.int64)])
-        for col in range(n):
-            pivot = None
-            for r in range(col, n):
-                if aug[r, col]:
-                    pivot = r
-                    break
-            if pivot is None:
-                raise SingularMatrixError("matrix is singular over GF(2^w)")
-            if pivot != col:
-                aug[[col, pivot]] = aug[[pivot, col]]
-            pivot_inv = f.inv(int(aug[col, col]))
-            aug[col] = f.mul_vector(pivot_inv, aug[col]).astype(np.int64)
-            pivot_row = aug[col]
-            for r in range(n):
-                factor = int(aug[r, col])
-                if r == col or not factor:
-                    continue
-                aug[r] ^= f.mul_vector(factor, pivot_row).astype(np.int64)
-        return GFMatrix(aug[:, n:], f)
+        aug = np.hstack([self.data.copy(), np.eye(n, dtype=np.int64)])
+        pivot_cols = self._eliminate(aug)
+        if len(pivot_cols) != n:
+            raise SingularMatrixError("matrix is singular over GF(2^w)")
+        return GFMatrix(aug[:, n:], self.field)
+
+    def rref(self) -> tuple["GFMatrix", tuple[int, ...]]:
+        """Reduced row-echelon form and the pivot columns.
+
+        Rank-deficient matrices are fine: the trailing rows of the
+        returned matrix are zero and ``len(pivots)`` is the rank.
+        """
+        mat = self.data.copy()
+        pivot_cols = self._eliminate(mat)
+        return GFMatrix(mat, self.field), tuple(pivot_cols)
 
     def rank(self) -> int:
         """Return the rank of the matrix over the field."""
-        f = self.field
         mat = self.data.copy()
-        rows, cols = mat.shape
-        rank = 0
-        for col in range(cols):
-            pivot = None
-            for r in range(rank, rows):
-                if mat[r, col]:
-                    pivot = r
-                    break
-            if pivot is None:
-                continue
-            if pivot != rank:
-                mat[[rank, pivot]] = mat[[pivot, rank]]
-            pivot_inv = f.inv(int(mat[rank, col]))
-            mat[rank] = f.mul_vector(pivot_inv, mat[rank]).astype(np.int64)
-            pivot_row = mat[rank]
-            for r in range(rows):
-                factor = int(mat[r, col])
-                if r == rank or not factor:
-                    continue
-                mat[r] ^= f.mul_vector(factor, pivot_row).astype(np.int64)
-            rank += 1
-            if rank == rows:
-                break
-        return rank
+        return len(self._eliminate(mat))
 
     def is_invertible(self) -> bool:
         """True if the matrix is square and non-singular."""

@@ -86,14 +86,16 @@ class SystematicMDSCode:
     # ------------------------------------------------------------------ #
     def encode(self, data: Sequence[np.ndarray],
                ops: RegionOps | None = None) -> list[np.ndarray]:
-        """Encode κ data symbols, returning the η - κ parity symbols."""
+        """Encode κ data symbols, returning the η - κ parity symbols.
+
+        All parities are produced by one bulk matrix-times-plane kernel
+        (the data symbols are stacked into a plane once, each parity row
+        is a single table gather plus an XOR reduction).
+        """
         self._check_data(data)
         ops = ops or RegionOps(self.field)
         parity = self.parity_matrix()
-        out: list[np.ndarray] = []
-        for j in range(self.num_parities):
-            out.append(ops.linear_combination(parity.col(j), data))
-        return out
+        return ops.matrix_vector(parity.data.T, data)
 
     def encode_codeword(self, data: Sequence[np.ndarray],
                         ops: RegionOps | None = None) -> list[np.ndarray]:
@@ -139,10 +141,50 @@ class SystematicMDSCode:
         basis = tuple(known[: self.dimension])
         coeffs = self.decode_matrix(basis, tuple(targets))
         basis_symbols = [codeword[i] for i in basis]
-        out: dict[int, np.ndarray] = {}
-        for row, target in enumerate(targets):
-            out[target] = ops.linear_combination(coeffs[row], basis_symbols)
-        return out
+        recovered = ops.matrix_vector(coeffs, basis_symbols)
+        return dict(zip(targets, recovered))
+
+    def recover_many(self, codewords: Sequence[Sequence[Optional[np.ndarray]]],
+                     ops: RegionOps | None = None,
+                     wanted: Sequence[int] | None = None,
+                     ) -> list[dict[int, np.ndarray]]:
+        """Recover the *same* erasure pattern across many codewords at once.
+
+        Every codeword must have ``None`` at exactly the same positions.
+        The decode matrix is computed once and applied to the whole batch
+        with one gather per matrix column, which is how the decoder's
+        row-local repair phase processes all rows of a stripe that share
+        a failure pattern.  Bit- and counter-identical to calling
+        :meth:`recover` once per codeword.
+        """
+        if not len(codewords):
+            return []
+        first = codewords[0]
+        if len(first) != self.length:
+            raise ValueError(
+                f"codeword length {len(first)} != {self.length}"
+            )
+        known = [i for i, sym in enumerate(first) if sym is not None]
+        missing = [i for i, sym in enumerate(first) if sym is None]
+        for cw in codewords[1:]:
+            if [i for i, sym in enumerate(cw) if sym is None] != missing:
+                raise ValueError(
+                    "recover_many requires an identical erasure pattern "
+                    "across all codewords")
+        targets = list(wanted) if wanted is not None else missing
+        targets = [t for t in targets if first[t] is None]
+        if not targets:
+            return [{} for _ in codewords]
+        if len(known) < self.dimension:
+            raise UnrecoverableErasureError(
+                f"only {len(known)} of {self.dimension} required symbols available"
+            )
+        ops = ops or RegionOps(self.field)
+        basis = tuple(known[: self.dimension])
+        coeffs = self.decode_matrix(basis, tuple(targets))
+        batches = ops.matrix_vector_batch(
+            coeffs, [[cw[i] for i in basis] for cw in codewords])
+        return [dict(zip(targets, recovered)) for recovered in batches]
 
     def recover_all(self, codeword: Sequence[Optional[np.ndarray]],
                     ops: RegionOps | None = None) -> list[np.ndarray]:

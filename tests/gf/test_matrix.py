@@ -130,6 +130,78 @@ class TestInverseAndRank:
         assert m.matmul(m.inverse()) == GFMatrix.identity(6, field)
 
 
+class TestRrefAndEdgeCases:
+    """Edge cases of the vectorised elimination kernel: rref, tiny and
+    empty matrices, and non-byte word sizes."""
+
+    def test_rref_of_full_rank_square_is_identity(self, field):
+        m = random_invertible(4, field, seed=3)
+        reduced, pivots = m.rref()
+        assert reduced == GFMatrix.identity(4, field)
+        assert pivots == (0, 1, 2, 3)
+
+    def test_rref_rank_deficient(self, field):
+        # Row 2 = row 0 XOR row 1, so the rank is 2 and the third row of
+        # the reduced form must vanish.
+        m = GFMatrix([[1, 0, 3], [0, 1, 5], [1, 1, 6]], field)
+        reduced, pivots = m.rref()
+        assert pivots == (0, 1)
+        assert not reduced.data[2].any()
+        assert m.rank() == 2
+
+    def test_rref_rectangular_wide(self, field):
+        m = GFMatrix([[0, 0, 2, 4], [0, 0, 1, 7]], field)
+        reduced, pivots = m.rref()
+        # First two columns are identically zero: pivots must skip them.
+        assert pivots == (2, 3)
+        assert reduced.data[0, 2] == 1 and reduced.data[1, 3] == 1
+
+    def test_rref_does_not_mutate_original(self, field):
+        m = GFMatrix([[2, 4], [6, 8]], field)
+        before = m.data.copy()
+        m.rref()
+        assert np.array_equal(m.data, before)
+
+    def test_one_by_one(self, field):
+        m = GFMatrix([[7]], field)
+        assert m.rank() == 1
+        inv = m.inverse()
+        assert field.mul(int(inv.data[0, 0]), 7) == 1
+        with pytest.raises(SingularMatrixError):
+            GFMatrix([[0]], field).inverse()
+
+    def test_empty_matrix(self, field):
+        empty = GFMatrix.zeros(0, 0, field)
+        assert empty.rank() == 0
+        assert empty.inverse().shape == (0, 0)
+        reduced, pivots = empty.rref()
+        assert reduced.shape == (0, 0) and pivots == ()
+
+    def test_zero_rows_nonzero_cols(self, field):
+        m = GFMatrix.zeros(0, 3, field)
+        assert m.rank() == 0
+        assert m.rref()[1] == ()
+
+    @pytest.mark.parametrize("w", [4, 16])
+    def test_inverse_and_rref_other_word_sizes(self, w):
+        field = get_field(w)
+        m = random_invertible(3, field, seed=w)
+        assert m.matmul(m.inverse()) == GFMatrix.identity(3, field)
+        reduced, pivots = m.rref()
+        assert reduced == GFMatrix.identity(3, field)
+        assert pivots == (0, 1, 2)
+
+    @pytest.mark.parametrize("w", [4, 16])
+    def test_singular_raises_other_word_sizes(self, w):
+        field = get_field(w)
+        with pytest.raises(SingularMatrixError):
+            GFMatrix([[3, 3], [3, 3]], field).inverse()
+
+    def test_mul_vector_empty(self, field):
+        m = GFMatrix.zeros(0, 0, field)
+        assert m.mul_vector([]).shape == (0,)
+
+
 class TestSlicing:
     def test_submatrix_row_and_col(self, field):
         m = GFMatrix(np.arange(12).reshape(3, 4) % 256, field)
