@@ -10,17 +10,35 @@ Paper setting: 10 PB of user data, 300 GB devices, 512-byte sectors,
   until P_bit gets large;
 * among the s = 3 STAIR configurations, e = (1, 2) is the most reliable
   (better than e = (3) and e = (1, 1, 1)).
+
+The figure is driven through the committed sweep spec
+``benchmarks/specs/fig17.toml`` (analytic-mode scenario cells expanded
+by :mod:`repro.scenario.sweep`); :func:`repro.bench.figures.figure17_rows`
+stays as the cross-check reference -- the two must agree bitwise.
 """
+
+from pathlib import Path
 
 import pytest
 
 from repro.bench.figures import figure17_rows
 from repro.bench.reporting import print_table
+from repro.scenario.sweep import run_sweep_file
+
+SWEEP_SPEC = Path(__file__).resolve().parent / "specs" / "fig17.toml"
+
+
+def _sweep_rows():
+    result = run_sweep_file(SWEEP_SPEC)
+    return [{"p_bit": cell.spec.sector.p_bit,
+             "code": cell.result["code_label"],
+             "mttdl_hours": cell.result["analytic_system_mttdl_hours"]}
+            for cell in result.cells]
 
 
 @pytest.fixture(scope="module")
 def rows():
-    return figure17_rows()
+    return _sweep_rows()
 
 
 def _mttdl(rows, code, p_bit):
@@ -29,8 +47,7 @@ def _mttdl(rows, code, p_bit):
 
 
 def test_fig17_mttdl_independent(rows, benchmark):
-    benchmark.pedantic(lambda: figure17_rows(p_bits=(1e-12,)),
-                       rounds=1, iterations=1)
+    benchmark.pedantic(_sweep_rows, rounds=1, iterations=1)
     print_table(
         ["P_bit", "code", "MTTDL_sys (hours)"],
         [[f"{row['p_bit']:.0e}", row["code"], row["mttdl_hours"]]
@@ -38,6 +55,10 @@ def test_fig17_mttdl_independent(rows, benchmark):
         title="Figure 17: MTTDL_sys, independent sector failures",
         float_format="{:.3g}",
     )
+
+    # The committed sweep spec and the in-code figure generator describe
+    # the same figure.
+    assert rows == figure17_rows()
 
     # s=1 codes beat RS by more than two orders of magnitude at 1e-14.
     assert _mttdl(rows, "STAIR e=(1,)", 1e-14) > 100 * _mttdl(rows, "RS", 1e-14)

@@ -13,7 +13,11 @@ Asserted floors (also acceptance criteria of the subsystem):
   simulation cannot converge at all);
 * >= 25,000 snapshot rows/s for the failure-trace path end to end
   (parse the drive-stats CSV, reduce to censored lifespans, fit the
-  piecewise-exponential hazard model).
+  piecewise-exponential hazard model);
+* the sweep orchestrator (repro.scenario.sweep) is pure overhead on
+  top of the engines: a parallel 4-cell fan-out stays within a lenient
+  budget of the serial run (pool spawn included), and an all-hits
+  cached replay serves >= 200 cells/s without touching any engine.
 
 pytest-benchmark provides the statistical timing; the hard assertions
 use wall-clock directly so they hold even without the plugin's
@@ -21,12 +25,15 @@ comparison machinery.
 """
 
 import io
+import os
 import time
 
 import numpy as np
 import pytest
 
 from repro.codes.registry import parse_code_spec
+from repro.scenario import ScenarioSpec
+from repro.scenario.sweep import SweepSpec, run_sweep
 from repro.sim.domains import FailureDomains
 from repro.sim.events import ClusterSimulation, Scenario
 from repro.sim.lifetimes import ExponentialLifetime, ExponentialRepair
@@ -226,6 +233,89 @@ def test_trace_fit_reproducible():
     second = _parse_and_fit(text)
     assert np.array_equal(first.hazards, second.hazards)
     assert np.array_equal(first.breakpoints, second.breakpoints)
+
+
+#: Sweep-orchestrator floors: a 4-cell MTTF grid over the vectorized
+#: m = 1 runner, heavy enough (20,000 trials/cell) that per-cell
+#: engine time dominates any honest orchestration cost.
+SWEEP_TRIALS = 20_000
+SWEEP_MTTF_GRID = [250_000.0, 500_000.0, 750_000.0, 1_000_000.0]
+#: All-hits replay floor: cells served per second with zero engine work
+#: (expand + hash + cache lookup only; measured ~3,000/s).
+SWEEP_CACHED_CELLS_PER_SECOND = 200.0
+
+
+def _sweep_4_cells() -> SweepSpec:
+    base = ScenarioSpec.loads(f"""
+version = 1
+[code]
+spec = "rs(n=8,r=16,m=1)"
+[fleet]
+arrays = {CLUSTER_ARRAYS}
+[lifetime]
+mttf_hours = 500000.0
+[estimator]
+trials = {SWEEP_TRIALS}
+seed = 0
+""")
+    return SweepSpec(base=base, name="bench-4-cell",
+                     grid={"lifetime.mttf_hours": list(SWEEP_MTTF_GRID)})
+
+
+def test_sweep_parallel_fanout_within_serial_budget():
+    """Acceptance criterion: fanning the 4-cell sweep over a
+    multiprocessing pool returns bitwise-identical results and costs no
+    more than the serial run divided by a lenient 0.85 efficiency
+    factor, plus a fixed pool-spawn allowance -- the orchestrator may
+    not add hidden per-cell work on either path.  (On a single-core
+    runner the pool size clamps to 1 and the budget still holds.)"""
+    sweep = _sweep_4_cells()
+    run_sweep(sweep)  # warm numpy caches outside the timed windows
+    start = time.perf_counter()
+    serial = run_sweep(sweep)
+    serial_elapsed = time.perf_counter() - start
+    processes = min(4, os.cpu_count() or 1)
+    start = time.perf_counter()
+    parallel = run_sweep(sweep, processes=processes)
+    parallel_elapsed = time.perf_counter() - start
+    assert len(serial.cells) == len(SWEEP_MTTF_GRID)
+    assert [c.result for c in parallel.cells] == [c.result
+                                                  for c in serial.cells]
+    budget = serial_elapsed / 0.85 + 1.5
+    assert parallel_elapsed <= budget, (
+        f"4-cell sweep with {processes} processes took "
+        f"{parallel_elapsed:.2f}s (serial: {serial_elapsed:.2f}s, "
+        f"budget: {budget:.2f}s)")
+
+
+def test_sweep_cached_replay_is_pure_overhead(tmp_path):
+    """Acceptance criterion: an all-hits replay of a cached sweep runs
+    no engine at all -- >= 200 cells/s served straight from the
+    content-addressed cache, bitwise identical to the computed run."""
+    sweep = _sweep_4_cells()
+    cache = tmp_path / "sweep-cache"
+    first = run_sweep(sweep, cache_dir=cache)
+    assert (first.hits, first.misses) == (0, len(SWEEP_MTTF_GRID))
+    start = time.perf_counter()
+    second = run_sweep(sweep, cache_dir=cache)
+    elapsed = time.perf_counter() - start
+    assert (second.hits, second.misses) == (len(SWEEP_MTTF_GRID), 0)
+    assert [c.result for c in second.cells] == [c.result
+                                                for c in first.cells]
+    rate = len(second.cells) / elapsed
+    assert rate >= SWEEP_CACHED_CELLS_PER_SECOND, (
+        f"cached sweep replay served {rate:,.0f} cells/s "
+        f"(floor: {SWEEP_CACHED_CELLS_PER_SECOND:,.0f}/s)")
+
+
+def test_bench_sweep_cached_replay(benchmark, tmp_path):
+    """Statistical timing of the pure-orchestration path (all hits)."""
+    sweep = _sweep_4_cells()
+    cache = tmp_path / "sweep-cache"
+    run_sweep(sweep, cache_dir=cache)  # populate
+
+    result = benchmark(lambda: run_sweep(sweep, cache_dir=cache))
+    assert result.misses == 0
 
 
 def test_bench_trace_parse_and_fit(benchmark):

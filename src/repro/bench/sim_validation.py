@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -70,7 +71,13 @@ from repro.sim.lifetimes import (
     ExponentialRepair,
     WeibullLifetime,
 )
-from repro.sim.montecarlo import simulate_array_lifetimes, simulate_code_mttdl
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.cluster import CoverageModel
+from repro.sim.montecarlo import (
+    code_reliability_from_code,
+    simulate_array_lifetimes,
+    simulate_code_mttdl,
+)
 from repro.sim.rare import estimate_rare_mttdl, rare_event_code_mttdl
 from repro.sim.traces import (
     EmpiricalLifetime,
@@ -78,26 +85,47 @@ from repro.sim.traces import (
     generate_trace,
 )
 
+#: Directory of the committed scenario specs behind the default table.
+VALIDATION_SPEC_DIR = Path(__file__).resolve().parent / "specs" / "validation"
+
 #: Code families compared by default: the RS/RAID-5 baseline plus the
 #: paper's flagship STAIR configurations and the SD competitor at m = 1
 #: (direct Monte Carlo), and m = 2 / m = 3 geometries at the very same
-#: paper parameters via the rare-event estimator.  Each entry is
-#: ``(CodeReliability, m, estimator)`` with estimator ``"direct"`` or
-#: ``"rare"`` (a bare CodeReliability means m = 1, direct).
+#: paper parameters via the rare-event estimator.  Each default entry
+#: is a committed scenario spec file (``specs/validation/*.toml``,
+#: loadable by :class:`repro.scenario.ScenarioSpec` and runnable
+#: standalone via ``python -m repro.sim.cli --spec FILE``); inline
+#: entries -- a bare CodeReliability (m = 1, direct), ``(code, m)`` or
+#: ``(code, m, estimator)`` with estimator ``"direct"``/``"rare"`` --
+#: are still accepted everywhere a spec path is.
 DEFAULT_CODES = (
-    (CodeReliability.reed_solomon(), 1, "direct"),
-    (CodeReliability.stair([1]), 1, "direct"),
-    (CodeReliability.stair([1, 2]), 1, "direct"),
-    (CodeReliability.sd(2), 1, "direct"),
-    (CodeReliability.reed_solomon(), 2, "rare"),
-    (CodeReliability.sd(2), 2, "rare"),
-    (CodeReliability.reed_solomon(), 3, "rare"),
+    VALIDATION_SPEC_DIR / "rs_m1.toml",
+    VALIDATION_SPEC_DIR / "stair_e1_m1.toml",
+    VALIDATION_SPEC_DIR / "stair_e12_m1.toml",
+    VALIDATION_SPEC_DIR / "sd2_m1.toml",
+    VALIDATION_SPEC_DIR / "rs_m2_rare.toml",
+    VALIDATION_SPEC_DIR / "sd2_m2_rare.toml",
+    VALIDATION_SPEC_DIR / "rs_m3_rare.toml",
 )
 
 
+def _entry_from_spec(spec: ScenarioSpec) -> tuple[CodeReliability, int, str]:
+    """The ``(reliability, m, estimator)`` triple one scenario spec
+    describes: the sector-tolerance structure and device tolerance come
+    out of the parsed code spec, the estimator out of the spec's mode."""
+    code = parse_code_spec(spec.code.spec)
+    estimator = "rare" if spec.estimator.mode == "rare" else "direct"
+    return (code_reliability_from_code(code),
+            CoverageModel.from_code(code).m, estimator)
+
+
 def _normalize(entry) -> tuple[CodeReliability, int, str]:
-    """Accept a bare CodeReliability (m = 1, direct), ``(code, m)``
-    (direct), or ``(code, m, estimator)``."""
+    """Accept a scenario spec file path, a bare CodeReliability (m = 1,
+    direct), ``(code, m)`` (direct), or ``(code, m, estimator)``."""
+    if isinstance(entry, (str, Path)):
+        return _entry_from_spec(ScenarioSpec.load(entry))
+    if isinstance(entry, ScenarioSpec):
+        return _entry_from_spec(entry)
     if isinstance(entry, CodeReliability):
         return entry, 1, "direct"
     if len(entry) == 2:
@@ -119,8 +147,9 @@ def sim_vs_analytic_rows(codes: Sequence = DEFAULT_CODES,
                          rare_target_rel_se: float = 0.02) -> list[dict]:
     """One row per configuration: analytic MTTDL_arr, simulated MTTDL, CI.
 
-    ``codes`` entries are ``(CodeReliability, m, estimator)`` triples
-    (see :data:`DEFAULT_CODES`).  The analytic reference is
+    ``codes`` entries are committed scenario spec files or inline
+    ``(CodeReliability, m, estimator)`` triples (see
+    :data:`DEFAULT_CODES`).  The analytic reference is
     :func:`repro.reliability.mttdl.mttdl_array_general`, i.e. Eq. 10 at
     m = 1 and the general Markov chain beyond.  ``trials`` sizes the
     direct rows; rare rows stop at ``rare_target_rel_se`` instead.  The

@@ -1,0 +1,504 @@
+"""``run_scenario(spec)``: one dispatch entry point over every engine.
+
+This module is the single place a :class:`~repro.scenario.spec.ScenarioSpec`
+is turned into concrete simulator objects (code, lifetime model, failure
+domains, sector model) and routed to an engine:
+
+* ``estimator.mode = "montecarlo"`` -- the vectorized direct runner,
+  including the auto-switchover that detects ultra-reliable
+  configurations (projected direct rounds beyond the ``MAX_ROUNDS``
+  safety valve) and reroutes them to the rare-event estimator;
+* ``"rare"`` -- force the importance-sampled regenerative-cycle
+  estimator;
+* ``"events"`` -- full discrete-event trajectories;
+* ``"analytic"`` -- no simulation: the §7 closed-form chain (the mode
+  behind the paper-figure sweeps).
+
+The CLI (``repro.sim.cli``) is a thin adapter over this function --
+flags build a spec, ``run_scenario`` runs it, the CLI renders the
+returned :class:`ScenarioOutcome`.  The sweep orchestrator
+(:mod:`repro.scenario.sweep`) calls it per grid cell and caches
+``outcome.summary()``.  Determinism: a spec plus its ``estimator.seed``
+fully determine every random draw, so equal specs produce bitwise-equal
+summaries (the property the content-addressed sweep cache rests on).
+
+Usage::
+
+    from repro.scenario import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec.from_dict({
+        "version": 1,
+        "code": {"spec": "rs(n=8,r=16,m=1)"},
+        "lifetime": {"mttf_hours": 20_000.0},
+        "estimator": {"trials": 500, "seed": 0},
+    })
+    outcome = run_scenario(spec)
+    outcome.engine            # "montecarlo"
+    outcome.result.mttdl_hours
+    outcome.summary()         # JSON-safe dict (what the sweep caches)
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.array.failures import BurstLengthDistribution
+from repro.codes.registry import parse_code_spec
+from repro.reliability.markov import mttdl_arr_m_parity
+from repro.reliability.mttdl import (
+    SystemParameters,
+    mttdl_array_general,
+    mttdl_system,
+    p_array,
+)
+from repro.reliability.sector_models import (
+    CorrelatedSectorModel,
+    IndependentSectorModel,
+)
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.cluster import CoverageModel
+from repro.sim.domains import FailureDomains
+from repro.sim.events import ClusterSimulation, Scenario
+from repro.sim.lifetimes import (
+    BandwidthRepair,
+    ExponentialLifetime,
+    ExponentialRepair,
+    SectorErrorProcess,
+    WeibullLifetime,
+)
+from repro.sim.montecarlo import (
+    code_reliability_from_code,
+    simulate_cluster_lifetimes,
+)
+from repro.sim.rare import (
+    direct_mc_is_tractable,
+    projected_direct_rounds,
+    rare_event_code_mttdl,
+)
+from repro.sim.traces import (
+    EmpiricalLifetime,
+    FailureTrace,
+    KaplanMeierLifetime,
+    TraceReplayLifetime,
+    load_drive_stats_csv,
+)
+
+#: Default horizon of the event engine when the spec leaves
+#: ``estimator.horizon_hours`` unset (ten years).
+EVENTS_DEFAULT_HORIZON_HOURS = 87_600.0
+
+
+@dataclass
+class EventTrialRow:
+    """One event-engine trajectory, as the CLI table prints it."""
+
+    trial: int
+    time_to_data_loss: float | None
+    cause: str
+    events_processed: int
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything an engine run produced, plus the objects it ran with.
+
+    ``result`` is the engine's native result object
+    (:class:`~repro.sim.montecarlo.MonteCarloResult` for
+    montecarlo-mode runs, :class:`~repro.sim.rare.RareEventResult` for
+    rare-mode runs, ``None`` for events/analytic); ``summary()`` is the
+    JSON-safe digest the sweep cache stores.
+    """
+
+    spec: ScenarioSpec
+    #: The engine that actually ran ("montecarlo"|"rare"|"events"|
+    #: "analytic") -- differs from ``spec.estimator.mode`` when the
+    #: auto-switchover rerouted a montecarlo request.
+    engine: str
+    #: True when a montecarlo request was rerouted to the rare-event
+    #: estimator by the tractability projection.
+    auto_selected: bool
+    code: Any
+    m: int
+    parr: float
+    result: Any = None
+    #: Analytic-layer label of the code (e.g. "STAIR e=(1, 2)"); set
+    #: whenever a CodeReliability mapping exists (all modes but events).
+    code_label: str | None = None
+    #: §7 analytic MTTDL of the whole fleet (None when no closed form
+    #: applies: Weibull or trace-fitted lifetimes).
+    analytic: float | None = None
+    #: Analytic system MTTDL over the paper's fleet size (Eq. 9;
+    #: analytic mode only).
+    analytic_system: float | None = None
+    #: ``(reference_mttdl, mean_lifetime_hours)`` behind the
+    #: auto-switchover projection (None when no projection applied).
+    projection: tuple[float, float] | None = None
+    domains: FailureDomains | None = None
+    trace: FailureTrace | None = None
+    lifetime: Any = None
+    #: Quasi-renewal (and similar estimator) caveat messages captured
+    #: from the rare-event run; the CLI prints them as table rows.
+    caveats: list[str] = field(default_factory=list)
+    #: Per-trial rows of an events-mode run.
+    trial_rows: list[EventTrialRow] = field(default_factory=list)
+    #: Data losses across an events-mode run.
+    losses: int = 0
+    #: Effective horizon of an events-mode run.
+    horizon_hours: float | None = None
+
+    @property
+    def correlated(self) -> bool:
+        return self.domains is not None and not self.domains.is_independent
+
+    def summary(self) -> dict:
+        """A JSON-serializable digest (deterministic for a fixed spec)."""
+        out: dict[str, Any] = {
+            "engine": self.engine,
+            "auto_selected": self.auto_selected,
+            "m": self.m,
+            "p_arr": self.parr,
+            "code": self.code.describe(),
+        }
+        if self.code_label is not None:
+            out["code_label"] = self.code_label
+        if self.analytic is not None:
+            out["analytic_mttdl_hours"] = self.analytic
+        if self.analytic_system is not None:
+            out["analytic_system_mttdl_hours"] = self.analytic_system
+        if self.caveats:
+            out["caveats"] = list(self.caveats)
+        if self.engine == "events":
+            out["trials"] = len(self.trial_rows)
+            out["losses"] = self.losses
+            out["horizon_hours"] = self.horizon_hours
+            out["trajectories"] = [
+                {"trial": row.trial,
+                 "time_to_data_loss": row.time_to_data_loss,
+                 "cause": row.cause,
+                 "events": row.events_processed}
+                for row in self.trial_rows]
+        elif self.result is not None:
+            out["result"] = self.result.summary()
+        return _jsonify(out)
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain Python."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# Spec -> simulator objects
+# --------------------------------------------------------------------------- #
+def sector_model_from_spec(spec: ScenarioSpec, r: int, sector_bytes: int):
+    """The sector-failure model the spec describes, for chunk size r."""
+    if spec.sector.model == "independent":
+        return IndependentSectorModel.from_p_bit(spec.sector.p_bit, r,
+                                                 sector_bytes)
+    return CorrelatedSectorModel.from_p_bit(spec.sector.p_bit, r,
+                                            sector_bytes,
+                                            b1=spec.sector.b1,
+                                            alpha=spec.sector.alpha)
+
+
+def domains_from_spec(spec: ScenarioSpec) -> FailureDomains | None:
+    """The failure-domain object, or None when every field is default
+    (matching the CLI: all-default flags mean no domains at all)."""
+    dom = spec.domains
+    if (dom.racks == 1 and dom.rack_shock_rate_per_hour == 0.0
+            and dom.rack_kill_probability == 1.0
+            and dom.enclosures_per_rack == 1
+            and dom.enclosure_shock_rate_per_hour == 0.0
+            and dom.enclosure_kill_probability == 1.0
+            and dom.batch_fraction == 0.0 and dom.batch_accel == 1.0
+            and dom.placement == "spread"):
+        return None
+    return FailureDomains(
+        racks=dom.racks,
+        rack_shock_rate_per_hour=dom.rack_shock_rate_per_hour,
+        rack_kill_probability=dom.rack_kill_probability,
+        enclosures_per_rack=dom.enclosures_per_rack,
+        enclosure_shock_rate_per_hour=dom.enclosure_shock_rate_per_hour,
+        enclosure_kill_probability=dom.enclosure_kill_probability,
+        batch_fraction=dom.batch_fraction,
+        batch_accel=dom.batch_accel,
+        placement=dom.placement,
+    )
+
+
+def load_trace_from_spec(spec: ScenarioSpec) -> FailureTrace | None:
+    """Load the spec's failure trace (None when no [trace] section)."""
+    if spec.trace is None:
+        return None
+    return load_drive_stats_csv(spec.trace.path)
+
+
+def lifetime_from_spec(spec: ScenarioSpec,
+                       trace: FailureTrace | None = None):
+    """The device-lifetime model: trace-fitted when a trace is present,
+    else the parametric [lifetime] section."""
+    if spec.trace is not None and trace is None:
+        trace = load_trace_from_spec(spec)
+    if trace is not None:
+        model = spec.trace.model
+        if model == "replay":
+            return TraceReplayLifetime(trace)
+        if model == "km":
+            return KaplanMeierLifetime.fit(trace)
+        bins = spec.trace.bins if spec.trace.bins is not None else 8
+        return EmpiricalLifetime.fit(trace, bins=bins)
+    life = spec.lifetime
+    if life.kind == "weibull":
+        # Pick the scale so the Weibull mean equals the requested MTTF.
+        scale = life.mttf_hours / math.gamma(1.0 + 1.0 / life.weibull_shape)
+        return WeibullLifetime(scale, life.weibull_shape)
+    return ExponentialLifetime(life.mttf_hours)
+
+
+def repair_from_spec(spec: ScenarioSpec):
+    """The repair model: bandwidth-derived when rebuild_rate_mbs is
+    set (events mode), else exponential with the spec's 1/mu."""
+    if spec.repair.rebuild_rate_mbs is not None:
+        return BandwidthRepair(SystemParameters().device_capacity_bytes,
+                               spec.repair.rebuild_rate_mbs)
+    return ExponentialRepair(spec.repair.repair_hours)
+
+
+# --------------------------------------------------------------------------- #
+# Engines
+# --------------------------------------------------------------------------- #
+def run_scenario(spec: ScenarioSpec, *, check: bool = True
+                 ) -> ScenarioOutcome:
+    """Run one scenario through the engine its spec selects.
+
+    ``check=True`` (default) runs :meth:`ScenarioSpec.validate` first,
+    so contradictory specs fail before any engine starts.  Raises
+    :class:`~repro.scenario.spec.ScenarioSpecError` (a ``ValueError``)
+    on invalid specs and ``ValueError``/``RuntimeError`` on engine-level
+    rejections, exactly as the underlying engines do.
+    """
+    if check:
+        spec.validate()
+    mode = spec.estimator.mode
+    if mode == "events":
+        return _run_events(spec)
+    if mode == "analytic":
+        return _run_analytic(spec)
+    return _run_montecarlo(spec)
+
+
+def _run_montecarlo(spec: ScenarioSpec) -> ScenarioOutcome:
+    est = spec.estimator
+    code = parse_code_spec(spec.code.spec)
+    m = CoverageModel.from_code(code).m
+    params = SystemParameters(
+        mean_time_to_failure_hours=spec.lifetime.mttf_hours,
+        mean_time_to_rebuild_hours=spec.repair.repair_hours,
+        n=code.n, r=code.r, m=m)
+    model = sector_model_from_spec(spec, code.r, params.sector_bytes)
+    reliability = code_reliability_from_code(code)
+    parr = p_array(reliability, params, model)
+    trace = load_trace_from_spec(spec)
+    lifetime = lifetime_from_spec(spec, trace)
+    exponential = spec.lifetime.kind == "exponential" and trace is None
+    domains = domains_from_spec(spec)
+    # With an active correlation the §7 chain is only the
+    # independent-failure reference: printed for contrast, never
+    # checked for 3-sigma agreement.
+    analytic = (mttdl_array_general(reliability, params, model)
+                / spec.fleet.arrays if exponential else None)
+
+    # Ultra-reliable configurations would grind into the direct runner's
+    # MAX_ROUNDS valve; route them to the rare-event estimator instead
+    # of aborting (a horizon bounds the direct run, so it stays direct).
+    # The projection uses the independent-failure MTTDL, an upper bound
+    # under correlation -- correlated configs may switch early, which is
+    # safe: the rare estimator handles domains natively.  A piecewise
+    # trace fit projects through the chain at its fitted mean -- an
+    # order-of-magnitude stand-in good enough to know direct MC is
+    # hopeless (Kaplan-Meier resampling has no rare-event fallback, so
+    # it never auto-switches).
+    if exponential:
+        projection_ref, projection_mean = analytic, spec.lifetime.mttf_hours
+    elif isinstance(lifetime, EmpiricalLifetime):
+        projection_mean = lifetime.mean_hours
+        projection_ref = mttdl_arr_m_parity(
+            code.n, 1.0 / projection_mean,
+            1.0 / spec.repair.repair_hours, parr, m) / spec.fleet.arrays
+    else:
+        projection_ref = projection_mean = None
+    use_rare, auto_selected = est.mode == "rare", False
+    if (not use_rare and projection_ref is not None
+            and est.horizon_hours is None
+            and not direct_mc_is_tractable(projection_ref, code.n,
+                                           projection_mean, est.trials)):
+        use_rare, auto_selected = True, True
+    if use_rare:
+        if trace is not None and not isinstance(lifetime,
+                                                EmpiricalLifetime):
+            raise ValueError(
+                "the rare-event estimator needs a lifetime density; the "
+                "Kaplan-Meier resampler has none -- use the "
+                "piecewise-exponential trace fit (--trace-model "
+                "piecewise)"
+            )
+        if not exponential and trace is None:
+            raise ValueError(
+                "the rare-event estimator requires exponential lifetimes; "
+                "drop --weibull-shape or use --horizon with direct "
+                "Monte Carlo"
+            )
+        if est.horizon_hours is not None:
+            raise ValueError(
+                "the rare-event estimator computes the MTTDL directly; "
+                "--horizon only applies to direct Monte Carlo"
+            )
+        projection = ((projection_ref, projection_mean)
+                      if projection_ref is not None else None)
+        return _run_rare(spec, code, m, params, model, parr, analytic,
+                         auto_selected, domains,
+                         lifetime=lifetime if trace is not None else None,
+                         trace=trace, projection=projection)
+
+    result = simulate_cluster_lifetimes(
+        code.n, spec.fleet.arrays, parr, est.trials, seed=est.seed,
+        lifetime=lifetime,
+        repair=ExponentialRepair(spec.repair.repair_hours),
+        horizon_hours=est.horizon_hours, m=m, domains=domains)
+    return ScenarioOutcome(
+        spec=spec, engine="montecarlo", auto_selected=False, code=code,
+        m=m, parr=parr, result=result, code_label=reliability.label(),
+        analytic=analytic, domains=domains, trace=trace,
+        lifetime=lifetime)
+
+
+def _run_rare(spec: ScenarioSpec, code, m: int, params: SystemParameters,
+              model, parr: float, analytic: float | None,
+              auto_selected: bool, domains: FailureDomains | None,
+              lifetime=None, trace: FailureTrace | None = None,
+              projection: tuple[float, float] | None = None
+              ) -> ScenarioOutcome:
+    est = spec.estimator
+    # Estimator caveats (e.g. the quasi-renewal warning for bent
+    # empirical hazards) belong in the outcome, not as raw Python
+    # warnings on stderr.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = rare_event_code_mttdl(
+            code, model, params, seed=est.seed,
+            num_arrays=spec.fleet.arrays, lifetime=lifetime,
+            target_rel_se=est.rare_target_rel_se,
+            max_cycles=est.rare_max_cycles, domains=domains)
+    caveats = []
+    for caveat in caught:
+        if (issubclass(caveat.category, RuntimeWarning)
+                and "quasi-renewal" in str(caveat.message)):
+            caveats.append(str(caveat.message))
+        else:
+            # Not ours to swallow: unrelated warnings keep their
+            # normal route to stderr.
+            warnings.warn_explicit(caveat.message, caveat.category,
+                                   caveat.filename, caveat.lineno)
+    return ScenarioOutcome(
+        spec=spec, engine="rare", auto_selected=auto_selected, code=code,
+        m=m, parr=parr, result=result,
+        code_label=code_reliability_from_code(code).label(),
+        analytic=analytic, projection=projection, domains=domains,
+        trace=trace, lifetime=lifetime, caveats=caveats)
+
+
+def _run_events(spec: ScenarioSpec) -> ScenarioOutcome:
+    est, fleet = spec.estimator, spec.fleet
+    code = parse_code_spec(spec.code.spec)
+    m = CoverageModel.from_code(code).m
+    sector_bytes = SystemParameters().sector_bytes
+    scrub = (fleet.scrub_interval_hours
+             if fleet.scrub_interval_hours > 0 else None)
+    sector_errors = None
+    if spec.sector.p_bit > 0:
+        if scrub is None:
+            raise ValueError(
+                "events mode calibrates the sector-error rate from the "
+                "scrub interval; set --scrub-interval > 0 or disable "
+                "sector errors with --p-bit 0"
+            )
+        sector_errors = SectorErrorProcess.from_p_bit(
+            spec.sector.p_bit, fleet.stripes_per_array * code.r, scrub,
+            sector_bytes)
+    horizon = (est.horizon_hours if est.horizon_hours is not None
+               else EVENTS_DEFAULT_HORIZON_HOURS)
+    # Bursty arrivals only under the correlated model; the independent
+    # model means single-sector errors (matching the P_sec calibration).
+    bursts = (BurstLengthDistribution(max_length=code.r)
+              if spec.sector.model == "correlated" else None)
+    repair = repair_from_spec(spec)
+    trace = load_trace_from_spec(spec)
+    lifetime = lifetime_from_spec(spec, trace)
+    domains = domains_from_spec(spec)
+    scenario = Scenario(
+        code=code,
+        num_arrays=fleet.arrays,
+        stripes_per_array=fleet.stripes_per_array,
+        lifetime=lifetime,
+        repair=repair,
+        sector_errors=sector_errors,
+        burst_lengths=bursts,
+        scrub_interval_hours=scrub,
+        write_rate_per_hour=fleet.write_rate_per_hour,
+        rebuild_concurrency=spec.repair.rebuild_concurrency,
+        repair_streams=spec.repair.rebuild_streams,
+        domains=domains,
+        horizon_hours=horizon,
+    )
+    root = np.random.default_rng(est.seed)
+    rows: list[EventTrialRow] = []
+    losses = 0
+    for trial in range(est.trials):
+        result = ClusterSimulation(
+            scenario, np.random.default_rng(root.integers(2 ** 63))).run()
+        losses += int(result.lost_data)
+        rows.append(EventTrialRow(
+            trial=trial,
+            time_to_data_loss=(result.time_to_data_loss
+                               if result.lost_data else None),
+            cause=result.cause or "survived horizon",
+            events_processed=result.events_processed))
+    return ScenarioOutcome(
+        spec=spec, engine="events", auto_selected=False, code=code, m=m,
+        parr=float("nan"), domains=domains, trace=trace,
+        lifetime=lifetime, trial_rows=rows, losses=losses,
+        horizon_hours=horizon)
+
+
+def _run_analytic(spec: ScenarioSpec) -> ScenarioOutcome:
+    code = parse_code_spec(spec.code.spec)
+    m = CoverageModel.from_code(code).m
+    params = SystemParameters(
+        mean_time_to_failure_hours=spec.lifetime.mttf_hours,
+        mean_time_to_rebuild_hours=spec.repair.repair_hours,
+        n=code.n, r=code.r, m=m)
+    model = sector_model_from_spec(spec, code.r, params.sector_bytes)
+    reliability = code_reliability_from_code(code)
+    parr = p_array(reliability, params, model)
+    analytic_array = mttdl_array_general(reliability, params, model)
+    analytic_sys = mttdl_system(reliability, params, model)
+    return ScenarioOutcome(
+        spec=spec, engine="analytic", auto_selected=False, code=code,
+        m=m, parr=parr, code_label=reliability.label(),
+        analytic=analytic_array / spec.fleet.arrays,
+        analytic_system=analytic_sys)

@@ -7,6 +7,15 @@ Run scenarios straight from the registry's textual code specs::
     python -m repro.sim.cli --mode events --trials 20 \\
         --scrub-interval 168 --rebuild-streams 2 --horizon 87600
 
+The CLI is a thin adapter over :mod:`repro.scenario`: every flag
+combination builds one :class:`~repro.scenario.ScenarioSpec`, the spec
+runs through :func:`~repro.scenario.run_scenario`, and this module only
+renders the returned outcome.  ``--dump-spec`` prints the effective
+spec as TOML instead of running it; ``--spec FILE`` loads a committed
+spec and applies any explicitly-passed flags as overrides -- a
+flag-driven run and its ``--spec`` equivalent produce identical
+results (tutorial: ``docs/scenarios.md``).
+
 The default mode runs the vectorized Monte Carlo batch (any ``m >= 1``:
 RAID-5, RAID-6, SD, STAIR, IDR geometries) and prints the estimated
 MTTDL with a 3σ confidence interval next to the analytical MTTDL of
@@ -38,53 +47,26 @@ timestamps verbatim (tutorial: ``docs/traces.md``).
 from __future__ import annotations
 
 import argparse
-import math
 import sys
-import warnings
 from typing import Sequence
 
-import numpy as np
-
-from repro.array.failures import BurstLengthDistribution
 from repro.bench.reporting import print_table
-from repro.codes.registry import available_codes, parse_code_spec
-from repro.reliability.markov import mttdl_arr_m_parity
-from repro.reliability.mttdl import (
-    SystemParameters,
-    mttdl_array_general,
-    p_array,
+from repro.codes.registry import available_codes
+from repro.scenario.runner import ScenarioOutcome, run_scenario
+from repro.scenario.spec import (
+    CodeSection,
+    DomainsSection,
+    EstimatorSection,
+    FleetSection,
+    LifetimeSection,
+    RepairSection,
+    ScenarioSpec,
+    ScenarioSpecError,
+    SectorSection,
+    TraceSection,
 )
-from repro.reliability.sector_models import (
-    CorrelatedSectorModel,
-    IndependentSectorModel,
-)
-from repro.sim.cluster import CoverageModel
-from repro.sim.domains import FailureDomains
-from repro.sim.events import ClusterSimulation, Scenario
-from repro.sim.lifetimes import (
-    BandwidthRepair,
-    ExponentialLifetime,
-    ExponentialRepair,
-    SectorErrorProcess,
-    WeibullLifetime,
-)
-from repro.sim.montecarlo import (
-    MAX_ROUNDS,
-    code_reliability_from_code,
-    simulate_cluster_lifetimes,
-)
-from repro.sim.rare import (
-    direct_mc_is_tractable,
-    projected_direct_rounds,
-    rare_event_code_mttdl,
-)
-from repro.sim.traces import (
-    EmpiricalLifetime,
-    FailureTrace,
-    KaplanMeierLifetime,
-    TraceReplayLifetime,
-    load_drive_stats_csv,
-)
+from repro.sim.montecarlo import MAX_ROUNDS
+from repro.sim.rare import projected_direct_rounds
 
 DEFAULT_CODE_SPEC = "rs(n=8,r=16,m=1)"
 
@@ -95,6 +77,15 @@ code specs:
   'stair(n=8,r=16,m=1,e=(1,2))', or a bare zero-argument family name.
   Families: {families}.
   Full grammar: docs/code-specs.md in the repository.
+
+scenario specs:
+  --spec FILE loads a committed scenario spec (TOML or JSON) and runs
+  it; any flag passed explicitly alongside --spec overrides the loaded
+  value.  --dump-spec prints the effective spec for any flag
+  combination instead of running it -- the dumped TOML reloads to an
+  identical run.  Grid sweeps over spec fields (with content-addressed
+  result caching) live in 'python -m repro.scenario.sweep'.
+  Tutorial: docs/scenarios.md.
 
 failure domains:
   --racks/--rack-shock-rate/--batch-fraction/--batch-accel (and the
@@ -115,6 +106,24 @@ failure traces:
   chapter index: docs/index.md.
 """
 
+#: argparse dests of flags that only the event engine reads, mapped to
+#: their user-facing spelling (for the silent-no-op rejection).
+_EVENTS_ONLY_FLAGS = {
+    "stripes": "--stripes",
+    "scrub_interval": "--scrub-interval",
+    "rebuild_concurrency": "--rebuild-concurrency",
+    "rebuild_streams": "--rebuild-streams",
+    "rebuild_rate_mbs": "--rebuild-rate-mbs",
+    "write_rate": "--write-rate",
+}
+
+#: argparse dests of the rare-event tuning flags (no effect under the
+#: event engine).
+_RARE_TUNING_FLAGS = {
+    "rare_target_rel_se": "--rare-target-rel-se",
+    "rare_max_cycles": "--rare-max-cycles",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -123,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "storage clusters.",
         epilog=_EPILOG.format(families=", ".join(available_codes())),
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="load a scenario spec file (TOML/JSON, "
+                             "docs/scenarios.md); explicit flags "
+                             "override its values")
+    parser.add_argument("--dump-spec", action="store_true",
+                        help="print the effective scenario spec as TOML "
+                             "and exit without running")
     parser.add_argument("--code", default=DEFAULT_CODE_SPEC,
                         help="code spec, e.g. 'stair(n=8,r=16,m=1,e=(1,2))' "
                              f"(default: {DEFAULT_CODE_SPEC})")
@@ -233,180 +249,177 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _domains_from_args(args: argparse.Namespace) -> FailureDomains | None:
-    """Build the failure-domain spec; None when every flag is default."""
-    if (args.racks == 1 and args.rack_shock_rate == 0.0
-            and args.rack_kill_prob == 1.0
-            and args.enclosures_per_rack == 1
-            and args.enclosure_shock_rate == 0.0
-            and args.enclosure_kill_prob == 1.0
-            and args.batch_fraction == 0.0 and args.batch_accel == 1.0
-            and args.placement == "spread"):
-        return None
-    return FailureDomains(
-        racks=args.racks,
-        rack_shock_rate_per_hour=args.rack_shock_rate,
-        rack_kill_probability=args.rack_kill_prob,
-        enclosures_per_rack=args.enclosures_per_rack,
-        enclosure_shock_rate_per_hour=args.enclosure_shock_rate,
-        enclosure_kill_probability=args.enclosure_kill_prob,
-        batch_fraction=args.batch_fraction,
-        batch_accel=args.batch_accel,
-        placement=args.placement,
+# --------------------------------------------------------------------------- #
+# Flags <-> spec
+# --------------------------------------------------------------------------- #
+def spec_from_args(args: argparse.Namespace,
+                   base: ScenarioSpec | None = None) -> ScenarioSpec:
+    """The scenario spec one parsed flag set describes.
+
+    ``base`` (the spec loaded via ``--spec``, if any) supplies the
+    fields no flag covers -- currently the correlated sector model's
+    burst parameters (b1, alpha).
+    """
+    mode = "rare" if args.rare_event else args.mode
+    trace = None
+    if args.trace is not None:
+        model = ("replay" if args.trace_replay
+                 else (args.trace_model if args.trace_model is not None
+                       else "piecewise"))
+        trace = TraceSection(path=args.trace, model=model,
+                             bins=args.trace_bins)
+    sector_extras = {}
+    if base is not None:
+        sector_extras = {"b1": base.sector.b1, "alpha": base.sector.alpha}
+    return ScenarioSpec(
+        code=CodeSection(spec=args.code),
+        fleet=FleetSection(
+            arrays=args.arrays,
+            stripes_per_array=args.stripes,
+            scrub_interval_hours=max(args.scrub_interval, 0.0),
+            write_rate_per_hour=args.write_rate),
+        lifetime=LifetimeSection(
+            kind=("weibull" if args.weibull_shape is not None
+                  else "exponential"),
+            mttf_hours=args.mttf,
+            weibull_shape=args.weibull_shape),
+        trace=trace,
+        domains=DomainsSection(
+            racks=args.racks,
+            rack_shock_rate_per_hour=args.rack_shock_rate,
+            rack_kill_probability=args.rack_kill_prob,
+            enclosures_per_rack=args.enclosures_per_rack,
+            enclosure_shock_rate_per_hour=args.enclosure_shock_rate,
+            enclosure_kill_probability=args.enclosure_kill_prob,
+            batch_fraction=args.batch_fraction,
+            batch_accel=args.batch_accel,
+            placement=args.placement),
+        repair=RepairSection(
+            repair_hours=args.repair_hours,
+            rebuild_rate_mbs=args.rebuild_rate_mbs,
+            rebuild_concurrency=(args.rebuild_concurrency
+                                 if args.rebuild_concurrency > 0 else None),
+            rebuild_streams=(args.rebuild_streams
+                             if args.rebuild_streams > 0 else None)),
+        sector=SectorSection(model=args.sector_model, p_bit=args.p_bit,
+                             **sector_extras),
+        estimator=EstimatorSection(
+            mode=mode,
+            trials=args.trials,
+            seed=args.seed,
+            horizon_hours=args.horizon,
+            rare_target_rel_se=args.rare_target_rel_se,
+            rare_max_cycles=args.rare_max_cycles),
     )
 
 
-def _load_trace(args: argparse.Namespace) -> FailureTrace | None:
-    """Load --trace (clear ValueError for missing/empty/malformed
-    files) or None when no trace was requested."""
-    if args.trace is None:
-        return None
-    if args.weibull_shape is not None:
-        raise ValueError(
-            "--trace and --weibull-shape both specify the lifetime "
-            "model; pick one")
-    return load_drive_stats_csv(args.trace)
+def namespace_from_spec(spec: ScenarioSpec) -> argparse.Namespace:
+    """Pre-populate an argparse namespace from a loaded spec.
+
+    Re-parsing argv over this namespace lets explicitly-passed flags
+    override the spec while everything else keeps the loaded values
+    (argparse only fills defaults for attributes the namespace lacks).
+    """
+    ns = argparse.Namespace()
+    ns.code = spec.code.spec
+    ns.trials = spec.estimator.trials
+    ns.seed = spec.estimator.seed
+    ns.arrays = spec.fleet.arrays
+    ns.stripes = spec.fleet.stripes_per_array
+    ns.p_bit = spec.sector.p_bit
+    ns.sector_model = spec.sector.model
+    ns.mttf = spec.lifetime.mttf_hours
+    ns.repair_hours = spec.repair.repair_hours
+    ns.weibull_shape = spec.lifetime.weibull_shape
+    if spec.trace is not None:
+        ns.trace = spec.trace.path
+        ns.trace_replay = spec.trace.model == "replay"
+        ns.trace_model = (spec.trace.model
+                          if spec.trace.model in ("piecewise", "km")
+                          else None)
+        ns.trace_bins = spec.trace.bins
+    else:
+        ns.trace = None
+        ns.trace_replay = False
+        ns.trace_model = None
+        ns.trace_bins = None
+    ns.horizon = spec.estimator.horizon_hours
+    if spec.estimator.mode == "rare":
+        ns.mode, ns.rare_event = "montecarlo", True
+    else:
+        # "analytic" rides through the namespace unvalidated (argparse
+        # only checks choices on explicit flags) and is rejected later.
+        ns.mode, ns.rare_event = spec.estimator.mode, False
+    ns.rare_target_rel_se = spec.estimator.rare_target_rel_se
+    ns.rare_max_cycles = spec.estimator.rare_max_cycles
+    ns.scrub_interval = spec.fleet.scrub_interval_hours
+    ns.rebuild_concurrency = spec.repair.rebuild_concurrency or 0
+    ns.rebuild_streams = spec.repair.rebuild_streams or 0.0
+    ns.rebuild_rate_mbs = spec.repair.rebuild_rate_mbs
+    ns.write_rate = spec.fleet.write_rate_per_hour
+    ns.racks = spec.domains.racks
+    ns.rack_shock_rate = spec.domains.rack_shock_rate_per_hour
+    ns.rack_kill_prob = spec.domains.rack_kill_probability
+    ns.enclosures_per_rack = spec.domains.enclosures_per_rack
+    ns.enclosure_shock_rate = spec.domains.enclosure_shock_rate_per_hour
+    ns.enclosure_kill_prob = spec.domains.enclosure_kill_probability
+    ns.batch_fraction = spec.domains.batch_fraction
+    ns.batch_accel = spec.domains.batch_accel
+    ns.placement = spec.domains.placement
+    return ns
 
 
-def _lifetime_model(args: argparse.Namespace,
-                    trace: FailureTrace | None = None):
-    if trace is not None:
-        if args.trace_replay:
-            if args.trace_model is not None or args.trace_bins is not None:
-                raise ValueError(
-                    "--trace-replay plays the observed timestamps "
-                    "verbatim and fits no model; drop --trace-model / "
-                    "--trace-bins")
-            return TraceReplayLifetime(trace)
-        if args.trace_model == "km":
-            if args.trace_bins is not None:
-                raise ValueError(
-                    "--trace-bins sizes the piecewise-exponential fit; "
-                    "Kaplan-Meier resampling has no bins")
-            return KaplanMeierLifetime.fit(trace)
-        return EmpiricalLifetime.fit(
-            trace, bins=args.trace_bins if args.trace_bins is not None
-            else 8)
-    if args.weibull_shape is None:
-        return ExponentialLifetime(args.mttf)
-    # Pick the scale so the Weibull mean equals the requested MTTF.
-    scale = args.mttf / math.gamma(1.0 + 1.0 / args.weibull_shape)
-    return WeibullLifetime(scale, args.weibull_shape)
+def _explicit_flag_dests(argv: Sequence[str] | None) -> set[str]:
+    """Dests of the flags actually present on the command line.
+
+    A second parse with every default suppressed leaves only
+    explicitly-passed attributes in the namespace -- the basis for
+    value-independent footgun checks (a value merely *loaded* from
+    --spec is not an explicit flag).
+    """
+    probe = build_parser()
+    for action in probe._actions:
+        action.default = argparse.SUPPRESS
+    return set(vars(probe.parse_args(argv)))
 
 
-def _sector_model(args: argparse.Namespace, r: int, sector_bytes: int):
-    cls = (IndependentSectorModel if args.sector_model == "independent"
-           else CorrelatedSectorModel)
-    return cls.from_p_bit(args.p_bit, r, sector_bytes)
-
-
-def _config_rows(args: argparse.Namespace, code, m: int, parr: float,
-                 domains: FailureDomains | None = None,
-                 trace: FailureTrace | None = None,
-                 lifetime=None) -> list[tuple]:
+# --------------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------------- #
+def _config_rows(spec: ScenarioSpec, outcome: ScenarioOutcome
+                 ) -> list[tuple]:
     rows = [
-        ("code", code.describe()),
-        ("m (device tolerance)", m),
-        ("sector model", f"{args.sector_model} (P_bit={args.p_bit:g})"),
-        ("P_arr", f"{parr:.3e}"),
-        ("arrays", args.arrays),
-        ("devices", code.n * args.arrays),
+        ("code", outcome.code.describe()),
+        ("m (device tolerance)", outcome.m),
+        ("sector model",
+         f"{spec.sector.model} (P_bit={spec.sector.p_bit:g})"),
+        ("P_arr", f"{outcome.parr:.3e}"),
+        ("arrays", spec.fleet.arrays),
+        ("devices", outcome.code.n * spec.fleet.arrays),
     ]
-    if trace is not None:
-        rows.append(("failure trace", f"{args.trace}: {trace.describe()}"))
-        rows.append(("lifetime model", repr(lifetime)))
-    if domains is not None:
-        rows.append(("failure domains", domains.describe()))
-        # _config_rows only serves the montecarlo/rare paths, which
-        # model each array's shock process independently (marginally
-        # exact); only the event engine plays shared racks striking
-        # several arrays at once.
-        if domains.has_shocks and args.arrays > 1:
+    if outcome.trace is not None:
+        rows.append(("failure trace",
+                     f"{spec.trace.path}: {outcome.trace.describe()}"))
+        rows.append(("lifetime model", repr(outcome.lifetime)))
+    if outcome.domains is not None:
+        rows.append(("failure domains", outcome.domains.describe()))
+        # These rows only serve the montecarlo/rare paths, which model
+        # each array's shock process independently (marginally exact);
+        # only the event engine plays shared racks striking several
+        # arrays at once.
+        if outcome.domains.has_shocks and spec.fleet.arrays > 1:
             rows.append(("note", "per-array marginal shock law; "
                                  "cross-array shock coupling needs "
                                  "--mode events"))
     return rows
 
 
-def _run_montecarlo(args: argparse.Namespace) -> int:
-    code = parse_code_spec(args.code)
-    m = CoverageModel.from_code(code).m
-    params = SystemParameters(
-        mean_time_to_failure_hours=args.mttf,
-        mean_time_to_rebuild_hours=args.repair_hours,
-        n=code.n, r=code.r, m=m)
-    model = _sector_model(args, code.r, params.sector_bytes)
-    reliability = code_reliability_from_code(code)
-    parr = p_array(reliability, params, model)
-    trace = _load_trace(args)
-    lifetime = _lifetime_model(args, trace)
-    exponential = args.weibull_shape is None and trace is None
-    domains = _domains_from_args(args)
-    correlated = domains is not None and not domains.is_independent
-    # With an active correlation the §7 chain is only the
-    # independent-failure reference: printed for contrast, never
-    # checked for 3-sigma agreement.
-    analytic = (mttdl_array_general(reliability, params, model) / args.arrays
-                if exponential else None)
-
-    # Ultra-reliable configurations would grind into the direct runner's
-    # MAX_ROUNDS valve; route them to the rare-event estimator instead
-    # of aborting (a horizon bounds the direct run, so it stays direct).
-    # The projection uses the independent-failure MTTDL, an upper bound
-    # under correlation -- correlated configs may switch early, which is
-    # safe: the rare estimator handles domains natively.  A piecewise
-    # trace fit projects through the chain at its fitted mean -- an
-    # order-of-magnitude stand-in good enough to know direct MC is
-    # hopeless (Kaplan-Meier resampling has no rare-event fallback, so
-    # it never auto-switches).
-    if exponential:
-        projection_ref, projection_mean = analytic, args.mttf
-    elif isinstance(lifetime, EmpiricalLifetime):
-        projection_mean = lifetime.mean_hours
-        projection_ref = mttdl_arr_m_parity(
-            code.n, 1.0 / projection_mean, 1.0 / args.repair_hours,
-            parr, m) / args.arrays
-    else:
-        projection_ref = projection_mean = None
-    use_rare, auto_selected = args.rare_event, False
-    if (not use_rare and projection_ref is not None
-            and args.horizon is None
-            and not direct_mc_is_tractable(projection_ref, code.n,
-                                           projection_mean, args.trials)):
-        use_rare, auto_selected = True, True
-    if use_rare:
-        if trace is not None and not isinstance(lifetime,
-                                                EmpiricalLifetime):
-            raise ValueError(
-                "the rare-event estimator needs a lifetime density; the "
-                "Kaplan-Meier resampler has none -- use the "
-                "piecewise-exponential trace fit (--trace-model "
-                "piecewise)"
-            )
-        if not exponential and trace is None:
-            raise ValueError(
-                "the rare-event estimator requires exponential lifetimes; "
-                "drop --weibull-shape or use --horizon with direct "
-                "Monte Carlo"
-            )
-        if args.horizon is not None:
-            raise ValueError(
-                "the rare-event estimator computes the MTTDL directly; "
-                "--horizon only applies to direct Monte Carlo"
-            )
-        return _run_rare(args, code, m, params, model, parr, analytic,
-                         auto_selected, domains,
-                         lifetime=lifetime if trace is not None else None,
-                         trace=trace,
-                         projection=(projection_ref, projection_mean))
-
-    result = simulate_cluster_lifetimes(
-        code.n, args.arrays, parr, args.trials, seed=args.seed,
-        lifetime=lifetime,
-        repair=ExponentialRepair(args.repair_hours),
-        horizon_hours=args.horizon, m=m, domains=domains)
-
-    rows = _config_rows(args, code, m, parr, domains, trace, lifetime)
+def _render_montecarlo(spec: ScenarioSpec, outcome: ScenarioOutcome) -> int:
+    result = outcome.result
+    exponential = outcome.analytic is not None
+    correlated = outcome.correlated
+    horizon = spec.estimator.horizon_hours
+    rows = _config_rows(spec, outcome)
     rows.append(("trials", result.trials))
     rows.append(("data losses", result.losses))
     if result.losses == result.trials and result.losses >= 2:
@@ -415,13 +428,14 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
         rows.append(("3-sigma CI", f"[{lo:.4g}, {hi:.4g}] h"))
         if exponential and correlated:
             rows.append(("MTTDL (analytic, independent ref)",
-                         f"{analytic:.4g} h"))
+                         f"{outcome.analytic:.4g} h"))
         elif exponential:
-            rows.append(("MTTDL (analytic)", f"{analytic:.4g} h"))
-            verdict = "yes" if result.agrees_with(analytic, z=3.0) else "NO"
+            rows.append(("MTTDL (analytic)", f"{outcome.analytic:.4g} h"))
+            verdict = ("yes" if result.agrees_with(outcome.analytic, z=3.0)
+                       else "NO")
             rows.append(("analytic within 3 sigma", verdict))
-    elif args.horizon is not None:
-        p, lo, hi = result.probability_of_loss_by(args.horizon)
+    elif horizon is not None:
+        p, lo, hi = result.probability_of_loss_by(horizon)
         rows.append(("P(loss by horizon)",
                      f"{p:.4g}  [{lo:.4g}, {hi:.4g}]"))
     elif result.losses >= 1:
@@ -436,38 +450,16 @@ def _run_montecarlo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_rare(args: argparse.Namespace, code, m: int,
-              params: SystemParameters, model, parr: float,
-              analytic: float | None, auto_selected: bool,
-              domains: FailureDomains | None = None,
-              lifetime=None, trace: FailureTrace | None = None,
-              projection: tuple | None = None) -> int:
-    correlated = domains is not None and not domains.is_independent
-    # Estimator caveats (e.g. the quasi-renewal warning for bent
-    # empirical hazards) belong in the table, not as raw Python
-    # warnings on stderr.
-    with warnings.catch_warnings(record=True) as caveats:
-        warnings.simplefilter("always")
-        result = rare_event_code_mttdl(
-            code, model, params, seed=args.seed, num_arrays=args.arrays,
-            lifetime=lifetime, target_rel_se=args.rare_target_rel_se,
-            max_cycles=args.rare_max_cycles, domains=domains)
-
-    rows = _config_rows(args, code, m, parr, domains, trace, lifetime)
-    for caveat in caveats:
-        if (issubclass(caveat.category, RuntimeWarning)
-                and "quasi-renewal" in str(caveat.message)):
-            rows.append(("warning", str(caveat.message)))
-        else:
-            # Not ours to swallow: unrelated warnings keep their
-            # normal route to stderr.
-            warnings.warn_explicit(caveat.message, caveat.category,
-                                   caveat.filename, caveat.lineno)
-    if auto_selected:
-        ref, mean_hours = (projection if projection is not None
-                           else (analytic, args.mttf))
-        projected = projected_direct_rounds(ref, code.n, mean_hours,
-                                            args.trials)
+def _render_rare(spec: ScenarioSpec, outcome: ScenarioOutcome) -> int:
+    result = outcome.result
+    correlated = outcome.correlated
+    rows = _config_rows(spec, outcome)
+    for caveat in outcome.caveats:
+        rows.append(("warning", caveat))
+    if outcome.auto_selected:
+        ref, mean_hours = outcome.projection
+        projected = projected_direct_rounds(ref, outcome.code.n, mean_hours,
+                                            spec.estimator.trials)
         rows.append(("estimator", "rare-event (auto: direct MC needs "
                                   f"~{projected:.2g} rounds, valve "
                                   f"{MAX_ROUNDS:.2g})"))
@@ -485,15 +477,16 @@ def _run_rare(args: argparse.Namespace, code, m: int,
     lo, hi = result.mttdl_confidence(z=3.0)
     rows.append(("MTTDL (rare-event)", f"{result.mttdl_hours:.4g} h"))
     rows.append(("3-sigma CI", f"[{lo:.4g}, {hi:.4g}] h"))
-    if analytic is None:
+    if outcome.analytic is None:
         # Empirical (trace-fitted) lifetimes have no §7 closed form.
         rows.append(("MTTDL (analytic)", "- (empirical lifetimes)"))
     elif correlated:
         rows.append(("MTTDL (analytic, independent ref)",
-                     f"{analytic:.4g} h"))
+                     f"{outcome.analytic:.4g} h"))
     else:
-        rows.append(("MTTDL (analytic)", f"{analytic:.4g} h"))
-        verdict = "yes" if result.agrees_with(analytic, z=3.0) else "NO"
+        rows.append(("MTTDL (analytic)", f"{outcome.analytic:.4g} h"))
+        verdict = ("yes" if result.agrees_with(outcome.analytic, z=3.0)
+                   else "NO")
         rows.append(("analytic within 3 sigma", verdict))
     print_table(["quantity", "value"], rows,
                 title="Rare-event cluster reliability "
@@ -501,73 +494,49 @@ def _run_rare(args: argparse.Namespace, code, m: int,
     return 0
 
 
-def _run_events(args: argparse.Namespace) -> int:
-    code = parse_code_spec(args.code)
-    sector_bytes = SystemParameters().sector_bytes
-    scrub = args.scrub_interval if args.scrub_interval > 0 else None
-    sector_errors = None
-    if args.p_bit > 0:
-        if scrub is None:
-            raise ValueError(
-                "events mode calibrates the sector-error rate from the "
-                "scrub interval; set --scrub-interval > 0 or disable "
-                "sector errors with --p-bit 0"
-            )
-        sector_errors = SectorErrorProcess.from_p_bit(
-            args.p_bit, args.stripes * code.r, scrub, sector_bytes)
-    horizon = args.horizon if args.horizon is not None else 87_600.0
-    # Bursty arrivals only under the correlated model; the independent
-    # model means single-sector errors (matching the P_sec calibration).
-    bursts = (BurstLengthDistribution(max_length=code.r)
-              if args.sector_model == "correlated" else None)
-    if args.rebuild_rate_mbs is not None:
-        repair = BandwidthRepair(SystemParameters().device_capacity_bytes,
-                                 args.rebuild_rate_mbs)
-    else:
-        repair = ExponentialRepair(args.repair_hours)
-    trace = _load_trace(args)
-    lifetime = _lifetime_model(args, trace)
-    scenario = Scenario(
-        code=code,
-        num_arrays=args.arrays,
-        stripes_per_array=args.stripes,
-        lifetime=lifetime,
-        repair=repair,
-        sector_errors=sector_errors,
-        burst_lengths=bursts,
-        scrub_interval_hours=scrub,
-        write_rate_per_hour=args.write_rate,
-        rebuild_concurrency=(args.rebuild_concurrency
-                             if args.rebuild_concurrency > 0 else None),
-        repair_streams=(args.rebuild_streams
-                        if args.rebuild_streams > 0 else None),
-        domains=_domains_from_args(args),
-        horizon_hours=horizon,
-    )
-    root = np.random.default_rng(args.seed)
-    rows = []
-    losses = 0
-    for trial in range(args.trials):
-        result = ClusterSimulation(
-            scenario, np.random.default_rng(root.integers(2 ** 63))).run()
-        losses += int(result.lost_data)
-        rows.append((trial,
-                     f"{result.time_to_data_loss:.4g}"
-                     if result.lost_data else "-",
-                     result.cause or "survived horizon",
-                     result.events_processed))
+def _render_events(spec: ScenarioSpec, outcome: ScenarioOutcome) -> int:
+    rows = [(row.trial,
+             f"{row.time_to_data_loss:.4g}"
+             if row.time_to_data_loss is not None else "-",
+             row.cause,
+             row.events_processed) for row in outcome.trial_rows]
     print_table(["trial", "t_loss (h)", "outcome", "events"], rows,
-                title=f"Event-driven trajectories ({code.describe()}, "
-                      f"{args.arrays} arrays, horizon {horizon:g} h)")
-    if trace is not None:
-        print(f"\nfailure trace {args.trace}: {trace.describe()}")
-        print(f"lifetime model: {lifetime!r}")
-    print(f"\ndata loss in {losses}/{args.trials} trials")
+                title=f"Event-driven trajectories "
+                      f"({outcome.code.describe()}, "
+                      f"{spec.fleet.arrays} arrays, horizon "
+                      f"{outcome.horizon_hours:g} h)")
+    if outcome.trace is not None:
+        print(f"\nfailure trace {spec.trace.path}: "
+              f"{outcome.trace.describe()}")
+        print(f"lifetime model: {outcome.lifetime!r}")
+    print(f"\ndata loss in {outcome.losses}/{spec.estimator.trials} trials")
     return 0
 
 
+_RENDERERS = {
+    "montecarlo": _render_montecarlo,
+    "rare": _render_rare,
+    "events": _render_events,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    loaded: ScenarioSpec | None = None
+    if args.spec is not None:
+        try:
+            loaded = ScenarioSpec.load(args.spec)
+        except ScenarioSpecError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        # Re-parse over the spec-derived namespace: only explicitly
+        # passed flags override the loaded values.
+        ns = namespace_from_spec(loaded)
+        ns.spec, ns.dump_spec = args.spec, False
+        args = parser.parse_args(argv, namespace=ns)
     if args.trials < 1:
         raise SystemExit("--trials must be >= 1")
     if args.arrays < 1:
@@ -587,10 +556,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         raise SystemExit("--trace-replay plays verbatim trajectories and "
                          "applies to --mode events only; fit a model "
                          "with --trace-model for montecarlo mode")
+    if args.trace_replay and (args.trace_model is not None
+                              or args.trace_bins is not None):
+        raise SystemExit("error: --trace-replay plays the observed "
+                         "timestamps verbatim and fits no model; drop "
+                         "--trace-model / --trace-bins")
+    explicit = _explicit_flag_dests(argv)
+    mode = "rare" if args.rare_event else args.mode
+    if mode in ("montecarlo", "rare", "analytic"):
+        stray = sorted(explicit & set(_EVENTS_ONLY_FLAGS))
+        if stray:
+            flags = "/".join(_EVENTS_ONLY_FLAGS[dest] for dest in stray)
+            raise SystemExit(
+                f"{flags} configure the event engine and have no effect "
+                f"in {mode} mode; add --mode events or drop the flag")
+    if mode == "events":
+        stray = sorted(explicit & set(_RARE_TUNING_FLAGS))
+        if stray:
+            flags = "/".join(_RARE_TUNING_FLAGS[dest] for dest in stray)
+            raise SystemExit(
+                f"{flags} tune the rare-event estimator and have no "
+                "effect in events mode; drop the flag (or drop "
+                "--mode events)")
     try:
-        if args.mode == "events":
-            return _run_events(args)
-        return _run_montecarlo(args)
+        spec = spec_from_args(args, base=loaded)
+        spec.validate()
+        if args.dump_spec:
+            sys.stdout.write(spec.dumps_toml())
+            return 0
+        if spec.estimator.mode == "analytic":
+            raise SystemExit(
+                "error: the CLI renders simulation tables; run "
+                "analytic-mode specs through the sweep orchestrator "
+                "(python -m repro.scenario.sweep) or "
+                "repro.scenario.run_scenario")
+        outcome = run_scenario(spec, check=False)
+        return _RENDERERS[outcome.engine](spec, outcome)
     except (ValueError, RuntimeError) as exc:
         # Bad specs / parameters -- and non-convergence of ultra-reliable
         # configurations -- surface as clean CLI errors, not tracebacks.

@@ -1,0 +1,86 @@
+"""--dump-spec round trips: flags -> spec -> file -> identical run.
+
+The refactor's acceptance criterion: the CLI is a thin adapter, so a
+dumped spec must rebuild the *exact* engine inputs of the flag run it
+came from (same canonical dict, same content hash), and running through
+``--spec`` must print byte-identical tables.
+"""
+
+import pytest
+
+from repro.scenario.spec import ScenarioSpec, spec_hash
+from repro.sim.cli import build_parser, main, spec_from_args
+
+INVOCATIONS = {
+    "m1-default": ["--seed", "0", "--trials", "100"],
+    "m2-direct": ["--code", "sd(n=8,r=16,m=2,s=2)", "--trials", "150",
+                  "--seed", "0", "--mttf", "20000",
+                  "--repair-hours", "200"],
+    "domains": ["--trials", "200", "--seed", "0", "--mttf", "20000",
+                "--racks", "8", "--rack-shock-rate", "1e-4",
+                "--batch-fraction", "0.5", "--batch-accel", "4"],
+    "trace": ["--trace", "examples/sample_trace.csv", "--trials", "200",
+              "--seed", "0", "--trace-bins", "6"],
+    "rare": ["--code", "sd(n=8,r=16,m=2,s=2)", "--rare-event",
+             "--seed", "0", "--rare-target-rel-se", "0.05"],
+    "events-replay": ["--mode", "events", "--trace",
+                      "examples/sample_trace.csv", "--trace-replay",
+                      "--trials", "5", "--seed", "0", "--stripes", "32",
+                      "--horizon", "3000"],
+}
+
+
+@pytest.mark.parametrize("argv", INVOCATIONS.values(),
+                         ids=INVOCATIONS.keys())
+def test_dumped_spec_rebuilds_identical_engine_inputs(argv):
+    args = build_parser().parse_args(argv)
+    spec = spec_from_args(args).validate()
+    reloaded = ScenarioSpec.loads(spec.dumps_toml())
+    assert reloaded == spec
+    assert reloaded.canonical_dict() == spec.canonical_dict()
+    assert spec_hash(reloaded) == spec_hash(spec)
+
+
+@pytest.mark.parametrize("name", ["m1-default", "domains", "trace",
+                                  "events-replay", "rare"])
+def test_spec_run_prints_the_same_table_as_the_flag_run(name, tmp_path,
+                                                        capsys):
+    argv = INVOCATIONS[name]
+    assert main(argv) == 0
+    flag_out = capsys.readouterr().out
+    assert main(argv + ["--dump-spec"]) == 0
+    dumped = capsys.readouterr().out
+    path = tmp_path / "scenario.toml"
+    path.write_text(dumped)
+    assert main(["--spec", str(path)]) == 0
+    assert capsys.readouterr().out == flag_out
+
+
+def test_explicit_flags_override_the_loaded_spec(tmp_path, capsys):
+    assert main(["--seed", "0", "--trials", "100", "--dump-spec"]) == 0
+    path = tmp_path / "scenario.toml"
+    path.write_text(capsys.readouterr().out)
+    # Overriding --trials on top of the spec must equal the pure flag
+    # run with that trial count (everything else from the spec).
+    assert main(["--seed", "0", "--trials", "60"]) == 0
+    reference = capsys.readouterr().out
+    assert main(["--spec", str(path), "--trials", "60"]) == 0
+    assert capsys.readouterr().out == reference
+
+
+def test_dump_spec_of_a_loaded_spec_is_a_fixed_point(tmp_path, capsys):
+    assert main(["--trace", "examples/sample_trace.csv", "--trials", "50",
+                 "--seed", "2", "--dump-spec"]) == 0
+    first = capsys.readouterr().out
+    path = tmp_path / "scenario.toml"
+    path.write_text(first)
+    assert main(["--spec", str(path), "--dump-spec"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_bad_spec_file_is_a_clean_cli_error(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text("version = 1\n[code]\nspec = \"rs(n=8,r=16,m=1)\"\n"
+                    "[tuning]\nx = 1\n")
+    with pytest.raises(SystemExit, match="unknown section"):
+        main(["--spec", str(path)])

@@ -1,0 +1,220 @@
+"""Strict parsing and semantic validation of scenario specs."""
+
+import pytest
+
+from repro.scenario.spec import (
+    CODE_VERSION_SALT,
+    SPEC_VERSION,
+    EstimatorSection,
+    ScenarioSpec,
+    ScenarioSpecError,
+    TraceSection,
+    spec_hash,
+)
+
+MINIMAL = {"version": SPEC_VERSION, "code": {"spec": "rs(n=8,r=16,m=1)"}}
+
+
+def test_minimal_spec_defaults_match_the_cli():
+    spec = ScenarioSpec.from_dict(MINIMAL)
+    assert spec.estimator.mode == "montecarlo"
+    assert spec.estimator.trials == 1000
+    assert spec.lifetime.mttf_hours == 500_000.0
+    assert spec.repair.repair_hours == 17.8
+    assert spec.sector.p_bit == 1e-12
+    assert spec.fleet.scrub_interval_hours == 168.0
+    assert spec.trace is None
+    spec.validate()  # defaults are a runnable scenario
+
+
+def test_unknown_section_is_rejected():
+    with pytest.raises(ScenarioSpecError, match="unknown section"):
+        ScenarioSpec.from_dict({**MINIMAL, "tuning": {"x": 1}})
+
+
+def test_unknown_key_is_rejected_with_the_known_keys():
+    with pytest.raises(ScenarioSpecError, match="known keys"):
+        ScenarioSpec.from_dict(
+            {**MINIMAL, "estimator": {"mode": "rare", "cycles": 5}})
+
+
+def test_missing_version_is_rejected():
+    with pytest.raises(ScenarioSpecError, match="version"):
+        ScenarioSpec.from_dict({"code": {"spec": "rs(n=8,r=16,m=1)"}})
+
+
+def test_version_mismatch_is_rejected():
+    with pytest.raises(ScenarioSpecError, match="not supported"):
+        ScenarioSpec.from_dict({**MINIMAL, "version": SPEC_VERSION + 1})
+
+
+def test_missing_code_section_is_rejected():
+    with pytest.raises(ScenarioSpecError, match="required section"):
+        ScenarioSpec.from_dict({"version": SPEC_VERSION,
+                                "estimator": {"trials": 10}})
+
+
+@pytest.mark.parametrize("section,key,value", [
+    ("estimator", "mode", "magic"),
+    ("lifetime", "kind", "gamma"),
+    ("sector", "model", "bursty"),
+    ("domains", "placement", "diagonal"),
+    ("trace", "model", "spline"),
+])
+def test_bad_enum_values_are_rejected(section, key, value):
+    data = {**MINIMAL, section: {key: value}}
+    if section == "trace":
+        data[section]["path"] = "some.csv"
+    with pytest.raises(ScenarioSpecError, match="is not one of"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_bool_where_a_number_is_expected_is_rejected():
+    with pytest.raises(ScenarioSpecError, match="bool"):
+        ScenarioSpec.from_dict({**MINIMAL,
+                                "estimator": {"trials": True}})
+
+
+def test_trace_section_requires_a_path():
+    with pytest.raises(ScenarioSpecError, match="path"):
+        ScenarioSpec.from_dict({**MINIMAL, "trace": {"model": "km"}})
+
+
+def test_load_of_missing_file_is_a_clean_error(tmp_path):
+    with pytest.raises(ScenarioSpecError, match="does not exist"):
+        ScenarioSpec.load(tmp_path / "nope.toml")
+
+
+def test_load_prefixes_errors_with_the_path(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text("version = 1\n[code]\nspec = 1.5\n")
+    with pytest.raises(ScenarioSpecError, match="bad.toml"):
+        ScenarioSpec.load(path)
+
+
+# --------------------------------------------------------------------------- #
+# Round trips and hashing
+# --------------------------------------------------------------------------- #
+def _rich_spec() -> ScenarioSpec:
+    return ScenarioSpec.from_dict({
+        "version": SPEC_VERSION,
+        "code": {"spec": "stair(n=8,r=16,m=1,e=(1,2))"},
+        "fleet": {"arrays": 3, "stripes_per_array": 64,
+                  "scrub_interval_hours": 0.0},
+        "lifetime": {"kind": "weibull", "mttf_hours": 20000.0,
+                     "weibull_shape": 1.5},
+        "domains": {"racks": 8, "rack_shock_rate_per_hour": 1e-4},
+        "repair": {"repair_hours": 24.0, "rebuild_streams": 1.5},
+        "sector": {"model": "correlated", "p_bit": 1e-10},
+        "estimator": {"mode": "events", "trials": 5, "seed": 3,
+                      "horizon_hours": 20000.0},
+    })
+
+
+def test_toml_round_trip_is_lossless():
+    spec = _rich_spec()
+    assert ScenarioSpec.loads(spec.dumps_toml()) == spec
+
+
+def test_json_round_trip_is_lossless():
+    spec = _rich_spec()
+    assert ScenarioSpec.loads(spec.dumps_json(), format="json") == spec
+
+
+def test_toml_round_trip_keeps_disabled_scrubbing():
+    """0 is the 'disabled' sentinel, not an omitted default -- a
+    scrub-disabled spec must not reload with scrubbing back on."""
+    spec = _rich_spec()
+    assert spec.fleet.scrub_interval_hours == 0.0
+    again = ScenarioSpec.loads(spec.dumps_toml())
+    assert again.fleet.scrub_interval_hours == 0.0
+
+
+def test_trace_round_trip(tmp_path):
+    spec = ScenarioSpec.from_dict({
+        **MINIMAL,
+        "trace": {"path": "examples/sample_trace.csv", "model": "piecewise",
+                  "bins": 6}})
+    assert ScenarioSpec.loads(spec.dumps_toml()) == spec
+    path = tmp_path / "spec.json"
+    spec.dump(path)
+    assert ScenarioSpec.load(path) == spec
+
+
+def test_canonical_dict_is_explicit_about_the_absent_trace():
+    spec = ScenarioSpec.from_dict(MINIMAL)
+    assert "trace" not in spec.to_dict()
+    assert spec.canonical_dict()["trace"] is None
+
+
+def test_spec_hash_is_content_addressed():
+    base = ScenarioSpec.from_dict(MINIMAL)
+    same = ScenarioSpec.loads(base.dumps_toml())
+    assert spec_hash(base) == spec_hash(same)
+    bumped = base.replace(estimator={"seed": 1})
+    assert spec_hash(bumped) != spec_hash(base)
+    # An engine-semantics bump (new salt) must invalidate every address.
+    assert spec_hash(base, salt=CODE_VERSION_SALT + "x") != spec_hash(base)
+
+
+def test_replace_merges_section_mappings():
+    base = ScenarioSpec.from_dict(MINIMAL)
+    fast = base.replace(estimator={"trials": 50})
+    assert fast.estimator.trials == 50
+    assert fast.estimator.mode == base.estimator.mode
+    whole = base.replace(estimator=EstimatorSection(mode="rare"))
+    assert whole.estimator == EstimatorSection(mode="rare")
+    with pytest.raises(ScenarioSpecError, match="unknown section"):
+        base.replace(engine={"mode": "rare"})
+
+
+# --------------------------------------------------------------------------- #
+# Semantic validation: contradictory combinations
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("updates,match", [
+    ({"lifetime": {"kind": "weibull"}}, "weibull_shape"),
+    ({"lifetime": {"weibull_shape": 1.5}}, "weibull"),
+    ({"estimator": {"mode": "rare", "horizon_hours": 1e6}}, "horizon"),
+    ({"estimator": {"mode": "rare"},
+      "lifetime": {"kind": "weibull", "weibull_shape": 1.5}},
+     "exponential"),
+    ({"estimator": {"mode": "events", "rare_max_cycles": 7}},
+     "rare-event tuning"),
+    ({"estimator": {"mode": "analytic"},
+      "lifetime": {"kind": "weibull", "weibull_shape": 2.0}},
+     "exponential"),
+    ({"estimator": {"mode": "analytic"},
+      "domains": {"racks": 4, "rack_shock_rate_per_hour": 1e-4}},
+     "independent"),
+    ({"domains": {"rack_kill_probability": 0.5}}, "rack_kill_probability"),
+    ({"domains": {"rack_shock_rate_per_hour": 1e-4}}, "racks >= 2"),
+    ({"domains": {"racks": 4, "enclosure_kill_probability": 0.5}},
+     "enclosure_kill_probability"),
+    ({"domains": {"batch_accel": 4.0}}, "batch_fraction"),
+    ({"domains": {"batch_fraction": 0.5}}, "batch_accel"),
+    ({"domains": {"placement": "contiguous"}}, "racks >= 2"),
+    ({"fleet": {"scrub_interval_hours": -1.0}}, "scrub"),
+    ({"fleet": {"arrays": 0}}, "arrays"),
+    ({"estimator": {"trials": 0}}, "trials"),
+])
+def test_contradictory_specs_are_rejected(updates, match):
+    spec = ScenarioSpec.from_dict(MINIMAL).replace(**updates)
+    with pytest.raises(ScenarioSpecError, match=match):
+        spec.validate()
+
+
+def test_rare_mode_rejects_km_trace_fit():
+    spec = ScenarioSpec.from_dict({
+        **MINIMAL,
+        "trace": {"path": "examples/sample_trace.csv", "model": "km"},
+        "estimator": {"mode": "rare"}})
+    with pytest.raises(ScenarioSpecError, match="piecewise"):
+        spec.validate()
+
+
+def test_replay_outside_events_mode_is_rejected():
+    spec = ScenarioSpec.from_dict({
+        **MINIMAL,
+        "trace": {"path": "examples/sample_trace.csv", "model": "replay"}})
+    with pytest.raises(ScenarioSpecError, match="events"):
+        spec.validate()

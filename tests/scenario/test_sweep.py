@@ -1,0 +1,163 @@
+"""Sweep expansion, deterministic seeds, and the content-addressed cache."""
+
+import json
+
+import pytest
+
+from repro.scenario.spec import ScenarioSpec, ScenarioSpecError, spec_hash
+from repro.scenario.sweep import (
+    cache_lookup,
+    cache_store,
+    expand_cells,
+    load_sweep,
+    main,
+    run_sweep,
+    run_sweep_file,
+)
+
+SWEEP_TOML = """\
+[scenario]
+version = 1
+[scenario.code]
+spec = "rs(n=8,r=16,m=1)"
+[scenario.lifetime]
+mttf_hours = 2000.0
+[scenario.estimator]
+trials = 30
+seed = 0
+
+[sweep]
+name = "test-sweep"
+[sweep.grid]
+"lifetime.mttf_hours" = [1000.0, 2000.0]
+"estimator.trials" = [20, 30, 40]
+"""
+
+
+def _sweep_file(tmp_path, text=SWEEP_TOML):
+    path = tmp_path / "sweep.toml"
+    path.write_text(text)
+    return path
+
+
+def test_grid_expands_in_file_order_first_key_slowest(tmp_path):
+    sweep = load_sweep(_sweep_file(tmp_path))
+    cells = expand_cells(sweep)
+    assert len(cells) == 6
+    assert [c[1]["lifetime.mttf_hours"] for c in cells] == \
+        [1000.0, 1000.0, 1000.0, 2000.0, 2000.0, 2000.0]
+    assert [c[1]["estimator.trials"] for c in cells] == [20, 30, 40] * 2
+
+
+def test_cell_seeds_are_derived_distinct_and_deterministic(tmp_path):
+    sweep = load_sweep(_sweep_file(tmp_path))
+    seeds = [spec.estimator.seed for spec, _ in expand_cells(sweep)]
+    assert len(set(seeds)) == len(seeds)       # statistically independent
+    again = [spec.estimator.seed for spec, _ in expand_cells(sweep)]
+    assert seeds == again                      # reproducible from one seed
+    # A different base seed derives a different family.
+    other = load_sweep(_sweep_file(
+        tmp_path, SWEEP_TOML.replace("seed = 0", "seed = 1")))
+    assert [s.estimator.seed for s, _ in expand_cells(other)] != seeds
+
+
+def test_cell_pinning_estimator_seed_keeps_it(tmp_path):
+    text = SWEEP_TOML + "\n[[sweep.cells]]\n\"estimator.seed\" = 7\n"
+    cells = expand_cells(load_sweep(_sweep_file(tmp_path, text)))
+    assert cells[-1][0].estimator.seed == 7
+
+
+def test_plain_spec_file_is_a_one_cell_sweep(tmp_path):
+    path = tmp_path / "single.toml"
+    spec = ScenarioSpec.from_dict(
+        {"version": 1, "code": {"spec": "rs(n=8,r=16,m=1)"},
+         "lifetime": {"mttf_hours": 1000.0},
+         "estimator": {"trials": 10, "seed": 0}})
+    spec.dump(path)
+    result = run_sweep_file(path)
+    assert len(result.cells) == 1
+    assert result.cells[0].result["engine"] == "montecarlo"
+
+
+def test_invalid_cell_fails_the_sweep_with_its_index(tmp_path):
+    text = SWEEP_TOML + "\n[[sweep.cells]]\n\"estimator.trials\" = 0\n"
+    with pytest.raises(ScenarioSpecError, match="sweep cell 6"):
+        run_sweep(load_sweep(_sweep_file(tmp_path, text)))
+
+
+def test_non_dotted_override_is_rejected(tmp_path):
+    text = SWEEP_TOML.replace('"estimator.trials"', '"trials"')
+    with pytest.raises(ScenarioSpecError, match="dotted"):
+        load_sweep(_sweep_file(tmp_path, text))
+
+
+# --------------------------------------------------------------------------- #
+# The content-addressed cache
+# --------------------------------------------------------------------------- #
+def test_second_run_is_all_hits_and_bitwise_identical(tmp_path):
+    sweep = load_sweep(_sweep_file(tmp_path))
+    cache = tmp_path / "cache"
+    first = run_sweep(sweep, cache_dir=cache)
+    assert (first.hits, first.misses) == (0, 6)
+    second = run_sweep(sweep, cache_dir=cache)
+    assert (second.hits, second.misses) == (6, 0)
+    # Bitwise-identical cached results, zero recomputation.
+    assert (json.dumps([c.result for c in second.cells], sort_keys=True)
+            == json.dumps([c.result for c in first.cells], sort_keys=True))
+
+
+def test_corrupted_and_stale_cache_entries_recompute(tmp_path):
+    sweep = load_sweep(_sweep_file(tmp_path))
+    cache = tmp_path / "cache"
+    first = run_sweep(sweep, cache_dir=cache)
+    keys = [cell.key for cell in first.cells]
+    # Corrupt one entry outright, poison another with a wrong salt, and
+    # a third with a result recorded for a *different* spec.
+    (cache / f"{keys[0]}.json").write_text("{ not json")
+    entry = json.loads((cache / f"{keys[1]}.json").read_text())
+    entry["salt"] = "repro-sim/engines-v0"
+    (cache / f"{keys[1]}.json").write_text(json.dumps(entry))
+    entry2 = json.loads((cache / f"{keys[2]}.json").read_text())
+    entry2["spec"]["estimator"]["trials"] = 999_999
+    (cache / f"{keys[2]}.json").write_text(json.dumps(entry2))
+
+    again = run_sweep(sweep, cache_dir=cache)
+    assert (again.hits, again.misses) == (3, 3)
+    # The recomputed results match the originals (determinism) and the
+    # poisoned entries were overwritten with trustworthy ones.
+    assert [c.result for c in again.cells] == [c.result
+                                               for c in first.cells]
+    final = run_sweep(sweep, cache_dir=cache)
+    assert (final.hits, final.misses) == (6, 0)
+
+
+def test_cache_is_content_addressed_per_spec(tmp_path):
+    spec = ScenarioSpec.from_dict(
+        {"version": 1, "code": {"spec": "rs(n=8,r=16,m=1)"},
+         "estimator": {"trials": 5, "seed": 0}})
+    cache = tmp_path / "cache"
+    cache_store(cache, spec, {"x": 1})
+    assert cache_lookup(cache, spec) == {"x": 1}
+    other = spec.replace(estimator={"seed": 1})
+    assert cache_lookup(cache, other) is None
+    assert spec_hash(other) != spec_hash(spec)
+
+
+def test_parallel_sweep_matches_serial(tmp_path):
+    sweep = load_sweep(_sweep_file(tmp_path))
+    serial = run_sweep(sweep, processes=1)
+    parallel = run_sweep(sweep, processes=4)
+    assert [c.result for c in parallel.cells] == [c.result
+                                                  for c in serial.cells]
+
+
+def test_cli_expect_all_hits_gates_on_cache_misses(tmp_path, capsys):
+    path = _sweep_file(tmp_path)
+    cache = str(tmp_path / "cache")
+    with pytest.raises(SystemExit, match="recomputed"):
+        main([str(path), "--cache-dir", cache, "--expect-all-hits"])
+    capsys.readouterr()
+    assert main([str(path), "--cache-dir", cache,
+                 "--expect-all-hits"]) == 0
+    out = capsys.readouterr().out
+    assert "6 cached / 6 cells" in out

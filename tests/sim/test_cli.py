@@ -463,3 +463,60 @@ def test_multi_array_shock_run_notes_the_marginal_law(capsys):
     assert main(["--trials", "100", "--seed", "0", "--mttf", "20000",
                  "--racks", "8", "--rack-shock-rate", "1e-4"]) == 0
     assert "marginal shock law" not in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# Scenario specs: --spec / --dump-spec and the silent-no-op flag rejections
+# --------------------------------------------------------------------------- #
+def test_events_only_flags_rejected_outside_events_mode():
+    """--stripes & co. used to be quietly ignored by the vectorized
+    runner; now they name themselves and point at --mode events."""
+    with pytest.raises(SystemExit, match="--stripes"):
+        main(["--stripes", "64", "--trials", "10"])
+    with pytest.raises(SystemExit, match="--scrub-interval"):
+        main(["--scrub-interval", "100", "--trials", "10"])
+    with pytest.raises(SystemExit, match="--rebuild-streams"):
+        main(["--rebuild-streams", "1.5", "--rare-event"])
+    with pytest.raises(SystemExit, match="--write-rate"):
+        main(["--write-rate", "0.5", "--trials", "10"])
+
+
+def test_rare_tuning_flags_rejected_in_events_mode():
+    with pytest.raises(SystemExit, match="--rare-target-rel-se"):
+        main(["--mode", "events", "--rare-target-rel-se", "0.1"])
+    with pytest.raises(SystemExit, match="--rare-max-cycles"):
+        main(["--mode", "events", "--rare-max-cycles", "100"])
+
+
+def test_events_only_flags_still_work_in_events_mode(capsys):
+    assert main(["--mode", "events", "--trials", "2", "--seed", "0",
+                 "--stripes", "32", "--mttf", "2000",
+                 "--scrub-interval", "100", "--horizon", "20000"]) == 0
+    assert "Event-driven trajectories" in capsys.readouterr().out
+
+
+def test_dump_spec_prints_the_effective_toml(capsys):
+    assert main(["--code", "sd(n=8,r=16,m=2,s=2)", "--rare-event",
+                 "--dump-spec"]) == 0
+    out = capsys.readouterr().out
+    assert 'spec = "sd(n=8,r=16,m=2,s=2)"' in out
+    assert 'mode = "rare"' in out
+    assert out.startswith("version = 1")
+
+
+def test_spec_flag_loads_a_committed_spec(tmp_path, capsys):
+    path = tmp_path / "scenario.toml"
+    path.write_text('version = 1\n[code]\nspec = "rs(n=8,r=16,m=1)"\n'
+                    "[estimator]\ntrials = 50\nseed = 0\n")
+    assert main(["--spec", str(path)]) == 0
+    assert "MTTDL (sim)" in capsys.readouterr().out
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["--spec", str(tmp_path / "missing.toml")])
+
+
+def test_help_epilog_points_at_scenario_docs(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    out = capsys.readouterr().out
+    assert "docs/scenarios.md" in out
+    assert "--dump-spec" in out
