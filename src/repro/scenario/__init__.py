@@ -33,6 +33,7 @@ from repro.scenario.spec import (
     ScenarioSpec,
     ScenarioSpecError,
     SectorSection,
+    StoreSection,
     TraceSection,
     spec_hash,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioSpecError",
     "SectorSection",
+    "StoreSection",
     "TraceSection",
     "run_scenario",
     "spec_hash",

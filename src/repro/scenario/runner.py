@@ -60,7 +60,7 @@ from repro.reliability.sector_models import (
     CorrelatedSectorModel,
     IndependentSectorModel,
 )
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import ScenarioSpec, ScenarioSpecError
 from repro.sim.cluster import CoverageModel
 from repro.sim.domains import FailureDomains
 from repro.sim.events import ClusterSimulation, Scenario
@@ -294,6 +294,13 @@ def run_scenario(spec: ScenarioSpec, *, check: bool = True
     """
     if check:
         spec.validate()
+    if spec.store is not None:
+        # Store workloads have their own runner (an asyncio service
+        # loop, not an MTTDL estimator) and their own report shape.
+        raise ScenarioSpecError(
+            "this spec carries a [store] section; run it through the "
+            "object-store service instead: repro.store.run_store(spec) "
+            "or python -m repro.store.cli --spec ...")
     mode = spec.estimator.mode
     if mode == "events":
         return _run_events(spec)

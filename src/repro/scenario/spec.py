@@ -189,6 +189,52 @@ class EstimatorSection:
     rare_max_cycles: int = 4_000_000
 
 
+@dataclass(frozen=True)
+class StoreSection:
+    """Object-store traffic served by :mod:`repro.store`.
+
+    The whole section is optional; when present, the spec describes a
+    closed-loop put/get workload against a STAIR/RS/SD-encoded object
+    store (``python -m repro.store.cli --spec ...``) instead of a bare
+    reliability simulation.  Failure injection reuses the surrounding
+    sections: ``[lifetime]``/``[trace]`` sample device crash times and
+    ``[domains]`` supplies rack/enclosure shocks, both mapped onto the
+    workload through ``hours_per_op`` (simulated hours that pass per
+    client operation); ``[repair].rebuild_streams`` budgets the repair
+    loop; ``[estimator].seed`` seeds every random draw.
+    """
+
+    #: Number of distinct objects preloaded before the measured workload.
+    objects: int = 64
+    #: Object payload size in bytes (the maximum when
+    #: ``min_object_bytes`` is set, else every object's exact size).
+    object_bytes: int = 4096
+    #: When set, object sizes draw uniformly from
+    #: ``[min_object_bytes, object_bytes]`` per object.
+    min_object_bytes: int | None = None
+    #: Region length of one coded symbol, in bytes (chunks are
+    #: ``r * symbol_bytes``).
+    symbol_bytes: int = 512
+    #: Closed-loop client operations after the preload.
+    operations: int = 256
+    #: Number of concurrent closed-loop clients.
+    clients: int = 4
+    #: Fraction of operations that are reads (the rest overwrite).
+    read_fraction: float = 0.9
+    #: Zipf exponent of key popularity (0 = uniform).
+    zipf_alpha: float = 1.1
+    #: Run the background repair loop during the workload.
+    repair: bool = True
+    #: Crash exactly this many distinct nodes mid-workload (the
+    #: deterministic injection used by smoke tests).
+    kill_nodes: int = 0
+    #: When the deterministic kill lands, as a fraction of operations.
+    kill_at_fraction: float = 0.5
+    #: Simulated hours per operation; > 0 arms lifetime-sampled crashes
+    #: and [domains] shocks over the workload's simulated span.
+    hours_per_op: float = 0.0
+
+
 _SECTION_TYPES: dict[str, type] = {
     "code": CodeSection,
     "fleet": FleetSection,
@@ -198,6 +244,7 @@ _SECTION_TYPES: dict[str, type] = {
     "repair": RepairSection,
     "sector": SectorSection,
     "estimator": EstimatorSection,
+    "store": StoreSection,
 }
 
 #: Sections a spec file must carry explicitly (everything else
@@ -232,9 +279,16 @@ def _coerce(section: str, key: str, value: Any, target: Any) -> Any:
     kind = target.type if isinstance(target, dataclasses.Field) else None
     default = (target.default if isinstance(target, dataclasses.Field)
                else target)
+    wants_bool = str(kind).startswith("bool") or isinstance(default, bool)
     wants_float = "float" in str(kind)
     wants_int = str(kind).startswith("int")
     wants_str = str(kind).startswith("str") or isinstance(default, str)
+    if wants_bool:
+        if not isinstance(value, bool):
+            raise ScenarioSpecError(
+                f"[{section}] {key} must be a bool (true/false), "
+                f"got {value!r}")
+        return value
     if isinstance(value, bool):
         raise ScenarioSpecError(
             f"[{section}] {key} must be a number or string, got a bool")
@@ -290,6 +344,7 @@ class ScenarioSpec:
     repair: RepairSection = field(default_factory=RepairSection)
     sector: SectorSection = field(default_factory=SectorSection)
     estimator: EstimatorSection = field(default_factory=EstimatorSection)
+    store: StoreSection | None = None
     version: int = SPEC_VERSION
 
     # ------------------------------------------------------------------ #
@@ -384,13 +439,15 @@ class ScenarioSpec:
         """The normalized form the content hash is computed over.
 
         Explicit about everything: sections the spec left at their
-        defaults appear fully expanded, and an absent trace section is
-        recorded as ``None``, so two specs hash equal iff every knob an
-        engine reads is equal.
+        defaults appear fully expanded, and absent optional sections
+        (trace, store) are recorded as ``None``, so two specs hash
+        equal iff every knob an engine reads is equal.
         """
         out = self.to_dict()
         if self.trace is None:
             out["trace"] = None
+        if self.store is None:
+            out["store"] = None
         return out
 
     def dumps_json(self) -> str:
@@ -580,6 +637,65 @@ class ScenarioSpec:
             raise ScenarioSpecError(
                 "placement = 'contiguous' needs racks >= 2 (with one "
                 "rack both placements are the same)")
+
+        # Object-store traffic contradictions.
+        store = self.store
+        if store is not None:
+            if est.mode == "analytic":
+                raise ScenarioSpecError(
+                    "store traffic is a simulation; the analytic chain "
+                    "has no closed form for a served workload -- drop "
+                    "the [store] section or pick a simulating mode")
+            if est.mode == "rare":
+                raise ScenarioSpecError(
+                    "the rare-event estimator computes MTTDL, it does "
+                    "not serve traffic; [store] workloads run under "
+                    "mode = 'montecarlo' or 'events'")
+            if store.objects < 1:
+                raise ScenarioSpecError("[store] objects must be >= 1")
+            if store.object_bytes < 0:
+                raise ScenarioSpecError(
+                    "[store] object_bytes must be >= 0")
+            if store.min_object_bytes is not None and not (
+                    0 <= store.min_object_bytes <= store.object_bytes):
+                raise ScenarioSpecError(
+                    "[store] min_object_bytes must lie in "
+                    "[0, object_bytes]")
+            if store.symbol_bytes < 1:
+                raise ScenarioSpecError(
+                    "[store] symbol_bytes must be >= 1")
+            if store.operations < 1:
+                raise ScenarioSpecError(
+                    "[store] operations must be >= 1")
+            if store.clients < 1:
+                raise ScenarioSpecError("[store] clients must be >= 1")
+            if not (0.0 <= store.read_fraction <= 1.0):
+                raise ScenarioSpecError(
+                    "[store] read_fraction must lie in [0, 1]")
+            if store.zipf_alpha < 0.0:
+                raise ScenarioSpecError(
+                    "[store] zipf_alpha must be >= 0 (0 = uniform)")
+            if store.kill_nodes < 0:
+                raise ScenarioSpecError(
+                    "[store] kill_nodes must be >= 0")
+            if not (0.0 <= store.kill_at_fraction < 1.0):
+                raise ScenarioSpecError(
+                    "[store] kill_at_fraction must lie in [0, 1) so "
+                    "the kill lands inside the workload")
+            if (store.kill_at_fraction != 0.5
+                    and store.kill_nodes == 0):
+                raise ScenarioSpecError(
+                    "[store] kill_at_fraction has no effect without "
+                    "kill_nodes > 0")
+            if store.hours_per_op < 0.0:
+                raise ScenarioSpecError(
+                    "[store] hours_per_op must be >= 0 (0 disables "
+                    "lifetime/domain-driven failures)")
+            if trace is not None and trace.model == "replay":
+                raise ScenarioSpecError(
+                    "[store] failure injection samples lifetimes; "
+                    "verbatim trace replay applies to the events "
+                    "engine only")
         return self
 
     def _domains_inert(self) -> bool:

@@ -258,7 +258,9 @@ def spec_from_args(args: argparse.Namespace,
 
     ``base`` (the spec loaded via ``--spec``, if any) supplies the
     fields no flag covers -- currently the correlated sector model's
-    burst parameters (b1, alpha).
+    burst parameters (b1, alpha) and the [store] section (carried
+    through so ``run_scenario`` can redirect store workloads to
+    ``repro.store`` instead of silently ignoring them).
     """
     mode = "rare" if args.rare_event else args.mode
     trace = None
@@ -310,6 +312,7 @@ def spec_from_args(args: argparse.Namespace,
             horizon_hours=args.horizon,
             rare_target_rel_se=args.rare_target_rel_se,
             rare_max_cycles=args.rare_max_cycles),
+        store=base.store if base is not None else None,
     )
 
 

@@ -1,0 +1,329 @@
+"""The asyncio object store: put / get / degraded read / repair.
+
+A :class:`StoreCluster` stripes every object across one
+:class:`~repro.store.node.StoreNode` per stripe-code column and serves:
+
+* ``put(key, data)`` -- encode through the bulk-kernel path and fan the
+  ``n`` chunks out concurrently; a down node simply misses its chunk
+  (the stripe starts life degraded and the repair loop owes it a
+  rebuild), exactly like a write landing during a device outage;
+* ``get(key)`` -- the healthy path reads only the data-carrying columns
+  and never decodes; when any needed chunk is unreachable the read
+  degrades transparently: every surviving column is fetched and the
+  stripe is rebuilt through ``code.decode`` (the ``recover_rows`` bulk
+  machinery), still returning byte-identical data as long as the
+  erasure pattern is within the code's coverage;
+* ``repair_once()`` -- revive down slots as empty replacement devices,
+  then reconstruct every missing chunk, at most ``repair_streams``
+  stripes in flight at once (the store-level reading of the simulator's
+  processor-sharing repair budget: a small budget stretches repair and
+  lengthens the degraded window, a large one steals the event loop from
+  client traffic -- the interference `report` counters measure both);
+* ``repair_forever()`` -- the background loop, woken by every crash.
+
+Per-key asyncio locks order overwrites against reads (a get sees the
+old object or the new one, never a torn mix).  The cluster draws no
+randomness and never sleeps on the wall clock; all nondeterminism in a
+store run comes from the (seeded) traffic and injector layers.
+
+Usage::
+
+    cluster = StoreCluster(parse_code_spec("rs(n=6,r=4,m=2)"),
+                           symbol_bytes=64)
+    await cluster.put("k", b"payload")
+    cluster.crash_node(0)
+    await cluster.get("k")          # degraded read, bytes identical
+    await cluster.repair_once()     # full redundancy restored
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.codes.base import StripeCode
+from repro.store.codec import ObjectCodec, StoreError
+from repro.store.node import ChunkMissingError, NodeDownError, StoreNode
+from repro.store.report import StoreReport
+
+
+class ObjectLostError(RuntimeError):
+    """A stripe's erasure pattern exceeds the code's coverage: data loss."""
+
+
+@dataclass(frozen=True)
+class ObjectMeta:
+    """Authoritative per-object record (size drives unpadding)."""
+
+    size: int
+    stripes: int
+
+
+class StoreCluster:
+    """An in-process cluster of one node per stripe-code column."""
+
+    def __init__(self, code: StripeCode, *, symbol_bytes: int = 512,
+                 nodes: Sequence[StoreNode] | None = None,
+                 repair_streams: float | None = None,
+                 auto_replace: bool = True,
+                 report: StoreReport | None = None) -> None:
+        self.code = code
+        self.codec = ObjectCodec(code, symbol_bytes)
+        if nodes is None:
+            nodes = [StoreNode(j) for j in range(code.n)]
+        if len(nodes) != code.n:
+            raise StoreError(
+                f"need exactly {code.n} nodes (one per column), "
+                f"got {len(nodes)}")
+        self.nodes = list(nodes)
+        if repair_streams is not None and repair_streams <= 0:
+            raise StoreError(
+                "repair_streams must be positive (None = unbudgeted)")
+        #: Max stripes repaired concurrently -- ceil of the fractional
+        #: processor-sharing budget (a 1.5-stream budget admits 2
+        #: in-flight repairs, matching the event engine's reading that
+        #: fractional budgets still make progress on every stream).
+        self.repair_slots = (math.ceil(repair_streams)
+                             if repair_streams is not None else code.n)
+        self.auto_replace = auto_replace
+        self.report = report if report is not None else StoreReport()
+        self._meta: dict[str, ObjectMeta] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
+        self._repairs_in_flight = 0
+        self._damage = asyncio.Event()
+        self._stop_repair = False
+
+    # ------------------------------------------------------------------ #
+    # Failure injection hooks (synchronous -- callable from anywhere)
+    # ------------------------------------------------------------------ #
+    def crash_node(self, index: int) -> None:
+        """Fail node ``index``, losing its chunks, and wake the repair
+        loop."""
+        self.nodes[index].crash()
+        self.report.node_crashes += 1
+        self._damage.set()
+
+    def restore_node(self, index: int) -> None:
+        """Bring slot ``index`` back as an empty replacement device."""
+        self.nodes[index].restore()
+        self._damage.set()
+
+    @property
+    def nodes_up(self) -> int:
+        return sum(node.up for node in self.nodes)
+
+    # ------------------------------------------------------------------ #
+    # Client operations
+    # ------------------------------------------------------------------ #
+    async def put(self, key: str, data: bytes) -> None:
+        """Store (or overwrite) an object."""
+        async with self._key_lock(key):
+            if self._repairs_in_flight:
+                self.report.interfered_ops += 1
+            chunks = self.codec.encode_object(data)
+            for stripe_index, columns in enumerate(chunks):
+                written = await asyncio.gather(*[
+                    self._try_put_chunk(j, key, stripe_index, columns[j])
+                    for j in range(self.code.n)])
+                missing = len(written) - sum(written)
+                if missing:
+                    self.report.partial_put_stripes += 1
+                    self._damage.set()
+            self._meta[key] = ObjectMeta(size=len(data), stripes=len(chunks))
+            self.report.puts += 1
+            self.report.bytes_put += len(data)
+
+    async def get(self, key: str) -> bytes:
+        """Fetch an object; degrades transparently under failures.
+
+        Raises ``KeyError`` for unknown keys and
+        :class:`ObjectLostError` when some stripe is beyond the code's
+        coverage (counted in ``report.failed_reads``).
+        """
+        async with self._key_lock(key):
+            meta = self._meta[key]
+            if self._repairs_in_flight:
+                self.report.interfered_ops += 1
+            degraded = False
+            pieces: list[bytes] = []
+            for stripe_index in range(meta.stripes):
+                payload, stripe_degraded = await self._read_stripe(
+                    key, stripe_index)
+                degraded = degraded or stripe_degraded
+                pieces.append(payload)
+            data = b"".join(pieces)[:meta.size]
+            self.report.gets += 1
+            self.report.bytes_read_user += meta.size
+            if degraded:
+                self.report.degraded_reads += 1
+                self.report.bytes_read_user_degraded += meta.size
+            return data
+
+    async def _read_stripe(self, key: str,
+                           stripe_index: int) -> tuple[bytes, bool]:
+        have = [node.has_chunk(key, stripe_index) for node in self.nodes]
+        if all(have[col] for col in self.codec.data_columns):
+            columns = await self._fetch_columns(
+                key, stripe_index, self.codec.data_columns)
+            # A crash may land between the availability check and the
+            # fetch; a torn fast path falls through to the degraded one.
+            if all(columns[col] is not None
+                   for col in self.codec.data_columns):
+                self.report.bytes_read_nodes_healthy += sum(
+                    len(chunk) for chunk in columns if chunk is not None)
+                return self.codec.extract_payload(columns), False
+            have = [node.has_chunk(key, stripe_index)
+                    for node in self.nodes]
+        wanted = [j for j in range(self.code.n) if have[j]]
+        columns = await self._fetch_columns(key, stripe_index, wanted)
+        self.report.bytes_read_nodes_degraded += sum(
+            len(chunk) for chunk in columns if chunk is not None)
+        try:
+            payload = self.codec.decode_stripe(columns)
+        except Exception as exc:
+            self.report.failed_reads += 1
+            raise ObjectLostError(
+                f"object {key!r} stripe {stripe_index} is beyond the "
+                f"code's coverage: {exc}") from exc
+        return payload, True
+
+    async def _fetch_columns(self, key: str, stripe_index: int,
+                             wanted: Sequence[int]
+                             ) -> list[Optional[bytes]]:
+        """Fetch ``wanted`` columns concurrently; races with crashes
+        resolve to ``None`` (the caller treats them as erasures)."""
+        columns: list[Optional[bytes]] = [None] * self.code.n
+        results = await asyncio.gather(*[
+            self._try_get_chunk(j, key, stripe_index) for j in wanted])
+        for j, chunk in zip(wanted, results):
+            columns[j] = chunk
+        return columns
+
+    async def _try_get_chunk(self, j: int, key: str,
+                             stripe_index: int) -> Optional[bytes]:
+        try:
+            return await self.nodes[j].get_chunk(key, stripe_index)
+        except (NodeDownError, ChunkMissingError):
+            return None
+
+    async def _try_put_chunk(self, j: int, key: str, stripe_index: int,
+                             chunk: bytes) -> bool:
+        try:
+            await self.nodes[j].put_chunk(key, stripe_index, chunk)
+            return True
+        except NodeDownError:
+            return False
+
+    def _key_lock(self, key: str) -> asyncio.Lock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = asyncio.Lock()
+        return lock
+
+    # ------------------------------------------------------------------ #
+    # Redundancy accounting and repair
+    # ------------------------------------------------------------------ #
+    def damaged_stripes(self) -> list[tuple[str, int, tuple[int, ...]]]:
+        """Every ``(key, stripe, missing_columns)`` short of ``n``
+        live chunks."""
+        out = []
+        for key, meta in self._meta.items():
+            for stripe_index in range(meta.stripes):
+                missing = tuple(
+                    j for j, node in enumerate(self.nodes)
+                    if not node.has_chunk(key, stripe_index))
+                if missing:
+                    out.append((key, stripe_index, missing))
+        return out
+
+    def fully_redundant(self) -> bool:
+        """True when every node is up and every stripe holds all ``n``
+        chunks."""
+        return all(node.up for node in self.nodes) \
+            and not self.damaged_stripes()
+
+    async def repair_once(
+            self,
+            on_stripe: Callable[[str, int], None] | None = None) -> int:
+        """One repair pass; returns the number of stripes repaired.
+
+        ``on_stripe(key, stripe)`` fires after each stripe completes --
+        the hook the crash-during-repair tests use to fail another
+        node mid-pass.  Stripes whose erasure pattern exceeds coverage
+        are counted (``report.unrecoverable_stripes``) and skipped, not
+        raised: a repair pass must visit every stripe it can still
+        save.
+        """
+        if self.auto_replace:
+            for node in self.nodes:
+                if not node.up:
+                    self.restore_node(node.index)
+        damaged = self.damaged_stripes()
+        if not damaged:
+            return 0
+        self.report.repair_rounds += 1
+        semaphore = asyncio.Semaphore(self.repair_slots)
+        repaired = await asyncio.gather(*[
+            self._repair_stripe(semaphore, key, stripe_index, on_stripe)
+            for key, stripe_index, _ in damaged])
+        return sum(repaired)
+
+    async def _repair_stripe(self, semaphore: asyncio.Semaphore, key: str,
+                             stripe_index: int,
+                             on_stripe: Callable[[str, int], None] | None
+                             ) -> bool:
+        # The key lock orders the repair against overwrites of the same
+        # object: decoding a half-overwritten stripe would "repair" a
+        # torn mix of old and new chunks.  Lock order is semaphore ->
+        # key lock; clients never hold the semaphore, so no cycle.
+        async with semaphore, self._key_lock(key):
+            self._repairs_in_flight += 1
+            try:
+                # Re-derive damage at execution time: an earlier repair
+                # (or a fresh crash) may have changed the picture.
+                missing = [j for j, node in enumerate(self.nodes)
+                           if not node.has_chunk(key, stripe_index)]
+                targets = [j for j in missing if self.nodes[j].up]
+                if not targets:
+                    return False
+                wanted = [j for j in range(self.code.n) if j not in missing]
+                columns = await self._fetch_columns(key, stripe_index,
+                                                    wanted)
+                try:
+                    rebuilt = self.codec.rebuild_columns(columns, targets)
+                except Exception:
+                    self.report.unrecoverable_stripes += 1
+                    return False
+                wrote = False
+                for j, chunk in rebuilt.items():
+                    if await self._try_put_chunk(j, key, stripe_index,
+                                                 chunk):
+                        self.report.repaired_chunks += 1
+                        self.report.repair_bytes += len(chunk)
+                        wrote = True
+                if wrote:
+                    self.report.repaired_stripes += 1
+                if on_stripe is not None:
+                    on_stripe(key, stripe_index)
+                return wrote
+            finally:
+                self._repairs_in_flight -= 1
+
+    async def repair_forever(self) -> None:
+        """Background loop: wait for damage, repair, repeat.
+
+        Stop it with :meth:`stop_repair` (the runner does this after
+        the workload drains).
+        """
+        while not self._stop_repair:
+            await self._damage.wait()
+            self._damage.clear()
+            if self._stop_repair:
+                return
+            await self.repair_once()
+
+    def stop_repair(self) -> None:
+        self._stop_repair = True
+        self._damage.set()

@@ -1,0 +1,141 @@
+"""Declarative failure injection for store workloads.
+
+The injector turns the *same* scenario sections the simulator replays
+into a deterministic crash schedule over the workload's operation
+index:
+
+* ``[store] kill_nodes / kill_at_fraction`` -- the explicit injection:
+  exactly ``kill_nodes`` distinct victims (chosen by the seeded RNG)
+  crash at operation ``floor(kill_at_fraction * operations)``;
+* ``[lifetime]`` / ``[trace]`` -- when ``hours_per_op > 0``, each node
+  draws a lifetime from the spec's model
+  (:func:`repro.scenario.runner.lifetime_from_spec`) and crashes at the
+  operation its failure time maps to, if that falls inside the
+  workload's simulated span;
+* ``[domains]`` -- rack/enclosure shock processes
+  (:meth:`~repro.sim.domains.FailureDomains.array_shock_groups`) are
+  sampled as Poisson arrivals over the same span; each shock kills
+  every member independently with the level's kill probability.
+
+Everything is derived from one ``numpy.random.SeedSequence``, so a
+spec plus its seed fully determines which nodes die and when --
+store runs replay exactly like sweep cells.
+
+Usage::
+
+    schedule = FailureInjector.from_spec(spec, np.random.SeedSequence(7))
+    for op_index in range(spec.store.operations):
+        schedule.tick(op_index, cluster)   # fires due crashes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scenario.spec import ScenarioSpec, ScenarioSpecError
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled node crash."""
+
+    at_op: int
+    node: int
+    cause: str  # "kill" | "lifetime" | "shock:<level>:<index>"
+
+
+class FailureInjector:
+    """A precomputed, seed-deterministic crash schedule."""
+
+    def __init__(self, events: list[FailureEvent]) -> None:
+        #: Sorted by firing op; ties fire in schedule order.
+        self.events = sorted(events, key=lambda e: (e.at_op, e.node))
+        self._cursor = 0
+        self.fired: list[FailureEvent] = []
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec,
+                  seed_seq: np.random.SeedSequence) -> "FailureInjector":
+        """Build the schedule a spec describes (requires ``[store]``)."""
+        if spec.store is None:
+            raise ScenarioSpecError(
+                "failure injection needs a [store] section")
+        # Late imports: scenario.runner pulls the whole simulator in;
+        # keep the store importable without paying that at module load.
+        from repro.codes.registry import parse_code_spec
+        from repro.scenario.runner import (
+            domains_from_spec,
+            lifetime_from_spec,
+        )
+
+        store = spec.store
+        n = parse_code_spec(spec.code.spec).n
+        rng = np.random.default_rng(seed_seq)
+        events: list[FailureEvent] = []
+
+        if store.kill_nodes > 0:
+            if store.kill_nodes > n:
+                raise ScenarioSpecError(
+                    f"[store] kill_nodes = {store.kill_nodes} exceeds "
+                    f"the cluster's {n} nodes")
+            at = int(store.kill_at_fraction * store.operations)
+            victims = rng.choice(n, size=store.kill_nodes, replace=False)
+            events += [FailureEvent(at_op=at, node=int(v), cause="kill")
+                       for v in sorted(victims)]
+
+        if store.hours_per_op > 0.0:
+            horizon = store.hours_per_op * store.operations
+            lifetime = lifetime_from_spec(spec)
+            domains = domains_from_spec(spec)
+            draws = np.asarray(lifetime.sample(rng, n), dtype=float)
+            if domains is not None and domains.has_batch_wear:
+                # Bad-batch devices (0..b-1, the simulator's
+                # deterministic membership) age batch_accel times
+                # faster: the same AFT scaling the engines apply.
+                batch = round(domains.batch_fraction * n)
+                draws[:batch] = draws[:batch] / domains.batch_accel
+            for node, hours in enumerate(draws):
+                if np.isfinite(hours) and hours < horizon:
+                    events.append(FailureEvent(
+                        at_op=int(hours / store.hours_per_op),
+                        node=node, cause="lifetime"))
+            if domains is not None:
+                for group in domains.array_shock_groups(n):
+                    if group.rate_per_hour <= 0.0:
+                        continue
+                    t = rng.exponential(1.0 / group.rate_per_hour)
+                    while t < horizon:
+                        at = int(t / store.hours_per_op)
+                        for member in group.devices:
+                            if rng.random() < group.kill_probability:
+                                events.append(FailureEvent(
+                                    at_op=at, node=int(member),
+                                    cause=(f"shock:{group.level}:"
+                                           f"{group.index}")))
+                        t += rng.exponential(1.0 / group.rate_per_hour)
+        return cls(events)
+
+    # ------------------------------------------------------------------ #
+    def tick(self, op_index: int, cluster) -> list[FailureEvent]:
+        """Fire every event due at or before ``op_index``.
+
+        A crash against an already-down node still counts as fired (the
+        slot just stays down); duplicate shocks are harmless.
+        """
+        fired = []
+        while (self._cursor < len(self.events)
+               and self.events[self._cursor].at_op <= op_index):
+            event = self.events[self._cursor]
+            self._cursor += 1
+            if cluster.nodes[event.node].up:
+                cluster.crash_node(event.node)
+            fired.append(event)
+            self.fired.append(event)
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Events not yet fired."""
+        return len(self.events) - self._cursor

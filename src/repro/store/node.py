@@ -1,0 +1,112 @@
+"""One simulated storage device behind the object store.
+
+A :class:`StoreNode` is the in-process stand-in for the flud-style
+storage daemon the ROADMAP points at: it owns the chunks of exactly one
+stripe column position, speaks an async interface (so the cluster's
+puts, gets and repairs genuinely interleave on the event loop), and can
+*crash* -- losing every chunk it held, the way a failed device does --
+and later be *restored* as an empty replacement for the repair loop to
+rebuild onto.
+
+Nodes never sleep on wall-clock timers and never draw randomness; every
+await is a bare cooperative yield, so a store run's interleaving is a
+deterministic function of the workload (which is itself seeded).
+
+Usage::
+
+    node = StoreNode(3)
+    await node.put_chunk("key", 0, b"...")
+    await node.get_chunk("key", 0)
+    node.crash()          # chunks gone, node down
+    node.restore()        # back up, empty (a replacement device)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class NodeDownError(RuntimeError):
+    """An operation reached a node that is down."""
+
+
+class ChunkMissingError(KeyError):
+    """The node is up but does not hold the requested chunk."""
+
+
+class StoreNode:
+    """In-memory chunk store for one device slot of the cluster."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.up = True
+        self._chunks: dict[tuple[str, int], bytes] = {}
+        #: Lifetime telemetry (monotonic across crashes/restores).
+        self.crashes = 0
+        self.restores = 0
+        self.chunks_written = 0
+        self.chunks_read = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------ #
+    # Async chunk interface
+    # ------------------------------------------------------------------ #
+    async def put_chunk(self, key: str, stripe: int, data: bytes) -> None:
+        await asyncio.sleep(0)
+        self._require_up()
+        self._chunks[(key, stripe)] = data
+        self.chunks_written += 1
+        self.bytes_written += len(data)
+
+    async def get_chunk(self, key: str, stripe: int) -> bytes:
+        await asyncio.sleep(0)
+        self._require_up()
+        try:
+            data = self._chunks[(key, stripe)]
+        except KeyError:
+            raise ChunkMissingError((key, stripe)) from None
+        self.chunks_read += 1
+        self.bytes_read += len(data)
+        return data
+
+    async def delete_object(self, key: str) -> int:
+        """Drop every chunk of ``key``; returns how many were held."""
+        await asyncio.sleep(0)
+        self._require_up()
+        doomed = [pair for pair in self._chunks if pair[0] == key]
+        for pair in doomed:
+            del self._chunks[pair]
+        return len(doomed)
+
+    # ------------------------------------------------------------------ #
+    # Synchronous state inspection / failure injection
+    # ------------------------------------------------------------------ #
+    def has_chunk(self, key: str, stripe: int) -> bool:
+        return self.up and (key, stripe) in self._chunks
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunks)
+
+    def crash(self) -> None:
+        """Fail the device: all stored chunks are lost."""
+        self.up = False
+        self._chunks.clear()
+        self.crashes += 1
+
+    def restore(self) -> None:
+        """Bring the slot back as an empty replacement device."""
+        if self.up:
+            return
+        self.up = True
+        self.restores += 1
+
+    def _require_up(self) -> None:
+        if not self.up:
+            raise NodeDownError(f"node {self.index} is down")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return (f"StoreNode({self.index}, {state}, "
+                f"{len(self._chunks)} chunks)")

@@ -1,0 +1,118 @@
+"""``run_store(spec)``: one spec-driven store workload, end to end.
+
+The store-side sibling of :func:`repro.scenario.runner.run_scenario`:
+it takes a :class:`~repro.scenario.spec.ScenarioSpec` carrying a
+``[store]`` section, builds the cluster (code via the registry, one
+node per column, repair budget from ``[repair].rebuild_streams``), the
+failure injector and the traffic generator -- all seeded from
+``[estimator].seed`` through one ``SeedSequence`` -- and drives:
+
+1. preload ``objects`` objects,
+2. the closed-loop workload (injector crashes land mid-flight; the
+   background repair loop races the traffic when ``repair = true``),
+3. a final drain: repair runs to quiescence so the report can state
+   whether full redundancy was restored.
+
+Usage::
+
+    from repro.scenario import ScenarioSpec
+    from repro.store import run_store
+
+    spec = ScenarioSpec.from_dict({
+        "version": 1,
+        "code": {"spec": "rs(n=6,r=4,m=2)"},
+        "store": {"objects": 8, "object_bytes": 1024,
+                  "operations": 32, "kill_nodes": 1},
+    })
+    outcome = run_store(spec)
+    outcome.report.deterministic_summary()
+    outcome.fully_redundant
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codes.registry import parse_code_spec
+from repro.scenario.spec import ScenarioSpec, ScenarioSpecError
+from repro.store.cluster import StoreCluster
+from repro.store.injector import FailureInjector
+from repro.store.report import StoreReport
+from repro.store.traffic import TrafficGenerator
+
+
+@dataclass
+class StoreOutcome:
+    """Everything one store run produced."""
+
+    spec: ScenarioSpec
+    report: StoreReport
+    cluster: StoreCluster
+    injector: FailureInjector
+
+    @property
+    def fully_redundant(self) -> bool:
+        """Did the drain leave every stripe at full redundancy?"""
+        return self.cluster.fully_redundant()
+
+    @property
+    def zero_data_loss(self) -> bool:
+        """No read failed, no payload mis-verified, no stripe was
+        beyond coverage."""
+        report = self.report
+        return (report.failed_reads == 0 and report.verify_failures == 0
+                and report.unrecoverable_stripes == 0)
+
+    def summary(self) -> dict:
+        out = self.report.summary()
+        out["fully_redundant"] = self.fully_redundant
+        out["zero_data_loss"] = self.zero_data_loss
+        return out
+
+
+async def run_store_async(spec: ScenarioSpec, *, check: bool = True
+                          ) -> StoreOutcome:
+    """The async entry point (compose it into a larger loop)."""
+    if check:
+        spec.validate()
+    if spec.store is None:
+        raise ScenarioSpecError(
+            "run_store needs a [store] section describing the workload")
+    store = spec.store
+    code = parse_code_spec(spec.code.spec)
+    cluster = StoreCluster(
+        code,
+        symbol_bytes=store.symbol_bytes,
+        repair_streams=spec.repair.rebuild_streams,
+    )
+    root = np.random.SeedSequence(spec.estimator.seed)
+    traffic_seed, injector_seed = root.spawn(2)
+    injector = FailureInjector.from_spec(spec, injector_seed)
+    traffic = TrafficGenerator(cluster, store, traffic_seed,
+                               injector=injector)
+
+    await traffic.load()
+    repair_task = (asyncio.create_task(cluster.repair_forever())
+                   if store.repair else None)
+    try:
+        await traffic.run()
+    finally:
+        if repair_task is not None:
+            cluster.stop_repair()
+            await repair_task
+    # Drain: fire any stragglers scheduled at the final op boundary,
+    # then repair to quiescence so the redundancy verdict is final.
+    injector.tick(store.operations, cluster)
+    if store.repair:
+        while await cluster.repair_once():
+            pass
+    return StoreOutcome(spec=spec, report=cluster.report,
+                        cluster=cluster, injector=injector)
+
+
+def run_store(spec: ScenarioSpec, *, check: bool = True) -> StoreOutcome:
+    """Synchronous wrapper: run the whole workload on a fresh loop."""
+    return asyncio.run(run_store_async(spec, check=check))

@@ -1,0 +1,165 @@
+"""Strict parsing and validation of the ``[store]`` scenario section.
+
+Mirrors ``test_spec.py``'s discipline for the store extension: unknown
+keys and wrong types fail loudly, round trips are lossless, and
+contradictory section combinations are rejected at validate time.
+"""
+
+import pytest
+
+from repro.scenario.spec import (
+    SPEC_VERSION,
+    ScenarioSpec,
+    ScenarioSpecError,
+    StoreSection,
+    spec_hash,
+)
+
+MINIMAL = {"version": SPEC_VERSION, "code": {"spec": "rs(n=6,r=4,m=2)"}}
+
+
+def with_store(**store) -> dict:
+    return {**MINIMAL, "store": store}
+
+
+# --------------------------------------------------------------------------- #
+# Parsing strictness
+# --------------------------------------------------------------------------- #
+def test_store_defaults_are_a_runnable_workload():
+    spec = ScenarioSpec.from_dict(with_store())
+    assert spec.store == StoreSection()
+    assert spec.store.objects == 64
+    assert spec.store.repair is True
+    assert spec.store.kill_nodes == 0
+    spec.validate()
+
+
+def test_spec_without_store_has_none():
+    spec = ScenarioSpec.from_dict(MINIMAL)
+    assert spec.store is None
+
+
+def test_unknown_store_key_is_rejected_with_the_known_keys():
+    with pytest.raises(ScenarioSpecError, match="known keys"):
+        ScenarioSpec.from_dict(with_store(object_count=5))
+
+
+def test_wrong_types_are_rejected():
+    with pytest.raises(ScenarioSpecError, match=r"\[store\] objects"):
+        ScenarioSpec.from_dict(with_store(objects="many"))
+    with pytest.raises(ScenarioSpecError, match="bool"):
+        ScenarioSpec.from_dict(with_store(objects=True))
+    with pytest.raises(ScenarioSpecError, match="bool"):
+        ScenarioSpec.from_dict(with_store(repair=1))
+
+
+def test_repair_accepts_real_booleans():
+    spec = ScenarioSpec.from_dict(with_store(repair=False))
+    assert spec.store.repair is False
+
+
+# --------------------------------------------------------------------------- #
+# Round trips and hashing
+# --------------------------------------------------------------------------- #
+def _rich_store_spec() -> ScenarioSpec:
+    return ScenarioSpec.from_dict({
+        **MINIMAL,
+        "repair": {"rebuild_streams": 1.5},
+        "estimator": {"seed": 42},
+        "store": {
+            "objects": 10, "object_bytes": 4096, "min_object_bytes": 0,
+            "symbol_bytes": 128, "operations": 100, "clients": 2,
+            "read_fraction": 0.75, "zipf_alpha": 0.9, "repair": False,
+            "kill_nodes": 2, "kill_at_fraction": 0.25,
+            "hours_per_op": 1.0,
+        },
+    })
+
+
+def test_toml_round_trip_is_lossless():
+    spec = _rich_store_spec()
+    again = ScenarioSpec.loads(spec.dumps_toml())
+    assert again == spec
+    assert again.store.repair is False
+    assert again.store.min_object_bytes == 0
+
+
+def test_json_round_trip_is_lossless():
+    spec = _rich_store_spec()
+    assert ScenarioSpec.loads(spec.dumps_json(), format="json") == spec
+
+
+def test_dump_load_file_round_trip(tmp_path):
+    spec = _rich_store_spec()
+    path = tmp_path / "store.toml"
+    spec.dump(path)
+    assert ScenarioSpec.load(path) == spec
+
+
+def test_canonical_dict_is_explicit_about_the_absent_store():
+    spec = ScenarioSpec.from_dict(MINIMAL)
+    assert "store" not in spec.to_dict()
+    assert spec.canonical_dict()["store"] is None
+
+
+def test_store_section_changes_the_spec_hash():
+    bare = ScenarioSpec.from_dict(MINIMAL)
+    stored = ScenarioSpec.from_dict(with_store())
+    assert spec_hash(bare) != spec_hash(stored)
+    tweaked = stored.replace(store={"operations": 512})
+    assert spec_hash(tweaked) != spec_hash(stored)
+
+
+def test_replace_merges_store_keys():
+    spec = ScenarioSpec.from_dict(with_store(objects=8))
+    bumped = spec.replace(store={"operations": 99})
+    assert bumped.store.objects == 8
+    assert bumped.store.operations == 99
+
+
+# --------------------------------------------------------------------------- #
+# Contradictory combinations
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("updates,match", [
+    ({"estimator": {"mode": "analytic"}}, "no closed form"),
+    ({"estimator": {"mode": "rare"}}, "MTTDL"),
+    ({"store": {"objects": 0}}, "objects"),
+    ({"store": {"object_bytes": -1}}, "object_bytes"),
+    ({"store": {"min_object_bytes": 5000}}, "min_object_bytes"),
+    ({"store": {"symbol_bytes": 0}}, "symbol_bytes"),
+    ({"store": {"operations": 0}}, "operations"),
+    ({"store": {"clients": 0}}, "clients"),
+    ({"store": {"read_fraction": 1.5}}, "read_fraction"),
+    ({"store": {"zipf_alpha": -0.1}}, "zipf_alpha"),
+    ({"store": {"kill_nodes": -1}}, "kill_nodes"),
+    ({"store": {"kill_at_fraction": 1.0, "kill_nodes": 1}},
+     "kill_at_fraction"),
+    ({"store": {"kill_at_fraction": 0.2}}, "no effect"),
+    ({"store": {"hours_per_op": -1.0}}, "hours_per_op"),
+])
+def test_contradictory_store_specs_are_rejected(updates, match):
+    base = ScenarioSpec.from_dict(
+        with_store(objects=4, object_bytes=4096))
+    spec = base.replace(**updates)
+    with pytest.raises(ScenarioSpecError, match=match):
+        spec.validate()
+
+
+def test_store_with_trace_replay_is_rejected():
+    spec = ScenarioSpec.from_dict({
+        **with_store(),
+        "estimator": {"mode": "events"},
+        "trace": {"path": "examples/sample_trace.csv", "model": "replay"}})
+    with pytest.raises(ScenarioSpecError, match="replay"):
+        spec.validate()
+
+
+# --------------------------------------------------------------------------- #
+# The scenario runner refuses store specs (and says where to go)
+# --------------------------------------------------------------------------- #
+def test_run_scenario_redirects_store_specs():
+    from repro.scenario.runner import run_scenario
+    spec = ScenarioSpec.from_dict(
+        with_store()).replace(estimator={"trials": 2})
+    with pytest.raises(ScenarioSpecError, match="repro.store"):
+        run_scenario(spec)

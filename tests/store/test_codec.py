@@ -1,0 +1,138 @@
+"""Unit coverage of :class:`repro.store.codec.ObjectCodec`.
+
+Geometry, healthy/degraded round trips across every registry code
+family, the parity-only repair path, and configuration errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.reed_solomon import ReedSolomonStripeCode
+from repro.codes.registry import parse_code_spec
+from repro.gf.field import get_field
+from repro.store.codec import ObjectCodec, StoreError
+
+CODE_SPECS = [
+    "stair(n=4,r=4,m=1,e=(1,))",
+    "rs(n=5,r=3,m=2)",
+    "sd(n=5,r=4,m=1,s=1)",
+    "idr(n=5,r=4,m=1,epsilon=2)",
+]
+
+
+def _codec(spec: str, symbol_bytes: int = 32) -> ObjectCodec:
+    return ObjectCodec(parse_code_spec(spec), symbol_bytes=symbol_bytes)
+
+
+# --------------------------------------------------------------------------- #
+# Geometry
+# --------------------------------------------------------------------------- #
+def test_geometry_matches_the_code():
+    codec = _codec("rs(n=6,r=4,m=2)", symbol_bytes=64)
+    assert codec.chunk_bytes == 4 * 64
+    assert codec.stripe_payload_bytes == codec.code.num_data_symbols * 64
+    assert codec.num_stripes(0) == 0
+    assert codec.num_stripes(1) == 1
+    assert codec.num_stripes(codec.stripe_payload_bytes) == 1
+    assert codec.num_stripes(codec.stripe_payload_bytes + 1) == 2
+
+
+def test_data_columns_are_the_healthy_read_set():
+    codec = _codec("rs(n=6,r=4,m=2)")
+    # RS puts data in the first n - m columns, parity in the rest.
+    assert codec.data_columns == (0, 1, 2, 3)
+    stair = _codec("stair(n=4,r=4,m=1,e=(1,))")
+    assert set(stair.data_columns) == {
+        col for _, col in stair.code.data_positions()}
+
+
+# --------------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("spec", CODE_SPECS)
+def test_round_trip_healthy_and_degraded(spec):
+    codec = _codec(spec)
+    rng = np.random.default_rng(7)
+    data = rng.bytes(2 * codec.stripe_payload_bytes + 17)
+    chunks = codec.encode_object(data)
+    assert len(chunks) == codec.num_stripes(len(data))
+
+    healthy = b"".join(codec.decode_stripe(s) for s in chunks)
+    assert healthy[:len(data)] == data
+    # Padding is deterministic zeros.
+    assert healthy[len(data):] == b"\x00" * (len(healthy) - len(data))
+
+    # Degraded: erase one data column everywhere.
+    victim = codec.data_columns[0]
+    degraded = b"".join(
+        codec.decode_stripe([None if j == victim else c
+                             for j, c in enumerate(s)])
+        for s in chunks)
+    assert degraded == healthy
+
+
+@pytest.mark.parametrize("spec", CODE_SPECS)
+def test_rebuild_columns_reconstructs_any_column(spec):
+    codec = _codec(spec)
+    rng = np.random.default_rng(11)
+    stripe = codec.encode_object(rng.bytes(codec.stripe_payload_bytes))[0]
+    for victim in range(codec.code.n):
+        damaged = [None if j == victim else c for j, c in enumerate(stripe)]
+        rebuilt = codec.rebuild_columns(damaged, [victim])
+        assert rebuilt == {victim: stripe[victim]}
+
+
+def test_w16_round_trip_little_endian():
+    code = ReedSolomonStripeCode(n=5, r=2, m=2, field=get_field(16))
+    codec = ObjectCodec(code, symbol_bytes=32)
+    rng = np.random.default_rng(3)
+    data = rng.bytes(codec.stripe_payload_bytes)
+    stripe = codec.encode_object(data)[0]
+    assert codec.decode_stripe(stripe) == data
+    # A data chunk is the payload's bytes verbatim (little-endian wire
+    # layout round-trips through from_bytes/to_bytes untouched).
+    assert codec.decode_stripe([None, *stripe[1:]]) == data
+
+
+def test_empty_object_is_zero_stripes():
+    codec = _codec("rs(n=5,r=3,m=2)")
+    assert codec.encode_object(b"") == []
+
+
+def test_extract_payload_requires_every_data_column():
+    codec = _codec("rs(n=5,r=3,m=2)")
+    stripe = codec.encode_object(b"x" * codec.stripe_payload_bytes)[0]
+    broken = [None, *stripe[1:]]
+    with pytest.raises(StoreError, match="decode_stripe"):
+        codec.extract_payload(broken)
+    # decode_stripe handles the same pattern transparently.
+    assert codec.decode_stripe(broken) == b"x" * codec.stripe_payload_bytes
+
+
+# --------------------------------------------------------------------------- #
+# Configuration and shape errors
+# --------------------------------------------------------------------------- #
+def test_symbol_bytes_must_be_positive():
+    with pytest.raises(StoreError, match="symbol_bytes"):
+        ObjectCodec(parse_code_spec("rs(n=5,r=3,m=2)"), symbol_bytes=0)
+
+
+def test_w16_rejects_odd_symbol_bytes():
+    code = ReedSolomonStripeCode(n=5, r=2, m=2, field=get_field(16))
+    with pytest.raises(StoreError, match="multiple"):
+        ObjectCodec(code, symbol_bytes=33)
+
+
+def test_wrong_column_count_is_rejected():
+    codec = _codec("rs(n=5,r=3,m=2)")
+    with pytest.raises(StoreError, match="expected 5 columns"):
+        codec.decode_stripe([None] * 4)
+
+
+def test_wrong_chunk_size_is_rejected():
+    codec = _codec("rs(n=5,r=3,m=2)")
+    stripe = codec.encode_object(b"y" * codec.stripe_payload_bytes)[0]
+    stripe[0] = stripe[0][:-1]
+    stripe[1] = None  # force the grid path, which validates shapes
+    with pytest.raises(StoreError, match="bytes"):
+        codec.decode_stripe(stripe)

@@ -1,0 +1,212 @@
+"""End-to-end store integration under injected failures (all seeded).
+
+The ISSUE's acceptance scenario: put a population of objects, kill
+nodes mid-workload through the declarative injector, and assert that
+
+* every get still returns byte-identical data (degraded reads),
+* the repair loop restores full redundancy by the drain,
+* a crash landing *during* a repair pass is itself healed,
+* two runs of the same spec + seed produce identical deterministic
+  digests (the replay guarantee the sweep cache relies on).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.scenario.spec import SPEC_VERSION, ScenarioSpec
+from repro.store import (
+    FailureInjector,
+    StoreCluster,
+    TrafficGenerator,
+    make_payload,
+    run_store,
+)
+from repro.codes.registry import parse_code_spec
+
+
+def spec_dict(**store) -> dict:
+    base = {
+        "objects": 12,
+        "object_bytes": 2048,
+        "symbol_bytes": 64,
+        "operations": 60,
+        "clients": 3,
+        "read_fraction": 0.8,
+        "kill_nodes": 2,
+        "kill_at_fraction": 0.4,
+    }
+    base.update(store)
+    return {
+        "version": SPEC_VERSION,
+        "code": {"spec": "rs(n=6,r=4,m=2)"},
+        "estimator": {"seed": 1234},
+        "store": base,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The flagship end-to-end scenario
+# --------------------------------------------------------------------------- #
+def test_kill_nodes_mid_workload_zero_data_loss():
+    outcome = run_store(ScenarioSpec.from_dict(spec_dict()))
+    report = outcome.report
+
+    # Both victims crashed at the scheduled operation.
+    assert report.node_crashes == 2
+    assert [at for at, _, _ in report.failures] == [24, 24]
+    assert all(cause == "kill" for _, _, cause in report.failures)
+
+    # Every read that ran came back byte-identical; rs(6,4,2) tolerates
+    # both losses, so nothing was beyond coverage.
+    assert outcome.zero_data_loss
+    assert report.failed_reads == 0
+    assert report.verify_failures == 0
+    assert report.degraded_reads > 0
+
+    # The background repair loop (plus the drain) healed everything.
+    assert outcome.fully_redundant
+    assert report.repaired_stripes > 0
+
+    # Afterwards the data is still there, healthy-path readable.
+    async def read_all():
+        cluster = outcome.cluster
+        for obj in range(12):
+            data = await cluster.get(TrafficGenerator.key_name(obj))
+            assert len(data) == 2048
+    asyncio.run(read_all())
+
+
+def test_stair_code_serves_the_same_scenario():
+    spec = ScenarioSpec.from_dict({
+        **spec_dict(kill_nodes=1, objects=6, operations=30),
+        "code": {"spec": "stair(n=6,r=4,m=1,e=(1,))"},
+    })
+    outcome = run_store(spec)
+    assert outcome.zero_data_loss
+    assert outcome.fully_redundant
+    assert outcome.report.node_crashes == 1
+
+
+def test_repair_disabled_leaves_the_cluster_degraded():
+    spec = ScenarioSpec.from_dict(spec_dict(repair=False, kill_nodes=1))
+    outcome = run_store(spec)
+    # Reads still serve (degraded), but nobody healed the stripes.
+    assert outcome.zero_data_loss
+    assert not outcome.fully_redundant
+    assert outcome.report.repaired_stripes == 0
+
+
+def test_losses_beyond_coverage_are_reported_not_hidden():
+    # rs(6,4,2) cannot survive 3 simultaneous losses with repair off.
+    spec = ScenarioSpec.from_dict(
+        spec_dict(kill_nodes=3, repair=False, read_fraction=1.0))
+    outcome = run_store(spec)
+    assert not outcome.zero_data_loss
+    assert outcome.report.failed_reads > 0
+
+
+# --------------------------------------------------------------------------- #
+# Crash during repair
+# --------------------------------------------------------------------------- #
+def test_crash_during_repair_pass_is_healed():
+    cluster = StoreCluster(parse_code_spec("rs(n=6,r=4,m=2)"),
+                           symbol_bytes=32)
+    rng = np.random.default_rng(99)
+    originals = {}
+
+    async def flow():
+        for obj in range(8):
+            key = f"k{obj}"
+            originals[key] = make_payload(int(rng.integers(2 ** 62)), 1024)
+            await cluster.put(key, originals[key])
+        cluster.crash_node(0)
+
+        fired = False
+
+        def second_failure(key, stripe):
+            # Fail another node in the middle of the repair pass.
+            nonlocal fired
+            if not fired:
+                fired = True
+                cluster.crash_node(3)
+
+        await cluster.repair_once(on_stripe=second_failure)
+        # The mid-pass crash re-damaged stripes; drain to quiescence
+        # exactly like the runner does.
+        while await cluster.repair_once():
+            pass
+
+        assert cluster.fully_redundant()
+        for key, expected in originals.items():
+            assert await cluster.get(key) == expected
+
+    asyncio.run(flow())
+    assert cluster.report.node_crashes == 2
+    assert cluster.report.unrecoverable_stripes == 0
+
+
+# --------------------------------------------------------------------------- #
+# Determinism / replay
+# --------------------------------------------------------------------------- #
+def test_same_seed_replays_the_identical_digest():
+    spec = ScenarioSpec.from_dict(spec_dict())
+    first = run_store(spec)
+    second = run_store(spec)
+    assert first.report.deterministic_summary() == \
+        second.report.deterministic_summary()
+    assert first.summary()["zero_data_loss"] == \
+        second.summary()["zero_data_loss"]
+
+
+def test_different_seeds_pick_different_victims():
+    digests = []
+    for seed in (1, 2, 3, 4):
+        spec = ScenarioSpec.from_dict({
+            **spec_dict(), "estimator": {"seed": seed}})
+        digests.append(tuple(run_store(spec).report.failures))
+    assert len(set(digests)) > 1
+
+
+def test_injector_schedule_is_a_pure_function_of_the_seed():
+    spec = ScenarioSpec.from_dict(spec_dict()).validate()
+    seq = np.random.SeedSequence(77)
+    a = FailureInjector.from_spec(spec, seq)
+    b = FailureInjector.from_spec(spec, np.random.SeedSequence(77))
+    assert a.events == b.events
+    assert a.pending == len(a.events) == 2
+
+
+def test_lifetime_driven_injection_fires_under_short_mttf():
+    spec = ScenarioSpec.from_dict({
+        **spec_dict(kill_nodes=0, kill_at_fraction=0.5),
+        "lifetime": {"mttf_hours": 50.0},
+    })
+    spec = spec.replace(store={"hours_per_op": 10.0})
+    injector = FailureInjector.from_spec(spec, np.random.SeedSequence(5))
+    assert injector.pending > 0
+    assert all(e.cause == "lifetime" for e in injector.events)
+    # The full run attributes every fired failure to the lifetime model.
+    outcome = run_store(spec)
+    assert all(cause == "lifetime"
+               for _, _, cause in outcome.report.failures)
+
+
+def test_domain_shock_injection_carries_the_level_tag():
+    spec = ScenarioSpec.from_dict({
+        **spec_dict(kill_nodes=0, kill_at_fraction=0.5),
+        "domains": {"racks": 3, "rack_shock_rate_per_hour": 0.01,
+                    "rack_kill_probability": 1.0},
+        "lifetime": {"mttf_hours": 1e9},
+    }).replace(store={"hours_per_op": 10.0})
+    injector = FailureInjector.from_spec(spec, np.random.SeedSequence(11))
+    assert injector.pending > 0
+    assert all(e.cause.startswith("shock:rack:") for e in injector.events)
+
+
+def test_kill_more_nodes_than_the_cluster_has_is_rejected():
+    from repro.scenario.spec import ScenarioSpecError
+    spec = ScenarioSpec.from_dict(spec_dict(kill_nodes=7))
+    with pytest.raises(ScenarioSpecError, match="exceeds"):
+        FailureInjector.from_spec(spec, np.random.SeedSequence(0))

@@ -1,0 +1,89 @@
+"""The store CLI, driven in-process (no subprocesses)."""
+
+import json
+
+import pytest
+
+from repro.store.cli import main
+
+SMOKE = "examples/store_smoke.toml"
+
+
+def write_spec(tmp_path, body: str):
+    path = tmp_path / "spec.toml"
+    path.write_text(body)
+    return str(path)
+
+
+MINIMAL_STORE = """\
+version = 1
+[code]
+spec = "rs(n=5,r=3,m=2)"
+[store]
+objects = 4
+object_bytes = 256
+symbol_bytes = 16
+operations = 12
+clients = 2
+"""
+
+
+def test_smoke_spec_passes_the_integrity_gate(capsys):
+    assert main(["--spec", SMOKE, "--check-integrity"]) == 0
+    out = capsys.readouterr().out
+    assert "integrity check passed" in out
+    assert "zero data loss       yes" in out
+    assert "fully redundant      yes" in out
+    assert "degraded reads" in out
+
+
+def test_json_output_is_machine_readable(tmp_path, capsys):
+    spec = write_spec(tmp_path, MINIMAL_STORE)
+    assert main(["--spec", spec, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["puts"] >= 4
+    assert summary["zero_data_loss"] is True
+    assert summary["verify_failures"] == 0
+    assert "get_p99_s" in summary
+
+
+def test_seed_and_operations_overrides(tmp_path, capsys):
+    spec = write_spec(tmp_path, MINIMAL_STORE)
+    assert main(["--spec", spec, "--seed", "5",
+                 "--operations", "20", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["operations"] == 20
+
+
+def test_spec_without_store_section_is_redirected(tmp_path, capsys):
+    spec = write_spec(tmp_path,
+                      'version = 1\n[code]\nspec = "rs(n=5,r=3,m=2)"\n')
+    assert main(["--spec", spec]) == 2
+    assert "repro.sim.cli" in capsys.readouterr().err
+
+
+def test_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["--spec", str(tmp_path / "nope.toml")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_invalid_spec_is_a_clean_error(tmp_path, capsys):
+    spec = write_spec(tmp_path, MINIMAL_STORE + "zipf_alpha = -2.0\n")
+    assert main(["--spec", spec]) == 2
+    assert "zipf_alpha" in capsys.readouterr().err
+
+
+def test_integrity_gate_fails_on_data_loss(tmp_path, capsys):
+    # Three simultaneous losses exceed rs(5,3,2)'s coverage and repair
+    # is disabled: the gate must go red.
+    spec = write_spec(tmp_path, MINIMAL_STORE +
+                      "repair = false\nkill_nodes = 3\n"
+                      "read_fraction = 1.0\n")
+    assert main(["--spec", spec, "--check-integrity"]) == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_sim_cli_redirects_store_specs_to_the_store(capsys):
+    from repro.sim.cli import main as sim_main
+    with pytest.raises(SystemExit):
+        sim_main(["--spec", SMOKE])

@@ -1,0 +1,311 @@
+"""Unit coverage of :class:`repro.store.cluster.StoreCluster`.
+
+Healthy and degraded reads, repair semantics (budget, auto-replace,
+unrecoverable stripes), partial puts onto down nodes, and the report
+counters each path feeds.
+"""
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro.codes.registry import parse_code_spec
+from repro.store.cluster import ObjectLostError, StoreCluster
+from repro.store.codec import StoreError
+from repro.store.node import StoreNode
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_cluster(spec="rs(n=6,r=4,m=2)", **kwargs) -> StoreCluster:
+    kwargs.setdefault("symbol_bytes", 16)
+    return StoreCluster(parse_code_spec(spec), **kwargs)
+
+
+def payload(size: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).bytes(size)
+
+
+# --------------------------------------------------------------------------- #
+# Construction
+# --------------------------------------------------------------------------- #
+def test_needs_one_node_per_column():
+    with pytest.raises(StoreError, match="exactly 6 nodes"):
+        make_cluster(nodes=[StoreNode(j) for j in range(4)])
+
+
+def test_repair_streams_must_be_positive():
+    with pytest.raises(StoreError, match="repair_streams"):
+        make_cluster(repair_streams=0)
+
+
+def test_fractional_repair_budget_rounds_up():
+    assert make_cluster(repair_streams=1.5).repair_slots == 2
+    assert make_cluster(repair_streams=1.0).repair_slots == 1
+    assert make_cluster().repair_slots == 6  # None = unbudgeted
+
+
+# --------------------------------------------------------------------------- #
+# Healthy path
+# --------------------------------------------------------------------------- #
+def test_put_get_round_trip_multi_stripe():
+    cluster = make_cluster()
+    data = payload(3 * cluster.codec.stripe_payload_bytes + 5)
+
+    async def flow():
+        await cluster.put("k", data)
+        return await cluster.get("k")
+
+    assert run(flow()) == data
+    assert cluster.report.puts == 1
+    assert cluster.report.gets == 1
+    assert cluster.report.degraded_reads == 0
+    assert cluster.fully_redundant()
+
+
+def test_unknown_key_raises_keyerror():
+    cluster = make_cluster()
+    with pytest.raises(KeyError):
+        run(cluster.get("nope"))
+
+
+def test_healthy_reads_touch_only_data_columns():
+    cluster = make_cluster()
+    data = payload(cluster.codec.stripe_payload_bytes)
+
+    async def flow():
+        await cluster.put("k", data)
+        await cluster.get("k")
+
+    run(flow())
+    for j, node in enumerate(cluster.nodes):
+        expected = 1 if j in cluster.codec.data_columns else 0
+        assert node.chunks_read == expected
+    assert cluster.report.bytes_read_nodes_healthy == \
+        len(cluster.codec.data_columns) * cluster.codec.chunk_bytes
+
+
+def test_overwrite_replaces_and_shrinks():
+    cluster = make_cluster()
+    big = payload(2 * cluster.codec.stripe_payload_bytes, seed=1)
+    small = payload(10, seed=2)
+
+    async def flow():
+        await cluster.put("k", big)
+        await cluster.put("k", small)
+        return await cluster.get("k")
+
+    assert run(flow()) == small
+
+
+def test_zero_byte_object_round_trips():
+    cluster = make_cluster()
+
+    async def flow():
+        await cluster.put("empty", b"")
+        return await cluster.get("empty")
+
+    assert run(flow()) == b""
+    assert cluster.fully_redundant()
+
+
+# --------------------------------------------------------------------------- #
+# Degraded reads
+# --------------------------------------------------------------------------- #
+def test_degraded_read_is_byte_identical_up_to_coverage():
+    cluster = make_cluster()  # m = 2
+    data = payload(2 * cluster.codec.stripe_payload_bytes + 3, seed=3)
+
+    async def flow(kill):
+        await cluster.put("k", data)
+        for j in kill:
+            cluster.crash_node(j)
+        return await cluster.get("k")
+
+    assert run(flow([0])) == data
+    assert cluster.report.degraded_reads == 1
+    cluster2 = make_cluster()
+
+    async def flow2():
+        await cluster2.put("k", data)
+        cluster2.crash_node(0)
+        cluster2.crash_node(5)
+        return await cluster2.get("k")
+
+    assert run(flow2()) == data
+
+
+def test_beyond_coverage_is_object_lost():
+    cluster = make_cluster("rs(n=5,r=3,m=2)")
+    data = payload(cluster.codec.stripe_payload_bytes, seed=4)
+
+    async def flow():
+        await cluster.put("k", data)
+        for j in (0, 1, 2):  # three losses > m = 2
+            cluster.crash_node(j)
+        await cluster.get("k")
+
+    with pytest.raises(ObjectLostError):
+        run(flow())
+    assert cluster.report.failed_reads == 1
+
+
+def test_degraded_amplification_exceeds_healthy():
+    cluster = make_cluster()
+    data = payload(4 * cluster.codec.stripe_payload_bytes, seed=5)
+
+    async def flow():
+        await cluster.put("k", data)
+        await cluster.get("k")             # healthy
+        cluster.crash_node(0)
+        await cluster.get("k")             # degraded
+
+    run(flow())
+    report = cluster.report
+    assert report.healthy_read_amplification >= 1.0
+    assert report.degraded_read_amplification >= \
+        report.healthy_read_amplification
+
+
+# --------------------------------------------------------------------------- #
+# Repair
+# --------------------------------------------------------------------------- #
+def test_repair_restores_full_redundancy():
+    cluster = make_cluster()
+    data = payload(3 * cluster.codec.stripe_payload_bytes, seed=6)
+
+    async def flow():
+        await cluster.put("k", data)
+        cluster.crash_node(2)
+        assert not cluster.fully_redundant()
+        repaired = await cluster.repair_once()
+        assert repaired == 3  # one per stripe
+        assert cluster.fully_redundant()
+        return await cluster.get("k")
+
+    assert run(flow()) == data
+    assert cluster.report.degraded_reads == 0  # repaired before the read
+    assert cluster.report.repaired_stripes == 3
+    assert cluster.report.repaired_chunks == 3
+    assert cluster.report.repair_bytes == 3 * cluster.codec.chunk_bytes
+
+
+def test_repair_without_auto_replace_waits_for_restore():
+    cluster = make_cluster(auto_replace=False)
+    data = payload(cluster.codec.stripe_payload_bytes, seed=7)
+
+    async def flow():
+        await cluster.put("k", data)
+        cluster.crash_node(1)
+        assert await cluster.repair_once() == 0  # nowhere to write
+        cluster.restore_node(1)
+        assert await cluster.repair_once() == 1
+        return cluster.fully_redundant()
+
+    assert run(flow())
+
+
+def test_partial_put_onto_down_node_is_repaired():
+    cluster = make_cluster()
+    cluster.crash_node(4)
+    data = payload(2 * cluster.codec.stripe_payload_bytes, seed=8)
+
+    async def flow():
+        await cluster.put("k", data)      # node 4 misses its chunks
+        assert cluster.report.partial_put_stripes == 2
+        got = await cluster.get("k")      # healthy or degraded per layout
+        await cluster.repair_once()
+        return got, await cluster.get("k")
+
+    before, after = run(flow())
+    assert before == data
+    assert after == data
+    assert cluster.fully_redundant()
+
+
+def test_unrecoverable_stripes_are_counted_not_raised():
+    cluster = make_cluster("rs(n=5,r=3,m=2)")
+    data = payload(cluster.codec.stripe_payload_bytes, seed=9)
+
+    async def flow():
+        await cluster.put("k", data)
+        for j in (0, 1, 2):
+            cluster.crash_node(j)
+        return await cluster.repair_once()
+
+    assert run(flow()) == 0
+    assert cluster.report.unrecoverable_stripes == 1
+
+
+def test_repair_budget_bounds_concurrency():
+    cluster = make_cluster(repair_streams=2)
+    assert cluster.repair_slots == 2
+    samples = []
+
+    def hook(key, stripe):
+        # The hook fires while this stripe's repair is still counted in
+        # flight, so the sample is the instantaneous concurrency.
+        samples.append(cluster._repairs_in_flight)
+
+    async def flow():
+        for obj in range(6):
+            await cluster.put(f"k{obj}",
+                              payload(cluster.codec.stripe_payload_bytes,
+                                      seed=10 + obj))
+        cluster.crash_node(0)
+        await cluster.repair_once(on_stripe=hook)
+
+    run(flow())
+    assert len(samples) == 6
+    assert all(1 <= s <= cluster.repair_slots for s in samples)
+    assert cluster.fully_redundant()
+
+
+def test_repair_forever_wakes_on_damage():
+    cluster = make_cluster()
+    data = payload(cluster.codec.stripe_payload_bytes, seed=20)
+
+    async def flow():
+        task = asyncio.create_task(cluster.repair_forever())
+        await cluster.put("k", data)
+        cluster.crash_node(3)
+        # Yield until the background loop finishes the rebuild.
+        for _ in range(200):
+            await asyncio.sleep(0)
+            if cluster.fully_redundant():
+                break
+        cluster.stop_repair()
+        await task
+        return cluster.fully_redundant()
+
+    assert run(flow())
+    assert cluster.report.repaired_stripes == 1
+
+
+def test_interference_counter_sees_ops_during_repair():
+    cluster = make_cluster()
+    data = payload(4 * cluster.codec.stripe_payload_bytes, seed=21)
+
+    async def flow():
+        await cluster.put("a", data)
+        await cluster.put("b", data)
+        cluster.crash_node(0)
+        repair = asyncio.create_task(cluster.repair_once())
+        # Let the repair actually start before reading.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        await cluster.get("b")
+        await repair
+
+    run(flow())
+    assert cluster.report.interfered_ops >= 1
+
+
+def test_amplification_is_nan_without_traffic():
+    report = make_cluster().report
+    assert math.isnan(report.degraded_read_amplification)
+    assert math.isnan(report.healthy_read_amplification)
