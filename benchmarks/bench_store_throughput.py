@@ -11,7 +11,9 @@ contention, per-chunk churn) fails CI rather than landing silently:
 * >= 300 puts/s of 4 KiB objects through ``rs(n=6,r=4,m=2)``;
 * >= 2000 healthy gets/s (no decode on the fast path);
 * >= 500 degraded gets/s with one data column lost;
-* >= 350 stripe repairs/s in a single repair pass.
+* >= 350 stripe repairs/s in a single repair pass;
+* >= 60 puts/s through the subprocess backend (RPC framing + pipes);
+* >= 20000 sharded metadata lookups/s at a 100k-key population.
 
 Measured at floor-setting time: ~2700 puts/s, ~18000 gets/s, ~4400
 degraded gets/s, ~3100 repairs/s (so every floor carries ~8x
@@ -125,3 +127,76 @@ def test_repair_throughput_meets_floor():
     rate = stripes / best
     assert rate >= REPAIR_FLOOR_STRIPES, (
         f"repair: {rate:.0f} stripes/s < floor {REPAIR_FLOOR_STRIPES}")
+
+
+# --------------------------------------------------------------------------- #
+# PR 10 floors: the subprocess backend and sharded-metadata scaling
+# --------------------------------------------------------------------------- #
+# Measured at floor-setting time: ~315 process-backend puts/s (pipe
+# frames + acks dominate) and ~220k sharded metadata lookups/s, so the
+# floors below carry ~5x and ~11x headroom respectively.
+PROCESS_PUT_FLOOR_OPS = 60.0
+SHARDED_KEYS = 100_000
+SHARDED_LOOKUPS = 20_000
+SHARDED_GET_FLOOR_OPS = 20_000.0
+
+
+def test_process_backend_put_throughput_meets_floor():
+    """Puts through one subprocess per node: the RPC framing, the
+    pipelined client and the pipe transport are all on this path, so a
+    per-frame regression (extra drain, lost pipelining) lands here."""
+    from repro.store import ProcessTransport
+    from repro.store.node import StoreNode
+
+    rng = np.random.default_rng(2)
+    payloads = [rng.bytes(OBJECT_BYTES) for _ in range(OBJECTS)]
+    code = parse_code_spec("rs(n=6,r=4,m=2)")
+
+    async def run_once() -> float:
+        transports = await asyncio.gather(*[
+            ProcessTransport.spawn() for _ in range(code.n)])
+        nodes = [StoreNode(j, transport=transports[j])
+                 for j in range(code.n)]
+        async with StoreCluster(code, symbol_bytes=SYMBOL_BYTES,
+                                nodes=nodes) as cluster:
+            start = time.perf_counter()
+            for i, payload in enumerate(payloads):
+                await cluster.put(f"obj-{i}", payload)
+            await cluster.flush()  # every byte physically delivered
+            elapsed = time.perf_counter() - start
+            assert not cluster.dataplane_errors()
+            return elapsed
+
+    best = min(asyncio.run(run_once()) for _ in range(2))
+    rate = OBJECTS / best
+    assert rate >= PROCESS_PUT_FLOOR_OPS, (
+        f"process-backend puts: {rate:.0f} ops/s < floor "
+        f"{PROCESS_PUT_FLOOR_OPS} ({OBJECTS} x {OBJECT_BYTES} B objects)")
+
+
+def test_sharded_metadata_get_scaling_meets_floor():
+    """The metadata half of a get (shard lookup + per-key lock round
+    trip) at a 100k-key population: sharding must keep this O(1)-ish --
+    a lock table that stops reclaiming or a shard map that degenerates
+    to a scan fails this floor long before it fails a workload test."""
+    from repro.store import KeyShards
+    from repro.store.cluster import ObjectMeta
+
+    shards = KeyShards(16)
+    for i in range(SHARDED_KEYS):
+        shards.set_meta(f"obj-{i:06d}", ObjectMeta(size=64, stripes=1))
+    picks = np.random.default_rng(3).integers(0, SHARDED_KEYS,
+                                              size=SHARDED_LOOKUPS)
+    keys = [f"obj-{int(k):06d}" for k in picks]
+
+    async def lookups():
+        for key in keys:
+            async with shards.lock(key):
+                assert shards.meta(key).size == 64
+
+    elapsed = _best_of(lookups)
+    rate = SHARDED_LOOKUPS / elapsed
+    assert shards.live_locks == 0  # the tables reclaimed everything
+    assert rate >= SHARDED_GET_FLOOR_OPS, (
+        f"sharded metadata gets: {rate:.0f} ops/s < floor "
+        f"{SHARDED_GET_FLOOR_OPS} at {SHARDED_KEYS} keys")

@@ -233,6 +233,20 @@ class StoreSection:
     #: Simulated hours per operation; > 0 arms lifetime-sampled crashes
     #: and [domains] shocks over the workload's simulated span.
     hours_per_op: float = 0.0
+    #: Where node chunk bytes live: ``"inprocess"`` (a dict in the
+    #: cluster's event loop) or ``"process"`` (one ``python -m
+    #: repro.store.rpc`` subprocess per node, chunk RPC over asyncio
+    #: streams).  Both produce bit-identical deterministic digests.
+    backend: str = "inprocess"
+    #: Metadata / per-key-lock shard count of the cluster's key space.
+    meta_shards: int = 16
+    #: Physical latency model, applied per chunk operation at the node
+    #: boundary: network round-trip base + exponential jitter plus disk
+    #: service base + exponential jitter (milliseconds; all 0 = off).
+    latency_net_rtt_ms: float = 0.0
+    latency_net_jitter_ms: float = 0.0
+    latency_disk_ms: float = 0.0
+    latency_disk_jitter_ms: float = 0.0
 
 
 _SECTION_TYPES: dict[str, type] = {
@@ -258,6 +272,7 @@ _ENUMS: dict[tuple[str, str], tuple[str, ...]] = {
     ("domains", "placement"): ("spread", "contiguous"),
     ("sector", "model"): ("independent", "correlated"),
     ("estimator", "mode"): ("montecarlo", "events", "rare", "analytic"),
+    ("store", "backend"): ("inprocess", "process"),
 }
 
 
@@ -691,6 +706,15 @@ class ScenarioSpec:
                 raise ScenarioSpecError(
                     "[store] hours_per_op must be >= 0 (0 disables "
                     "lifetime/domain-driven failures)")
+            if store.meta_shards < 1:
+                raise ScenarioSpecError(
+                    "[store] meta_shards must be >= 1")
+            for knob in ("latency_net_rtt_ms", "latency_net_jitter_ms",
+                         "latency_disk_ms", "latency_disk_jitter_ms"):
+                if getattr(store, knob) < 0.0:
+                    raise ScenarioSpecError(
+                        f"[store] {knob} must be >= 0 (0 = no "
+                        "simulated latency)")
             if trace is not None and trace.model == "replay":
                 raise ScenarioSpecError(
                     "[store] failure injection samples lifetimes; "

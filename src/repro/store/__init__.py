@@ -9,7 +9,12 @@ as the simulator (a ``[store]`` section describes the workload; the
 become the failure injection).
 
 * :mod:`repro.store.node` -- one simulated device: async chunk
-  storage, crash (data loss) / restore (empty replacement);
+  storage, crash (data loss) / restore (empty replacement), with chunk
+  bytes either in-process or in one subprocess per node;
+* :mod:`repro.store.rpc` -- the length-prefixed chunk RPC protocol and
+  the stdlib-only chunk-server subprocess entry point;
+* :mod:`repro.store.latency` -- composable, seeded physical-latency
+  models injected at the node boundary (digest-neutral);
 * :mod:`repro.store.codec` -- object bytes <-> per-node chunks through
   any registry stripe code, healthy reads without decoding;
 * :mod:`repro.store.cluster` -- put / get (degraded reads through
@@ -22,33 +27,51 @@ become the failure injection).
   amplification, repair-interference counters, and the deterministic
   digest two equal-seed runs reproduce exactly;
 * :mod:`repro.store.runner` / :mod:`repro.store.cli` -- spec-driven
-  end-to-end runs (``python -m repro.store.cli --spec ...``).
+  end-to-end runs (``python -m repro.store.cli --spec ...``);
+* :mod:`repro.store.crosscheck` -- replay the injector's crash
+  schedule through :mod:`repro.sim.events` and assert the engine's
+  predicted degraded window brackets the live store's measured one.
 
 Tutorial: ``docs/store.md``.
 """
 
-from repro.store.cluster import ObjectLostError, ObjectMeta, StoreCluster
+from repro.store.cluster import (GetTicket, KeyShards, ObjectLostError,
+                                 ObjectMeta, PutTicket, StoreCluster)
 from repro.store.codec import ObjectCodec, StoreError
 from repro.store.injector import FailureEvent, FailureInjector
-from repro.store.node import ChunkMissingError, NodeDownError, StoreNode
+from repro.store.latency import LatencyComponent, LatencyModel, NodeLatency
+from repro.store.node import (ChunkIntegrityError, ChunkMissingError,
+                              LocalTransport, NodeDownError,
+                              ProcessTransport, StoreNode)
 from repro.store.report import StoreReport
-from repro.store.runner import StoreOutcome, run_store, run_store_async
+from repro.store.runner import (StoreOutcome, build_cluster, run_store,
+                                run_store_async)
 from repro.store.traffic import TrafficGenerator, make_payload, verify_payload
 
 __all__ = [
+    "ChunkIntegrityError",
     "ChunkMissingError",
     "FailureEvent",
     "FailureInjector",
+    "GetTicket",
+    "KeyShards",
+    "LatencyComponent",
+    "LatencyModel",
+    "LocalTransport",
     "NodeDownError",
+    "NodeLatency",
     "ObjectCodec",
     "ObjectLostError",
     "ObjectMeta",
+    "ProcessTransport",
+    "PutTicket",
     "StoreCluster",
     "StoreError",
     "StoreNode",
     "StoreOutcome",
     "StoreReport",
     "TrafficGenerator",
+    "build_cluster",
     "make_payload",
     "run_store",
     "run_store_async",

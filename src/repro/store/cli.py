@@ -40,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override [estimator] seed")
     parser.add_argument("--operations", type=int, default=None,
                         help="override [store] operations")
+    parser.add_argument("--backend", choices=("inprocess", "process"),
+                        default=None,
+                        help="override [store] backend (chunk bytes "
+                             "in-process vs one subprocess per node)")
     parser.add_argument("--json", action="store_true",
                         help="print the full summary as JSON")
     parser.add_argument("--check-integrity", action="store_true",
@@ -58,6 +62,7 @@ def _render(outcome: StoreOutcome) -> str:
     lines = [
         "Object-store workload report",
         f"  code                 {outcome.cluster.code.describe()}",
+        f"  backend              {report.backend}",
         f"  objects / operations {report.objects} / {report.operations}",
         f"  puts / gets          {report.puts} / {report.gets}",
         f"  degraded reads       {report.degraded_reads}",
@@ -99,6 +104,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             spec = spec.replace(estimator={"seed": args.seed})
         if args.operations is not None:
             spec = spec.replace(store={"operations": args.operations})
+        if args.backend is not None:
+            spec = spec.replace(store={"backend": args.backend})
         outcome = run_store(spec)
     except (ScenarioSpecError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -111,6 +118,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         problems = []
         if not outcome.zero_data_loss:
             problems.append("data loss detected")
+        if outcome.report.chunk_integrity_failures:
+            problems.append(
+                f"{outcome.report.chunk_integrity_failures} chunk "
+                "integrity failures")
+        if outcome.audit_mismatches:
+            problems.append("mirror/data-plane audit mismatch: "
+                            + "; ".join(outcome.audit_mismatches))
         if spec.store.repair and not outcome.fully_redundant:
             problems.append("full redundancy not restored")
         if problems:

@@ -1,30 +1,48 @@
-"""The asyncio object store: put / get / degraded read / repair.
+"""The object store's control plane: put / get / degraded read / repair.
 
 A :class:`StoreCluster` stripes every object across one
-:class:`~repro.store.node.StoreNode` per stripe-code column and serves:
+:class:`~repro.store.node.StoreNode` per stripe-code column.  Since the
+out-of-process backend landed, the cluster is explicitly a **control
+plane**: every placement and read decision is made synchronously
+against the nodes' deterministic mirrors and the bytes themselves flow
+through a **data plane** of chunk promises (local dict or node
+subprocess, see :mod:`repro.store.node`).  The split is what makes the
+two backends produce bit-identical deterministic digests -- every
+counter in the digest is written at decision time, and decisions never
+wait on data.
+
+Serving paths:
 
 * ``put(key, data)`` -- encode through the bulk-kernel path and fan the
-  ``n`` chunks out concurrently; a down node simply misses its chunk
-  (the stripe starts life degraded and the repair loop owes it a
-  rebuild), exactly like a write landing during a device outage;
-* ``get(key)`` -- the healthy path reads only the data-carrying columns
-  and never decodes; when any needed chunk is unreachable the read
-  degrades transparently: every surviving column is fetched and the
-  stripe is rebuilt through ``code.decode`` (the ``recover_rows`` bulk
-  machinery), still returning byte-identical data as long as the
-  erasure pattern is within the code's coverage;
-* ``repair_once()`` -- revive down slots as empty replacement devices,
-  then reconstruct every missing chunk, at most ``repair_streams``
-  stripes in flight at once (the store-level reading of the simulator's
-  processor-sharing repair budget: a small budget stretches repair and
-  lengthens the degraded window, a large one steals the event loop from
-  client traffic -- the interference `report` counters measure both);
-* ``repair_forever()`` -- the background loop, woken by every crash.
+  ``n`` chunk writes out; a down node simply misses its chunk (the
+  stripe starts life degraded and the repair loop owes it a rebuild).
+  Returns a :class:`PutTicket` whose ``settled()`` awaits physical
+  delivery -- callers wanting only PR 9 semantics ignore it;
+* ``get_submit(key)`` -- the two-phase read.  The submit decides, under
+  the key's lock, which columns serve each stripe (healthy reads touch
+  only data-carrying columns and never decode; degraded reads capture
+  every surviving column and are recoverable iff the erasure pattern is
+  within the code's coverage -- the simulator's own
+  ``CoverageModel`` predicate) and captures snapshot promises for the
+  bytes.  The returned :class:`GetTicket` assembles them (decoding
+  degraded stripes) entirely in the data plane, so a later crash or
+  overwrite cannot tear an already-decided read;
+* ``get(key)`` -- submit + assemble, for direct callers;
+* ``repair_once()`` / ``repair_forever()`` -- budgeted repair: at most
+  ``ceil(repair_streams)`` stripes in flight (the store-level reading
+  of the simulator's processor-sharing budget).  Placement of rebuilt
+  chunks is decided immediately; the decode producing their bytes runs
+  as a tracked data-plane task that resolves the deferred payloads.
 
-Per-key asyncio locks order overwrites against reads (a get sees the
-old object or the new one, never a torn mix).  The cluster draws no
-randomness and never sleeps on the wall clock; all nondeterminism in a
-store run comes from the (seeded) traffic and injector layers.
+Metadata and per-key ordering locks are sharded by key CRC across
+``meta_shards`` independent tables, so millions-of-keys populations
+don't funnel through one dict or leak one ``asyncio.Lock`` per key
+ever touched (lock entries are reclaimed when released and
+uncontended).
+
+The cluster draws no randomness and never sleeps on the wall clock;
+all nondeterminism in a store run comes from the (seeded) traffic and
+injector layers, and all *wall-clock* time lives in the data plane.
 
 Usage::
 
@@ -34,18 +52,22 @@ Usage::
     cluster.crash_node(0)
     await cluster.get("k")          # degraded read, bytes identical
     await cluster.repair_once()     # full redundancy restored
+    await cluster.aclose()          # flush data plane, stop everything
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
-from dataclasses import dataclass
+import zlib
+from contextlib import asynccontextmanager
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.codes.base import StripeCode
 from repro.store.codec import ObjectCodec, StoreError
-from repro.store.node import ChunkMissingError, NodeDownError, StoreNode
+from repro.store.node import (ChunkIntegrityError, ChunkMissingError,
+                              NodeDownError, StoreNode)
 from repro.store.report import StoreReport
 
 
@@ -61,13 +83,122 @@ class ObjectMeta:
     stripes: int
 
 
+class KeyShards:
+    """CRC-sharded metadata and per-key ordering locks.
+
+    ``shard_of`` hashes with ``zlib.crc32`` -- stable across processes
+    and runs, unlike the interpreter's randomized ``hash()`` -- so both
+    backends (and any future multi-process metadata service) agree on
+    placement.  Lock entries are refcounted and reclaimed as soon as no
+    task holds or awaits them: a workload touching a million keys keeps
+    a million metadata records but only O(in-flight) lock objects.
+    """
+
+    def __init__(self, num_shards: int = 16) -> None:
+        if num_shards < 1:
+            raise StoreError("meta_shards must be >= 1")
+        self.num_shards = num_shards
+        self._meta: list[dict[str, ObjectMeta]] = [
+            {} for _ in range(num_shards)]
+        self._locks: list[dict[str, list]] = [
+            {} for _ in range(num_shards)]
+
+    def shard_of(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self.num_shards
+
+    def meta(self, key: str) -> ObjectMeta:
+        return self._meta[self.shard_of(key)][key]
+
+    def set_meta(self, key: str, meta: ObjectMeta) -> None:
+        self._meta[self.shard_of(key)][key] = meta
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._meta[self.shard_of(key)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._meta)
+
+    def items(self):
+        """Every (key, meta), shard by shard, insertion-ordered within
+        each shard -- deterministic for a deterministic put sequence."""
+        for shard in self._meta:
+            yield from shard.items()
+
+    @property
+    def live_locks(self) -> int:
+        """Lock entries currently held or awaited (reclaim telemetry)."""
+        return sum(len(shard) for shard in self._locks)
+
+    @asynccontextmanager
+    async def lock(self, key: str):
+        table = self._locks[self.shard_of(key)]
+        entry = table.get(key)
+        if entry is None:
+            entry = table[key] = [asyncio.Lock(), 0]
+        entry[1] += 1
+        try:
+            async with entry[0]:
+                yield
+        finally:
+            entry[1] -= 1
+            if entry[1] == 0 and table.get(key) is entry:
+                del table[key]
+
+
+@dataclass
+class _StripeRead:
+    """One stripe's decided read: captured column promises."""
+
+    degraded: bool
+    #: column -> data-plane promise, only the columns the decision
+    #: captured (data columns when healthy, all survivors when
+    #: degraded).
+    promises: dict[int, "asyncio.Future[bytes]"]
+
+
+@dataclass
+class GetTicket:
+    """A decided read; ``data()`` assembles the bytes in the data plane."""
+
+    key: str
+    size: int
+    degraded: bool
+    _codec: ObjectCodec
+    _stripes: list[_StripeRead] = field(default_factory=list)
+
+    async def data(self) -> bytes:
+        pieces: list[bytes] = []
+        for plan in self._stripes:
+            columns: list[Optional[bytes]] = [None] * self._codec.code.n
+            for col, promise in plan.promises.items():
+                columns[col] = await promise
+            if plan.degraded:
+                pieces.append(self._codec.decode_stripe(columns))
+            else:
+                pieces.append(self._codec.extract_payload(columns))
+        return b"".join(pieces)[:self.size]
+
+
+@dataclass
+class PutTicket:
+    """A decided write; ``settled()`` awaits physical delivery."""
+
+    key: str
+    _acks: list["asyncio.Future[None]"] = field(default_factory=list)
+
+    async def settled(self) -> None:
+        for ack in self._acks:
+            await ack
+
+
 class StoreCluster:
-    """An in-process cluster of one node per stripe-code column."""
+    """A cluster of one node per stripe-code column, any backend."""
 
     def __init__(self, code: StripeCode, *, symbol_bytes: int = 512,
                  nodes: Sequence[StoreNode] | None = None,
                  repair_streams: float | None = None,
                  auto_replace: bool = True,
+                 meta_shards: int = 16,
                  report: StoreReport | None = None) -> None:
         self.code = code
         self.codec = ObjectCodec(code, symbol_bytes)
@@ -89,11 +220,20 @@ class StoreCluster:
                              if repair_streams is not None else code.n)
         self.auto_replace = auto_replace
         self.report = report if report is not None else StoreReport()
-        self._meta: dict[str, ObjectMeta] = {}
-        self._locks: dict[str, asyncio.Lock] = {}
+        self.shards = KeyShards(meta_shards)
         self._repairs_in_flight = 0
         self._damage = asyncio.Event()
         self._stop_repair = False
+        #: Incremental damage suspicion (cheap, conservative): stripes
+        #: known short of ``n`` chunks, plus nodes that crashed and
+        #: haven't been confirmed rebuilt by a clean repair scan.
+        self._suspect_stripes: set[tuple[str, int]] = set()
+        self._suspect_nodes: set[int] = set()
+        #: Tracked data-plane tasks (stripe decodes, finishers) and the
+        #: exceptions they surfaced.
+        self._dataplane: set[asyncio.Task] = set()
+        self.dataplane_task_errors: list[BaseException] = []
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Failure injection hooks (synchronous -- callable from anywhere)
@@ -103,6 +243,7 @@ class StoreCluster:
         loop."""
         self.nodes[index].crash()
         self.report.node_crashes += 1
+        self._suspect_nodes.add(index)
         self._damage.set()
 
     def restore_node(self, index: int) -> None:
@@ -117,23 +258,35 @@ class StoreCluster:
     # ------------------------------------------------------------------ #
     # Client operations
     # ------------------------------------------------------------------ #
-    async def put(self, key: str, data: bytes) -> None:
-        """Store (or overwrite) an object."""
-        async with self._key_lock(key):
+    async def put(self, key: str, data: bytes) -> PutTicket:
+        """Store (or overwrite) an object.
+
+        Returns once placement is decided (mirrors updated, writes
+        enqueued in order); the ticket's ``settled()`` awaits the
+        data-plane delivery acks.
+        """
+        ticket = PutTicket(key)
+        async with self.shards.lock(key):
             if self._repairs_in_flight:
                 self.report.interfered_ops += 1
             chunks = self.codec.encode_object(data)
             for stripe_index, columns in enumerate(chunks):
                 written = await asyncio.gather(*[
-                    self._try_put_chunk(j, key, stripe_index, columns[j])
+                    self._try_put_chunk(ticket, j, key, stripe_index,
+                                        columns[j])
                     for j in range(self.code.n)])
                 missing = len(written) - sum(written)
                 if missing:
                     self.report.partial_put_stripes += 1
+                    self._suspect_stripes.add((key, stripe_index))
                     self._damage.set()
-            self._meta[key] = ObjectMeta(size=len(data), stripes=len(chunks))
+                else:
+                    self._suspect_stripes.discard((key, stripe_index))
+            self.shards.set_meta(
+                key, ObjectMeta(size=len(data), stripes=len(chunks)))
             self.report.puts += 1
             self.report.bytes_put += len(data)
+        return ticket
 
     async def get(self, key: str) -> bytes:
         """Fetch an object; degrades transparently under failures.
@@ -142,94 +295,117 @@ class StoreCluster:
         :class:`ObjectLostError` when some stripe is beyond the code's
         coverage (counted in ``report.failed_reads``).
         """
-        async with self._key_lock(key):
-            meta = self._meta[key]
+        ticket = await self.get_submit(key)
+        return await ticket.data()
+
+    async def get_submit(self, key: str) -> GetTicket:
+        """Decide a read and capture its chunk promises (phase one).
+
+        Runs entirely in the control plane: by the time this returns,
+        every counter the read will ever touch is counted and the bytes
+        it will return are pinned -- ``ticket.data()`` merely awaits
+        and assembles them.
+        """
+        async with self.shards.lock(key):
+            meta = self.shards.meta(key)
             if self._repairs_in_flight:
                 self.report.interfered_ops += 1
-            degraded = False
-            pieces: list[bytes] = []
+            ticket = GetTicket(key=key, size=meta.size, degraded=False,
+                               _codec=self.codec)
             for stripe_index in range(meta.stripes):
-                payload, stripe_degraded = await self._read_stripe(
-                    key, stripe_index)
-                degraded = degraded or stripe_degraded
-                pieces.append(payload)
-            data = b"".join(pieces)[:meta.size]
+                plan = await self._plan_stripe_read(key, stripe_index)
+                ticket._stripes.append(plan)
+                ticket.degraded = ticket.degraded or plan.degraded
             self.report.gets += 1
             self.report.bytes_read_user += meta.size
-            if degraded:
+            if ticket.degraded:
                 self.report.degraded_reads += 1
                 self.report.bytes_read_user_degraded += meta.size
-            return data
+            return ticket
 
-    async def _read_stripe(self, key: str,
-                           stripe_index: int) -> tuple[bytes, bool]:
+    async def _plan_stripe_read(self, key: str,
+                                stripe_index: int) -> _StripeRead:
         have = [node.has_chunk(key, stripe_index) for node in self.nodes]
         if all(have[col] for col in self.codec.data_columns):
-            columns = await self._fetch_columns(
+            promises = await self._capture_columns(
                 key, stripe_index, self.codec.data_columns)
             # A crash may land between the availability check and the
-            # fetch; a torn fast path falls through to the degraded one.
-            if all(columns[col] is not None
+            # capture; a torn fast path falls through to the degraded
+            # one.
+            if all(promises[col] is not None
                    for col in self.codec.data_columns):
-                self.report.bytes_read_nodes_healthy += sum(
-                    len(chunk) for chunk in columns if chunk is not None)
-                return self.codec.extract_payload(columns), False
+                self.report.bytes_read_nodes_healthy += \
+                    self.codec.chunk_bytes * len(self.codec.data_columns)
+                return _StripeRead(degraded=False, promises={
+                    col: promises[col]
+                    for col in self.codec.data_columns})
             have = [node.has_chunk(key, stripe_index)
                     for node in self.nodes]
         wanted = [j for j in range(self.code.n) if have[j]]
-        columns = await self._fetch_columns(key, stripe_index, wanted)
-        self.report.bytes_read_nodes_degraded += sum(
-            len(chunk) for chunk in columns if chunk is not None)
-        try:
-            payload = self.codec.decode_stripe(columns)
-        except Exception as exc:
+        promises = await self._capture_columns(key, stripe_index, wanted)
+        captured = {j: promises[j] for j in wanted
+                    if promises[j] is not None}
+        self.report.bytes_read_nodes_degraded += \
+            self.codec.chunk_bytes * len(captured)
+        if not self.codec.column_pattern_recoverable(
+                self.code.n - len(captured)):
             self.report.failed_reads += 1
             raise ObjectLostError(
                 f"object {key!r} stripe {stripe_index} is beyond the "
-                f"code's coverage: {exc}") from exc
-        return payload, True
+                f"code's coverage ({self.code.n - len(captured)} of "
+                f"{self.code.n} columns missing)")
+        return _StripeRead(degraded=True, promises=captured)
 
-    async def _fetch_columns(self, key: str, stripe_index: int,
-                             wanted: Sequence[int]
-                             ) -> list[Optional[bytes]]:
-        """Fetch ``wanted`` columns concurrently; races with crashes
-        resolve to ``None`` (the caller treats them as erasures)."""
-        columns: list[Optional[bytes]] = [None] * self.code.n
+    async def _capture_columns(
+            self, key: str, stripe_index: int, wanted: Sequence[int]
+            ) -> list[Optional["asyncio.Future[bytes]"]]:
+        """Capture promises for ``wanted`` columns concurrently; races
+        with crashes resolve to ``None`` (treated as erasures)."""
+        promises: list[Optional[asyncio.Future]] = [None] * self.code.n
         results = await asyncio.gather(*[
-            self._try_get_chunk(j, key, stripe_index) for j in wanted])
-        for j, chunk in zip(wanted, results):
-            columns[j] = chunk
-        return columns
+            self._try_fetch_chunk(j, key, stripe_index) for j in wanted])
+        for j, promise in zip(wanted, results):
+            promises[j] = promise
+        return promises
 
-    async def _try_get_chunk(self, j: int, key: str,
-                             stripe_index: int) -> Optional[bytes]:
+    async def _try_fetch_chunk(
+            self, j: int, key: str, stripe_index: int
+            ) -> Optional["asyncio.Future[bytes]"]:
         try:
-            return await self.nodes[j].get_chunk(key, stripe_index)
+            return await self.nodes[j].fetch_chunk(key, stripe_index)
         except (NodeDownError, ChunkMissingError):
             return None
 
-    async def _try_put_chunk(self, j: int, key: str, stripe_index: int,
+    async def _try_put_chunk(self, ticket: PutTicket | None, j: int,
+                             key: str, stripe_index: int,
                              chunk: bytes) -> bool:
         try:
-            await self.nodes[j].put_chunk(key, stripe_index, chunk)
-            return True
+            ack = await self.nodes[j].put_chunk(key, stripe_index, chunk)
         except NodeDownError:
             return False
-
-    def _key_lock(self, key: str) -> asyncio.Lock:
-        lock = self._locks.get(key)
-        if lock is None:
-            lock = self._locks[key] = asyncio.Lock()
-        return lock
+        if ticket is not None:
+            ticket._acks.append(ack)
+        return True
 
     # ------------------------------------------------------------------ #
     # Redundancy accounting and repair
     # ------------------------------------------------------------------ #
+    def damage_suspected(self) -> bool:
+        """Cheap (O(n)) conservative damage probe, for per-op sampling.
+
+        True whenever the cluster might hold a degraded stripe: some
+        node is down, a put was partial, or a crashed node's rebuild
+        has not yet been confirmed by a clean repair scan.  Purely
+        mirror-driven, hence identical across backends.
+        """
+        return bool(self._suspect_stripes) or bool(self._suspect_nodes) \
+            or any(not node.up for node in self.nodes)
+
     def damaged_stripes(self) -> list[tuple[str, int, tuple[int, ...]]]:
         """Every ``(key, stripe, missing_columns)`` short of ``n``
         live chunks."""
         out = []
-        for key, meta in self._meta.items():
+        for key, meta in self.shards.items():
             for stripe_index in range(meta.stripes):
                 missing = tuple(
                     j for j, node in enumerate(self.nodes)
@@ -249,12 +425,12 @@ class StoreCluster:
             on_stripe: Callable[[str, int], None] | None = None) -> int:
         """One repair pass; returns the number of stripes repaired.
 
-        ``on_stripe(key, stripe)`` fires after each stripe completes --
-        the hook the crash-during-repair tests use to fail another
-        node mid-pass.  Stripes whose erasure pattern exceeds coverage
-        are counted (``report.unrecoverable_stripes``) and skipped, not
-        raised: a repair pass must visit every stripe it can still
-        save.
+        ``on_stripe(key, stripe)`` fires after each stripe's placement
+        completes -- the hook the crash-during-repair tests use to fail
+        another node mid-pass.  Stripes whose erasure pattern exceeds
+        coverage are counted (``report.unrecoverable_stripes``) and
+        skipped, not raised: a repair pass must visit every stripe it
+        can still save.
         """
         if self.auto_replace:
             for node in self.nodes:
@@ -262,12 +438,19 @@ class StoreCluster:
                     self.restore_node(node.index)
         damaged = self.damaged_stripes()
         if not damaged:
+            self._suspect_stripes.clear()
+            if all(node.up for node in self.nodes):
+                self._suspect_nodes.clear()
             return 0
         self.report.repair_rounds += 1
         semaphore = asyncio.Semaphore(self.repair_slots)
         repaired = await asyncio.gather(*[
             self._repair_stripe(semaphore, key, stripe_index, on_stripe)
             for key, stripe_index, _ in damaged])
+        if not self.damaged_stripes():
+            self._suspect_stripes.clear()
+            if all(node.up for node in self.nodes):
+                self._suspect_nodes.clear()
         return sum(repaired)
 
     async def _repair_stripe(self, semaphore: asyncio.Semaphore, key: str,
@@ -275,41 +458,90 @@ class StoreCluster:
                              on_stripe: Callable[[str, int], None] | None
                              ) -> bool:
         # The key lock orders the repair against overwrites of the same
-        # object: decoding a half-overwritten stripe would "repair" a
-        # torn mix of old and new chunks.  Lock order is semaphore ->
-        # key lock; clients never hold the semaphore, so no cycle.
-        async with semaphore, self._key_lock(key):
-            self._repairs_in_flight += 1
-            try:
-                # Re-derive damage at execution time: an earlier repair
-                # (or a fresh crash) may have changed the picture.
-                missing = [j for j, node in enumerate(self.nodes)
-                           if not node.has_chunk(key, stripe_index)]
-                targets = [j for j in missing if self.nodes[j].up]
-                if not targets:
-                    return False
-                wanted = [j for j in range(self.code.n) if j not in missing]
-                columns = await self._fetch_columns(key, stripe_index,
-                                                    wanted)
+        # object: rebuilding from a half-overwritten stripe would
+        # "repair" a torn mix of old and new chunks.  Lock order is
+        # semaphore -> key lock; clients never hold the semaphore, so
+        # no cycle.
+        async with semaphore:
+            async with self.shards.lock(key):
+                self._repairs_in_flight += 1
                 try:
-                    rebuilt = self.codec.rebuild_columns(columns, targets)
-                except Exception:
-                    self.report.unrecoverable_stripes += 1
-                    return False
-                wrote = False
-                for j, chunk in rebuilt.items():
-                    if await self._try_put_chunk(j, key, stripe_index,
-                                                 chunk):
-                        self.report.repaired_chunks += 1
-                        self.report.repair_bytes += len(chunk)
-                        wrote = True
-                if wrote:
-                    self.report.repaired_stripes += 1
-                if on_stripe is not None:
-                    on_stripe(key, stripe_index)
-                return wrote
-            finally:
-                self._repairs_in_flight -= 1
+                    return await self._repair_stripe_locked(
+                        key, stripe_index, on_stripe)
+                finally:
+                    self._repairs_in_flight -= 1
+
+    async def _repair_stripe_locked(
+            self, key: str, stripe_index: int,
+            on_stripe: Callable[[str, int], None] | None) -> bool:
+        # Re-derive damage at execution time: an earlier repair (or a
+        # fresh crash) may have changed the picture.
+        missing = [j for j, node in enumerate(self.nodes)
+                   if not node.has_chunk(key, stripe_index)]
+        targets = [j for j in missing if self.nodes[j].up]
+        if not targets:
+            if not missing:
+                self._suspect_stripes.discard((key, stripe_index))
+            return False
+        wanted = [j for j in range(self.code.n) if j not in missing]
+        promises = await self._capture_columns(key, stripe_index, wanted)
+        captured = {j: promises[j] for j in wanted
+                    if promises[j] is not None}
+        if not self.codec.column_pattern_recoverable(
+                self.code.n - len(captured)):
+            self.report.unrecoverable_stripes += 1
+            return False
+        # Placement is decided now; the rebuilt bytes arrive later.
+        # Each target gets a deferred payload the decode task resolves;
+        # the transports hold subsequent frames behind it, so ordering
+        # survives the detour through the data plane.
+        loop = asyncio.get_running_loop()
+        payloads: dict[int, asyncio.Future] = {}
+        wrote = False
+        for j in targets:
+            payload: asyncio.Future = loop.create_future()
+            try:
+                await self.nodes[j].put_chunk_deferred(
+                    key, stripe_index, payload, self.codec.chunk_bytes)
+            except NodeDownError:
+                continue
+            payloads[j] = payload
+            self.report.repaired_chunks += 1
+            self.report.repair_bytes += self.codec.chunk_bytes
+            wrote = True
+        if wrote:
+            self.report.repaired_stripes += 1
+            self.track(self._decode_rebuilt(key, stripe_index, captured,
+                                            payloads))
+        if not any(not node.has_chunk(key, stripe_index)
+                   for node in self.nodes):
+            self._suspect_stripes.discard((key, stripe_index))
+        if on_stripe is not None:
+            on_stripe(key, stripe_index)
+        return wrote
+
+    async def _decode_rebuilt(
+            self, key: str, stripe_index: int,
+            captured: dict[int, "asyncio.Future[bytes]"],
+            payloads: dict[int, "asyncio.Future[bytes]"]) -> None:
+        """Data-plane tail of a repair: decode survivors, fill payloads."""
+        try:
+            columns: list[Optional[bytes]] = [None] * self.code.n
+            for j, promise in captured.items():
+                columns[j] = await promise
+            rebuilt = self.codec.rebuild_columns(columns,
+                                                 list(payloads.keys()))
+        except BaseException as exc:  # noqa: BLE001 - routed to payloads
+            failure = ChunkIntegrityError(
+                f"rebuild of {key!r} stripe {stripe_index} failed in "
+                f"the data plane: {exc!r}")
+            for payload in payloads.values():
+                if not payload.done():
+                    payload.set_exception(failure)
+            raise failure from exc
+        for j, payload in payloads.items():
+            if not payload.done():
+                payload.set_result(rebuilt[j])
 
     async def repair_forever(self) -> None:
         """Background loop: wait for damage, repair, repeat.
@@ -327,3 +559,81 @@ class StoreCluster:
     def stop_repair(self) -> None:
         self._stop_repair = True
         self._damage.set()
+
+    # ------------------------------------------------------------------ #
+    # Data plane bookkeeping and teardown
+    # ------------------------------------------------------------------ #
+    def track(self, coro) -> asyncio.Task:
+        """Run ``coro`` as a tracked data-plane task.
+
+        Tracked tasks are awaited by :meth:`flush`; their exceptions
+        are collected (never lost to "exception was never retrieved")
+        and surface through :meth:`dataplane_errors`.
+        """
+        task = asyncio.ensure_future(coro)
+        self._dataplane.add(task)
+        task.add_done_callback(self._untrack)
+        return task
+
+    def _untrack(self, task: asyncio.Task) -> None:
+        self._dataplane.discard(task)
+        if not task.cancelled():
+            exc = task.exception()
+            if exc is not None:
+                self.dataplane_task_errors.append(exc)
+
+    async def flush(self) -> None:
+        """Wait until every decided operation physically completed:
+        tracked tasks done, every node's delivery acks drained."""
+        while self._dataplane:
+            await asyncio.gather(*list(self._dataplane),
+                                 return_exceptions=True)
+        for node in self.nodes:
+            await node.drain()
+
+    def dataplane_errors(self) -> list[BaseException]:
+        """Every data-plane failure seen so far (transport acks plus
+        tracked tasks).  Empty in a healthy run -- on either backend."""
+        errors = list(self.dataplane_task_errors)
+        for node in self.nodes:
+            errors.extend(node.dataplane_errors)
+        return errors
+
+    async def audit_data_plane(self) -> list[str]:
+        """Compare each node's physical stat against its mirror.
+
+        Returns human-readable mismatch descriptions (empty = clean).
+        Call after :meth:`flush`; pending deliveries would otherwise
+        show up as false mismatches.
+        """
+        mismatches = []
+        for node in self.nodes:
+            want_chunks, want_bytes = node.mirror_stat()
+            got_chunks, got_bytes = await node.stat()
+            if (want_chunks, want_bytes) != (got_chunks, got_bytes):
+                mismatches.append(
+                    f"node {node.index}: mirror says {want_chunks} "
+                    f"chunks / {want_bytes} B, data plane holds "
+                    f"{got_chunks} chunks / {got_bytes} B")
+        return mismatches
+
+    async def aclose(self) -> None:
+        """Stop repair, flush the data plane, shut every node down.
+
+        Idempotent; afterwards no task, timer or subprocess of this
+        cluster is left running (the "Task was destroyed but it is
+        pending" guarantee).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.stop_repair()
+        await self.flush()
+        for node in self.nodes:
+            await node.aclose()
+
+    async def __aenter__(self) -> "StoreCluster":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -73,6 +73,28 @@ class ObjectCodec:
         #: columns a healthy read touches.
         self.data_columns: tuple[int, ...] = tuple(sorted(
             {col for _, col in code.data_positions()}))
+        self._recoverable_cache: dict[int, bool] = {}
+
+    def column_pattern_recoverable(self, num_missing: int) -> bool:
+        """Whether ``num_missing`` whole-column erasures are within the
+        code's coverage.
+
+        This is the *decision* predicate of the store's degraded-read
+        and repair paths: it answers from the simulator's own
+        :class:`~repro.sim.cluster.CoverageModel` (the same model the
+        event engine trusts), synchronously and deterministically,
+        while the actual ``code.decode`` runs later in the data plane.
+        A decode failing where this predicate said yes is an integrity
+        bug, not an expected erasure outcome.
+        """
+        cached = self._recoverable_cache.get(num_missing)
+        if cached is None:
+            from repro.sim.cluster import CoverageModel
+            coverage = CoverageModel.from_code(self.code)
+            cached = coverage.tolerates_counts(
+                (0,) * (self.code.n - num_missing), num_missing)
+            self._recoverable_cache[num_missing] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Geometry

@@ -1,20 +1,43 @@
-"""One simulated storage device behind the object store.
+"""One storage device slot: a deterministic mirror over a transport.
 
-A :class:`StoreNode` is the in-process stand-in for the flud-style
-storage daemon the ROADMAP points at: it owns the chunks of exactly one
-stripe column position, speaks an async interface (so the cluster's
-puts, gets and repairs genuinely interleave on the event loop), and can
-*crash* -- losing every chunk it held, the way a failed device does --
-and later be *restored* as an empty replacement for the repair loop to
-rebuild onto.
+PR 9's :class:`StoreNode` was a dict of chunk bytes inside the
+cluster's own event loop.  This PR splits it in two:
 
-Nodes never sleep on wall-clock timers and never draw randomness; every
-await is a bare cooperative yield, so a store run's interleaving is a
-deterministic function of the workload (which is itself seeded).
+* the **mirror** (this class) is the control plane: which chunks the
+  device holds (key, stripe -> size), whether it is up, and every
+  counter.  All of it updates synchronously at decision time, the only
+  awaits are bare ``asyncio.sleep(0)`` yields, and the code is
+  *byte-identical across backends* -- which is why the in-process and
+  subprocess backends produce bit-identical deterministic digests: the
+  digest is a pure function of the mirror, and the mirror never waits
+  on data;
+* the **transport** is the data plane: where chunk bytes physically
+  live.  :class:`LocalTransport` keeps them in a dict (PR 9 semantics);
+  :class:`ProcessTransport` ships them to a ``python -m
+  repro.store.rpc`` subprocess over length-prefixed asyncio-stream
+  frames.  Operations are enqueued synchronously at mirror-decision
+  time, so the per-node order the warehouse applies is exactly the
+  order the mirror decided -- the two can never disagree about which
+  write a read observes.
+
+Reads are *snapshot* reads: ``fetch_chunk`` captures a promise for the
+bytes as of the decision instant; a later crash or overwrite does not
+retroactively change what an already-decided read returns (locally the
+captured entry keeps its bytes; remotely the GET frame is ordered
+before the CRASH/PUT frame).  A repair may mark a rebuilt chunk
+present before its bytes exist -- ``put_chunk_deferred`` enqueues the
+write with a payload future the decode task resolves later, and the
+transport holds subsequent frames behind it so ordering is preserved.
+
+A :class:`~repro.store.latency.NodeLatency` sampler, when attached,
+delays only the *delivery* of data futures (never a mirror decision),
+so p50/p99s track physical parameters while digests stay
+latency-independent.
 
 Usage::
 
-    node = StoreNode(3)
+    node = StoreNode(3)                       # in-process backend
+    node = StoreNode(3, transport=await ProcessTransport.spawn())
     await node.put_chunk("key", 0, b"...")
     await node.get_chunk("key", 0)
     node.crash()          # chunks gone, node down
@@ -24,6 +47,14 @@ Usage::
 from __future__ import annotations
 
 import asyncio
+import sys
+from pathlib import Path
+from typing import Union
+
+from repro.store.latency import NodeLatency
+from repro.store import rpc
+from repro.store.rpc import (MAX_FRAME_BYTES, NodeProcessError, Request,
+                             RpcClient)
 
 
 class NodeDownError(RuntimeError):
@@ -34,13 +65,301 @@ class ChunkMissingError(KeyError):
     """The node is up but does not hold the requested chunk."""
 
 
-class StoreNode:
-    """In-memory chunk store for one device slot of the cluster."""
+class ChunkIntegrityError(RuntimeError):
+    """The data plane disagreed with the mirror (missing/corrupt bytes,
+    dead subprocess): never silent, surfaced through ``drain()``."""
 
-    def __init__(self, index: int) -> None:
+
+Payload = Union[bytes, "asyncio.Future[bytes]"]
+
+
+def _deliver(source: "asyncio.Future", target: "asyncio.Future",
+             deadline: float | None,
+             transform=None) -> None:
+    """Chain ``source`` into ``target``, releasing no earlier than
+    ``deadline`` (an ``loop.time()`` instant; ``None`` = immediately).
+
+    The sampled delay was drawn at decision time in the deterministic
+    plane; only the wall-clock release happens here, so latency can
+    never reorder control-plane decisions.
+    """
+
+    def ready(fut: "asyncio.Future") -> None:
+        if target.done():
+            return
+        if fut.cancelled():
+            target.cancel()
+            return
+        exc = fut.exception()
+        if exc is not None:
+            target.set_exception(exc)
+            return
+        try:
+            value = fut.result() if transform is None \
+                else transform(fut.result())
+        except BaseException as exc:  # noqa: BLE001 - forwarded, not lost
+            target.set_exception(exc)
+            return
+        target.set_result(value)
+
+    def chain(fut: "asyncio.Future") -> None:
+        if deadline is None:
+            ready(fut)
+            return
+        loop = asyncio.get_running_loop()
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            ready(fut)
+        else:
+            loop.call_later(remaining, ready, fut)
+
+    if source.done():
+        chain(source)
+    else:
+        source.add_done_callback(chain)
+
+
+class _AckTracker:
+    """Outstanding data-plane acknowledgements of one transport."""
+
+    def __init__(self) -> None:
+        self._outstanding: set[asyncio.Future] = set()
+        self.errors: list[BaseException] = []
+
+    def track(self, future: "asyncio.Future") -> "asyncio.Future":
+        self._outstanding.add(future)
+        future.add_done_callback(self._done)
+        return future
+
+    def _done(self, future: "asyncio.Future") -> None:
+        self._outstanding.discard(future)
+        if not future.cancelled():
+            exc = future.exception()
+            if exc is not None:
+                self.errors.append(exc)
+
+    async def drain(self) -> None:
+        while self._outstanding:
+            pending = list(self._outstanding)
+            await asyncio.gather(*pending, return_exceptions=True)
+
+
+class LocalTransport:
+    """Chunk bytes in a dict inside this very event loop (PR 9 mode)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, int], Payload] = {}
+        self._acks = _AckTracker()
+
+    @property
+    def errors(self) -> list[BaseException]:
+        return self._acks.errors
+
+    def _future(self) -> "asyncio.Future":
+        return asyncio.get_running_loop().create_future()
+
+    def put(self, key: str, stripe: int, payload: Payload,
+            deadline: float | None) -> "asyncio.Future[None]":
+        self._entries[(key, stripe)] = payload
+        ack = self._future()
+        if isinstance(payload, asyncio.Future):
+            _deliver(payload, ack, deadline, transform=lambda _: None)
+        elif deadline is None:
+            ack.set_result(None)
+        else:
+            source = self._future()
+            source.set_result(None)
+            _deliver(source, ack, deadline)
+        return self._acks.track(ack)
+
+    def fetch(self, key: str, stripe: int,
+              deadline: float | None) -> "asyncio.Future[bytes]":
+        # The mirror already decided the chunk is present; entries track
+        # the mirror synchronously, so a miss here is an integrity bug.
+        entry = self._entries.get((key, stripe))
+        out = self._future()
+        if entry is None:
+            out.set_exception(ChunkIntegrityError(
+                f"local entry for {(key, stripe)} missing though the "
+                "mirror marked it present"))
+            return out
+        if isinstance(entry, asyncio.Future):
+            _deliver(entry, out, deadline)
+        elif deadline is None:
+            out.set_result(entry)
+        else:
+            source = self._future()
+            source.set_result(entry)
+            _deliver(source, out, deadline)
+        return out
+
+    def delete(self, key: str) -> None:
+        doomed = [pair for pair in self._entries if pair[0] == key]
+        for pair in doomed:
+            del self._entries[pair]
+
+    def crash(self) -> None:
+        self._entries.clear()
+
+    def restore(self) -> None:
+        pass
+
+    async def stat(self) -> tuple[int, int]:
+        """(chunks, bytes) actually held -- awaits pending payloads."""
+        chunks, total = 0, 0
+        for entry in list(self._entries.values()):
+            if isinstance(entry, asyncio.Future):
+                entry = await entry
+            chunks += 1
+            total += len(entry)
+        return chunks, total
+
+    async def drain(self) -> None:
+        await self._acks.drain()
+
+    async def aclose(self) -> None:
+        await self.drain()
+
+
+class ProcessTransport:
+    """Chunk bytes in one node subprocess, reached over stream RPC.
+
+    Every mirror decision enqueues its frame synchronously through the
+    pipelined :class:`~repro.store.rpc.RpcClient`, whose write loop
+    preserves call order (holding later frames behind a deferred
+    payload), and the server applies frames strictly in order -- so
+    the warehouse replays the mirror's decision sequence exactly.
+    """
+
+    def __init__(self, process: "asyncio.subprocess.Process",
+                 client: RpcClient) -> None:
+        self.process = process
+        self.client = client
+        self._acks = _AckTracker()
+        self._closed = False
+
+    @classmethod
+    async def spawn(cls, max_frame: int = MAX_FRAME_BYTES,
+                    ) -> "ProcessTransport":
+        # Exec the server file directly rather than `-m repro.store.rpc`:
+        # the module is deliberately stdlib-only, and running it as a
+        # bare script keeps the subprocess from importing the whole
+        # package (numpy and all), so node processes start in tens of
+        # milliseconds.
+        server = str(Path(rpc.__file__).resolve())
+        process = await asyncio.create_subprocess_exec(
+            sys.executable, server, "--max-frame-bytes", str(max_frame),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE)
+        client = RpcClient(process.stdout, process.stdin, max_frame)
+        return cls(process, client)
+
+    @property
+    def errors(self) -> list[BaseException]:
+        return self._acks.errors
+
+    @staticmethod
+    def _check_ok(response: tuple[int, bytes]) -> None:
+        status, payload = response
+        if status != rpc.STATUS_OK:
+            raise ChunkIntegrityError(
+                f"node process answered status {status}: "
+                f"{payload[:128]!r}")
+
+    @staticmethod
+    def _check_data(response: tuple[int, bytes]) -> bytes:
+        status, payload = response
+        if status == rpc.STATUS_OK:
+            return payload
+        if status == rpc.STATUS_MISSING:
+            raise ChunkIntegrityError(
+                "node process is missing a chunk the mirror marked "
+                "present")
+        raise ChunkIntegrityError(
+            f"node process answered status {status}: {payload[:128]!r}")
+
+    def put(self, key: str, stripe: int, payload: Payload,
+            deadline: float | None) -> "asyncio.Future[None]":
+        response = self.client.call(
+            Request(rpc.OP_PUT, key, stripe, payload))
+        ack = asyncio.get_running_loop().create_future()
+        _deliver(response, ack, deadline,
+                 transform=lambda resp: self._check_ok(resp))
+        return self._acks.track(ack)
+
+    def fetch(self, key: str, stripe: int,
+              deadline: float | None) -> "asyncio.Future[bytes]":
+        response = self.client.call(Request(rpc.OP_GET, key, stripe))
+        out = asyncio.get_running_loop().create_future()
+        _deliver(response, out, deadline, transform=self._check_data)
+        return out
+
+    def delete(self, key: str) -> None:
+        ack = asyncio.get_running_loop().create_future()
+        _deliver(self.client.call(Request(rpc.OP_DELETE, key)), ack, None,
+                 transform=lambda resp: self._check_ok(resp))
+        self._acks.track(ack)
+
+    def crash(self) -> None:
+        ack = asyncio.get_running_loop().create_future()
+        _deliver(self.client.call(Request(rpc.OP_CRASH)), ack, None,
+                 transform=lambda resp: self._check_ok(resp))
+        self._acks.track(ack)
+
+    def restore(self) -> None:
+        ack = asyncio.get_running_loop().create_future()
+        _deliver(self.client.call(Request(rpc.OP_RESTORE)), ack, None,
+                 transform=lambda resp: self._check_ok(resp))
+        self._acks.track(ack)
+
+    async def stat(self) -> tuple[int, int]:
+        status, payload = await self.client.call(Request(rpc.OP_STAT))
+        if status != rpc.STATUS_OK:
+            raise ChunkIntegrityError(
+                f"stat answered status {status}: {payload[:128]!r}")
+        return rpc.decode_stat(payload)
+
+    async def drain(self) -> None:
+        await self._acks.drain()
+
+    async def aclose(self) -> None:
+        """Graceful shutdown; escalates to terminate/kill on silence."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._acks.drain()
+            response = self.client.call(Request(rpc.OP_SHUTDOWN))
+            await asyncio.wait_for(asyncio.shield(response), timeout=5.0)
+        except (NodeProcessError, asyncio.TimeoutError, OSError):
+            pass
+        await self.client.aclose()
+        if self.process.returncode is None:
+            try:
+                self.process.terminate()
+            except ProcessLookupError:
+                pass
+        try:
+            await asyncio.wait_for(self.process.wait(), timeout=5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - last resort
+            self.process.kill()
+            await self.process.wait()
+
+
+class StoreNode:
+    """Deterministic mirror of one device slot of the cluster."""
+
+    def __init__(self, index: int, *,
+                 transport: "LocalTransport | ProcessTransport | None"
+                 = None,
+                 latency: NodeLatency | None = None) -> None:
         self.index = index
         self.up = True
-        self._chunks: dict[tuple[str, int], bytes] = {}
+        self.transport = transport if transport is not None \
+            else LocalTransport()
+        self.latency = latency
+        #: Mirror of held chunks: (key, stripe) -> size in bytes.
+        self._present: dict[tuple[str, int], int] = {}
         #: Lifetime telemetry (monotonic across crashes/restores).
         self.crashes = 0
         self.restores = 0
@@ -49,51 +368,99 @@ class StoreNode:
         self.bytes_written = 0
         self.bytes_read = 0
 
+    def _deadline(self) -> float | None:
+        """Sample the physical delay *now* (deterministic draw order),
+        turning it into a wall-clock release instant for the data
+        plane."""
+        if self.latency is None:
+            return None
+        return asyncio.get_running_loop().time() + self.latency.sample_s()
+
     # ------------------------------------------------------------------ #
     # Async chunk interface
     # ------------------------------------------------------------------ #
-    async def put_chunk(self, key: str, stripe: int, data: bytes) -> None:
+    async def put_chunk(self, key: str, stripe: int,
+                        data: bytes) -> "asyncio.Future[None]":
+        """Decide a write; returns the data-plane delivery ack.
+
+        The mirror is updated (and the write enqueued, in order) before
+        returning; the ack future resolves when the bytes physically
+        landed.  Callers that only need PR 9 semantics may ignore it --
+        the transport tracks every ack for ``drain()``.
+        """
         await asyncio.sleep(0)
         self._require_up()
-        self._chunks[(key, stripe)] = data
+        self._present[(key, stripe)] = len(data)
         self.chunks_written += 1
         self.bytes_written += len(data)
+        return self.transport.put(key, stripe, data, self._deadline())
 
-    async def get_chunk(self, key: str, stripe: int) -> bytes:
+    async def put_chunk_deferred(self, key: str, stripe: int,
+                                 payload: "asyncio.Future[bytes]",
+                                 size: int) -> "asyncio.Future[None]":
+        """Mark a chunk present whose bytes a decode will deliver later.
+
+        The repair path decides placements before the rebuilt bytes
+        exist; the transport enqueues the write immediately (keeping
+        per-node order) and blocks later frames until ``payload``
+        resolves.
+        """
         await asyncio.sleep(0)
         self._require_up()
-        try:
-            data = self._chunks[(key, stripe)]
-        except KeyError:
-            raise ChunkMissingError((key, stripe)) from None
+        self._present[(key, stripe)] = size
+        self.chunks_written += 1
+        self.bytes_written += size
+        return self.transport.put(key, stripe, payload, self._deadline())
+
+    async def fetch_chunk(self, key: str,
+                          stripe: int) -> "asyncio.Future[bytes]":
+        """Decide a read and return a promise for the bytes.
+
+        The decision (up? present? counters) is the deterministic part;
+        the returned future is data-plane and resolves with the chunk
+        as of this instant, regardless of later crashes or overwrites.
+        """
+        await asyncio.sleep(0)
+        self._require_up()
+        size = self._present.get((key, stripe))
+        if size is None:
+            raise ChunkMissingError((key, stripe))
         self.chunks_read += 1
-        self.bytes_read += len(data)
-        return data
+        self.bytes_read += size
+        return self.transport.fetch(key, stripe, self._deadline())
+
+    async def get_chunk(self, key: str, stripe: int) -> bytes:
+        return await (await self.fetch_chunk(key, stripe))
 
     async def delete_object(self, key: str) -> int:
         """Drop every chunk of ``key``; returns how many were held."""
         await asyncio.sleep(0)
         self._require_up()
-        doomed = [pair for pair in self._chunks if pair[0] == key]
+        doomed = [pair for pair in self._present if pair[0] == key]
         for pair in doomed:
-            del self._chunks[pair]
+            del self._present[pair]
+        self.transport.delete(key)
         return len(doomed)
 
     # ------------------------------------------------------------------ #
     # Synchronous state inspection / failure injection
     # ------------------------------------------------------------------ #
     def has_chunk(self, key: str, stripe: int) -> bool:
-        return self.up and (key, stripe) in self._chunks
+        return self.up and (key, stripe) in self._present
+
+    def chunk_size(self, key: str, stripe: int) -> int:
+        return self._present[(key, stripe)]
 
     @property
     def num_chunks(self) -> int:
-        return len(self._chunks)
+        return len(self._present)
 
     def crash(self) -> None:
         """Fail the device: all stored chunks are lost."""
         self.up = False
-        self._chunks.clear()
+        self._present.clear()
         self.crashes += 1
+        self.transport.crash()
 
     def restore(self) -> None:
         """Bring the slot back as an empty replacement device."""
@@ -101,12 +468,35 @@ class StoreNode:
             return
         self.up = True
         self.restores += 1
+        self.transport.restore()
 
     def _require_up(self) -> None:
         if not self.up:
             raise NodeDownError(f"node {self.index} is down")
 
+    # ------------------------------------------------------------------ #
+    # Data-plane bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def dataplane_errors(self) -> list[BaseException]:
+        return self.transport.errors
+
+    def mirror_stat(self) -> tuple[int, int]:
+        """(chunks, bytes) the mirror *believes* the device holds."""
+        return len(self._present), sum(self._present.values())
+
+    async def stat(self) -> tuple[int, int]:
+        """(chunks, bytes) the *data plane* actually holds -- the
+        cross-check against the mirror's view."""
+        return await self.transport.stat()
+
+    async def drain(self) -> None:
+        await self.transport.drain()
+
+    async def aclose(self) -> None:
+        await self.transport.aclose()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.up else "DOWN"
         return (f"StoreNode({self.index}, {state}, "
-                f"{len(self._chunks)} chunks)")
+                f"{len(self._present)} chunks)")

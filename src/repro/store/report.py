@@ -73,11 +73,31 @@ class StoreReport:
     node_crashes: int = 0
     #: ``(op_index, node, cause)`` for every injected failure that fired.
     failures: list[tuple[int, int, str]] = field(default_factory=list)
+    #: Measured degraded window, in op indices: first/last operation
+    #: issued while the cluster suspected a degraded stripe (see
+    #: ``StoreCluster.damage_suspected``).  ``None`` when the whole run
+    #: stayed healthy.  Mirror-driven, hence part of the digest -- and
+    #: the store-side half of the store-vs-simulator cross-check.
+    first_damaged_op: int | None = None
+    last_damaged_op: int | None = None
+
+    # -- data-plane health (excluded from the deterministic digest, so
+    # -- a physically broken backend differs in *health*, not digest) -- #
+    backend: str = "inprocess"
+    chunk_integrity_failures: int = 0
 
     # -- wall-clock telemetry (excluded from the deterministic digest) - #
     put_latencies: list[float] = field(default_factory=list)
     get_latencies: list[float] = field(default_factory=list)
     degraded_get_latencies: list[float] = field(default_factory=list)
+
+    def note_damage(self, op_index: int, suspected: bool) -> None:
+        """Record one per-op damage sample into the measured window."""
+        if not suspected:
+            return
+        if self.first_damaged_op is None:
+            self.first_damaged_op = op_index
+        self.last_damaged_op = op_index
 
     # ------------------------------------------------------------------ #
     @property
@@ -133,12 +153,16 @@ class StoreReport:
             "unrecoverable_stripes": self.unrecoverable_stripes,
             "node_crashes": self.node_crashes,
             "failures": list(self.failures),
+            "first_damaged_op": self.first_damaged_op,
+            "last_damaged_op": self.last_damaged_op,
         }
 
     def summary(self) -> dict[str, Any]:
-        """Everything: the deterministic digest plus latency tails and
-        amplification ratios (JSON-safe)."""
+        """Everything: the deterministic digest plus backend health,
+        latency tails and amplification ratios (JSON-safe)."""
         out = self.deterministic_summary()
+        out["backend"] = self.backend
+        out["chunk_integrity_failures"] = self.chunk_integrity_failures
         out["repair_rounds"] = self.repair_rounds
         out["interfered_ops"] = self.interfered_ops
         out["degraded_read_amplification"] = _json_float(

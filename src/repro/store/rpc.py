@@ -1,0 +1,414 @@
+"""Length-prefixed chunk RPC over asyncio streams.
+
+This module is both halves of the store's out-of-process data plane:
+
+* the **wire protocol** -- every message is a 4-byte big-endian length
+  prefix followed by exactly that many body bytes, so a reader either
+  delivers a whole frame or raises :class:`RpcProtocolError`; torn
+  chunks are structurally impossible.  Requests are ``put_chunk`` /
+  ``get_chunk`` / ``delete_object`` / ``crash`` / ``restore`` /
+  ``stat`` / ``shutdown``; responses are ``OK`` (with an optional
+  payload), ``MISSING`` or ``ERR``;
+* the **chunk server** -- the ``python -m repro.store.rpc`` entry point
+  a :class:`~repro.store.node.ProcessTransport` spawns, one subprocess
+  per store node.  The server is a deliberately dumb byte warehouse
+  (dict of ``(key, stripe) -> bytes`` plus an up/down flag): every
+  placement *decision* lives client-side in the deterministic mirror,
+  and because each connection's frames are handled strictly in arrival
+  order, the server's byte state replays the mirror's decision order
+  exactly;
+* the **pipelined client** -- :class:`RpcClient` writes frames in call
+  order and matches responses FIFO (the server replies in order), so
+  many requests overlap in flight while the per-node ordering the
+  mirror relies on is preserved.
+
+The server imports only the standard library -- no numpy -- so node
+subprocesses start in tens of milliseconds.
+
+Usage (client side)::
+
+    client = RpcClient(reader, writer)
+    future = client.call(Request(OP_PUT, "k", 0, b"chunk"))
+    status, payload = await future
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from dataclasses import dataclass
+from typing import Union
+
+#: Frame length prefix: 4 bytes, big-endian, body length only.
+LENGTH_BYTES = 4
+#: Default ceiling on one frame's body; an oversized length prefix is
+#: rejected *before* any allocation or read.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# Request opcodes (first body byte).
+OP_PUT = 1
+OP_GET = 2
+OP_DELETE = 3
+OP_CRASH = 4
+OP_RESTORE = 5
+OP_STAT = 6
+OP_SHUTDOWN = 7
+
+_KNOWN_OPS = (OP_PUT, OP_GET, OP_DELETE, OP_CRASH, OP_RESTORE, OP_STAT,
+              OP_SHUTDOWN)
+
+# Response status codes (first body byte).
+STATUS_OK = 0
+STATUS_MISSING = 1
+STATUS_ERR = 2
+
+
+class RpcProtocolError(RuntimeError):
+    """A malformed, truncated or oversized frame (either direction)."""
+
+
+class NodeProcessError(RuntimeError):
+    """The peer died (EOF / broken pipe) with requests outstanding."""
+
+
+# --------------------------------------------------------------------------- #
+# Frame codec
+# --------------------------------------------------------------------------- #
+def encode_frame(body: bytes) -> bytes:
+    """Prefix ``body`` with its length; the unit every read expects."""
+    if not body:
+        raise RpcProtocolError("refusing to send an empty frame")
+    if len(body) > MAX_FRAME_BYTES:
+        raise RpcProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling")
+    return len(body).to_bytes(LENGTH_BYTES, "big") + body
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = MAX_FRAME_BYTES) -> bytes | None:
+    """Read one whole frame body; ``None`` on clean EOF at a boundary.
+
+    Raises :class:`RpcProtocolError` for a truncated length prefix, a
+    length prefix beyond ``max_frame`` (before reading the body, so a
+    hostile prefix cannot force an allocation), an empty frame, or EOF
+    mid-body -- the partial bytes are never delivered.
+    """
+    try:
+        header = await reader.readexactly(LENGTH_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise RpcProtocolError(
+            f"peer closed mid-prefix ({len(exc.partial)} of "
+            f"{LENGTH_BYTES} length bytes)") from None
+    length = int.from_bytes(header, "big")
+    if length == 0:
+        raise RpcProtocolError("zero-length frame")
+    if length > max_frame:
+        raise RpcProtocolError(
+            f"length prefix {length} exceeds the {max_frame}-byte frame "
+            "ceiling")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise RpcProtocolError(
+            f"peer closed mid-frame ({len(exc.partial)} of {length} "
+            "body bytes)") from None
+
+
+@dataclass
+class Request:
+    """One chunk request; ``payload`` may be a future for deferred data.
+
+    A repair marks a rebuilt chunk present in the mirror *before* the
+    decode that produces its bytes has run; the transport enqueues the
+    request immediately (preserving per-node order) with a payload
+    future the decode task resolves later.
+    """
+
+    op: int
+    key: str = ""
+    stripe: int = 0
+    payload: Union[bytes, "asyncio.Future[bytes]"] = b""
+
+    def encode(self, payload: bytes) -> bytes:
+        key_bytes = self.key.encode("utf-8")
+        if len(key_bytes) > 0xFFFF:
+            raise RpcProtocolError("key longer than 65535 bytes")
+        return (bytes([self.op])
+                + len(key_bytes).to_bytes(2, "big") + key_bytes
+                + int(self.stripe).to_bytes(4, "big")
+                + payload)
+
+
+def decode_request(body: bytes) -> tuple[int, str, int, bytes]:
+    """Parse a request body -> ``(op, key, stripe, payload)``."""
+    if len(body) < 1:
+        raise RpcProtocolError("empty request body")
+    op = body[0]
+    if op not in _KNOWN_OPS:
+        raise RpcProtocolError(f"unknown opcode {op}")
+    if len(body) < 3:
+        raise RpcProtocolError("request truncated before key length")
+    key_len = int.from_bytes(body[1:3], "big")
+    if len(body) < 3 + key_len + 4:
+        raise RpcProtocolError(
+            f"request body of {len(body)} bytes too short for a "
+            f"{key_len}-byte key")
+    try:
+        key = body[3:3 + key_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise RpcProtocolError(f"undecodable key: {exc}") from None
+    stripe = int.from_bytes(body[3 + key_len:7 + key_len], "big")
+    return op, key, stripe, body[7 + key_len:]
+
+
+def encode_response(status: int, payload: bytes = b"") -> bytes:
+    return bytes([status]) + payload
+
+
+def decode_response(body: bytes) -> tuple[int, bytes]:
+    if len(body) < 1:
+        raise RpcProtocolError("empty response body")
+    status = body[0]
+    if status not in (STATUS_OK, STATUS_MISSING, STATUS_ERR):
+        raise RpcProtocolError(f"unknown response status {status}")
+    return status, body[1:]
+
+
+def encode_stat(chunks: int, total_bytes: int) -> bytes:
+    return chunks.to_bytes(8, "big") + total_bytes.to_bytes(8, "big")
+
+
+def decode_stat(payload: bytes) -> tuple[int, int]:
+    if len(payload) != 16:
+        raise RpcProtocolError(
+            f"stat payload must be 16 bytes, got {len(payload)}")
+    return (int.from_bytes(payload[:8], "big"),
+            int.from_bytes(payload[8:], "big"))
+
+
+# --------------------------------------------------------------------------- #
+# Pipelined client
+# --------------------------------------------------------------------------- #
+class RpcClient:
+    """FIFO request/response pipelining over one stream pair.
+
+    ``call`` enqueues a request and returns a future for its
+    ``(status, payload)`` response.  Frames go out strictly in call
+    order (a request whose payload is itself a pending future blocks
+    the queue until the bytes exist -- later requests wait, preserving
+    the order the deterministic mirror decided); the server answers in
+    order, so responses match pending futures FIFO.  Peer death fails
+    every outstanding and future call with :class:`NodeProcessError`
+    instead of hanging.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._outbox: asyncio.Queue[Request | None] = asyncio.Queue()
+        self._pending: list[asyncio.Future[tuple[int, bytes]]] = []
+        self._dead: BaseException | None = None
+        self._tasks = [
+            asyncio.create_task(self._write_loop(), name="rpc-writer"),
+            asyncio.create_task(self._read_loop(), name="rpc-reader"),
+        ]
+
+    def call(self, request: Request) -> "asyncio.Future[tuple[int, bytes]]":
+        """Enqueue ``request`` (synchronously) and return its response
+        future."""
+        future: asyncio.Future[tuple[int, bytes]] = \
+            asyncio.get_running_loop().create_future()
+        if self._dead is not None:
+            future.set_exception(NodeProcessError(str(self._dead)))
+            return future
+        self._pending.append(future)
+        self._outbox.put_nowait(request)
+        return future
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                request = await self._outbox.get()
+                if request is None:
+                    return
+                payload = request.payload
+                if isinstance(payload, asyncio.Future):
+                    payload = await payload
+                self._writer.write(
+                    encode_frame(request.encode(payload)))
+                await self._writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail(exc)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                body = await read_frame(self._reader, self._max_frame)
+                if body is None:
+                    if self._pending:
+                        self._fail(NodeProcessError(
+                            "peer closed with "
+                            f"{len(self._pending)} responses outstanding"))
+                    return
+                if not self._pending:
+                    raise RpcProtocolError("response with no request "
+                                           "outstanding")
+                future = self._pending.pop(0)
+                if not future.done():
+                    future.set_result(decode_response(body))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail(exc)
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._dead is None:
+            self._dead = exc
+        for future in self._pending:
+            if not future.done():
+                future.set_exception(NodeProcessError(str(exc)))
+        self._pending.clear()
+
+    async def aclose(self) -> None:
+        """Stop both loops and close the writer; idempotent."""
+        self._outbox.put_nowait(None)
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# The chunk server (subprocess entry point)
+# --------------------------------------------------------------------------- #
+class ChunkServer:
+    """The byte warehouse one node subprocess runs.
+
+    All *policy* -- who may read what, which writes should fail --
+    lives in the client-side mirror; the server just applies frames in
+    arrival order.  ``crash`` drops every chunk (a failed device loses
+    its data) and marks the slot down; a ``put`` arriving while down is
+    answered with ``ERR`` because the mirror never sends one -- seeing
+    it means the two sides disagree, and the client surfaces that as an
+    integrity failure rather than guessing.
+    """
+
+    def __init__(self) -> None:
+        self.chunks: dict[tuple[str, int], bytes] = {}
+        self.up = True
+
+    def handle(self, op: int, key: str, stripe: int,
+               payload: bytes) -> tuple[bytes, bool]:
+        """Apply one request; returns ``(response_body, keep_serving)``."""
+        if op == OP_PUT:
+            if not self.up:
+                return encode_response(
+                    STATUS_ERR, b"put while down (mirror desync)"), True
+            self.chunks[(key, stripe)] = payload
+            return encode_response(STATUS_OK), True
+        if op == OP_GET:
+            if not self.up:
+                return encode_response(
+                    STATUS_ERR, b"get while down (mirror desync)"), True
+            data = self.chunks.get((key, stripe))
+            if data is None:
+                return encode_response(STATUS_MISSING), True
+            return encode_response(STATUS_OK, data), True
+        if op == OP_DELETE:
+            doomed = [pair for pair in self.chunks if pair[0] == key]
+            for pair in doomed:
+                del self.chunks[pair]
+            return encode_response(
+                STATUS_OK, len(doomed).to_bytes(4, "big")), True
+        if op == OP_CRASH:
+            self.chunks.clear()
+            self.up = False
+            return encode_response(STATUS_OK), True
+        if op == OP_RESTORE:
+            self.up = True
+            return encode_response(STATUS_OK), True
+        if op == OP_STAT:
+            total = sum(len(data) for data in self.chunks.values())
+            return encode_response(
+                STATUS_OK, encode_stat(len(self.chunks), total)), True
+        if op == OP_SHUTDOWN:
+            return encode_response(STATUS_OK), False
+        return encode_response(STATUS_ERR, f"opcode {op}".encode()), True
+
+
+async def _stdio_streams() -> tuple[asyncio.StreamReader,
+                                    asyncio.StreamWriter]:
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin.buffer)
+    transport, protocol = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin, sys.stdout.buffer)
+    writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+    return reader, writer
+
+
+async def serve(reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+                max_frame: int = MAX_FRAME_BYTES) -> None:
+    """Serve one connection until EOF, shutdown or a protocol error.
+
+    A protocol error answers ``ERR`` (when the pipe still works) and
+    stops serving: after a framing failure the stream offset can no
+    longer be trusted, so continuing would risk delivering torn data.
+    """
+    server = ChunkServer()
+    while True:
+        try:
+            body = await read_frame(reader, max_frame)
+        except RpcProtocolError as exc:
+            writer.write(encode_frame(encode_response(
+                STATUS_ERR, str(exc).encode())))
+            await writer.drain()
+            return
+        if body is None:
+            return
+        try:
+            response, keep_serving = server.handle(*decode_request(body))
+        except RpcProtocolError as exc:
+            response, keep_serving = encode_response(
+                STATUS_ERR, str(exc).encode()), False
+        writer.write(encode_frame(response))
+        await writer.drain()
+        if not keep_serving:
+            return
+
+
+async def _amain(max_frame: int) -> None:
+    reader, writer = await _stdio_streams()
+    await serve(reader, writer, max_frame)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.rpc",
+        description="Chunk-server subprocess of the out-of-process "
+                    "object-store backend (speaks the length-prefixed "
+                    "frame protocol on stdin/stdout).")
+    parser.add_argument("--max-frame-bytes", type=int,
+                        default=MAX_FRAME_BYTES)
+    args = parser.parse_args(argv)
+    asyncio.run(_amain(args.max_frame_bytes))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

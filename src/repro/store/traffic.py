@@ -15,8 +15,18 @@ overwrites.  Key popularity is Zipf (``p(rank) ~ (rank+1)^-alpha``
 over the fixed object population, ``alpha = 0`` = uniform); reads and
 overwrites mix per ``read_fraction``.
 
-Latencies are recorded around each await with ``perf_counter`` -- the
-one wall-clock use in the store, telemetry only, feeding nothing back
+Workers are closed-loop on *decisions* and open-loop on *data*: each
+worker awaits the cluster's control-plane submit (lock, placement,
+counters) and then hands the data-plane tail -- awaiting chunk
+delivery, verifying payloads, recording latency -- to a tracked
+background task.  Pacing on decisions keeps the deterministic plane
+identical across backends (a worker never blocks on a subprocess
+round-trip or a sampled physical delay); the runner flushes the
+tracked tails before the report is read, so every verify and latency
+sample still lands.
+
+Latencies are recorded around the full decision-to-delivery span with
+``perf_counter`` -- wall-clock telemetry only, feeding nothing back
 into behaviour.
 """
 
@@ -134,6 +144,8 @@ class TrafficGenerator:
                             len(self.report.failures):]:
                         self.report.failures.append(
                             (event.at_op, event.node, event.cause))
+                self.report.note_damage(op_index,
+                                        self.cluster.damage_suspected())
                 kind, obj = self._ops[op_index]
                 if kind == "get":
                     await self._one_get(obj)
@@ -144,16 +156,26 @@ class TrafficGenerator:
                                for _ in range(self.store.clients)])
 
     async def _one_get(self, obj: int) -> None:
-        degraded_before = self.report.degraded_reads
         start = time.perf_counter()
         try:
-            data = await self.cluster.get(self.key_name(obj))
+            ticket = await self.cluster.get_submit(self.key_name(obj))
         except ObjectLostError:
             # failed_reads already counted by the cluster.
             return
+        self.cluster.track(self._finish_get(ticket, start))
+
+    async def _finish_get(self, ticket, start: float) -> None:
+        try:
+            data = await ticket.data()
+        except Exception:
+            # The control plane promised these bytes; failure to
+            # deliver them is a data-plane integrity problem, never a
+            # legitimate read outcome.
+            self.report.chunk_integrity_failures += 1
+            return
         elapsed = time.perf_counter() - start
         self.report.get_latencies.append(elapsed)
-        if self.report.degraded_reads > degraded_before:
+        if ticket.degraded:
             self.report.degraded_get_latencies.append(elapsed)
         if self.verify and not verify_payload(data):
             self.report.verify_failures += 1
@@ -163,5 +185,13 @@ class TrafficGenerator:
         payload = make_payload(
             int(self._payload_seeds[self.store.objects + op_index]), size)
         start = time.perf_counter()
-        await self.cluster.put(self.key_name(obj), payload)
+        ticket = await self.cluster.put(self.key_name(obj), payload)
+        self.cluster.track(self._finish_put(ticket, start))
+
+    async def _finish_put(self, ticket, start: float) -> None:
+        try:
+            await ticket.settled()
+        except Exception:
+            self.report.chunk_integrity_failures += 1
+            return
         self.report.put_latencies.append(time.perf_counter() - start)

@@ -1,0 +1,125 @@
+"""The store-vs-event-engine cross-check (the loop-closing harness).
+
+``repro.store.crosscheck`` replays the injector's crash schedule
+through :mod:`repro.sim.events` and asserts the engine's predicted
+degraded window brackets the window the live store measured.  These
+tests pin the committed CI spec, the replay mechanics, and the failure
+modes (a drifted measurement must be *reported*, not absorbed).
+"""
+
+import os
+
+import pytest
+
+from repro.scenario.spec import SPEC_VERSION, ScenarioSpec, ScenarioSpecError
+from repro.store.crosscheck import crosscheck, main, replay_schedule
+from repro.store.injector import FailureEvent
+
+SPEC_PATH = os.path.join(os.path.dirname(__file__), "..", "..",
+                         "examples", "store_crosscheck.toml")
+
+
+def _spec(**store) -> ScenarioSpec:
+    spec = ScenarioSpec.load(SPEC_PATH)
+    return spec.replace(store=store) if store else spec
+
+
+# --------------------------------------------------------------------------- #
+# The committed CI spec
+# --------------------------------------------------------------------------- #
+def test_committed_spec_bracket_holds():
+    result = crosscheck(_spec(), engine_seeds=(0, 1, 2))
+    assert result.ok, result.failures
+    # The start sides coincide by construction: both fire the schedule
+    # at the same op-hour.
+    assert result.predicted_start_hours == \
+        pytest.approx(result.measured_start_hours)
+    # The engine charges the full sampled rebuild (~repair_hours) while
+    # the store's repair loop races traffic at memory speed, so the
+    # predicted end must strictly dominate.
+    assert result.predicted_end_hours > result.measured_end_hours
+    assert result.outcome.zero_data_loss
+
+
+def test_committed_spec_bracket_holds_on_the_process_backend():
+    result = crosscheck(_spec(backend="process"), engine_seeds=(0,))
+    assert result.ok, result.failures
+    assert result.outcome.report.backend == "process"
+
+
+def test_cli_exit_codes_and_json():
+    assert main(["--spec", SPEC_PATH, "--engine-seeds", "2"]) == 0
+    assert main(["--spec", SPEC_PATH, "--json"]) == 0
+    # A spec the harness cannot cross-check is a usage error (2).
+    assert main(["--spec", os.path.join(os.path.dirname(SPEC_PATH),
+                                        "store_smoke.toml")]) == 2
+
+
+# --------------------------------------------------------------------------- #
+# Replay mechanics
+# --------------------------------------------------------------------------- #
+def test_replay_places_crashes_on_the_hour_axis():
+    spec = _spec()
+    schedule = [FailureEvent(at_op=42, node=2, cause="kill"),
+                FailureEvent(at_op=42, node=3, cause="kill")]
+    window = replay_schedule(spec, schedule, engine_seed=0)
+    assert window.start_hours == pytest.approx(
+        42 * spec.store.hours_per_op)
+    assert window.loss_cause is None
+    # rs(6,4,2) rebuilds from a double loss; the window closes when the
+    # engine's sampled rebuild completes, well past the injection hour.
+    assert window.end_hours > window.start_hours
+
+
+def test_replay_reports_loss_beyond_coverage():
+    spec = _spec()
+    schedule = [FailureEvent(at_op=10, node=n, cause="kill")
+                for n in range(3)]  # three losses exceed m=2
+    window = replay_schedule(spec, schedule, engine_seed=0)
+    assert window.loss_cause == "device_failures_exceed_m"
+    assert window.end_hours == pytest.approx(87_600.0)  # runs to horizon
+
+
+def test_replay_envelope_varies_with_the_engine_seed():
+    spec = _spec()
+    schedule = [FailureEvent(at_op=42, node=2, cause="kill")]
+    ends = {replay_schedule(spec, schedule, engine_seed=s).end_hours
+            for s in range(5)}
+    assert len(ends) > 1  # sampled rebuild durations differ ...
+    result = crosscheck(spec, engine_seeds=range(5))
+    # ... and the prediction envelopes the worst of them.
+    assert result.predicted_end_hours == pytest.approx(max(
+        replay_schedule(spec, list(result.schedule), engine_seed=s).end_hours
+        for s in range(5)))
+
+
+# --------------------------------------------------------------------------- #
+# Guard rails
+# --------------------------------------------------------------------------- #
+def test_spec_without_hours_per_op_is_rejected():
+    with pytest.raises(ScenarioSpecError, match="hours_per_op"):
+        crosscheck(_spec(hours_per_op=0.0))
+
+
+def test_spec_without_any_crash_schedule_is_rejected():
+    with pytest.raises(ScenarioSpecError, match="at least one crash"):
+        crosscheck(_spec(kill_nodes=0, kill_at_fraction=0.5))
+
+
+def test_a_drifted_measurement_is_reported_not_absorbed():
+    """A measured window escaping the envelope must flag each violated
+    edge -- that report is the whole point of the harness."""
+    from repro.store.crosscheck import bracket_failures
+
+    assert bracket_failures(1.0, 2.0, 1.0, 40.0, 2) == []
+    both = bracket_failures(0.5, 50.0, 1.0, 40.0, 2)
+    assert len(both) == 2
+    assert "after the measured start" in both[0]
+    assert "after the predicted end" in both[1]
+    assert bracket_failures(None, None, 1.0, 40.0, 2) == [
+        "the live store measured no damage window although the "
+        "injector scheduled 2 crash(es)"]
+    assert bracket_failures(1.0, 2.0, None, None, 2)[0].startswith(
+        "the engine predicted no damage window")
+    # Equal edges (the by-construction start case) are inside brackets.
+    assert bracket_failures(1.0, 40.0, 1.0, 40.0, 1) == []

@@ -210,3 +210,141 @@ def test_kill_more_nodes_than_the_cluster_has_is_rejected():
     spec = ScenarioSpec.from_dict(spec_dict(kill_nodes=7))
     with pytest.raises(ScenarioSpecError, match="exceeds"):
         FailureInjector.from_spec(spec, np.random.SeedSequence(0))
+
+
+# --------------------------------------------------------------------------- #
+# Backend equivalence (the out-of-process tentpole guarantee)
+# --------------------------------------------------------------------------- #
+def _both_backends(base: dict):
+    inproc = run_store(ScenarioSpec.from_dict(base))
+    process = run_store(
+        ScenarioSpec.from_dict(base).replace(store={"backend": "process"}))
+    return inproc, process
+
+
+@pytest.mark.parametrize("seed", (11, 22, 33))
+@pytest.mark.parametrize("code,kill", [
+    ("rs(n=6,r=4,m=2)", 2),
+    ("stair(n=6,r=4,m=1,e=(1,))", 1),
+])
+def test_backends_produce_bit_identical_digests(code, kill, seed):
+    """The acceptance criterion: for equal specs and seeds the
+    in-process and subprocess backends replay the *same* deterministic
+    digest -- every counter, every failure record, the damage window."""
+    base = {
+        **spec_dict(kill_nodes=kill, objects=8, operations=40, clients=3,
+                    object_bytes=1024, symbol_bytes=32),
+        "code": {"spec": code},
+        "estimator": {"seed": seed},
+    }
+    inproc, process = _both_backends(base)
+    assert inproc.report.deterministic_summary() == \
+        process.report.deterministic_summary()
+    # Both served correctly and physically (not just identically).
+    assert inproc.zero_data_loss and process.zero_data_loss
+    assert inproc.report.backend == "inprocess"
+    assert process.report.backend == "process"
+
+
+def test_latency_model_shapes_timing_but_not_the_digest():
+    base = spec_dict(objects=8, operations=30, clients=2)
+    plain = run_store(ScenarioSpec.from_dict(base))
+    timed_spec = ScenarioSpec.from_dict(base).replace(store={
+        "latency_net_rtt_ms": 2.0, "latency_net_jitter_ms": 0.5,
+        "latency_disk_ms": 1.0, "latency_disk_jitter_ms": 0.5})
+    timed = run_store(timed_spec)
+    assert plain.report.deterministic_summary() == \
+        timed.report.deterministic_summary()
+    # But the physical clock moved: a get now costs >= one modelled RTT.
+    pct = timed.report.latency_percentiles()
+    assert pct["get_p50_s"] >= 3e-3
+    assert plain.report.latency_percentiles()["get_p50_s"] < 3e-3
+
+
+# --------------------------------------------------------------------------- #
+# Injector determinism across the process boundary
+# --------------------------------------------------------------------------- #
+def test_injector_schedule_identical_across_backends():
+    """Same spec + seed must produce the *same* crash schedule and the
+    same fired-failure record no matter where the chunk bytes live."""
+    base = {
+        **spec_dict(kill_nodes=0, kill_at_fraction=0.5),
+        "lifetime": {"mttf_hours": 50.0},
+    }
+    base["store"]["hours_per_op"] = 10.0
+    inproc, process = _both_backends(base)
+    assert inproc.injector.events == process.injector.events
+    assert inproc.injector.events  # the short MTTF really fired
+    assert inproc.report.failures == process.report.failures
+    assert inproc.report.failures == [
+        (e.at_op, e.node, e.cause) for e in inproc.injector.fired]
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency stress: repair racing puts under a kill schedule
+# --------------------------------------------------------------------------- #
+async def _repair_racing_puts(backend: str, seed: int) -> dict[str, bytes]:
+    """Concurrent writers overwrite a small key population while a kill
+    schedule crashes nodes and repair passes race the puts.  Returns
+    the final key -> bytes map (reads after global quiescence)."""
+    from repro.store import ProcessTransport
+    from repro.store.node import LocalTransport, StoreNode
+
+    code = parse_code_spec("rs(n=6,r=4,m=2)")
+    if backend == "process":
+        transports = [await ProcessTransport.spawn() for _ in range(code.n)]
+    else:
+        transports = [LocalTransport() for _ in range(code.n)]
+    nodes = [StoreNode(j, transport=transports[j]) for j in range(code.n)]
+    async with StoreCluster(code, symbol_bytes=32, nodes=nodes) as cluster:
+        keys = [f"stress-{i}" for i in range(6)]
+        for i, key in enumerate(keys):
+            await cluster.put(key, make_payload(seed * 1000 + i, 700))
+
+        async def writer(wid: int) -> None:
+            rng = np.random.default_rng(seed * 100 + wid)
+            for _ in range(10):
+                key = keys[int(rng.integers(len(keys)))]
+                await cluster.put(
+                    key, make_payload(int(rng.integers(2 ** 62)), 700))
+
+        async def killer_and_repair() -> None:
+            for _ in range(4):
+                await asyncio.sleep(0)
+            cluster.crash_node(1)
+            await cluster.repair_once()
+            for _ in range(4):
+                await asyncio.sleep(0)
+            cluster.crash_node(4)
+            while await cluster.repair_once():
+                pass
+
+        await asyncio.gather(*(writer(w) for w in range(4)),
+                             killer_and_repair())
+        while await cluster.repair_once():
+            pass
+        await cluster.flush()
+
+        assert cluster.fully_redundant()
+        assert not cluster.dataplane_errors()
+        assert not await cluster.audit_data_plane()
+        final = {}
+        for key in keys:
+            final[key] = await cluster.get(key)
+        return final
+
+
+@pytest.mark.parametrize("seed", (5, 6))
+def test_repair_racing_puts_no_torn_stripes_across_backends(seed):
+    """The stress matrix: whatever interleaving of overwrites, crashes
+    and repair passes played out, every read must decode to exactly one
+    self-consistent payload (a torn stripe would fail verification) and
+    the two backends must agree byte-for-byte on every final value."""
+    from repro.store import verify_payload
+
+    inproc = asyncio.run(_repair_racing_puts("inprocess", seed))
+    process = asyncio.run(_repair_racing_puts("process", seed))
+    for key, data in inproc.items():
+        assert len(data) == 700
+        assert verify_payload(data), f"torn payload for {key}"
+    assert inproc == process

@@ -1,0 +1,96 @@
+"""No lingering tasks survive a store run -- asserted with ``-W error``.
+
+A crash cancels in-flight deliveries and a cluster shutdown reaps node
+subprocesses; sloppy teardown surfaces as asyncio's end-of-loop
+stderr complaints ("Task was destroyed but it is pending!", "Future
+exception was never retrieved") or, under ``-W error``, as a raised
+warning.  These tests run real workloads -- both backends, kills,
+repair -- in a ``python -W error`` subprocess and require a clean exit
+with silent stderr.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_WORKLOAD = """
+import asyncio
+from repro.scenario.spec import SPEC_VERSION, ScenarioSpec
+from repro.store import run_store
+
+spec = ScenarioSpec.from_dict({
+    "version": SPEC_VERSION,
+    "code": {"spec": "rs(n=6,r=4,m=2)"},
+    "estimator": {"seed": 321},
+    "store": {"objects": 8, "object_bytes": 1024, "symbol_bytes": 32,
+              "operations": 40, "clients": 3, "kill_nodes": 2,
+              "kill_at_fraction": 0.4, "backend": "%(backend)s"},
+})
+outcome = run_store(spec)
+assert outcome.zero_data_loss and outcome.fully_redundant
+print("digest", hash(str(outcome.report.deterministic_summary())))
+"""
+
+#: The end-of-loop complaints asyncio prints for leaked tasks/futures;
+#: they bypass the warnings machinery, so stderr is checked explicitly.
+_LEAK_MARKERS = (
+    "Task was destroyed but it is pending",
+    "Future exception was never retrieved",
+    "Task exception was never retrieved",
+    "Event loop is closed",
+)
+
+
+def _run_with_error_warnings(code: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-W", "error", "-c", code],
+        capture_output=True, text=True, timeout=120, env=env)
+
+
+@pytest.mark.parametrize("backend", ("inprocess", "process"))
+def test_store_run_leaves_no_pending_tasks(backend):
+    result = _run_with_error_warnings(_WORKLOAD % {"backend": backend})
+    assert result.returncode == 0, \
+        f"run failed under -W error:\n{result.stderr}"
+    for marker in _LEAK_MARKERS:
+        assert marker not in result.stderr, \
+            f"lingering-task leak ({marker!r}):\n{result.stderr}"
+    assert result.stderr.strip() == "", \
+        f"unexpected stderr noise:\n{result.stderr}"
+
+
+def test_mid_repair_crash_teardown_is_clean():
+    """Crash a node while its repair decode is in flight, then tear the
+    cluster down immediately -- the historical 'Task was destroyed'
+    path."""
+    code = """
+import asyncio
+from repro.codes.registry import parse_code_spec
+from repro.store import StoreCluster, make_payload
+
+async def flow():
+    async with StoreCluster(parse_code_spec("rs(n=6,r=4,m=2)"),
+                            symbol_bytes=32) as cluster:
+        for i in range(6):
+            await cluster.put(f"k{i}", make_payload(i, 900))
+        cluster.crash_node(0)
+        repair = asyncio.create_task(cluster.repair_once())
+        await asyncio.sleep(0)   # let repair decide, not finish
+        cluster.crash_node(2)    # re-damage mid-pass
+        await repair
+        # aclose() (via the context manager) must reap everything.
+
+asyncio.run(flow())
+print("ok")
+"""
+    result = _run_with_error_warnings(code)
+    assert result.returncode == 0, result.stderr
+    for marker in _LEAK_MARKERS:
+        assert marker not in result.stderr, result.stderr
+    assert result.stderr.strip() == ""
